@@ -1,0 +1,431 @@
+(* Benchmark harness: regenerates every quantitative result of the paper.
+
+   - [table1]: modeling-cost statistics (paper Table 1)
+   - [table2]: bug-finding results for the random and priority-based
+     schedulers (paper Table 2)
+   - [vnext-fix]: the §3.6 fix validation (no bug in many executions)
+   - [ablation]: scheduler / change-point / liveness-bound sweeps (ours)
+   - [micro]: bechamel micro-benchmarks of engine throughput (ours)
+
+   With no arguments, everything runs with a wall-clock-friendly execution
+   budget; [--full] restores the paper's 100,000-execution budget. *)
+
+module E = Psharp.Engine
+module Bug_catalog = Catalog.Bug_catalog
+module Error = Psharp.Error
+
+let base_seed = 1L
+
+(* ------------------------------------------------------------------ *)
+(* Table 1                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let loc_of_files files =
+  let count file =
+    if Sys.file_exists file then begin
+      let ic = open_in file in
+      let n = ref 0 in
+      (try
+         while true do
+           ignore (input_line ic);
+           incr n
+         done
+       with End_of_file -> close_in ic);
+      !n
+    end
+    else 0
+  in
+  List.fold_left (fun acc f -> acc + count f) 0 files
+
+let lib d names = List.map (fun n -> Printf.sprintf "lib/%s/%s.ml" d n) names
+
+type table1_row = {
+  label : string;
+  system_files : string list;
+  harness_files : string list;
+  bugs_modeled : int;
+  machine_names : string list;  (** registry names counted for #M/#ST/#AH *)
+  paper : string;  (** the paper's row, for side-by-side comparison *)
+}
+
+let table1_rows =
+  [
+    {
+      label = "vNext Extent Manager";
+      system_files =
+        lib "vnext" [ "extent_manager"; "extent_center"; "extent_node_map" ];
+      harness_files =
+        lib "vnext"
+          [ "events"; "relay"; "extent_node"; "mgr_machine"; "testing_driver";
+            "repair_monitor"; "bug_flags" ];
+      bugs_modeled = 1;
+      machine_names =
+        [ "ExtentManager"; "ExtentNode"; "NetworkEngine"; "TestingDriver";
+          "Timer"; "RepairMonitor" ];
+      paper = "19,775 LoC, 1 bug; harness 684 LoC, 5 M, 11 ST, 17 AH";
+    };
+    {
+      label = "MigratingTable";
+      system_files =
+        lib "chaintable"
+          [ "migrating_table"; "migrator"; "reference_table"; "table_types";
+            "filter"; "filter0"; "internal"; "phase" ];
+      harness_files =
+        lib "chaintable"
+          [ "events"; "tables_machine"; "service_machine"; "migrator_machine";
+            "remote_backend"; "workload"; "harness"; "spec_check"; "linearize";
+            "backend"; "bug_flags" ];
+      bugs_modeled = 11;
+      machine_names = [ "Tables"; "Service"; "Migrator"; "MigrationHarness" ];
+      paper = "2,267 LoC, 11 bugs; harness 2,275 LoC, 3 M, 5 ST, 10 AH";
+    };
+    {
+      label = "Fabric User Service";
+      system_files = lib "fabric" [ "service"; "chained" ];
+      harness_files =
+        lib "fabric"
+          [ "cluster_manager"; "replica"; "events"; "monitors"; "client";
+            "harness"; "bug_flags" ];
+      bugs_modeled = 2;
+      machine_names =
+        [ "FailoverManager"; "Replica"; "FabricClient"; "FabricTestingDriver";
+          "FabricSinglePrimary"; "FabricClientLiveness"; "CScaleSource";
+          "CScaleTransform"; "CScaleAggregator"; "CScaleControlRelay" ];
+      paper = "31,959 LoC, 1 bug; harness 6,534 LoC, 13 M, 21 ST, 87 AH";
+    };
+  ]
+
+(* Run each harness a few executions so the registry sees every machine,
+   state and transition. *)
+let populate_registry () =
+  let quick harness monitors max_steps =
+    let cfg =
+      {
+        E.default_config with
+        max_executions = 3;
+        max_steps;
+        seed = base_seed;
+      }
+    in
+    ignore (E.run ~monitors cfg harness)
+  in
+  quick
+    (Vnext.Testing_driver.test ~bugs:Vnext.Bug_flags.none
+       ~scenario:Vnext.Testing_driver.Fail_and_repair ())
+    (fun () -> Vnext.Testing_driver.monitors ())
+    3_000;
+  quick (Chaintable.Harness.test ()) (fun () -> []) 4_000;
+  quick (Fabric.Harness.test ())
+    (fun () -> Fabric.Harness.monitors ())
+    3_000;
+  quick (Fabric.Chained.test ()) (fun () -> []) 2_000;
+  quick
+    (Replication.Harness.test ~bugs:Replication.Bug_flags.none ())
+    (fun () -> Replication.Harness.monitors ())
+    2_000
+
+let table1 () =
+  print_endline "== Table 1: cost of environment modeling ==";
+  print_endline
+    "(LoC are this reproduction's; the paper's row is shown for shape \
+     comparison)";
+  populate_registry ();
+  Printf.printf "%-22s | %10s %3s | %11s %3s %4s %4s\n" "System" "Sys LoC"
+    "#B" "Harness LoC" "#M" "#ST" "#AH";
+  print_endline (String.make 78 '-');
+  List.iter
+    (fun row ->
+      let stats = Psharp.Registry.machines () in
+      let mine =
+        List.filter
+          (fun s -> List.mem s.Psharp.Registry.machine row.machine_names)
+          stats
+      in
+      let n_machines = List.length mine in
+      let n_states =
+        List.fold_left (fun a s -> a + s.Psharp.Registry.states) 0 mine
+      in
+      let n_handlers =
+        List.fold_left (fun a s -> a + s.Psharp.Registry.handlers) 0 mine
+      in
+      let n_transitions =
+        List.fold_left
+          (fun a s ->
+            a + Psharp.Registry.transitions ~machine:s.Psharp.Registry.machine)
+          0 mine
+      in
+      Printf.printf "%-22s | %10d %3d | %11d %3d %4d %4d\n" row.label
+        (loc_of_files row.system_files)
+        row.bugs_modeled
+        (loc_of_files row.harness_files)
+        n_machines
+        (n_states + n_transitions)
+        n_handlers;
+      Printf.printf "%-22s | paper: %s\n" "" row.paper)
+    table1_rows;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Table 2                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type bug_run = {
+  found : [ `Found | `Custom | `Not_found ];
+  time_to_bug : float;
+  ndc : int;
+  executions : int;
+}
+
+let run_one entry ~strategy ~budget ~harness =
+  let cfg =
+    {
+      E.default_config with
+      strategy;
+      seed = base_seed;
+      max_executions = budget;
+      max_steps = entry.Bug_catalog.max_steps;
+    }
+  in
+  let started = Unix.gettimeofday () in
+  match E.run ~monitors:entry.Bug_catalog.monitors cfg harness with
+  | E.Bug_found (report, stats) ->
+    Some
+      ( Unix.gettimeofday () -. started,
+        Psharp.Trace.length report.Error.trace,
+        stats.E.executions )
+  | E.No_bug _ -> None
+
+let hunt entry ~strategy ~budget =
+  match run_one entry ~strategy ~budget ~harness:entry.Bug_catalog.harness with
+  | Some (t, ndc, execs) ->
+    { found = `Found; time_to_bug = t; ndc; executions = execs }
+  | None -> begin
+    match entry.Bug_catalog.custom_harness with
+    | None -> { found = `Not_found; time_to_bug = 0.; ndc = 0; executions = 0 }
+    | Some custom -> begin
+      match run_one entry ~strategy ~budget ~harness:custom with
+      | Some (t, ndc, execs) ->
+        { found = `Custom; time_to_bug = t; ndc; executions = execs }
+      | None ->
+        { found = `Not_found; time_to_bug = 0.; ndc = 0; executions = 0 }
+    end
+  end
+
+let pp_run r =
+  match r.found with
+  | `Not_found -> Printf.sprintf "%-2s %9s %7s" "x" "-" "-"
+  | `Found | `Custom ->
+    Printf.sprintf "%-2s %8.2fs %7d"
+      (match r.found with `Found -> "Y" | `Custom -> "(Y)" | `Not_found -> "x")
+      r.time_to_bug r.ndc
+
+let table2 ~budget () =
+  Printf.printf
+    "== Table 2: systematic testing results (budget %d executions, seed %Ld) \
+     ==\n"
+    budget base_seed;
+  print_endline
+    "Y = found, (Y) = found only with the custom (pinned-input) test case, \
+     x = not found";
+  Printf.printf "%-3s %-40s | %-22s | %-22s\n" "CS" "Bug Identifier"
+    "Random (BF?/time/#NDC)" "PCT d=2 (BF?/time/#NDC)";
+  print_endline (String.make 98 '-');
+  List.iter
+    (fun entry ->
+      let random = hunt entry ~strategy:E.Random ~budget in
+      let pct = hunt entry ~strategy:(E.Pct { change_points = 2 }) ~budget in
+      Printf.printf "%-3s %-40s | %s | %s\n"
+        (Bug_catalog.case_study_to_string entry.Bug_catalog.case_study)
+        entry.Bug_catalog.name (pp_run random) (pp_run pct))
+    Bug_catalog.table2;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* §3.6 fix validation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let vnext_fix ~budget () =
+  Printf.printf "== §3.6: fixed Extent Manager, %d executions ==\n" budget;
+  let cfg =
+    {
+      E.default_config with
+      seed = base_seed;
+      max_executions = budget;
+      max_steps = 3_000;
+    }
+  in
+  let started = Unix.gettimeofday () in
+  (match
+     E.run
+       ~monitors:(fun () -> Vnext.Testing_driver.monitors ())
+       cfg
+       (Vnext.Testing_driver.test ~bugs:Vnext.Bug_flags.none
+          ~scenario:Vnext.Testing_driver.Fail_and_repair ())
+   with
+   | E.No_bug stats ->
+     Printf.printf "no bugs found during %d executions (%.1fs)\n"
+       stats.E.executions
+       (Unix.gettimeofday () -. started)
+   | E.Bug_found (report, stats) ->
+     Printf.printf "UNEXPECTED bug after %d executions: %s\n"
+       stats.E.executions
+       (Error.kind_to_string report.Error.kind));
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ablation ~budget () =
+  print_endline "== Ablation 1: scheduler comparison (example bug 1, safety) ==";
+  let entry = Bug_catalog.find "ExampleDuplicateReplicaAck" in
+  List.iter
+    (fun (name, strategy) ->
+      let r = hunt entry ~strategy ~budget in
+      Printf.printf "  %-22s %s\n" name (pp_run r))
+    [
+      ("random", E.Random);
+      ("pct (d=2)", E.Pct { change_points = 2 });
+      ("round-robin", E.Round_robin);
+      ("dfs (depth 60)", E.Dfs { max_depth = 60; int_cap = 2 });
+      ("delay-bounded (2)", E.Delay_bounded { delays = 2 });
+    ];
+  print_endline
+    "== Ablation 2: PCT change-point budget on QueryStreamedBackUpNewStream ==";
+  let entry = Bug_catalog.find "QueryStreamedBackUpNewStream" in
+  List.iter
+    (fun d ->
+      let r = hunt entry ~strategy:(E.Pct { change_points = d }) ~budget in
+      Printf.printf "  d=%-2d %s (executions to bug: %d)\n" d (pp_run r)
+        r.executions)
+    [ 1; 2; 4; 8 ];
+  print_endline "== Ablation 3: liveness bound on ExtentNodeLivenessViolation ==";
+  let entry = Bug_catalog.find "ExtentNodeLivenessViolation" in
+  List.iter
+    (fun max_steps ->
+      let entry = { entry with Bug_catalog.max_steps } in
+      let r = hunt entry ~strategy:E.Random ~budget:(min budget 3_000) in
+      Printf.printf "  max_steps=%-5d %s\n" max_steps (pp_run r))
+    [ 1_000; 2_000; 3_000 ];
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Sample protocols (Paxos / Raft)                                     *)
+(* ------------------------------------------------------------------ *)
+
+let samples ~budget () =
+  Printf.printf
+    "== Sample protocols (P# repo samples the paper references, sec 2.3) ==\n";
+  Printf.printf "%-3s %-40s | %-22s | %-22s\n" "CS" "Bug Identifier"
+    "Random (BF?/time/#NDC)" "PCT d=2 (BF?/time/#NDC)";
+  print_endline (String.make 98 '-');
+  List.iter
+    (fun entry ->
+      let random = hunt entry ~strategy:E.Random ~budget in
+      let pct = hunt entry ~strategy:(E.Pct { change_points = 2 }) ~budget in
+      Printf.printf "%-3s %-40s | %s | %s\n"
+        (Bug_catalog.case_study_to_string entry.Bug_catalog.case_study)
+        entry.Bug_catalog.name (pp_run random) (pp_run pct))
+    (List.filter
+       (fun e -> e.Bug_catalog.case_study = Bug_catalog.Cs_sample)
+       Bug_catalog.all);
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  print_endline
+    "== Micro-benchmarks: one systematic-testing execution (bechamel OLS) ==";
+  let open Bechamel in
+  let run_once harness monitors max_steps =
+    let counter = ref 0 in
+    fun () ->
+      incr counter;
+      let cfg =
+        {
+          E.default_config with
+          max_executions = 1;
+          max_steps;
+          seed = Int64.of_int !counter;
+        }
+      in
+      ignore (E.run ~monitors cfg harness)
+  in
+  let tests =
+    [
+      Test.make ~name:"replication-fixed"
+        (Staged.stage
+           (run_once
+              (Replication.Harness.test ~bugs:Replication.Bug_flags.none ())
+              (fun () -> Replication.Harness.monitors ())
+              500));
+      Test.make ~name:"vnext-fixed"
+        (Staged.stage
+           (run_once
+              (Vnext.Testing_driver.test ~bugs:Vnext.Bug_flags.none
+                 ~scenario:Vnext.Testing_driver.Fail_and_repair ())
+              (fun () -> Vnext.Testing_driver.monitors ())
+              1_000));
+      Test.make ~name:"migratingtable-fixed"
+        (Staged.stage
+           (run_once (Chaintable.Harness.test ()) (fun () -> []) 4_000));
+      Test.make ~name:"fabric-fixed"
+        (Staged.stage
+           (run_once (Fabric.Harness.test ())
+              (fun () -> Fabric.Harness.monitors ())
+              3_000));
+      Test.make ~name:"cscale-fixed"
+        (Staged.stage (run_once (Fabric.Chained.test ()) (fun () -> []) 2_000));
+    ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 1.0) () in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw = Benchmark.run cfg [ instance ] elt in
+          let result = Analyze.one ols instance raw in
+          match Analyze.OLS.estimates result with
+          | Some [ ns ] ->
+            Printf.printf "  %-24s %10.0f ns/execution (%8.0f executions/s)\n"
+              (Test.Elt.name elt) ns
+              (1e9 /. ns)
+          | Some _ | None ->
+            Printf.printf "  %-24s (no estimate)\n" (Test.Elt.name elt))
+        (Test.elements test))
+    tests;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let full = List.mem "--full" args in
+  let sections =
+    match List.filter (fun a -> a <> "--full") args with
+    | [] -> [ "table1"; "table2"; "vnext-fix"; "ablation"; "samples"; "micro" ]
+    | picked -> picked
+  in
+  let table2_budget = if full then 100_000 else 20_000 in
+  let fix_budget = if full then 100_000 else 2_000 in
+  let ablation_budget = if full then 100_000 else 20_000 in
+  let samples_budget = if full then 100_000 else 10_000 in
+  List.iter
+    (fun section ->
+      match section with
+      | "table1" -> table1 ()
+      | "table2" -> table2 ~budget:table2_budget ()
+      | "vnext-fix" -> vnext_fix ~budget:fix_budget ()
+      | "ablation" -> ablation ~budget:ablation_budget ()
+      | "samples" -> samples ~budget:samples_budget ()
+      | "micro" -> micro ()
+      | other -> Printf.printf "unknown section %s\n" other)
+    sections

@@ -1,0 +1,295 @@
+(* Command-line systematic-testing runner.
+
+   psharp_test list
+   psharp_test hunt BUG [--strategy random|pct|rr|dfs] [--seed N]
+                        [--executions N] [--steps N] [--custom]
+                        [--trace-out FILE] [--log]
+   psharp_test replay BUG --trace FILE [--custom]
+   psharp_test survey BUG [--executions N]     (all distinct violations)
+   psharp_test check BUG [--executions N]      (fixed variant, expect clean) *)
+
+module E = Psharp.Engine
+module Error = Psharp.Error
+module Bug_catalog = Catalog.Bug_catalog
+
+open Cmdliner
+
+(* --- shared arguments --------------------------------------------------- *)
+
+let bug_arg =
+  let doc = "Bug identifier (see the list command)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"BUG" ~doc)
+
+let strategy_arg =
+  let doc = "Scheduling strategy: random, pct, rr, dfs, or delay." in
+  Arg.(value & opt string "random" & info [ "strategy" ] ~docv:"NAME" ~doc)
+
+let seed_arg =
+  let doc = "Base random seed." in
+  Arg.(value & opt int64 0L & info [ "seed" ] ~doc)
+
+let executions_arg =
+  let doc = "Maximum number of executions to explore." in
+  Arg.(value & opt int 10_000 & info [ "executions" ] ~doc)
+
+let steps_arg =
+  let doc = "Step bound per execution (0 = the bug's default)." in
+  Arg.(value & opt int 0 & info [ "steps" ] ~doc)
+
+let custom_arg =
+  let doc = "Use the bug's custom (pinned-input) test case if it has one." in
+  Arg.(value & flag & info [ "custom" ] ~doc)
+
+let trace_out_arg =
+  let doc = "Write the buggy schedule trace to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let trace_in_arg =
+  let doc = "Schedule trace to replay." in
+  Arg.(required & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let log_arg =
+  let doc = "Print the global-order trace log of the buggy execution." in
+  Arg.(value & flag & info [ "log" ] ~doc)
+
+let shrink_arg =
+  let doc = "Delta-debug the witness trace down to a shorter one." in
+  Arg.(value & flag & info [ "shrink" ] ~doc)
+
+let parse_strategy = function
+  | "random" -> Ok E.Random
+  | "pct" -> Ok (E.Pct { change_points = 2 })
+  | "rr" -> Ok E.Round_robin
+  | "dfs" -> Ok (E.Dfs { max_depth = 200; int_cap = 3 })
+  | "delay" -> Ok (E.Delay_bounded { delays = 2 })
+  | other -> Error (Printf.sprintf "unknown strategy %s" other)
+
+let config_of entry ~strategy ~seed ~executions ~steps ~log =
+  {
+    E.default_config with
+    strategy;
+    seed;
+    max_executions = executions;
+    max_steps = (if steps > 0 then steps else entry.Bug_catalog.max_steps);
+    collect_log_on_bug = log;
+  }
+
+let harness_of entry ~custom =
+  if custom then
+    match entry.Bug_catalog.custom_harness with
+    | Some h -> Ok h
+    | None ->
+      Error (Printf.sprintf "%s has no custom test case" entry.Bug_catalog.name)
+  else Ok entry.Bug_catalog.harness
+
+(* --- list --------------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    Printf.printf "%-3s %-40s %-8s %-7s %s\n" "CS" "Bug" "Kind" "Table2"
+      "Custom case";
+    List.iter
+      (fun e ->
+        Printf.printf "%-3s %-40s %-8s %-7s %s\n"
+          (Bug_catalog.case_study_to_string e.Bug_catalog.case_study)
+          e.Bug_catalog.name
+          (match e.Bug_catalog.kind with
+           | `Safety -> "safety"
+           | `Liveness -> "liveness")
+          (if e.Bug_catalog.in_table2 then "yes" else "no")
+          (if e.Bug_catalog.custom_harness <> None then "yes" else "no"))
+      Bug_catalog.all;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the re-introducible bugs.")
+    Term.(const run $ const ())
+
+(* --- hunt --------------------------------------------------------------- *)
+
+let hunt bug strategy seed executions steps custom trace_out log shrink =
+  match parse_strategy strategy with
+  | Error msg ->
+    prerr_endline msg;
+    2
+  | Ok strategy -> begin
+    match Bug_catalog.find bug with
+    | exception Invalid_argument msg ->
+      prerr_endline msg;
+      2
+    | entry -> begin
+      match harness_of entry ~custom with
+      | Error msg ->
+        prerr_endline msg;
+        2
+      | Ok harness -> begin
+        let config = config_of entry ~strategy ~seed ~executions ~steps ~log in
+        match E.run ~monitors:entry.Bug_catalog.monitors config harness with
+        | E.Bug_found (first_report, stats) ->
+          let report =
+            if shrink then begin
+              Format.printf "shrinking the %d-choice witness...@."
+                (Psharp.Trace.length first_report.Error.trace);
+              Psharp.Shrinker.shrink ~monitors:entry.Bug_catalog.monitors
+                config first_report harness
+            end
+            else first_report
+          in
+          Format.printf "%a@." Error.pp_report report;
+          Format.printf
+            "found after %d execution(s) in %.2fs (%d total steps)@."
+            stats.E.executions stats.E.elapsed stats.E.total_steps;
+          if log then
+            List.iter (fun line -> Format.printf "%s@." line) report.Error.log;
+          (match trace_out with
+           | Some path ->
+             Psharp.Trace.save ~path report.Error.trace;
+             Format.printf "trace written to %s@." path
+           | None -> ());
+          0
+        | E.No_bug stats ->
+          Format.printf "no bug found in %d execution(s) (%.2fs%s)@."
+            stats.E.executions stats.E.elapsed
+            (if stats.E.search_exhausted then ", search exhausted" else "");
+          1
+      end
+    end
+  end
+
+let hunt_cmd =
+  Cmd.v
+    (Cmd.info "hunt" ~doc:"Systematically search for a catalog bug.")
+    Term.(
+      const hunt $ bug_arg $ strategy_arg $ seed_arg $ executions_arg
+      $ steps_arg $ custom_arg $ trace_out_arg $ log_arg $ shrink_arg)
+
+(* --- replay ------------------------------------------------------------- *)
+
+let replay bug trace_file custom log =
+  match Bug_catalog.find bug with
+  | exception Invalid_argument msg ->
+    prerr_endline msg;
+    2
+  | entry -> begin
+    match harness_of entry ~custom with
+    | Error msg ->
+      prerr_endline msg;
+      2
+    | Ok harness ->
+      let trace = Psharp.Trace.load ~path:trace_file in
+      let config =
+        config_of entry ~strategy:E.Random ~seed:0L ~executions:1 ~steps:0
+          ~log:true
+      in
+      let result =
+        E.replay ~monitors:entry.Bug_catalog.monitors config trace harness
+      in
+      (match result.Psharp.Runtime.bug with
+       | Some kind ->
+         Format.printf "replay reproduced: %s at step %d@."
+           (Error.kind_to_string kind) result.Psharp.Runtime.bug_step;
+         if log then
+           List.iter
+             (fun line -> Format.printf "%s@." line)
+             result.Psharp.Runtime.log;
+         0
+       | None ->
+         Format.printf "replay completed without a bug (stale trace?)@.";
+         1)
+  end
+
+let replay_cmd =
+  Cmd.v
+    (Cmd.info "replay" ~doc:"Replay a recorded buggy schedule.")
+    Term.(const replay $ bug_arg $ trace_in_arg $ custom_arg $ log_arg)
+
+(* --- survey --------------------------------------------------------------- *)
+
+let survey bug strategy seed executions custom =
+  match parse_strategy strategy with
+  | Error msg ->
+    prerr_endline msg;
+    2
+  | Ok strategy -> begin
+    match Bug_catalog.find bug with
+    | exception Invalid_argument msg ->
+      prerr_endline msg;
+      2
+    | entry -> begin
+      match harness_of entry ~custom with
+      | Error msg ->
+        prerr_endline msg;
+        2
+      | Ok harness ->
+        let config =
+          config_of entry ~strategy ~seed ~executions ~steps:0 ~log:false
+        in
+        let found =
+          E.survey ~monitors:entry.Bug_catalog.monitors config harness
+        in
+        if found = [] then begin
+          Format.printf "no violations in %d executions@." executions;
+          1
+        end
+        else begin
+          Format.printf "%d distinct violation(s) over %d executions:@."
+            (List.length found) executions;
+          List.iter
+            (fun (report, n) ->
+              Format.printf "  %6d x  %s (first witness: %d choices)@." n
+                (Error.kind_to_string report.Error.kind)
+                (Psharp.Trace.length report.Error.trace))
+            found;
+          0
+        end
+    end
+  end
+
+let survey_cmd =
+  Cmd.v
+    (Cmd.info "survey"
+       ~doc:
+         "Explore the whole execution budget and report every distinct \
+          violation with its frequency.")
+    Term.(
+      const survey $ bug_arg $ strategy_arg $ seed_arg $ executions_arg
+      $ custom_arg)
+
+(* --- check (fixed variant) ---------------------------------------------- *)
+
+let check bug seed executions =
+  match Bug_catalog.find bug with
+  | exception Invalid_argument msg ->
+    prerr_endline msg;
+    2
+  | entry -> begin
+    let config =
+      config_of entry ~strategy:E.Random ~seed ~executions ~steps:0 ~log:false
+    in
+    match
+      E.run ~monitors:entry.Bug_catalog.monitors config
+        entry.Bug_catalog.fixed_harness
+    with
+    | E.No_bug stats ->
+      Format.printf "fixed variant clean over %d execution(s) (%.2fs)@."
+        stats.E.executions stats.E.elapsed;
+      0
+    | E.Bug_found (report, stats) ->
+      Format.printf "UNEXPECTED bug in fixed variant after %d execution(s):@.%a@."
+        stats.E.executions Error.pp_report report;
+      1
+  end
+
+let check_cmd =
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Run the bug's fixed variant and expect no violations.")
+    Term.(const check $ bug_arg $ seed_arg $ executions_arg)
+
+let () =
+  let info =
+    Cmd.info "psharp_test" ~version:"1.0"
+      ~doc:
+        "Systematic concurrency testing of the distributed storage case \
+         studies (FAST 2016 reproduction)."
+  in
+  exit (Cmd.eval' (Cmd.group info [ list_cmd; hunt_cmd; replay_cmd; survey_cmd; check_cmd ]))

@@ -1,0 +1,1 @@
+examples/consensus.ml: Engine Error Format Paxos Psharp Raft

@@ -1,0 +1,1 @@
+examples/extent_repair.ml: Engine Error Format List Psharp String Vnext

@@ -1,0 +1,1 @@
+examples/extent_repair.mli:

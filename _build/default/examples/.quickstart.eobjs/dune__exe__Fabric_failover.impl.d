@@ -1,0 +1,1 @@
+examples/fabric_failover.ml: Engine Error Fabric Format Psharp

@@ -1,0 +1,1 @@
+examples/fabric_failover.mli:

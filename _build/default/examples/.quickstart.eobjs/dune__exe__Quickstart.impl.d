@@ -1,0 +1,1 @@
+examples/quickstart.ml: Engine Error Format List Psharp Replication

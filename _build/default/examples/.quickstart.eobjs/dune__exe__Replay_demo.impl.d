@@ -1,0 +1,1 @@
+examples/replay_demo.ml: Engine Error Filename Format Psharp Replication Runtime Sys Trace

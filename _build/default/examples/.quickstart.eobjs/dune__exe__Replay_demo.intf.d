@@ -1,0 +1,1 @@
+examples/replay_demo.mli:

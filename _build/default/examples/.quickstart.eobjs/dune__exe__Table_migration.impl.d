@@ -1,0 +1,1 @@
+examples/table_migration.ml: Chaintable Engine Error Format List Psharp String Trace

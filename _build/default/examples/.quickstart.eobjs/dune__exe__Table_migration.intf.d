@@ -1,0 +1,1 @@
+examples/table_migration.mli:

@@ -1,0 +1,51 @@
+(* The consensus sample protocols the paper points readers to (§2.3):
+   single-decree Paxos and Raft, with classic seeded safety bugs found by
+   the systematic testing engine.
+
+     dune exec examples/consensus.exe *)
+
+let () =
+  let open Psharp in
+  let hunt name monitors harness ~max_steps =
+    let config =
+      {
+        Engine.default_config with
+        max_executions = 10_000;
+        max_steps;
+        seed = 1L;
+      }
+    in
+    match Engine.run ~monitors config harness with
+    | Engine.Bug_found (report, stats) ->
+      Format.printf "%-28s FOUND after %d execution(s) (%.2fs):@.  %s@." name
+        stats.Engine.executions stats.Engine.elapsed
+        (Error.kind_to_string report.Error.kind)
+    | Engine.No_bug stats ->
+      Format.printf "%-28s clean over %d executions (%.2fs)@." name
+        stats.Engine.executions stats.Engine.elapsed
+  in
+  Format.printf "=== single-decree Paxos ===@.";
+  hunt "forget-promise bug"
+    (fun () -> Paxos.monitors ())
+    (Paxos.test ~bugs:Paxos.bug_forget_promise ())
+    ~max_steps:2_000;
+  hunt "choose-own-value bug"
+    (fun () -> Paxos.monitors ())
+    (Paxos.test ~bugs:Paxos.bug_choose_own_value ())
+    ~max_steps:2_000;
+  hunt "correct Paxos"
+    (fun () -> Paxos.monitors ())
+    (Paxos.test ()) ~max_steps:2_000;
+  Format.printf "@.=== Raft ===@.";
+  hunt "double-vote bug"
+    (fun () -> Raft.monitors ())
+    (Raft.test ~bugs:Raft.bug_double_vote ())
+    ~max_steps:1_500;
+  hunt "stale-leader-election bug"
+    (fun () -> Raft.monitors ())
+    (Raft.test ~bugs:Raft.bug_stale_leader_election ())
+    ~max_steps:1_500;
+  hunt "correct Raft"
+    (fun () -> Raft.monitors ())
+    (Raft.test ())
+    ~max_steps:1_500

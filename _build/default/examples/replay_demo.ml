@@ -1,0 +1,42 @@
+(* Deterministic replay (paper §2): a found bug is witnessed by a full
+   schedule trace; replaying it reproduces the identical execution, which
+   is what makes these bugs debuggable. The trace can be saved to a file
+   and replayed later (or after adding more logging, as the vNext
+   developers did in §3.6).
+
+     dune exec examples/replay_demo.exe *)
+
+let () =
+  let open Psharp in
+  let config =
+    {
+      Engine.default_config with
+      max_executions = 5_000;
+      max_steps = 2_000;
+      seed = 3L;
+    }
+  in
+  let harness = Replication.Harness.test ~bugs:Replication.Bug_flags.bug1 () in
+  let monitors () = Replication.Harness.monitors () in
+  match Engine.run ~monitors config harness with
+  | Engine.No_bug _ -> Format.printf "no bug found; nothing to replay@."
+  | Engine.Bug_found (report, stats) ->
+    Format.printf "found: %s@." (Error.kind_to_string report.Error.kind);
+    Format.printf "after %d executions; trace has %d choices@."
+      stats.Engine.executions
+      (Trace.length report.Error.trace);
+    (* Persist the witness, as a bug report would. *)
+    let path = Filename.temp_file "psharp_bug" ".trace" in
+    Trace.save ~path report.Error.trace;
+    Format.printf "trace saved to %s@." path;
+    (* Replay it: same bug, same step, fully deterministic. *)
+    let loaded = Trace.load ~path in
+    let result = Engine.replay ~monitors config loaded harness in
+    (match result.Runtime.bug with
+     | Some kind ->
+       Format.printf "replay reproduced: %s at step %d@."
+         (Error.kind_to_string kind) result.Runtime.bug_step;
+       Format.printf "replay trace equals original: %b@."
+         (Trace.equal result.Runtime.choices report.Error.trace)
+     | None -> Format.printf "replay FAILED to reproduce (should not happen)@.");
+    Sys.remove path

@@ -1,0 +1,1 @@
+lib/catalog/bug_catalog.ml: Chaintable Fabric List Paxos Printf Psharp Raft Replication Vnext

@@ -1,0 +1,1 @@
+lib/catalog/bug_catalog.mli: Psharp

@@ -1,0 +1,158 @@
+type case_study =
+  | Cs_vnext
+  | Cs_migrating_table
+  | Cs_fabric
+  | Cs_example
+  | Cs_sample
+
+let case_study_to_string = function
+  | Cs_vnext -> "1"
+  | Cs_migrating_table -> "2"
+  | Cs_fabric -> "3"
+  | Cs_example -> "ex"
+  | Cs_sample -> "s"
+
+type entry = {
+  name : string;
+  case_study : case_study;
+  in_table2 : bool;
+  needs_custom_case : bool;
+  kind : [ `Safety | `Liveness ];
+  harness : Psharp.Runtime.ctx -> unit;
+  custom_harness : (Psharp.Runtime.ctx -> unit) option;
+  fixed_harness : Psharp.Runtime.ctx -> unit;
+  monitors : unit -> Psharp.Monitor.t list;
+  max_steps : int;
+}
+
+let no_monitors () = []
+
+let vnext_entry =
+  {
+    name = "ExtentNodeLivenessViolation";
+    case_study = Cs_vnext;
+    in_table2 = true;
+    needs_custom_case = false;
+    kind = `Liveness;
+    harness =
+      Vnext.Testing_driver.test ~bugs:Vnext.Bug_flags.liveness_bug
+        ~scenario:Vnext.Testing_driver.Fail_and_repair ();
+    custom_harness = None;
+    fixed_harness =
+      Vnext.Testing_driver.test ~bugs:Vnext.Bug_flags.none
+        ~scenario:Vnext.Testing_driver.Fail_and_repair ();
+    monitors = (fun () -> Vnext.Testing_driver.monitors ());
+    max_steps = 3_000;
+  }
+
+let migrating_table_entry name =
+  {
+    name;
+    case_study = Cs_migrating_table;
+    in_table2 = true;
+    needs_custom_case = Chaintable.Bug_flags.needs_custom_case name;
+    kind = `Safety;
+    harness = Chaintable.Harness.test_for_bug name;
+    custom_harness =
+      (if Chaintable.Bug_flags.needs_custom_case name then
+         Some (Chaintable.Harness.test_for_bug ~custom:true name)
+       else None);
+    fixed_harness = Chaintable.Harness.test ();
+    monitors = no_monitors;
+    max_steps = 4_000;
+  }
+
+let fabric_promotion_entry =
+  {
+    name = "FabricPromoteDuringCopy";
+    case_study = Cs_fabric;
+    in_table2 = false;
+    needs_custom_case = false;
+    kind = `Safety;
+    harness = Fabric.Harness.test ~bugs:Fabric.Bug_flags.promotion_bug ();
+    custom_harness = None;
+    fixed_harness = Fabric.Harness.test ();
+    monitors = (fun () -> Fabric.Harness.monitors ());
+    max_steps = 3_000;
+  }
+
+let cscale_entry =
+  {
+    name = "CScaleNullReference";
+    case_study = Cs_fabric;
+    in_table2 = false;
+    needs_custom_case = false;
+    kind = `Safety;
+    harness = Fabric.Chained.test ~bugs:Fabric.Bug_flags.cscale_bug ();
+    custom_harness = None;
+    fixed_harness = Fabric.Chained.test ();
+    monitors = no_monitors;
+    max_steps = 2_000;
+  }
+
+let example_entry name bugs kind =
+  {
+    name;
+    case_study = Cs_example;
+    in_table2 = false;
+    needs_custom_case = false;
+    kind;
+    harness = Replication.Harness.test ~bugs ();
+    custom_harness = None;
+    fixed_harness = Replication.Harness.test ~bugs:Replication.Bug_flags.none ();
+    monitors = (fun () -> Replication.Harness.monitors ());
+    max_steps = 2_000;
+  }
+
+let sample_entry name ~harness ~fixed_harness ~monitors ~max_steps =
+  {
+    name;
+    case_study = Cs_sample;
+    in_table2 = false;
+    needs_custom_case = false;
+    kind = `Safety;
+    harness;
+    custom_harness = None;
+    fixed_harness;
+    monitors;
+    max_steps;
+  }
+
+let all =
+  vnext_entry
+  :: List.map migrating_table_entry Chaintable.Bug_flags.names
+  @ [
+      fabric_promotion_entry;
+      cscale_entry;
+      example_entry "ExampleDuplicateReplicaAck" Replication.Bug_flags.bug1
+        `Safety;
+      example_entry "ExampleCounterNotReset" Replication.Bug_flags.bug2
+        `Liveness;
+      sample_entry "PaxosForgetPromise"
+        ~harness:(Paxos.test ~bugs:Paxos.bug_forget_promise ())
+        ~fixed_harness:(Paxos.test ())
+        ~monitors:(fun () -> Paxos.monitors ())
+        ~max_steps:2_000;
+      sample_entry "PaxosChooseOwnValue"
+        ~harness:(Paxos.test ~bugs:Paxos.bug_choose_own_value ())
+        ~fixed_harness:(Paxos.test ())
+        ~monitors:(fun () -> Paxos.monitors ())
+        ~max_steps:2_000;
+      sample_entry "RaftDoubleVote"
+        ~harness:(Raft.test ~bugs:Raft.bug_double_vote ())
+        ~fixed_harness:(Raft.test ())
+        ~monitors:(fun () -> Raft.monitors ())
+        ~max_steps:1_500;
+      sample_entry "RaftStaleLeaderElection"
+        ~harness:(Raft.test ~bugs:Raft.bug_stale_leader_election ())
+        ~fixed_harness:(Raft.test ())
+        ~monitors:(fun () -> Raft.monitors ())
+        ~max_steps:1_500;
+    ]
+
+let table2 = List.filter (fun e -> e.in_table2) all
+
+let find name =
+  match List.find_opt (fun e -> e.name = name) all with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "Bug_catalog.find: unknown bug %s" name)

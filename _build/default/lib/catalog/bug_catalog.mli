@@ -1,0 +1,39 @@
+(** The re-introducible bugs of Table 2 (paper §6.2), plus the extra bugs
+    this reproduction models (the Fig. 1 example bugs, the Fabric promotion
+    bug and the CScale exception, which the paper discusses outside
+    Table 2).
+
+    "After all the discovered bugs were fixed, we added flags to allow them
+    to be individually re-introduced, for purposes of evaluation." *)
+
+type case_study =
+  | Cs_vnext  (** 1 — Azure Storage vNext *)
+  | Cs_migrating_table  (** 2 — MigratingTable *)
+  | Cs_fabric  (** Fabric model / CScale (not in the paper's Table 2) *)
+  | Cs_example  (** the §2.2 running example *)
+  | Cs_sample  (** P# sample protocols the paper points to: Paxos, Raft *)
+
+val case_study_to_string : case_study -> string
+
+type entry = {
+  name : string;  (** Table 2 "Bug Identifier" *)
+  case_study : case_study;
+  in_table2 : bool;  (** appears as a row of the paper's Table 2 *)
+  needs_custom_case : bool;  (** the paper's ⊙ marker *)
+  kind : [ `Safety | `Liveness ];
+  harness : Psharp.Runtime.ctx -> unit;  (** default (random-input) harness *)
+  custom_harness : (Psharp.Runtime.ctx -> unit) option;
+      (** pinned-input custom test case, when one exists *)
+  fixed_harness : Psharp.Runtime.ctx -> unit;
+      (** same harness with the bug fixed (for no-false-positive runs) *)
+  monitors : unit -> Psharp.Monitor.t list;
+  max_steps : int;  (** liveness bound suited to this harness *)
+}
+
+(** All catalog entries, Table 2 rows first, in the paper's order. *)
+val all : entry list
+
+(** Only the 12 rows of the paper's Table 2. *)
+val table2 : entry list
+
+val find : string -> entry

@@ -1,0 +1,1 @@
+lib/chaintable/backend.ml: Filter0 Phase Table_types

@@ -1,0 +1,1 @@
+lib/chaintable/backend.mli: Filter0 Phase Table_types

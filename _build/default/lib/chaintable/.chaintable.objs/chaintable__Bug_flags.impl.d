@@ -1,0 +1,1 @@
+lib/chaintable/bug_flags.ml: Printf

@@ -1,0 +1,1 @@
+lib/chaintable/events.ml: Backend Filter0 Linearize List Phase Printf Psharp Spec_check Table_types

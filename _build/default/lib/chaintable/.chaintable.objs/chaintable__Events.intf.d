@@ -1,0 +1,1 @@
+lib/chaintable/events.mli: Backend Filter0 Linearize Phase Psharp Spec_check Table_types

@@ -1,0 +1,1 @@
+lib/chaintable/filter.ml: Filter0 List String Table_types

@@ -1,0 +1,1 @@
+lib/chaintable/filter.mli: Filter0 Table_types

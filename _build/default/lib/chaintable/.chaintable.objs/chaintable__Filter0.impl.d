@@ -1,0 +1,1 @@
+lib/chaintable/filter0.ml: Printf

@@ -1,0 +1,1 @@
+lib/chaintable/harness.ml: Bug_flags Events List Migrator_machine Printf Psharp Service_machine Tables_machine Workload

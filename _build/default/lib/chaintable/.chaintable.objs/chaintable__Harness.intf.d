@@ -1,0 +1,1 @@
+lib/chaintable/harness.mli: Bug_flags Psharp Table_types Workload

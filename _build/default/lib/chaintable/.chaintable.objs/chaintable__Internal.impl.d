@@ -1,0 +1,1 @@
+lib/chaintable/internal.ml: Bug_flags List String Table_types

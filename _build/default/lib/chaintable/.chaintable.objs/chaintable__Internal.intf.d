@@ -1,0 +1,1 @@
+lib/chaintable/internal.mli: Bug_flags Table_types

@@ -1,0 +1,1 @@
+lib/chaintable/linearize.ml: Filter0 Printf Reference_table Table_types

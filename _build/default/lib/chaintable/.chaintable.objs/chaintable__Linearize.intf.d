@@ -1,0 +1,1 @@
+lib/chaintable/linearize.mli: Reference_table Table_types

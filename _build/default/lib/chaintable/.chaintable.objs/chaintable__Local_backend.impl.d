@@ -1,0 +1,1 @@
+lib/chaintable/local_backend.ml: Backend Linearize Phase Reference_table Table_types

@@ -1,0 +1,1 @@
+lib/chaintable/local_backend.mli: Backend Linearize Phase Reference_table Table_types

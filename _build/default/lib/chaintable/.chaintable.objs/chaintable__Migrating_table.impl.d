@@ -1,0 +1,1 @@
+lib/chaintable/migrating_table.ml: Backend Bug_flags Filter Filter0 Fun Internal List Map Option Phase Table_types

@@ -1,0 +1,1 @@
+lib/chaintable/migrating_table.mli: Backend Bug_flags Filter0 Table_types

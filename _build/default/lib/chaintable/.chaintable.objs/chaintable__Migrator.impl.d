@@ -1,0 +1,1 @@
+lib/chaintable/migrator.ml: Backend Bug_flags Filter Filter0 Internal Phase Table_types

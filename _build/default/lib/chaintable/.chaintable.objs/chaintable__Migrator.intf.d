@@ -1,0 +1,1 @@
+lib/chaintable/migrator.mli: Backend Bug_flags Phase

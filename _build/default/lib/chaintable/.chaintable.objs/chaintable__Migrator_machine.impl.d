@@ -1,0 +1,1 @@
+lib/chaintable/migrator_machine.ml: Events Migrator Phase Printf Psharp Remote_backend

@@ -1,0 +1,1 @@
+lib/chaintable/migrator_machine.mli: Bug_flags Psharp

@@ -1,0 +1,1 @@
+lib/chaintable/phase.mli:

@@ -1,0 +1,1 @@
+lib/chaintable/reference_table.ml: Filter Hashtbl List Map Option Table_types

@@ -1,0 +1,1 @@
+lib/chaintable/reference_table.mli: Filter0 Table_types

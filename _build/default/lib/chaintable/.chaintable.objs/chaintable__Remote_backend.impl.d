@@ -1,0 +1,1 @@
+lib/chaintable/remote_backend.ml: Backend Events Linearize Psharp Table_types

@@ -1,0 +1,1 @@
+lib/chaintable/remote_backend.mli: Backend Linearize Psharp Table_types

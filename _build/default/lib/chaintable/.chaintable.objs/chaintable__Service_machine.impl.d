@@ -1,0 +1,1 @@
+lib/chaintable/service_machine.ml: Backend Events Filter0 Linearize List Map Migrating_table Option Printf Psharp Remote_backend Spec_check Table_types Workload

@@ -1,0 +1,1 @@
+lib/chaintable/service_machine.mli: Bug_flags Psharp Workload

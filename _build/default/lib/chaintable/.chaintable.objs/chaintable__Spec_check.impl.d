@@ -1,0 +1,1 @@
+lib/chaintable/spec_check.ml: Filter List Printf Reference_table Table_types

@@ -1,0 +1,1 @@
+lib/chaintable/spec_check.mli: Filter0 Reference_table Table_types

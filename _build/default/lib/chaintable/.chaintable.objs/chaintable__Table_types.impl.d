@@ -1,0 +1,1 @@
+lib/chaintable/table_types.ml: Filter0 Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/chaintable/table_types.mli: Filter0

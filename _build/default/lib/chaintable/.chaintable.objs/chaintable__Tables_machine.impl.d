@@ -1,0 +1,1 @@
+lib/chaintable/tables_machine.ml: Backend Events Hashtbl Linearize List Phase Printf Psharp Reference_table Spec_check Table_types

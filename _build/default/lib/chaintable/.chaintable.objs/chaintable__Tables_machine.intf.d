@@ -1,0 +1,1 @@
+lib/chaintable/tables_machine.mli: Psharp Table_types

@@ -1,0 +1,1 @@
+lib/chaintable/workload.ml: Filter0 Printf Table_types

@@ -1,0 +1,1 @@
+lib/chaintable/workload.mli: Filter0 Table_types

@@ -1,0 +1,36 @@
+type table = Old | New
+
+let table_to_string = function Old -> "old" | New -> "new"
+
+type call_result =
+  | Exec_result of (Table_types.op_result, Table_types.op_error) result
+  | Batch_result of
+      (Table_types.op_result list, Table_types.op_error) result
+  | Row_result of Table_types.row option
+  | Rows_result of Table_types.row list
+
+type lin = call_result -> bool
+
+type ops = {
+  begin_op : unit -> Phase.t;
+  end_op : unit -> unit;
+  execute :
+    ?lin:lin ->
+    table ->
+    Table_types.op ->
+    (Table_types.op_result, Table_types.op_error) result;
+  execute_batch :
+    ?lin:lin ->
+    table ->
+    Table_types.op list ->
+    (Table_types.op_result list, Table_types.op_error) result;
+  retrieve : ?lin:lin -> table -> Table_types.key -> Table_types.row option;
+  query : ?lin:lin -> table -> Filter0.t -> Table_types.row list;
+  peek_after :
+    ?lin:lin ->
+    table ->
+    Table_types.key option ->
+    Filter0.t ->
+    Table_types.row option;
+  stream_phase : unit -> Phase.t;
+}

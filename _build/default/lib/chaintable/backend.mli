@@ -1,0 +1,56 @@
+(** The backend interface a MigratingTable instance operates against.
+
+    In production these calls hit two real Azure tables; under the test
+    harness each call is a message round trip through the Tables machine,
+    which serializes all backend operations (paper Fig. 12) — so every call
+    is a potential interleaving point for the testing engine.
+
+    Linearization-point reporting: a call may carry a [lin] predicate. The
+    environment evaluates it on the call's result; if it returns true, this
+    call was the linearization point of the current logical operation, and
+    the environment atomically applies the pending reference-table
+    operation (see {!Tables_machine}). The MigratingTable code itself knows
+    nothing about the reference table — it only marks which backend call
+    decided the outcome. *)
+
+type table = Old | New
+
+val table_to_string : table -> string
+
+type call_result =
+  | Exec_result of (Table_types.op_result, Table_types.op_error) result
+  | Batch_result of
+      (Table_types.op_result list, Table_types.op_error) result
+  | Row_result of Table_types.row option
+  | Rows_result of Table_types.row list
+
+(** Linearization predicate, evaluated atomically with the call. *)
+type lin = call_result -> bool
+
+type ops = {
+  begin_op : unit -> Phase.t;
+      (** fetch the migration phase and register this logical operation as
+          in flight (phase transitions drain incompatible in-flight ops) *)
+  end_op : unit -> unit;
+  execute :
+    ?lin:lin ->
+    table ->
+    Table_types.op ->
+    (Table_types.op_result, Table_types.op_error) result;
+  execute_batch :
+    ?lin:lin ->
+    table ->
+    Table_types.op list ->
+    (Table_types.op_result list, Table_types.op_error) result;
+  retrieve : ?lin:lin -> table -> Table_types.key -> Table_types.row option;
+  query : ?lin:lin -> table -> Filter0.t -> Table_types.row list;
+  peek_after :
+    ?lin:lin ->
+    table ->
+    Table_types.key option ->
+    Filter0.t ->
+    Table_types.row option;
+  stream_phase : unit -> Phase.t;
+      (** fetch the phase without registering an in-flight operation (used
+          by long-lived streams, which must not block phase transitions) *)
+}

@@ -1,0 +1,102 @@
+type call =
+  | C_execute of Table_types.op
+  | C_batch of Table_types.op list
+  | C_retrieve of Table_types.key
+  | C_query of Filter0.t
+  | C_peek_after of Table_types.key option * Filter0.t
+
+type Psharp.Event.t +=
+  | Backend_request of {
+      reply_to : Psharp.Id.t;
+      table : Backend.table;
+      call : call;
+      lin : Backend.lin option;
+    }
+  | Backend_response of {
+      result : Backend.call_result;
+      rt_outcome : Table_types.outcome option;
+      at : int;
+    }
+  | Begin_op of {
+      reply_to : Psharp.Id.t;
+      pending : Linearize.pending option;
+    }
+  | Begin_reply of { phase : Phase.t }
+  | End_op of { service : Psharp.Id.t }
+  | Phase_request of { reply_to : Psharp.Id.t }
+  | Phase_reply of { phase : Phase.t; at : int }
+  | Advance_request of { reply_to : Psharp.Id.t; target : Phase.t }
+  | Advance_done
+  | Validate_stream of {
+      reply_to : Psharp.Id.t;
+      started_at : int;
+      finished_at : int;
+      filter : Filter0.t;
+      emissions : Spec_check.emission list;
+    }
+  | Validate_reply of { verdict : (unit, string) result }
+  | Participant_done
+  | Tables_shutdown
+
+let call_to_string = function
+  | C_execute op -> Table_types.op_to_string op
+  | C_batch ops -> Printf.sprintf "Batch(%d ops)" (List.length ops)
+  | C_retrieve key -> Printf.sprintf "Retrieve(%s)" (Table_types.key_to_string key)
+  | C_query f -> Printf.sprintf "Query(%s)" (Filter0.to_string f)
+  | C_peek_after (after, f) ->
+    Printf.sprintf "PeekAfter(%s, %s)"
+      (match after with
+       | None -> "-"
+       | Some k -> Table_types.key_to_string k)
+      (Filter0.to_string f)
+
+let printer = function
+  | Backend_request { table; call; _ } ->
+    Some
+      (Printf.sprintf "BackendRequest(%s, %s)"
+         (Backend.table_to_string table)
+         (call_to_string call))
+  | Backend_response { result; rt_outcome; at } ->
+    let result_str =
+      match result with
+      | Backend.Exec_result (Ok _) -> "ok"
+      | Backend.Exec_result (Error e) -> Table_types.op_error_to_string e
+      | Backend.Row_result None -> "row:-"
+      | Backend.Row_result (Some r) -> Table_types.row_to_string r
+      | Backend.Rows_result rs -> Printf.sprintf "%d rows" (List.length rs)
+      | Backend.Batch_result (Ok rs) ->
+        Printf.sprintf "batch ok (%d)" (List.length rs)
+      | Backend.Batch_result (Error e) ->
+        Printf.sprintf "batch %s" (Table_types.op_error_to_string e)
+    in
+    Some
+      (Printf.sprintf "BackendResponse(%s%s, at=%d)" result_str
+         (if rt_outcome <> None then ", linearized" else "")
+         at)
+  | Begin_op { pending; _ } ->
+    Some
+      (Printf.sprintf "BeginOp(%s)"
+         (match pending with
+          | None -> "-"
+          | Some p -> Linearize.pending_to_string p))
+  | Begin_reply { phase } ->
+    Some (Printf.sprintf "BeginReply(%s)" (Phase.to_string phase))
+  | Phase_reply { phase; at } ->
+    Some (Printf.sprintf "PhaseReply(%s, at=%d)" (Phase.to_string phase) at)
+  | Advance_request { target; _ } ->
+    Some (Printf.sprintf "AdvanceRequest(%s)" (Phase.to_string target))
+  | Validate_stream { emissions; _ } ->
+    Some (Printf.sprintf "ValidateStream(%d emissions)" (List.length emissions))
+  | Validate_reply { verdict } ->
+    Some
+      (Printf.sprintf "ValidateReply(%s)"
+         (match verdict with Ok () -> "ok" | Error e -> e))
+  | _ -> None
+
+let installed = ref false
+
+let install_printer () =
+  if not !installed then begin
+    installed := true;
+    Psharp.Event.register_printer printer
+  end

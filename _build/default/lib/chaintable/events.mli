@@ -1,0 +1,47 @@
+(** Events of the MigratingTable test harness (paper Fig. 12). All backend
+    operations are messages to the Tables machine, which serializes them,
+    evaluates linearization predicates, and applies pending logical
+    operations to the reference table at the linearization instant. *)
+
+type call =
+  | C_execute of Table_types.op
+  | C_batch of Table_types.op list
+  | C_retrieve of Table_types.key
+  | C_query of Filter0.t
+  | C_peek_after of Table_types.key option * Filter0.t
+
+type Psharp.Event.t +=
+  | Backend_request of {
+      reply_to : Psharp.Id.t;
+      table : Backend.table;
+      call : call;
+      lin : Backend.lin option;
+    }
+  | Backend_response of {
+      result : Backend.call_result;
+      rt_outcome : Table_types.outcome option;
+          (** present when this call was the linearization point *)
+      at : int;  (** the Tables machine's logical clock *)
+    }
+  | Begin_op of {
+      reply_to : Psharp.Id.t;
+      pending : Linearize.pending option;
+    }
+  | Begin_reply of { phase : Phase.t }
+  | End_op of { service : Psharp.Id.t }
+  | Phase_request of { reply_to : Psharp.Id.t }
+  | Phase_reply of { phase : Phase.t; at : int }
+  | Advance_request of { reply_to : Psharp.Id.t; target : Phase.t }
+  | Advance_done
+  | Validate_stream of {
+      reply_to : Psharp.Id.t;
+      started_at : int;
+      finished_at : int;
+      filter : Filter0.t;
+      emissions : Spec_check.emission list;
+    }
+  | Validate_reply of { verdict : (unit, string) result }
+  | Participant_done
+  | Tables_shutdown
+
+val install_printer : unit -> unit

@@ -1,0 +1,40 @@
+type field =
+  | Pk
+  | Rk
+  | Prop of string
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | True
+  | Compare of field * cmp * string
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+let field_to_string = function
+  | Pk -> "PartitionKey"
+  | Rk -> "RowKey"
+  | Prop p -> p
+
+let cmp_to_string = function
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Lt -> "lt"
+  | Le -> "le"
+  | Gt -> "gt"
+  | Ge -> "ge"
+
+let rec to_string = function
+  | True -> "true"
+  | Compare (f, c, v) ->
+    Printf.sprintf "(%s %s '%s')" (field_to_string f) (cmp_to_string c) v
+  | And (a, b) -> Printf.sprintf "(%s and %s)" (to_string a) (to_string b)
+  | Or (a, b) -> Printf.sprintf "(%s or %s)" (to_string a) (to_string b)
+  | Not a -> Printf.sprintf "(not %s)" (to_string a)
+
+let rec size = function
+  | True -> 1
+  | Compare _ -> 1
+  | And (a, b) | Or (a, b) -> 1 + size a + size b
+  | Not a -> 1 + size a

@@ -1,0 +1,23 @@
+(** Filter expressions over table rows (AST only; evaluation lives in
+    {!Filter}, which knows about rows). Mirrors the Azure table query
+    filter language: comparisons on the partition key, row key, and
+    properties, combined with boolean connectives. *)
+
+type field =
+  | Pk
+  | Rk
+  | Prop of string
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | True
+  | Compare of field * cmp * string
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+val to_string : t -> string
+
+(** Structural size (number of nodes), for generators and stats. *)
+val size : t -> int

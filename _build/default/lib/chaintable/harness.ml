@@ -1,0 +1,35 @@
+module R = Psharp.Runtime
+
+let test ?(bugs = Bug_flags.none)
+    ?(workloads = [ Workload.default; Workload.default ])
+    ?(initial_rows = Workload.initial_rows) () ctx =
+  Events.install_printer ();
+  Psharp.Registry.register_machine ~machine:"MigrationHarness"
+    ~kind:Psharp.Registry.Machine ~states:1 ~handlers:1;
+  let tables =
+    R.create ctx ~name:"Tables" (Tables_machine.machine ~initial_rows)
+  in
+  let root = R.self ctx in
+  List.iteri
+    (fun i workload ->
+      ignore
+        (R.create ctx
+           ~name:(Printf.sprintf "Service%d" i)
+           (Service_machine.machine ~tables ~bugs ~workload ~report_to:root)))
+    workloads;
+  ignore
+    (R.create ctx ~name:"Migrator"
+       (Migrator_machine.machine ~tables ~bugs ~report_to:root));
+  let participants = List.length workloads + 1 in
+  for _ = 1 to participants do
+    ignore
+      (R.receive_where ctx (function
+        | Events.Participant_done -> true
+        | _ -> false))
+  done;
+  R.send ctx tables Events.Tables_shutdown
+
+let test_for_bug ?(custom = false) name ctx =
+  let bugs = Bug_flags.with_bug name in
+  if custom then test ~bugs ~workloads:(Workload.custom_case name) () ctx
+  else test ~bugs () ctx

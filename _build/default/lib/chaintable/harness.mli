@@ -1,0 +1,21 @@
+(** Complete MigratingTable test environment (paper Fig. 12, §4): one
+    Tables machine (backend tables + reference table), a set of service
+    machines issuing workloads through their own MigratingTable instances,
+    and a migrator machine moving the data set in the background. The
+    harness root waits for every participant to finish, then shuts the
+    Tables machine down so executions terminate cleanly. *)
+
+(** [test ~bugs ()] is a root machine body for {!Psharp.Engine.run}.
+    [workloads] gives one workload per service (default: two services with
+    the default random workload). *)
+val test :
+  ?bugs:Bug_flags.t ->
+  ?workloads:Workload.t list ->
+  ?initial_rows:(Table_types.key * Table_types.props) list ->
+  unit ->
+  Psharp.Runtime.ctx ->
+  unit
+
+(** The harness for one named Table 2 bug: the default random harness, or
+    the bug's pinned custom test case when [custom] (the paper's ⊙ runs). *)
+val test_for_bug : ?custom:bool -> string -> Psharp.Runtime.ctx -> unit

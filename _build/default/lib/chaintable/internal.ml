@@ -1,0 +1,32 @@
+let tombstone_prop = "__tombstone"
+let vetag_prop = "__vetag"
+
+let is_reserved_prop name = String.length name >= 2 && String.sub name 0 2 = "__"
+
+let is_tombstone (row : Table_types.row) =
+  List.mem_assoc tombstone_prop row.Table_types.props
+
+let tombstone_props = [ (tombstone_prop, "1") ]
+
+let with_vetag props ~vetag =
+  Table_types.norm_props ((vetag_prop, string_of_int vetag) :: props)
+
+let vetag (row : Table_types.row) =
+  match List.assoc_opt vetag_prop row.Table_types.props with
+  | Some v -> (try int_of_string v with Failure _ -> row.Table_types.etag)
+  | None -> row.Table_types.etag
+
+let app_props props =
+  List.filter (fun (name, _) -> not (is_reserved_prop name)) props
+
+let strip ~bugs (row : Table_types.row) =
+  let etag =
+    (* TombstoneOutputETag: leak the backend etag instead of the virtual
+       one; later conditional operations with it spuriously fail. *)
+    if bugs.Bug_flags.tombstone_output_etag then row.Table_types.etag
+    else vetag row
+  in
+  { row with Table_types.props = app_props row.Table_types.props; etag }
+
+let strip_old (row : Table_types.row) =
+  { row with Table_types.props = app_props row.Table_types.props }

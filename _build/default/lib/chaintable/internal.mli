@@ -1,0 +1,36 @@
+(** Internal row metadata the MigratingTable stores in the new table:
+    tombstones (deletion markers that shadow old-table rows) and virtual
+    etags (the etag a row had in the old table when the migrator or a
+    copy-on-write moved it, preserved so application-held etags survive the
+    move). Reserved property names start with "__" and are stripped from
+    application-visible rows. *)
+
+val tombstone_prop : string
+val vetag_prop : string
+
+val is_reserved_prop : string -> bool
+
+(** Does this (new-table) row represent a deletion? *)
+val is_tombstone : Table_types.row -> bool
+
+(** Property bag of a tombstone marker. *)
+val tombstone_props : Table_types.props
+
+(** [with_vetag props ~vetag] tags copied properties with the originating
+    etag. *)
+val with_vetag : Table_types.props -> vetag:int -> Table_types.props
+
+(** The row's virtual etag: its [__vetag] property if present, else its
+    backend etag. *)
+val vetag : Table_types.row -> int
+
+(** Application-visible view of a new-table row: reserved properties
+    stripped, etag virtualized. [bugs] may substitute the backend etag
+    (TombstoneOutputETag). *)
+val strip : bugs:Bug_flags.t -> Table_types.row -> Table_types.row
+
+(** Application-visible view of an old-table row (no reserved props). *)
+val strip_old : Table_types.row -> Table_types.row
+
+(** Application property bag (reserved props removed). *)
+val app_props : Table_types.props -> Table_types.props

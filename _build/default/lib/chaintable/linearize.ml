@@ -1,0 +1,17 @@
+module T = Table_types
+
+type pending =
+  | Mutate of T.op
+  | Read of T.read
+
+let pending_to_string = function
+  | Mutate op -> Printf.sprintf "Mutate(%s)" (T.op_to_string op)
+  | Read (T.Retrieve key) ->
+    Printf.sprintf "Retrieve(%s)" (T.key_to_string key)
+  | Read (T.Query_atomic f) ->
+    Printf.sprintf "QueryAtomic(%s)" (Filter0.to_string f)
+
+let apply rt ~at = function
+  | Mutate op -> T.Mutated (Reference_table.execute ~at rt op)
+  | Read (T.Retrieve key) -> T.Row (Reference_table.retrieve rt key)
+  | Read (T.Query_atomic f) -> T.Rows (Reference_table.query rt f)

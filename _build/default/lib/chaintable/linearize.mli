@@ -1,0 +1,14 @@
+(** Pending logical operations applied to the reference table at
+    linearization points (paper §4): the harness registers one before each
+    logical MigratingTable operation; the environment applies it to the
+    reference table at the instant the backend call marked as the
+    linearization point executes. *)
+
+type pending =
+  | Mutate of Table_types.op  (** etag condition uses reference-table etags *)
+  | Read of Table_types.read
+
+val pending_to_string : pending -> string
+
+(** Apply to the reference table, stamping history with [at]. *)
+val apply : Reference_table.t -> at:int -> pending -> Table_types.outcome

@@ -1,0 +1,95 @@
+module T = Table_types
+module B = Backend
+
+type t = {
+  old_table : Reference_table.t;
+  new_table : Reference_table.t;
+  rt : Reference_table.t;
+  mutable phase : Phase.t;
+  mutable vclock : int;
+  mutable pending : Linearize.pending option;
+  mutable last_rt : T.outcome option;
+}
+
+let create () =
+  {
+    old_table = Reference_table.create ~first_etag:1 ~etag_step:2 ();
+    new_table = Reference_table.create ~first_etag:2 ~etag_step:2 ();
+    rt = Reference_table.create ();
+    phase = Phase.Use_old;
+    vclock = 0;
+    pending = None;
+    last_rt = None;
+  }
+
+let old_table t = t.old_table
+let new_table t = t.new_table
+let rt t = t.rt
+let phase t = t.phase
+let set_phase t p = t.phase <- p
+let advance t p = t.phase <- p
+let set_pending t p = t.pending <- Some p
+let now t = t.vclock
+
+let take_rt_outcome t =
+  let o = t.last_rt in
+  t.last_rt <- None;
+  o
+
+let table_of t = function
+  | B.Old -> t.old_table
+  | B.New -> t.new_table
+
+let maybe_linearize t lin result =
+  match lin with
+  | None -> ()
+  | Some pred ->
+    if pred result then begin
+      match t.pending with
+      | Some pending ->
+        t.last_rt <- Some (Linearize.apply t.rt ~at:t.vclock pending);
+        t.pending <- None
+      | None -> ()
+    end
+
+let ops t : B.ops =
+  let tick () = t.vclock <- t.vclock + 1 in
+  {
+    B.begin_op = (fun () -> t.phase);
+    end_op = (fun () -> ());
+    execute =
+      (fun ?lin table op ->
+        tick ();
+        let result = Reference_table.execute ~at:t.vclock (table_of t table) op in
+        maybe_linearize t lin (B.Exec_result result);
+        result);
+    execute_batch =
+      (fun ?lin table ops ->
+        tick ();
+        let result =
+          Reference_table.execute_batch ~at:t.vclock (table_of t table) ops
+        in
+        maybe_linearize t lin (B.Batch_result result);
+        result);
+    retrieve =
+      (fun ?lin table key ->
+        tick ();
+        let result = Reference_table.retrieve (table_of t table) key in
+        maybe_linearize t lin (B.Row_result result);
+        result);
+    query =
+      (fun ?lin table filter ->
+        tick ();
+        let result = Reference_table.query (table_of t table) filter in
+        maybe_linearize t lin (B.Rows_result result);
+        result);
+    peek_after =
+      (fun ?lin table after filter ->
+        tick ();
+        let result =
+          Reference_table.peek_after (table_of t table) after filter
+        in
+        maybe_linearize t lin (B.Row_result result);
+        result);
+    stream_phase = (fun () -> t.phase);
+  }

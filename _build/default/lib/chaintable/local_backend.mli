@@ -1,0 +1,34 @@
+(** Synchronous, single-threaded backend for unit tests and examples: two
+    reference tables as the backends, plus a linked reference table that
+    receives the pending logical operation at each linearization point —
+    the same semantics as the harness's Tables machine, without machines. *)
+
+type t
+
+val create : unit -> t
+
+(** The backend interface to hand to {!Migrating_table.create} and
+    {!Migrator}. [begin_op]/[end_op] are trivial here (no concurrency). *)
+val ops : t -> Backend.ops
+
+val old_table : t -> Reference_table.t
+val new_table : t -> Reference_table.t
+
+(** The linked reference table (the virtual-table oracle). *)
+val rt : t -> Reference_table.t
+
+val phase : t -> Phase.t
+val set_phase : t -> Phase.t -> unit
+
+(** Advance function for {!Migrator.run} (no draining needed locally). *)
+val advance : t -> Phase.t -> unit
+
+(** Register the pending logical operation for the next linearization. *)
+val set_pending : t -> Linearize.pending -> unit
+
+(** The reference-table outcome captured at the last linearization point,
+    clearing it. [None] if no linearization fired since the last take. *)
+val take_rt_outcome : t -> Table_types.outcome option
+
+(** Logical clock (advances on every backend call). *)
+val now : t -> int

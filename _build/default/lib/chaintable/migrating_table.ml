@@ -1,0 +1,691 @@
+module T = Table_types
+module B = Backend
+
+type t = { backend : B.ops; bugs : Bug_flags.t }
+
+let create ?(bugs = Bug_flags.none) backend = { backend; bugs }
+
+let max_retries = 25
+
+let lin_always : B.lin = fun _ -> true
+
+let lin_ok : B.lin = function
+  | B.Exec_result (Ok _) -> true
+  | B.Exec_result (Error _) | B.Batch_result _ | B.Row_result _
+  | B.Rows_result _ -> false
+
+exception Retry_budget_exhausted
+
+(* --- Key resolution (DeletePrimaryKey bug) ---------------------------- *)
+
+(* The buggy delete path resolves its target by partition key only,
+   hitting the first row of the partition. *)
+let delete_target t (key : T.key) =
+  match t.bugs.Bug_flags.delete_primary_key with
+  | false -> key
+  | true ->
+    (match t.backend.peek_after B.New None (Filter.of_pk key.T.pk) with
+     | Some row -> row.T.key
+     | None ->
+       (match t.backend.peek_after B.Old None (Filter.of_pk key.T.pk) with
+        | Some row -> row.T.key
+        | None -> key))
+
+let resolve_op_key t (op : T.op) =
+  match op with
+  | T.Delete { key; etag } -> T.Delete { key = delete_target t key; etag }
+  | T.Insert _ | T.Replace _ | T.Merge _ | T.Insert_or_replace _
+  | T.Insert_or_merge _ -> op
+
+(* --- Linearization predicates for the overlay reads -------------------
+
+   The overlay protocol reads the OLD table first, then the NEW table.
+   This order is essential: new-table entries are never deleted during the
+   overlay phases (tombstone cleanup drains overlay operations first), so
+   if the new-table read finds no entry, none existed throughout the
+   two-read window, the old table was authoritative the whole time, and
+   the old-read's result is still valid at the new-read instant. Reading
+   new-then-old would let a row migrate between the reads and appear
+   absent from both. The new-table read is therefore always the potential
+   linearization point; its predicate folds in the already-known old-table
+   result. *)
+
+let new_read_decides (op : T.op) (old_row : T.row option) : B.lin = function
+  | B.Row_result (Some row) ->
+    (* The new table has an entry: it is authoritative. *)
+    let tomb = Internal.is_tombstone row in
+    (match op with
+     | T.Insert _ -> not tomb  (* Conflict *)
+     | T.Replace { etag; _ } | T.Merge { etag; _ }
+     | T.Delete { etag = Some etag; _ } ->
+       tomb (* Not_found *) || Internal.vetag row <> etag
+       (* Precondition_failed *)
+     | T.Delete { etag = None; _ } -> tomb  (* Not_found *)
+     | T.Insert_or_replace _ | T.Insert_or_merge _ -> false)
+  | B.Row_result None ->
+    (* No new-table entry: the old-table result decides. *)
+    (match old_row with
+     | None ->
+       (match op with
+        | T.Insert _ | T.Insert_or_replace _ | T.Insert_or_merge _ -> false
+        | T.Replace _ | T.Merge _ | T.Delete _ -> true (* Not_found *))
+     | Some old_row ->
+       (match op with
+        | T.Insert _ -> true  (* Conflict *)
+        | T.Replace { etag; _ } | T.Merge { etag; _ }
+        | T.Delete { etag = Some etag; _ } ->
+          old_row.T.etag <> etag  (* Precondition_failed *)
+        | T.Delete { etag = None; _ } | T.Insert_or_replace _
+        | T.Insert_or_merge _ -> false))
+  | B.Exec_result _ | B.Batch_result _ | B.Rows_result _ -> false
+
+(* --- Overlay mutation (PREFER_OLD / PREFER_NEW) ----------------------- *)
+
+(* Replace the (existing, non-tombstone) new-table row [nrow] with
+   app-level [props], conditioned on its backend etag. Returns [None] to
+   signal an internal race requiring a retry of the whole operation. *)
+let conditional_swap t ~lin (nrow : T.row) props =
+  match
+    t.backend.execute ~lin B.New
+      (T.Replace { key = nrow.T.key; etag = nrow.T.etag; props })
+  with
+  | Ok r -> Some (Ok r)
+  | Error (T.Precondition_failed | T.Not_found) -> None
+  | Error (T.Conflict | T.Batch_rejected _) -> None
+
+let overlay_mutate t ~phase (op : T.op) =
+  let op = resolve_op_key t op in
+  let key = T.op_key op in
+  let rec go n =
+    if n > max_retries then raise Retry_budget_exhausted;
+    let retry () = go (n + 1) in
+    let old_row = t.backend.retrieve B.Old key in
+    match t.backend.retrieve ~lin:(new_read_decides op old_row) B.New key with
+    | Some nrow when Internal.is_tombstone nrow ->
+      (* Virtual table: row absent; physical: tombstone entry present. *)
+      (match op with
+       | T.Insert { props; _ } | T.Insert_or_replace { props; _ }
+       | T.Insert_or_merge { props; _ } ->
+         (match conditional_swap t ~lin:lin_ok nrow (T.norm_props props) with
+          | Some result -> result
+          | None -> retry ())
+       | T.Replace _ | T.Merge _ | T.Delete _ ->
+         Error T.Not_found (* linearized at the read *))
+    | Some nrow -> begin
+      (* Live row in the new table: it is authoritative. *)
+      let base = Internal.app_props nrow.T.props in
+      match op with
+      | T.Insert _ -> Error T.Conflict
+      | T.Replace { etag; props; _ } ->
+        if Internal.vetag nrow <> etag then Error T.Precondition_failed
+        else begin
+          match conditional_swap t ~lin:lin_ok nrow (T.norm_props props) with
+          | Some result -> result
+          | None -> retry ()
+        end
+      | T.Merge { etag; props; _ } ->
+        if Internal.vetag nrow <> etag then Error T.Precondition_failed
+        else begin
+          match
+            conditional_swap t ~lin:lin_ok nrow
+              (T.merge_props ~base ~update:props)
+          with
+          | Some result -> result
+          | None -> retry ()
+        end
+      | T.Delete { etag; _ } ->
+        (match etag with
+         | Some e when Internal.vetag nrow <> e -> Error T.Precondition_failed
+         | Some _ | None -> begin
+           (* Deletes leave a tombstone: the old-table version (if any)
+              must remain shadowed. *)
+           match conditional_swap t ~lin:lin_ok nrow Internal.tombstone_props with
+           | Some (Ok _) -> Ok { T.new_etag = None }
+           | Some (Error e) -> Error e
+           | None -> retry ()
+         end)
+      | T.Insert_or_replace { props; _ } ->
+        (match conditional_swap t ~lin:lin_ok nrow (T.norm_props props) with
+         | Some result -> result
+         | None -> retry ())
+      | T.Insert_or_merge { props; _ } ->
+        (match
+           conditional_swap t ~lin:lin_ok nrow (T.merge_props ~base ~update:props)
+         with
+         | Some result -> result
+         | None -> retry ())
+    end
+    | None -> begin
+      (* No new-table entry throughout the window: the old-table result is
+         authoritative (see the ordering argument above); the outcome was
+         linearized at the new-table read. *)
+      match old_row with
+      | Some old_row -> begin
+        match op with
+        | T.Insert _ -> Error T.Conflict
+        | T.Replace { etag; _ } | T.Merge { etag; _ }
+        | T.Delete { etag = Some etag; _ }
+          when old_row.T.etag <> etag ->
+          Error T.Precondition_failed
+        | T.Delete _ ->
+          (* Tombstone the key in the new table to shadow the old row. *)
+          (match
+             t.backend.execute ~lin:lin_ok B.New
+               (T.Insert { key; props = Internal.tombstone_props })
+           with
+           | Ok _ -> Ok { T.new_etag = None }
+           | Error _ -> retry ())
+        | T.Insert_or_replace { props; _ } ->
+          (* The old version is irrelevant; write directly. *)
+          (match
+             t.backend.execute ~lin:lin_ok B.New
+               (T.Insert { key; props = T.norm_props props })
+           with
+           | Ok r -> Ok r
+           | Error _ -> retry ())
+        | T.Replace _ | T.Merge _ | T.Insert_or_merge _ ->
+          (* Copy-on-write: move the old version into the new table (with
+             its virtual etag), then retry against the new table. *)
+          ignore
+            (t.backend.execute B.New
+               (T.Insert
+                  {
+                    key;
+                    props =
+                      Internal.with_vetag old_row.T.props
+                        ~vetag:old_row.T.etag;
+                  }));
+          retry ()
+      end
+      | None -> begin
+        (* Row exists nowhere. *)
+        match op with
+        | T.Insert { props; _ } ->
+          let target =
+            (* InsertBehindMigrator: during PREFER_OLD, insert straight
+               into the old table; a row behind the migrator's copy cursor
+               is never copied and is destroyed by the prune pass. *)
+            if t.bugs.Bug_flags.insert_behind_migrator
+               && phase = Phase.Prefer_old
+            then B.Old
+            else B.New
+          in
+          t.backend.execute ~lin:lin_always target
+            (T.Insert { key; props = T.norm_props props })
+        | T.Insert_or_replace { props; _ } | T.Insert_or_merge { props; _ } ->
+          (match
+             t.backend.execute ~lin:lin_ok B.New
+               (T.Insert { key; props = T.norm_props props })
+           with
+           | Ok r -> Ok r
+           | Error T.Conflict -> retry ()
+           | Error _ as e -> e)
+        | T.Replace _ | T.Merge _ | T.Delete _ ->
+          Error T.Not_found (* linearized at the old read *)
+      end
+    end
+  in
+  go 0
+
+(* --- New-table-only mutation (USE_NEW_WITH_TOMBSTONES / USE_NEW) ------ *)
+
+let new_only_read_decides (op : T.op) : B.lin = function
+  | B.Row_result (Some row) ->
+    let tomb = Internal.is_tombstone row in
+    (match op with
+     | T.Insert _ -> not tomb
+     | T.Replace { etag; _ } | T.Merge { etag; _ }
+     | T.Delete { etag = Some etag; _ } ->
+       tomb || Internal.vetag row <> etag
+     | T.Delete { etag = None; _ } -> tomb
+     | T.Insert_or_replace _ | T.Insert_or_merge _ -> false)
+  | B.Row_result None ->
+    (match op with
+     | T.Insert _ | T.Insert_or_replace _ | T.Insert_or_merge _ -> false
+     | T.Replace _ | T.Merge _ | T.Delete _ -> true)
+  | B.Exec_result _ | B.Batch_result _ | B.Rows_result _ -> false
+
+let new_only_mutate t (op : T.op) =
+  let op = resolve_op_key t op in
+  let key = T.op_key op in
+  let rec go n =
+    if n > max_retries then raise Retry_budget_exhausted;
+    let retry () = go (n + 1) in
+    if t.bugs.Bug_flags.delete_no_leave_tombstones_etag
+       && (match op with T.Delete _ -> true | _ -> false)
+    then
+      (* DeleteNoLeaveTombstonesEtag: when no tombstone needs to be left,
+         the etag condition is dropped entirely. *)
+      t.backend.execute ~lin:lin_always B.New (T.Delete { key; etag = None })
+    else
+      match t.backend.retrieve ~lin:(new_only_read_decides op) B.New key with
+      | Some nrow when Internal.is_tombstone nrow ->
+        (match op with
+         | T.Insert { props; _ } | T.Insert_or_replace { props; _ }
+         | T.Insert_or_merge { props; _ } ->
+           (match conditional_swap t ~lin:lin_ok nrow (T.norm_props props) with
+            | Some result -> result
+            | None -> retry ())
+         | T.Replace _ | T.Merge _ | T.Delete _ -> Error T.Not_found)
+      | Some nrow -> begin
+        let base = Internal.app_props nrow.T.props in
+        match op with
+        | T.Insert _ -> Error T.Conflict
+        | T.Replace { etag; props; _ } ->
+          if Internal.vetag nrow <> etag then Error T.Precondition_failed
+          else begin
+            match conditional_swap t ~lin:lin_ok nrow (T.norm_props props) with
+            | Some result -> result
+            | None -> retry ()
+          end
+        | T.Merge { etag; props; _ } ->
+          if Internal.vetag nrow <> etag then Error T.Precondition_failed
+          else begin
+            match
+              conditional_swap t ~lin:lin_ok nrow
+                (T.merge_props ~base ~update:props)
+            with
+            | Some result -> result
+            | None -> retry ()
+          end
+        | T.Delete { etag; _ } -> begin
+          (* No tombstone needed: the old table is empty. Physical delete,
+             conditioned on the backend etag of the row we validated. *)
+          match etag with
+          | Some e when Internal.vetag nrow <> e -> Error T.Precondition_failed
+          | Some _ | None ->
+            (match
+               t.backend.execute ~lin:lin_ok B.New
+                 (T.Delete { key; etag = Some nrow.T.etag })
+             with
+             | Ok r -> Ok r
+             | Error _ -> retry ())
+        end
+        | T.Insert_or_replace { props; _ } ->
+          (match conditional_swap t ~lin:lin_ok nrow (T.norm_props props) with
+           | Some result -> result
+           | None -> retry ())
+        | T.Insert_or_merge { props; _ } ->
+          (match
+             conditional_swap t ~lin:lin_ok nrow
+               (T.merge_props ~base ~update:props)
+           with
+           | Some result -> result
+           | None -> retry ())
+      end
+      | None -> begin
+        match op with
+        | T.Insert { props; _ } ->
+          t.backend.execute ~lin:lin_always B.New
+            (T.Insert { key; props = T.norm_props props })
+        | T.Insert_or_replace { props; _ } | T.Insert_or_merge { props; _ } ->
+          (match
+             t.backend.execute ~lin:lin_ok B.New
+               (T.Insert { key; props = T.norm_props props })
+           with
+           | Ok r -> Ok r
+           | Error T.Conflict -> retry ()
+           | Error _ as e -> e)
+        | T.Replace _ | T.Merge _ | T.Delete _ -> Error T.Not_found
+      end
+  in
+  go 0
+
+(* --- Public mutation entry point --------------------------------------- *)
+
+let mutate t op =
+  let phase = t.backend.begin_op () in
+  Fun.protect
+    ~finally:(fun () -> t.backend.end_op ())
+    (fun () ->
+      match phase with
+      | Phase.Use_old -> t.backend.execute ~lin:lin_always B.Old op
+      | Phase.Prefer_old | Phase.Prefer_new -> overlay_mutate t ~phase op
+      | Phase.Use_new_with_tombstones | Phase.Use_new -> new_only_mutate t op)
+
+
+(* --- Batches -------------------------------------------------------------
+
+   Single-partition atomic batches are supported where a single backend
+   table is authoritative: pass-through in USE_OLD, and etag-translated
+   against the new table in USE_NEW_WITH_TOMBSTONES / USE_NEW. During the
+   overlay phases a multi-operation batch would span two tables and cannot
+   be atomic, so it is rejected (batch traffic is restricted while a
+   migration is in progress); singleton batches reduce to ordinary
+   mutations in every phase. *)
+
+let lin_batch_ok : B.lin = function
+  | B.Batch_result (Ok _) -> true
+  | B.Batch_result (Error _) | B.Exec_result _ | B.Row_result _
+  | B.Rows_result _ -> false
+
+(* Translate one op's virtual-etag condition into a backend condition
+   against the new table; [Error] when the read already decides the op's
+   failure. *)
+let translate_new_only t (op : T.op) =
+  let key = T.op_key op in
+  match t.backend.retrieve B.New key with
+  | Some nrow when Internal.is_tombstone nrow -> begin
+    match op with
+    | T.Insert { props; _ } | T.Insert_or_replace { props; _ }
+    | T.Insert_or_merge { props; _ } ->
+      Ok (T.Replace { key; etag = nrow.T.etag; props = T.norm_props props })
+    | T.Replace _ | T.Merge _ | T.Delete _ -> Error T.Not_found
+  end
+  | Some nrow -> begin
+    let base = Internal.app_props nrow.T.props in
+    match op with
+    | T.Insert _ -> Error T.Conflict
+    | T.Replace { etag; props; _ } ->
+      if Internal.vetag nrow <> etag then Error T.Precondition_failed
+      else
+        Ok (T.Replace { key; etag = nrow.T.etag; props = T.norm_props props })
+    | T.Merge { etag; props; _ } ->
+      if Internal.vetag nrow <> etag then Error T.Precondition_failed
+      else
+        Ok
+          (T.Replace
+             { key; etag = nrow.T.etag;
+               props = T.merge_props ~base ~update:props })
+    | T.Delete { etag; _ } -> begin
+      match etag with
+      | Some e when Internal.vetag nrow <> e -> Error T.Precondition_failed
+      | Some _ | None -> Ok (T.Delete { key; etag = Some nrow.T.etag })
+    end
+    | T.Insert_or_replace { props; _ } ->
+      Ok (T.Replace { key; etag = nrow.T.etag; props = T.norm_props props })
+    | T.Insert_or_merge { props; _ } ->
+      Ok
+        (T.Replace
+           { key; etag = nrow.T.etag;
+             props = T.merge_props ~base ~update:props })
+  end
+  | None -> begin
+    match op with
+    | T.Insert { props; _ } | T.Insert_or_replace { props; _ }
+    | T.Insert_or_merge { props; _ } ->
+      Ok (T.Insert { key; props = T.norm_props props })
+    | T.Replace _ | T.Merge _ | T.Delete _ -> Error T.Not_found
+  end
+
+let new_only_batch t ops =
+  let rec go n =
+    if n > max_retries then raise Retry_budget_exhausted;
+    let rec translate acc = function
+      | [] -> Ok (List.rev acc)
+      | op :: rest -> begin
+        match translate_new_only t op with
+        | Error e -> Error e
+        | Ok backend_op -> translate (backend_op :: acc) rest
+      end
+    in
+    match translate [] ops with
+    | Error e ->
+      (* Decided by the reads; make the failure the linearization point
+         via a dedicated no-op read on the first key. *)
+      ignore
+        (t.backend.retrieve ~lin:(fun _ -> true) B.New (T.op_key (List.hd ops)));
+      Error e
+    | Ok backend_ops -> begin
+      match t.backend.execute_batch ~lin:lin_batch_ok B.New backend_ops with
+      | Ok results ->
+        (* Deletes report no etag at the app level. *)
+        Ok
+          (List.map2
+             (fun (op : T.op) (r : T.op_result) ->
+               match op with
+               | T.Delete _ -> { T.new_etag = None }
+               | T.Insert _ | T.Replace _ | T.Merge _
+               | T.Insert_or_replace _ | T.Insert_or_merge _ -> r)
+             ops results)
+      | Error (T.Batch_rejected _ as e) -> Error e
+      | Error (T.Precondition_failed | T.Not_found | T.Conflict) ->
+        (* a row changed between translation and execution: retry *)
+        go (n + 1)
+    end
+  in
+  go 0
+
+let mutate_batch t ops =
+  match ops with
+  | [] -> Error (T.Batch_rejected { index = 0; error = "empty batch" })
+  | [ op ] -> begin
+    (* A singleton batch is an ordinary mutation in every phase. *)
+    match mutate t op with
+    | Ok r -> Ok [ r ]
+    | Error e -> Error e
+  end
+  | _ -> begin
+    let phase = t.backend.begin_op () in
+    Fun.protect
+      ~finally:(fun () -> t.backend.end_op ())
+      (fun () ->
+        match phase with
+        | Phase.Use_old -> t.backend.execute_batch ~lin:lin_batch_ok B.Old ops
+        | Phase.Use_new_with_tombstones | Phase.Use_new -> new_only_batch t ops
+        | Phase.Prefer_old | Phase.Prefer_new ->
+          Error
+            (T.Batch_rejected
+               {
+                 index = 0;
+                 error =
+                   "multi-operation batches are unavailable while a \
+                    migration is in progress";
+               }))
+  end
+
+(* --- Reads -------------------------------------------------------------- *)
+
+let retrieve t key =
+  let phase = t.backend.begin_op () in
+  Fun.protect
+    ~finally:(fun () -> t.backend.end_op ())
+    (fun () ->
+      match phase with
+      | Phase.Use_old ->
+        Option.map Internal.strip_old
+          (t.backend.retrieve ~lin:lin_always B.Old key)
+      | Phase.Prefer_old | Phase.Prefer_new -> begin
+        (* Old first, then new (see the read-ordering argument above); the
+           new-table read is always the linearization point. *)
+        let old_row = t.backend.retrieve B.Old key in
+        match t.backend.retrieve ~lin:lin_always B.New key with
+        | Some row ->
+          if Internal.is_tombstone row then None
+          else Some (Internal.strip ~bugs:t.bugs row)
+        | None -> Option.map Internal.strip_old old_row
+      end
+      | Phase.Use_new_with_tombstones -> begin
+        match t.backend.retrieve ~lin:lin_always B.New key with
+        | Some row when Internal.is_tombstone row -> None
+        | Some row -> Some (Internal.strip ~bugs:t.bugs row)
+        | None -> None
+      end
+      | Phase.Use_new ->
+        (* Fast path: migration guarantees no tombstones remain. *)
+        Option.map (Internal.strip ~bugs:t.bugs)
+          (t.backend.retrieve ~lin:lin_always B.New key))
+
+module Key_map = Map.Make (struct
+  type t = T.key
+
+  let compare = T.compare_key
+end)
+
+let query_atomic t user_filter =
+  let phase = t.backend.begin_op () in
+  Fun.protect
+    ~finally:(fun () -> t.backend.end_op ())
+    (fun () ->
+      let post rows =
+        List.filter (fun row -> Filter.matches user_filter row) rows
+      in
+      match phase with
+      | Phase.Use_old ->
+        List.map Internal.strip_old
+          (t.backend.query ~lin:lin_always B.Old user_filter)
+      | Phase.Prefer_old | Phase.Prefer_new ->
+        (* QueryAtomicFilterShadowing: pushing the user filter down to the
+           backends lets an unfiltered-out old version escape shadowing by
+           its filtered-out new version. The repaired code fetches
+           everything and filters after the merge. *)
+        let pushdown =
+          if t.bugs.Bug_flags.query_atomic_filter_shadowing then user_filter
+          else Filter0.True
+        in
+        let old_rows = t.backend.query B.Old pushdown in
+        let new_rows = t.backend.query ~lin:lin_always B.New pushdown in
+        let merged =
+          List.fold_left
+            (fun acc (row : T.row) -> Key_map.add row.T.key (`New row) acc)
+            (List.fold_left
+               (fun acc (row : T.row) -> Key_map.add row.T.key (`Old row) acc)
+               Key_map.empty old_rows)
+            new_rows
+        in
+        Key_map.fold
+          (fun _key entry acc ->
+            match entry with
+            | `New row when Internal.is_tombstone row -> acc
+            | `New row -> Internal.strip ~bugs:t.bugs row :: acc
+            | `Old row -> Internal.strip_old row :: acc)
+          merged []
+        |> List.rev |> post
+      | Phase.Use_new_with_tombstones ->
+        t.backend.query ~lin:lin_always B.New Filter0.True
+        |> List.filter (fun row -> not (Internal.is_tombstone row))
+        |> List.map (Internal.strip ~bugs:t.bugs)
+        |> post
+      | Phase.Use_new ->
+        (* Fast path: no tombstone filtering. *)
+        t.backend.query ~lin:lin_always B.New Filter0.True
+        |> List.map (Internal.strip ~bugs:t.bugs)
+        |> post)
+
+(* --- Streamed queries --------------------------------------------------- *)
+
+type stream_mode =
+  | S_old_only
+  | S_overlay
+  | S_new_only of { drop_tombstones : bool }
+
+type stream = {
+  table : t;
+  user_filter : Filter0.t;
+  mode : stream_mode;
+  mutable cursor : T.key option;
+  mutable finished : bool;
+  mutable cached_new : T.row option option;
+      (** read-ahead cache of the new-table peek; only consulted when the
+          QueryStreamedBackUpNewStream bug is enabled *)
+}
+
+let query_streamed t user_filter =
+  let phase = t.backend.stream_phase () in
+  let mode =
+    match phase with
+    | Phase.Use_old -> S_old_only
+    | Phase.Prefer_old | Phase.Prefer_new -> S_overlay
+    | Phase.Use_new_with_tombstones -> S_new_only { drop_tombstones = true }
+    | Phase.Use_new -> S_new_only { drop_tombstones = false }
+  in
+  { table = t; user_filter; mode; cursor = None; finished = false;
+    cached_new = None }
+
+let stream_pushdown s =
+  if s.table.bugs.Bug_flags.query_streamed_filter_shadowing then s.user_filter
+  else Filter0.True
+
+let peek_new s =
+  let t = s.table in
+  if t.bugs.Bug_flags.query_streamed_back_up_new_stream then begin
+    (* Keep the previous read-ahead instead of backing the stream up to the
+       merge cursor: rows that moved old -> new behind the read-ahead are
+       missed (§6.2). *)
+    match s.cached_new with
+    | Some peek -> peek
+    | None ->
+      let peek = t.backend.peek_after B.New s.cursor (stream_pushdown s) in
+      s.cached_new <- Some peek;
+      peek
+  end
+  else t.backend.peek_after B.New s.cursor (stream_pushdown s)
+
+let consume_new s (row : T.row) =
+  (* The cached read-ahead was emitted (or skipped); refill next time. *)
+  (match s.cached_new with
+   | Some (Some cached) when T.compare_key cached.T.key row.T.key <= 0 ->
+     s.cached_new <- None
+   | Some _ | None -> ());
+  ()
+
+let rec stream_next s =
+  if s.finished then None
+  else begin
+    let t = s.table in
+    let emit ~from_new (row : T.row) =
+      s.cursor <- Some row.T.key;
+      if from_new then consume_new s row;
+      if from_new && Internal.is_tombstone row then stream_next s
+      else begin
+        let visible =
+          if from_new then Internal.strip ~bugs:t.bugs row
+          else Internal.strip_old row
+        in
+        if Filter.matches s.user_filter visible then Some visible
+        else stream_next s
+      end
+    in
+    match s.mode with
+    | S_old_only -> begin
+      match t.backend.peek_after B.Old s.cursor (stream_pushdown s) with
+      | None ->
+        s.finished <- true;
+        None
+      | Some row -> emit ~from_new:false row
+    end
+    | S_new_only { drop_tombstones } -> begin
+      match peek_new s with
+      | None ->
+        s.finished <- true;
+        None
+      | Some row ->
+        s.cursor <- Some row.T.key;
+        consume_new s row;
+        if drop_tombstones && Internal.is_tombstone row then stream_next s
+        else begin
+          let visible = Internal.strip ~bugs:t.bugs row in
+          if Filter.matches s.user_filter visible then Some visible
+          else stream_next s
+        end
+    end
+    | S_overlay -> begin
+      let old_peek = t.backend.peek_after B.Old s.cursor (stream_pushdown s) in
+      let new_peek = peek_new s in
+      match (old_peek, new_peek) with
+      | None, None ->
+        s.finished <- true;
+        None
+      | Some row, None -> emit ~from_new:false row
+      | None, Some row -> emit ~from_new:true row
+      | Some old_row, Some new_row ->
+        let c = T.compare_key old_row.T.key new_row.T.key in
+        if c < 0 then emit ~from_new:false old_row
+        else if c > 0 then emit ~from_new:true new_row
+        else if t.bugs.Bug_flags.query_streamed_lock then begin
+          (* QueryStreamedLock: the merge breaks the tie toward the old
+             table, emitting stale or deleted versions. *)
+          consume_new s new_row;
+          emit ~from_new:false old_row
+        end
+        else emit ~from_new:true new_row
+    end
+  end
+
+let stream_to_list s =
+  let rec go acc =
+    match stream_next s with
+    | Some row -> go (row :: acc)
+    | None -> List.rev acc
+  in
+  go []

@@ -1,0 +1,67 @@
+(** MigratingTable: transparent live migration of a key-value data set
+    between two chain tables (paper §4).
+
+    Each application process creates its own instance over the same two
+    backend tables; all data access goes through it. Every logical
+    operation is implemented as a sequence of backend operations according
+    to the phase-dependent protocol below, designed so that logical
+    outcomes comply with the IChainTable specification as if performed on a
+    single virtual table:
+
+    - [USE_OLD]: pass-through to the old table.
+    - [PREFER_OLD]/[PREFER_NEW] (the overlay phases): the new table shadows
+      the old one. Writes go to the new table, moving the row's old-table
+      version first when needed (copy-on-write, preserving the original
+      etag as a virtual etag); deletes write tombstones that shadow
+      old-table rows; reads merge the two tables.
+    - [USE_NEW_WITH_TOMBSTONES]: the old table is empty; operations use the
+      new table only, still honouring tombstones and virtual etags.
+    - [USE_NEW]: tombstones have been cleaned up; a fast path that skips
+      tombstone filtering (virtual etags remain honoured forever).
+
+    Etags given to / returned from this interface are {e virtual} etags;
+    conditional operations are translated to backend-etag conditions
+    atomically at the decisive backend call, and raced attempts retry.
+
+    Linearization points are reported to the environment via the backend's
+    [lin] markers so the test harness can apply the logical operation to
+    the reference table at the same instant (paper §4). *)
+
+type t
+
+val create : ?bugs:Bug_flags.t -> Backend.ops -> t
+
+(** Apply one mutation; etag conditions are virtual etags previously
+    returned by this interface. *)
+val mutate :
+  t ->
+  Table_types.op ->
+  (Table_types.op_result, Table_types.op_error) result
+
+(** Single-partition atomic batch. Supported where one backend table is
+    authoritative (USE_OLD, USE_NEW_WITH_TOMBSTONES, USE_NEW — with
+    virtual-etag translation on the new table); a multi-operation batch
+    during the overlay phases returns [Batch_rejected], since it would
+    span two tables and cannot be atomic. Singleton batches reduce to
+    {!mutate} in every phase. *)
+val mutate_batch :
+  t ->
+  Table_types.op list ->
+  (Table_types.op_result list, Table_types.op_error) result
+
+(** Point read of the virtual table. *)
+val retrieve : t -> Table_types.key -> Table_types.row option
+
+(** Atomic snapshot query of the virtual table, in key order. *)
+val query_atomic : t -> Filter0.t -> Table_types.row list
+
+(** Streamed query: rows in ascending key order; each row may reflect the
+    virtual table's state at any time between stream start and the row's
+    read (the IChainTable streaming contract, §6.2). *)
+type stream
+
+val query_streamed : t -> Filter0.t -> stream
+val stream_next : stream -> Table_types.row option
+
+(** Drain a stream to a list (unit tests / examples). *)
+val stream_to_list : stream -> Table_types.row list

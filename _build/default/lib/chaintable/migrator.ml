@@ -1,0 +1,106 @@
+module T = Table_types
+module B = Backend
+
+type env = {
+  backend : Backend.ops;
+  advance : Phase.t -> unit;
+}
+
+(* Copy one row old -> new unless the new table already has an entry
+   (a newer write or tombstone must win over the migrator's copy). *)
+let copy_row env (row : T.row) =
+  match env.backend.retrieve B.New row.T.key with
+  | Some _ -> ()
+  | None ->
+    (match
+       env.backend.execute B.New
+         (T.Insert
+            {
+              key = row.T.key;
+              props = Internal.with_vetag row.T.props ~vetag:row.T.etag;
+            })
+     with
+     | Ok _ | Error T.Conflict -> ()  (* Conflict: someone wrote it first *)
+     | Error (T.Not_found | T.Precondition_failed | T.Batch_rejected _) -> ())
+
+(* Copy pass: walk the old table in key order. The
+   EnsurePartitionSwitchedFromPopulated bug skips a partition wholesale
+   when the new table already contains any row of it. *)
+let copy_pass ~bugs env =
+  let skip_partition pk =
+    bugs.Bug_flags.ensure_partition_switched_from_populated
+    && env.backend.peek_after B.New None (Filter.of_pk pk) <> None
+  in
+  let rec walk cursor skipping_pk =
+    match env.backend.peek_after B.Old cursor Filter0.True with
+    | None -> ()
+    | Some row ->
+      let pk = row.T.key.T.pk in
+      let skip =
+        match skipping_pk with
+        | Some (p, skip) when p = pk -> skip
+        | _ -> skip_partition pk
+      in
+      if not skip then copy_row env row;
+      walk (Some row.T.key) (Some (pk, skip))
+  in
+  walk None None
+
+(* Prune pass: the copy pass is complete, so every old row's authoritative
+   version lives in the new table; physically delete the old rows. *)
+let prune_pass env =
+  let rec walk () =
+    match env.backend.peek_after B.Old None Filter0.True with
+    | None -> ()
+    | Some row ->
+      ignore
+        (env.backend.execute B.Old (T.Delete { key = row.T.key; etag = None }));
+      walk ()
+  in
+  walk ()
+
+(* Cleanup pass: remove tombstone markers (conditionally — a marker
+   replaced by a live row since we looked must survive). *)
+let cleanup_pass env =
+  let rec walk cursor =
+    match env.backend.peek_after B.New cursor Filter0.True with
+    | None -> ()
+    | Some row ->
+      if Internal.is_tombstone row then
+        ignore
+          (env.backend.execute B.New
+             (T.Delete { key = row.T.key; etag = Some row.T.etag }));
+      walk (Some row.T.key)
+  in
+  walk None
+
+let run ?(bugs = Bug_flags.none) env =
+  if bugs.Bug_flags.migrate_skip_prefer_old then begin
+    (* Notional bug: jump straight over the copy phase; the prune pass then
+       destroys rows that were never copied. *)
+    env.advance Phase.Prefer_old;
+    env.advance Phase.Prefer_new;
+    prune_pass env;
+    env.advance Phase.Use_new_with_tombstones;
+    cleanup_pass env;
+    env.advance Phase.Use_new
+  end
+  else if bugs.Bug_flags.migrate_skip_use_new_with_tombstones then begin
+    (* Notional bug: skip the tombstone-cleanup phase; the USE_NEW fast
+       path then exposes tombstone markers as live rows. *)
+    env.advance Phase.Prefer_old;
+    copy_pass ~bugs env;
+    env.advance Phase.Prefer_new;
+    prune_pass env;
+    env.advance Phase.Use_new_with_tombstones;
+    env.advance Phase.Use_new
+  end
+  else begin
+    env.advance Phase.Prefer_old;
+    copy_pass ~bugs env;
+    env.advance Phase.Prefer_new;
+    prune_pass env;
+    env.advance Phase.Use_new_with_tombstones;
+    cleanup_pass env;
+    env.advance Phase.Use_new
+  end

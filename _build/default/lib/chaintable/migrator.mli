@@ -1,0 +1,26 @@
+(** The migrator job (paper §4): moves the data set old → new in the
+    background while applications keep using their MigratingTable
+    instances.
+
+    Pass structure:
+    + advance to PREFER_OLD (drains USE_OLD operations);
+    + copy pass: partition by partition, copy every old-table row that has
+      no new-table entry yet, tagging it with its virtual etag;
+    + advance to PREFER_NEW;
+    + prune pass: delete all old-table rows (their authoritative versions
+      now live in the new table);
+    + advance to USE_NEW_WITH_TOMBSTONES (drains overlay operations);
+    + cleanup pass: delete tombstone markers from the new table;
+    + advance to USE_NEW.
+
+    [advance] is provided by the environment (the Tables machine applies
+    transitions only once incompatible in-flight operations drain). *)
+
+type env = {
+  backend : Backend.ops;
+  advance : Phase.t -> unit;  (** blocks until the transition is applied *)
+}
+
+(** Run the whole migration to completion. Every backend call is an
+    interleaving point under the test harness. *)
+val run : ?bugs:Bug_flags.t -> env -> unit

@@ -1,0 +1,9 @@
+(** Migrator machine (paper Fig. 12): runs the background migration job to
+    completion against the Tables machine, then reports and halts. *)
+
+val machine :
+  tables:Psharp.Id.t ->
+  bugs:Bug_flags.t ->
+  report_to:Psharp.Id.t ->
+  Psharp.Runtime.ctx ->
+  unit

@@ -1,0 +1,39 @@
+type t =
+  | Use_old
+  | Prefer_old
+  | Prefer_new
+  | Use_new_with_tombstones
+  | Use_new
+
+let all = [ Use_old; Prefer_old; Prefer_new; Use_new_with_tombstones; Use_new ]
+
+let to_string = function
+  | Use_old -> "USE_OLD"
+  | Prefer_old -> "PREFER_OLD"
+  | Prefer_new -> "PREFER_NEW"
+  | Use_new_with_tombstones -> "USE_NEW_WITH_TOMBSTONES"
+  | Use_new -> "USE_NEW"
+
+let index = function
+  | Use_old -> 0
+  | Prefer_old -> 1
+  | Prefer_new -> 2
+  | Use_new_with_tombstones -> 3
+  | Use_new -> 4
+
+let next = function
+  | Use_old -> Some Prefer_old
+  | Prefer_old -> Some Prefer_new
+  | Prefer_new -> Some Use_new_with_tombstones
+  | Use_new_with_tombstones -> Some Use_new
+  | Use_new -> None
+
+let compatible a b =
+  match (a, b) with
+  | Use_old, Use_old -> true
+  | Use_old, _ | _, Use_old -> false
+  | (Prefer_old | Prefer_new), (Use_new_with_tombstones | Use_new) ->
+    (* Overlay ops may write tombstones; they must drain before the
+       migrator's tombstone cleanup can run. *)
+    false
+  | _, _ -> true

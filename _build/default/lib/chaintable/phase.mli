@@ -1,0 +1,27 @@
+(** Migration phases (paper §4).
+
+    The migrator drives the configuration through these phases in order;
+    every MigratingTable instance fetches the current phase at the start of
+    each logical operation and follows the corresponding protocol. *)
+
+type t =
+  | Use_old  (** all operations pass through the old table *)
+  | Prefer_old
+      (** migrator is copying old → new; reads/writes use the overlay
+          protocol (new shadows old, writes go to new via copy-on-write) *)
+  | Prefer_new  (** copy complete; migrator is pruning the old table *)
+  | Use_new_with_tombstones
+      (** old table empty; tombstones may remain in the new table *)
+  | Use_new  (** migration finished; new table only, no tombstones *)
+
+val all : t list
+val to_string : t -> string
+val index : t -> int
+val next : t -> t option
+
+(** [compatible q p]: may an operation that began under phase [q] still be
+    in flight when the system moves to phase [p]? False for [Use_old]
+    against any later phase (the old table must be write-frozen once
+    migration starts), and for overlay phases against the tombstone-free
+    phases (tombstone writers must drain before cleanup). *)
+val compatible : t -> t -> bool

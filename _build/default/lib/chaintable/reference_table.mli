@@ -1,0 +1,66 @@
+(** Reference implementation of the IChainTable specification (paper §4).
+
+    An in-memory, linearizable chain table with Azure batch semantics:
+    single-partition atomic batches, etag-conditional mutations, snapshot
+    queries, and cursor-based streamed reads. The paper's harness uses this
+    implementation both as the two backend tables and as the reference
+    table the migrating table is compared against; it additionally records
+    per-key version history so streamed reads can be validated against the
+    weak streaming specification. *)
+
+type t
+
+(** [create ~first_etag ~etag_step ()]: etags are assigned from the
+    arithmetic progression [first_etag, first_etag + etag_step, ...].
+    Tables that participate in one virtual table must use disjoint
+    progressions so distinct versions never share an etag, mirroring the
+    global uniqueness of real table etags. *)
+val create : ?first_etag:int -> ?etag_step:int -> unit -> t
+
+(** Logical clock: incremented by every mutating call; reads return the
+    current value. Version history is stamped with it. *)
+val now : t -> int
+
+(** Point lookup. *)
+val retrieve : t -> Table_types.key -> Table_types.row option
+
+(** Apply one mutation. [at] overrides the version-history timestamp with
+    an external logical clock (the harness's); defaults to the internal
+    clock tick. *)
+val execute :
+  ?at:int ->
+  t ->
+  Table_types.op ->
+  (Table_types.op_result, Table_types.op_error) result
+
+(** Atomic batch: all operations must target the same partition and
+    distinct keys, else [Batch_rejected]; on any op failure nothing is
+    applied and the first failure is returned. *)
+val execute_batch :
+  ?at:int ->
+  t ->
+  Table_types.op list ->
+  (Table_types.op_result list, Table_types.op_error) result
+
+(** Snapshot query: all matching rows in key order. *)
+val query : t -> Filter0.t -> Table_types.row list
+
+(** [peek_after t after filter] is the first matching row with key
+    strictly greater than [after] ([None] = from the start) — one step of
+    a streamed read against the live table. *)
+val peek_after :
+  t -> Table_types.key option -> Filter0.t -> Table_types.row option
+
+(** All rows in key order (diagnostics). *)
+val rows : t -> Table_types.row list
+
+(** Number of live rows. *)
+val size : t -> int
+
+(** [history t key] is the version history of [key], oldest first:
+    [(t, Some row)] means the row took that value at time [t];
+    [(t, None)] means it was deleted at time [t]. Empty if never written. *)
+val history : t -> Table_types.key -> (int * Table_types.row option) list
+
+(** Every key that ever appeared in the history, in key order. *)
+val known_keys : t -> Table_types.key list

@@ -1,0 +1,92 @@
+module B = Backend
+module R = Psharp.Runtime
+
+type stash = {
+  mutable next_pending : Linearize.pending option;
+  mutable rt_outcome : Table_types.outcome option;
+  mutable last_at : int;
+}
+
+let create_stash () = { next_pending = None; rt_outcome = None; last_at = 0 }
+
+let take_rt_outcome stash =
+  let o = stash.rt_outcome in
+  stash.rt_outcome <- None;
+  o
+
+let ops ctx ~tables ~stash : B.ops =
+  let request table call lin =
+    R.send ctx tables
+      (Events.Backend_request { reply_to = R.self ctx; table; call; lin });
+    match
+      R.receive_where ctx (function
+        | Events.Backend_response _ -> true
+        | _ -> false)
+    with
+    | Events.Backend_response { result; rt_outcome; at } ->
+      stash.last_at <- at;
+      (match rt_outcome with
+       | Some o -> stash.rt_outcome <- Some o
+       | None -> ());
+      result
+    | _ -> assert false
+  in
+  {
+    B.begin_op =
+      (fun () ->
+        let pending = stash.next_pending in
+        stash.next_pending <- None;
+        R.send ctx tables
+          (Events.Begin_op { reply_to = R.self ctx; pending });
+        match
+          R.receive_where ctx (function
+            | Events.Begin_reply _ -> true
+            | _ -> false)
+        with
+        | Events.Begin_reply { phase } -> phase
+        | _ -> assert false);
+    end_op =
+      (fun () -> R.send ctx tables (Events.End_op { service = R.self ctx }));
+    execute =
+      (fun ?lin table op ->
+        match request table (Events.C_execute op) lin with
+        | B.Exec_result r -> r
+        | B.Batch_result _ | B.Row_result _ | B.Rows_result _ ->
+          assert false);
+    execute_batch =
+      (fun ?lin table ops ->
+        match request table (Events.C_batch ops) lin with
+        | B.Batch_result r -> r
+        | B.Exec_result _ | B.Row_result _ | B.Rows_result _ ->
+          assert false);
+    retrieve =
+      (fun ?lin table key ->
+        match request table (Events.C_retrieve key) lin with
+        | B.Row_result r -> r
+        | B.Exec_result _ | B.Batch_result _ | B.Rows_result _ ->
+          assert false);
+    query =
+      (fun ?lin table filter ->
+        match request table (Events.C_query filter) lin with
+        | B.Rows_result r -> r
+        | B.Exec_result _ | B.Batch_result _ | B.Row_result _ ->
+          assert false);
+    peek_after =
+      (fun ?lin table after filter ->
+        match request table (Events.C_peek_after (after, filter)) lin with
+        | B.Row_result r -> r
+        | B.Exec_result _ | B.Batch_result _ | B.Rows_result _ ->
+          assert false);
+    stream_phase =
+      (fun () ->
+        R.send ctx tables (Events.Phase_request { reply_to = R.self ctx });
+        match
+          R.receive_where ctx (function
+            | Events.Phase_reply _ -> true
+            | _ -> false)
+        with
+        | Events.Phase_reply { phase; at } ->
+          stash.last_at <- at;
+          phase
+        | _ -> assert false);
+  }

@@ -1,0 +1,23 @@
+(** Backend implementation used inside harness machines: every call is a
+    message round trip to the Tables machine (a scheduling point for the
+    testing engine). The [stash] captures out-of-band data the
+    MigratingTable code itself never sees: the reference-table outcome
+    delivered at the linearization point, and the logical time of the last
+    backend call (used to timestamp stream reads). *)
+
+type stash = {
+  mutable next_pending : Linearize.pending option;
+      (** registered with the next [begin_op] *)
+  mutable rt_outcome : Table_types.outcome option;
+      (** captured when a linearization fires *)
+  mutable last_at : int;  (** Tables clock of the last response *)
+}
+
+val create_stash : unit -> stash
+
+(** [ops ctx ~tables ~stash] builds the backend interface for the machine
+    running in [ctx]. *)
+val ops : Psharp.Runtime.ctx -> tables:Psharp.Id.t -> stash:stash -> Backend.ops
+
+(** Take (and clear) the captured reference outcome. *)
+val take_rt_outcome : stash -> Table_types.outcome option

@@ -1,0 +1,20 @@
+(** Service machine (paper Fig. 12): owns one MigratingTable instance and
+    issues a workload of logical operations through it. For every logical
+    operation it registers the equivalent reference-table operation with
+    the Tables machine, receives the reference outcome captured at the
+    linearization point, and asserts the two outcomes are equivalent.
+    Completed streamed reads are validated against the reference history
+    via the Tables machine.
+
+    The service tracks, per key, the pairs of etags (migrating-table
+    virtual etag, reference-table etag) it has observed, so conditional
+    operations can be issued with semantically matched conditions — the
+    current pair for a valid condition, an older pair for a stale one. *)
+
+val machine :
+  tables:Psharp.Id.t ->
+  bugs:Bug_flags.t ->
+  workload:Workload.t ->
+  report_to:Psharp.Id.t ->
+  Psharp.Runtime.ctx ->
+  unit

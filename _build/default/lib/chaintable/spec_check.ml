@@ -1,0 +1,109 @@
+module T = Table_types
+
+type emission = { row : T.row; at : int }
+
+(* Versions of [key] as (state, active interval [from, until)) with
+   [until = max_int] for the current version; the state before the first
+   recorded version is None-from-minus-infinity. *)
+let intervals history =
+  let rec go = function
+    | [] -> []
+    | [ (t, v) ] -> [ (v, t, max_int) ]
+    | (t, v) :: ((t', _) :: _ as rest) -> (v, t, t') :: go rest
+  in
+  (None, min_int, (match history with [] -> max_int | (t, _) :: _ -> t))
+  :: go history
+
+let window_intersects (from_, until) (a, b) =
+  (* [from_, until) ∩ [a, b] ≠ ∅ *)
+  from_ <= b && until > a
+
+let props_equal (a : T.props) (b : T.props) = T.norm_props a = T.norm_props b
+
+(* Could [key] have legitimately been skipped given window [a, b]? Yes iff
+   at some instant it was absent or not matching the filter. *)
+let skippable ~rt ~filter key (a, b) =
+  let hist = Reference_table.history rt key in
+  List.exists
+    (fun (state, from_, until) ->
+      window_intersects (from_, until) (a, b)
+      &&
+      match state with
+      | None -> true
+      | Some row -> not (Filter.matches filter row))
+    (intervals hist)
+
+(* Was some version of [key] equal to [row] active within the window? *)
+let emittable ~rt key row (a, b) =
+  let hist = Reference_table.history rt key in
+  List.exists
+    (fun (state, from_, until) ->
+      window_intersects (from_, until) (a, b)
+      &&
+      match state with
+      | None -> false
+      | Some stored -> props_equal stored.T.props row.T.props)
+    (intervals hist)
+
+let check_stream ~rt ~started_at ~finished_at ~filter ~emissions =
+  (* 1. ascending keys *)
+  let rec ascending = function
+    | e1 :: (e2 :: _ as rest) ->
+      if T.compare_key e1.row.T.key e2.row.T.key >= 0 then
+        Error
+          (Printf.sprintf "stream keys not ascending: %s then %s"
+             (T.key_to_string e1.row.T.key)
+             (T.key_to_string e2.row.T.key))
+      else ascending rest
+    | [] | [ _ ] -> Ok ()
+  in
+  match ascending emissions with
+  | Error _ as e -> e
+  | Ok () ->
+    (* 2. every emission matches some version in its window *)
+    let bad_emission =
+      List.find_opt
+        (fun e ->
+          (not (Filter.matches filter e.row))
+          || not (emittable ~rt e.row.T.key e.row (started_at, e.at)))
+        emissions
+    in
+    (match bad_emission with
+     | Some e ->
+       Error
+         (Printf.sprintf
+            "stream emitted %s, which matches no table state in its window"
+            (T.row_to_string e.row))
+     | None ->
+       (* 3. skipped keys: for each key in the reference history, find the
+          window in which the stream passed it. *)
+       let skip_window key =
+         (* The stream "passed" [key] when it emitted the first larger key
+            (that read's time bounds the window), or at stream end. *)
+         let rec find = function
+           | [] -> Some (started_at, finished_at)
+           | e :: rest ->
+             let c = T.compare_key e.row.T.key key in
+             if c = 0 then None (* emitted, not skipped *)
+             else if c > 0 then Some (started_at, e.at)
+             else find rest
+         in
+         find emissions
+       in
+       let keys = Reference_table.known_keys rt in
+       let missed =
+         List.find_opt
+           (fun key ->
+             match skip_window key with
+             | None -> false
+             | Some window -> not (skippable ~rt ~filter key window))
+           keys
+       in
+       (match missed with
+        | Some key ->
+          Error
+            (Printf.sprintf
+               "stream missed key %s, which matched the filter continuously \
+                throughout its window"
+               (T.key_to_string key))
+        | None -> Ok ()))

@@ -1,0 +1,25 @@
+(** Checker for the streamed-read contract (paper §4, §6.2).
+
+    The IChainTable streaming specification: a stream returns rows in
+    ascending key order, and "each row read from a stream may reflect the
+    state of the table at any time between when the stream was started and
+    the row was read". The checker validates one completed stream against
+    the reference table's version history:
+
+    - keys must be strictly ascending;
+    - every emitted row must equal some version of its key whose active
+      interval intersects the window from stream start to that row's read;
+    - every key the stream skipped must have been absent — or not matching
+      the filter — at some instant of the relevant window (a row that
+      matched continuously and was never emitted is a missed row, the
+      defect of QueryStreamedBackUpNewStream). *)
+
+type emission = { row : Table_types.row; at : int }
+
+val check_stream :
+  rt:Reference_table.t ->
+  started_at:int ->
+  finished_at:int ->
+  filter:Filter0.t ->
+  emissions:emission list ->
+  (unit, string) result

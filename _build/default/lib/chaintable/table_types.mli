@@ -1,0 +1,74 @@
+(** Core data model of the IChainTable interface (paper §4).
+
+    Rows live in a single logical table keyed by (partition key, row key);
+    every row carries a server-assigned etag used for optimistic
+    concurrency, exactly as in Azure tables. *)
+
+type key = { pk : string; rk : string }
+
+val key : string -> string -> key
+val compare_key : key -> key -> int
+val key_to_string : key -> string
+
+(** Property bag: sorted association list, string-valued. *)
+type props = (string * string) list
+
+(** Normalize (sort, last write wins per name). *)
+val norm_props : props -> props
+
+(** [merge_props ~base ~update] is Azure merge semantics: [update] values
+    win per property, other [base] properties are retained. *)
+val merge_props : base:props -> update:props -> props
+
+type row = { key : key; props : props; etag : int }
+
+val row_to_string : row -> string
+
+(** Write operations (the IChainTable mutation vocabulary). [etag]-carrying
+    operations are conditional: they fail with [Precondition_failed] unless
+    the stored row's etag matches. *)
+type op =
+  | Insert of { key : key; props : props }
+  | Replace of { key : key; etag : int; props : props }
+  | Merge of { key : key; etag : int; props : props }
+  | Insert_or_replace of { key : key; props : props }
+  | Insert_or_merge of { key : key; props : props }
+  | Delete of { key : key; etag : int option }
+      (** [None] means unconditional delete ("*" etag) *)
+
+val op_key : op -> key
+val op_to_string : op -> string
+
+type op_error =
+  | Conflict  (** insert of an existing row *)
+  | Not_found  (** conditional op on a missing row *)
+  | Precondition_failed  (** etag mismatch *)
+  | Batch_rejected of { index : int; error : string }
+      (** cross-partition or malformed batch *)
+
+val op_error_to_string : op_error -> string
+
+(** Result of a successful mutation: the new etag ([None] for deletes). *)
+type op_result = { new_etag : int option }
+
+(** A logical operation as issued by an application: either one mutation or
+    a read. Streamed queries are separate (see {!Reference_table} and
+    {!Migrating_table}). *)
+type read =
+  | Retrieve of key
+  | Query_atomic of Filter0.t
+
+(** Outcome of a logical operation, as compared between the migrating table
+    and the reference table. *)
+type outcome =
+  | Mutated of (op_result, op_error) result
+  | Row of row option
+  | Rows of row list
+
+val outcome_to_string : outcome -> string
+
+(** Outcome equality modulo etag values: etags are server-assigned counters
+    that legitimately differ between the migrating table and the reference
+    table, so comparison checks shape (success/error, row contents) and
+    ignores the numeric etag. *)
+val outcome_equivalent : outcome -> outcome -> bool

@@ -1,0 +1,23 @@
+(** The Tables machine (paper Fig. 12): owns the two backend tables and the
+    reference table, and serializes every backend operation.
+
+    Responsibilities:
+    - execute backend calls and reply to the requesting machine;
+    - evaluate linearization predicates: when a call is the linearization
+      point of a logical operation, apply the operation registered by
+      [Begin_op] to the reference table {e atomically with the call} and
+      return the reference outcome in the response;
+    - track in-flight logical operations and their phases, deferring phase
+      transitions (and the starts of operations that would extend the
+      drain) until incompatible operations complete;
+    - validate completed streamed reads against the reference table's
+      version history ({!Spec_check});
+    - halt on [Tables_shutdown]. *)
+
+(** [machine ~initial_rows ctx] runs the Tables machine. [initial_rows]
+    seeds the old table and the reference table identically (the
+    pre-migration data set). *)
+val machine :
+  initial_rows:(Table_types.key * Table_types.props) list ->
+  Psharp.Runtime.ctx ->
+  unit

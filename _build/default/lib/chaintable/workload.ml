@@ -1,0 +1,109 @@
+module T = Table_types
+
+type step =
+  | S_insert of T.key * string
+  | S_upsert of T.key * string
+  | S_replace_current of T.key * string
+  | S_delete_uncond of T.key
+  | S_delete_current of T.key
+  | S_delete_stale of T.key
+  | S_retrieve of T.key
+  | S_query of Filter0.t
+  | S_stream of Filter0.t
+  | S_pause of int
+
+type t =
+  | Random_ops of { n_ops : int }
+  | Scripted of step list
+
+let default = Random_ops { n_ops = 5 }
+
+let key_space =
+  [
+    T.key "P0" "r0"; T.key "P0" "r1"; T.key "P0" "r2";
+    T.key "P1" "r0"; T.key "P1" "r1";
+  ]
+
+let value_space = [ "0"; "1"; "2"; "3" ]
+
+let v_eq value = Filter0.Compare (Filter0.Prop "v", Filter0.Eq, value)
+
+let filter_pool =
+  [
+    Filter0.True;
+    v_eq "1";
+    Filter0.Compare (Filter0.Rk, Filter0.Ge, "r1");
+    Filter0.And
+      (Filter0.Compare (Filter0.Pk, Filter0.Eq, "P0"), Filter0.Not (v_eq "2"));
+  ]
+
+let initial_rows =
+  [
+    (T.key "P0" "r1", [ ("v", "1") ]);
+    (T.key "P0" "r2", [ ("v", "2") ]);
+    (T.key "P1" "r1", [ ("v", "1") ]);
+  ]
+
+let custom_case = function
+  | "QueryStreamedFilterShadowing" ->
+    (* A row whose current version does not match the filter but whose
+       stale old-table version does: the buggy pushdown lets the stale
+       version escape shadowing. The stream starts only after the update,
+       so the stale emission falls outside every legal window. *)
+    [
+      Scripted
+        [
+          S_pause 4;
+          S_upsert (T.key "P0" "r1", "3");
+          S_stream (v_eq "1");
+          S_retrieve (T.key "P0" "r1");
+          S_pause 4;
+          S_stream (v_eq "1");
+        ];
+    ]
+  | "MigrateSkipPreferOld" ->
+    (* Any pre-seeded row suffices: the prune pass destroys rows the
+       skipped copy pass never moved. *)
+    [
+      Scripted
+        [
+          S_pause 8;
+          S_query Filter0.True;
+          S_retrieve (T.key "P0" "r1");
+          S_pause 4;
+          S_query Filter0.True;
+        ];
+    ]
+  | "MigrateSkipUseNewWithTombstones" ->
+    (* Delete during the overlay phases leaves a tombstone; skipping the
+       cleanup phase lets the USE_NEW fast path expose it. *)
+    [
+      Scripted
+        [
+          S_pause 2;
+          S_delete_uncond (T.key "P0" "r1");
+          S_pause 8;
+          S_query Filter0.True;
+          S_retrieve (T.key "P0" "r1");
+          S_pause 4;
+          S_query Filter0.True;
+        ];
+    ]
+  | "InsertBehindMigrator" ->
+    (* Insert a key that sorts before the seeded rows while the migrator's
+       copy cursor may already have passed it. *)
+    [
+      Scripted
+        [
+          S_pause 3;
+          S_insert (T.key "P0" "r0", "7");
+          S_pause 6;
+          S_retrieve (T.key "P0" "r0");
+          S_pause 4;
+          S_retrieve (T.key "P0" "r0");
+          S_query Filter0.True;
+        ];
+    ]
+  | name ->
+    invalid_arg
+      (Printf.sprintf "Workload.custom_case: no custom case for %s" name)

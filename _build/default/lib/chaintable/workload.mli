@@ -1,0 +1,44 @@
+(** Workloads the service machines drive through their MigratingTable
+    instances. [Random_ops] mirrors the paper's harness: operation kinds,
+    keys, values, filters and etag choices are all drawn through the
+    engine's controlled nondeterminism (§4, "they used the P# Nondet()
+    method to choose all of the parameters independently"). [Scripted] is
+    the paper's "custom test case with a specific input" used for the four
+    ⊙ bugs of Table 2. *)
+
+type step =
+  | S_insert of Table_types.key * string  (** Insert with property v=value *)
+  | S_upsert of Table_types.key * string  (** InsertOrReplace *)
+  | S_replace_current of Table_types.key * string
+      (** conditional Replace using the most recently observed etag *)
+  | S_delete_uncond of Table_types.key
+  | S_delete_current of Table_types.key
+  | S_delete_stale of Table_types.key
+      (** conditional Delete using the oldest observed etag *)
+  | S_retrieve of Table_types.key
+  | S_query of Filter0.t
+  | S_stream of Filter0.t
+  | S_pause of int  (** let other machines run for roughly [n] round trips *)
+
+type t =
+  | Random_ops of { n_ops : int }
+  | Scripted of step list
+
+(** Default random workload per service. *)
+val default : t
+
+(** The pinned-input custom test case for a ⊙ bug of Table 2, as a
+    per-service workload list.
+    @raise Invalid_argument for bugs with no custom case. *)
+val custom_case : string -> t list
+
+(** Keys/values the random workload draws from. *)
+val key_space : Table_types.key list
+
+val value_space : string list
+
+(** Filter pool for random queries. *)
+val filter_pool : Filter0.t list
+
+(** Default initial data set (seeded into the old table). *)
+val initial_rows : (Table_types.key * Table_types.props) list

@@ -1,0 +1,1 @@
+lib/core/delay_strategy.ml: Array Int Int64 Prng Set Strategy

@@ -1,0 +1,1 @@
+lib/core/delay_strategy.mli: Strategy

@@ -1,0 +1,1 @@
+lib/core/dfs_strategy.ml: Array List Strategy Trace

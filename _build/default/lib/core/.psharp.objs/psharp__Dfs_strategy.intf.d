@@ -1,0 +1,1 @@
+lib/core/dfs_strategy.mli: Strategy

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Delay_strategy Dfs_strategy Error Format Hashtbl List Pct_strategy Random_strategy Replay_strategy Rr_strategy Runtime Strategy Trace Unix

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Error Format Monitor Runtime Trace

@@ -1,0 +1,1 @@
+lib/core/error.mli: Format Trace

@@ -1,0 +1,1 @@
+lib/core/id.ml: Format Int Printf

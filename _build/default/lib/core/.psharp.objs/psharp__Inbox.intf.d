@@ -1,0 +1,1 @@
+lib/core/inbox.mli: Event

@@ -1,0 +1,1 @@
+lib/core/monitor.ml: Error Event List Printf Registry

@@ -1,0 +1,1 @@
+lib/core/pct_strategy.ml: Array Hashtbl Int Int64 Prng Set Strategy

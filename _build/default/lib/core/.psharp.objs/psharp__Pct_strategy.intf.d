@@ -1,0 +1,1 @@
+lib/core/pct_strategy.mli: Strategy

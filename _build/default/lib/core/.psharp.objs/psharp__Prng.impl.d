@@ -1,0 +1,1 @@
+lib/core/prng.ml: Array Int64 List

@@ -1,0 +1,1 @@
+lib/core/random_strategy.ml: Int64 Prng Strategy

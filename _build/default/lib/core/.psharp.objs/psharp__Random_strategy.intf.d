@@ -1,0 +1,1 @@
+lib/core/random_strategy.mli: Strategy

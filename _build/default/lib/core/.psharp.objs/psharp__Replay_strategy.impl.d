@@ -1,0 +1,1 @@
+lib/core/replay_strategy.ml: Array Error Printf Strategy Trace

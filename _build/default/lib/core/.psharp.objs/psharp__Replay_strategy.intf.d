@@ -1,0 +1,1 @@
+lib/core/replay_strategy.mli: Strategy Trace

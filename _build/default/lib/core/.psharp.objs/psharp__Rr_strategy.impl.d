@@ -1,0 +1,1 @@
+lib/core/rr_strategy.ml: Array Strategy

@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Array Effect Error Event Id Inbox List Monitor Option Printexc Printf Strategy Trace

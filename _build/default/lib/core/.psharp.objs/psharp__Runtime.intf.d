@@ -1,0 +1,1 @@
+lib/core/runtime.mli: Error Event Id Monitor Strategy Trace

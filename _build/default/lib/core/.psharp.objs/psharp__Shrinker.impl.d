@@ -1,0 +1,1 @@
+lib/core/shrinker.ml: Array Engine Error Int64 List Prng Runtime Strategy Trace

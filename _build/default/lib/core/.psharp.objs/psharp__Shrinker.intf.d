@@ -1,0 +1,1 @@
+lib/core/shrinker.mli: Engine Error Monitor Runtime

@@ -1,0 +1,1 @@
+lib/core/statemachine.ml: Error Event Id List Printf Registry Runtime

@@ -1,0 +1,1 @@
+lib/core/statemachine.mli: Event Runtime

@@ -1,0 +1,1 @@
+lib/core/timer.ml: Event Registry Runtime

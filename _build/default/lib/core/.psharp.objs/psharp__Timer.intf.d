@@ -1,0 +1,1 @@
+lib/core/timer.mli: Event Id Runtime

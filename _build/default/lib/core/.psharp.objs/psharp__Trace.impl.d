@@ -1,0 +1,1 @@
+lib/core/trace.ml: Array Fun List Printf String

@@ -1,0 +1,45 @@
+module Int_set = Set.Make (Int)
+
+let make ~seed ~delays ~max_steps ~iteration : Strategy.t =
+  let rng =
+    Prng.create ~seed:(Int64.add seed (Int64.of_int (iteration * 2 + 1)))
+  in
+  let delay_steps =
+    let rec sample acc remaining =
+      if remaining = 0 then acc
+      else
+        let s = Prng.int rng max_steps in
+        if Int_set.mem s acc then sample acc remaining
+        else sample (Int_set.add s acc) (remaining - 1)
+    in
+    sample Int_set.empty (min delays max_steps)
+  in
+  let last = ref (-1) in
+  let next_schedule ~enabled ~step =
+    let default =
+      (* run-to-completion: stick with the last machine while enabled *)
+      if Array.exists (fun m -> m = !last) enabled then !last else enabled.(0)
+    in
+    let choice =
+      if Int_set.mem step delay_steps then begin
+        (* delay the machine that would have run: next enabled after it *)
+        let n = Array.length enabled in
+        let idx = ref 0 in
+        Array.iteri (fun i m -> if m = default then idx := i) enabled;
+        enabled.((!idx + 1) mod n)
+      end
+      else default
+    in
+    last := choice;
+    choice
+  in
+  {
+    name = "delay-bounded";
+    next_schedule;
+    next_bool = (fun ~step:_ -> Prng.bool rng);
+    next_int = (fun ~bound ~step:_ -> Prng.int rng bound);
+  }
+
+let factory ~seed ?(delays = 2) ?(max_steps = 10_000) () =
+  Strategy.stateless ~name:"delay-bounded" (fun ~iteration ->
+      make ~seed ~delays ~max_steps ~iteration)

@@ -1,0 +1,13 @@
+(** Randomized delay-bounded scheduler (Emmi, Qadeer & Rakamarić, POPL
+    2011 — cited as the paper's [11]).
+
+    The baseline schedule is non-preemptive: keep running the same machine
+    while it stays enabled (run-to-completion), otherwise fall to the
+    lowest-index enabled machine. A budget of [delays] is spent at random
+    steps: when one triggers, the scheduler "delays" the machine that
+    would have run and picks the next enabled machine instead. Many
+    concurrency bugs need only a couple of delays off the deterministic
+    schedule, which makes small budgets a strong search heuristic. *)
+
+val factory :
+  seed:int64 -> ?delays:int -> ?max_steps:int -> unit -> Strategy.factory

@@ -1,0 +1,92 @@
+(* Each frame records the alternatives available at one decision point and
+   which alternative the current execution took. The stack is shared across
+   executions; before execution [i+1] we advance the deepest frame that still
+   has untried alternatives and truncate everything below it. *)
+
+type frame = { alternatives : Trace.choice array; mutable taken : int }
+
+type state = {
+  mutable stack : frame list;  (* deepest first *)
+  mutable depth : int;  (* decisions made in the current execution *)
+  max_depth : int;
+  int_cap : int;
+}
+
+let frame_at st idx =
+  (* Stack is deepest-first; decision [idx] counts from the root. *)
+  let len = List.length st.stack in
+  List.nth st.stack (len - 1 - idx)
+
+let decide st alternatives =
+  let idx = st.depth in
+  st.depth <- idx + 1;
+  if idx > st.max_depth then
+    (* Beyond the bound: always take the first alternative, do not record. *)
+    alternatives.(0)
+  else begin
+    let len = List.length st.stack in
+    if idx < len then begin
+      let f = frame_at st idx in
+      f.alternatives.(f.taken)
+    end
+    else begin
+      let f = { alternatives; taken = 0 } in
+      st.stack <- f :: st.stack;
+      f.alternatives.(0)
+    end
+  end
+
+(* Drop frames below the last one with untried alternatives, advance it.
+   Returns false when the whole space is exhausted. *)
+let advance st =
+  let rec pop = function
+    | [] -> None
+    | f :: rest ->
+      if f.taken + 1 < Array.length f.alternatives then begin
+        f.taken <- f.taken + 1;
+        Some (f :: rest)
+      end
+      else pop rest
+  in
+  match pop st.stack with
+  | None -> false
+  | Some stack ->
+    st.stack <- stack;
+    true
+
+let make st : Strategy.t =
+  let next_schedule ~enabled ~step:_ =
+    let alts = Array.map (fun m -> Trace.Schedule m) enabled in
+    match decide st alts with
+    | Trace.Schedule m -> m
+    | _ -> assert false
+  in
+  let next_bool ~step:_ =
+    match decide st [| Trace.Bool false; Trace.Bool true |] with
+    | Trace.Bool b -> b
+    | _ -> assert false
+  in
+  let next_int ~bound ~step:_ =
+    let n = min bound st.int_cap in
+    match decide st (Array.init n (fun i -> Trace.Int i)) with
+    | Trace.Int i -> i
+    | _ -> assert false
+  in
+  { name = "dfs"; next_schedule; next_bool; next_int }
+
+let factory ?(max_depth = 1_000) ?(int_cap = 4) () : Strategy.factory =
+  let st = { stack = []; depth = 0; max_depth; int_cap } in
+  {
+    factory_name = "dfs";
+    fresh =
+      (fun ~iteration ->
+        if iteration = 0 then begin
+          st.depth <- 0;
+          Some (make st)
+        end
+        else if advance st then begin
+          st.depth <- 0;
+          Some (make st)
+        end
+        else None);
+  }

@@ -1,0 +1,12 @@
+(** Bounded exhaustive depth-first enumeration of schedules.
+
+    Systematically enumerates every sequence of choices up to [max_depth]
+    decisions, backtracking across executions. Only practical for small
+    harnesses (the engine re-executes the program from scratch on every
+    iteration), but valuable as ground truth in tests: if DFS exhausts the
+    space without finding a bug, no schedule within the bound triggers it.
+
+    Integer choices with bounds larger than [int_cap] are enumerated only up
+    to [int_cap] values to keep the space finite. *)
+
+val factory : ?max_depth:int -> ?int_cap:int -> unit -> Strategy.factory

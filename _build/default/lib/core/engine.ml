@@ -1,0 +1,191 @@
+type strategy_spec =
+  | Random
+  | Pct of { change_points : int }
+  | Dfs of { max_depth : int; int_cap : int }
+  | Round_robin
+  | Delay_bounded of { delays : int }
+  | Replay_trace of Trace.t
+
+type config = {
+  strategy : strategy_spec;
+  seed : int64;
+  max_executions : int;
+  max_seconds : float option;
+  max_steps : int;
+  liveness_grace : int option;
+  deadlock_is_bug : bool;
+  collect_log_on_bug : bool;
+}
+
+let default_config =
+  {
+    strategy = Random;
+    seed = 0L;
+    max_executions = 10_000;
+    max_seconds = None;
+    max_steps = 5_000;
+    liveness_grace = None;
+    deadlock_is_bug = true;
+    collect_log_on_bug = false;
+  }
+
+type stats = {
+  executions : int;
+  elapsed : float;
+  total_steps : int;
+  search_exhausted : bool;
+}
+
+type outcome =
+  | Bug_found of Error.report * stats
+  | No_bug of stats
+
+let factory_of config =
+  match config.strategy with
+  | Random -> Random_strategy.factory ~seed:config.seed
+  | Pct { change_points } ->
+    Pct_strategy.factory ~seed:config.seed ~change_points
+      ~max_steps:config.max_steps ()
+  | Dfs { max_depth; int_cap } -> Dfs_strategy.factory ~max_depth ~int_cap ()
+  | Round_robin -> Rr_strategy.factory ()
+  | Delay_bounded { delays } ->
+    Delay_strategy.factory ~seed:config.seed ~delays
+      ~max_steps:config.max_steps ()
+  | Replay_trace t -> Replay_strategy.factory t
+
+let runtime_config config ~collect_log =
+  {
+    Runtime.max_steps = config.max_steps;
+    liveness_grace = config.liveness_grace;
+    deadlock_is_bug = config.deadlock_is_bug;
+    collect_log;
+  }
+
+let no_monitors () = []
+
+let replay ?(monitors = no_monitors) config trace body =
+  let strategy =
+    match (Replay_strategy.factory trace).fresh ~iteration:0 with
+    | Some s -> s
+    | None -> assert false
+  in
+  Runtime.execute
+    (runtime_config config ~collect_log:true)
+    strategy ~monitors:(monitors ()) ~name:"Harness" body
+
+let run ?(monitors = no_monitors) config body =
+  let factory = factory_of config in
+  let started = Unix.gettimeofday () in
+  let total_steps = ref 0 in
+  let out_of_time () =
+    match config.max_seconds with
+    | Some budget -> Unix.gettimeofday () -. started >= budget
+    | None -> false
+  in
+  let rec iterate i =
+    if i >= config.max_executions || out_of_time () then
+      No_bug
+        {
+          executions = i;
+          elapsed = Unix.gettimeofday () -. started;
+          total_steps = !total_steps;
+          search_exhausted = false;
+        }
+    else
+      match factory.Strategy.fresh ~iteration:i with
+      | None ->
+        No_bug
+          {
+            executions = i;
+            elapsed = Unix.gettimeofday () -. started;
+            total_steps = !total_steps;
+            search_exhausted = true;
+          }
+      | Some strategy ->
+        let result =
+          Runtime.execute
+            (runtime_config config ~collect_log:false)
+            strategy ~monitors:(monitors ()) ~name:"Harness" body
+        in
+        total_steps := !total_steps + result.Runtime.steps;
+        (match result.Runtime.bug with
+         | None -> iterate (i + 1)
+         | Some kind ->
+           let log =
+             if config.collect_log_on_bug then
+               (replay ~monitors config result.Runtime.choices body).Runtime.log
+             else result.Runtime.log
+           in
+           let report =
+             {
+               Error.kind;
+               step = result.Runtime.bug_step;
+               trace = result.Runtime.choices;
+               log;
+             }
+           in
+           let stats =
+             {
+               executions = i + 1;
+               elapsed = Unix.gettimeofday () -. started;
+               total_steps = !total_steps;
+               search_exhausted = false;
+             }
+           in
+           Bug_found (report, stats))
+  in
+  iterate 0
+
+(* Survey mode: keep exploring after bugs are found, deduplicating by the
+   rendered bug kind; returns each distinct bug's first report and how many
+   executions reproduced it. *)
+let survey ?(monitors = no_monitors) config body =
+  let factory = factory_of config in
+  let found : (string, Error.report * int) Hashtbl.t = Hashtbl.create 8 in
+  let order : string list ref = ref [] in
+  let rec iterate i =
+    if i >= config.max_executions then ()
+    else
+      match factory.Strategy.fresh ~iteration:i with
+      | None -> ()
+      | Some strategy ->
+        let result =
+          Runtime.execute
+            (runtime_config config ~collect_log:false)
+            strategy ~monitors:(monitors ()) ~name:"Harness" body
+        in
+        (match result.Runtime.bug with
+         | None -> ()
+         | Some kind ->
+           let key = Error.kind_to_string kind in
+           (match Hashtbl.find_opt found key with
+            | Some (report, n) -> Hashtbl.replace found key (report, n + 1)
+            | None ->
+              let report =
+                {
+                  Error.kind;
+                  step = result.Runtime.bug_step;
+                  trace = result.Runtime.choices;
+                  log = result.Runtime.log;
+                }
+              in
+              Hashtbl.replace found key (report, 1);
+              order := key :: !order));
+        iterate (i + 1)
+  in
+  iterate 0;
+  List.rev_map (fun key -> Hashtbl.find found key) !order
+
+let ndc = function
+  | Bug_found (report, _) -> Some (Trace.length report.Error.trace)
+  | No_bug _ -> None
+
+let pp_outcome fmt = function
+  | Bug_found (report, stats) ->
+    Format.fprintf fmt
+      "@[<v>BUG FOUND after %d execution(s), %.2fs:@,%a@]" stats.executions
+      stats.elapsed Error.pp_report report
+  | No_bug stats ->
+    Format.fprintf fmt "no bug found in %d execution(s) (%.2fs%s)"
+      stats.executions stats.elapsed
+      (if stats.search_exhausted then ", search space exhausted" else "")

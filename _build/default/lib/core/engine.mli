@@ -1,0 +1,82 @@
+(** The systematic testing engine (paper §2).
+
+    Serializes the system-under-test and repeatedly executes it from start
+    to completion, each time exploring a potentially different set of
+    nondeterministic choices, until it reaches the execution budget or hits
+    a safety or liveness violation. A found bug is witnessed by a full
+    schedule trace that {!replay} reproduces deterministically. *)
+
+type strategy_spec =
+  | Random
+  | Pct of { change_points : int }
+      (** randomized priority-based scheduler; the paper uses 2 change
+          points per execution *)
+  | Dfs of { max_depth : int; int_cap : int }
+  | Round_robin
+  | Delay_bounded of { delays : int }
+      (** randomized delay-bounded scheduling (the paper's [11]) *)
+  | Replay_trace of Trace.t
+
+type config = {
+  strategy : strategy_spec;
+  seed : int64;
+  max_executions : int;
+  max_seconds : float option;
+      (** wall-clock budget; the paper's engine stops at "a user-supplied
+          bound (e.g. in number of executions or time)" (§2) *)
+  max_steps : int;  (** liveness bound: longer executions count as infinite *)
+  liveness_grace : int option;
+      (** minimum continuous hot span at the bound (default [max_steps/2]) *)
+  deadlock_is_bug : bool;
+  collect_log_on_bug : bool;
+      (** re-execute the buggy schedule to capture a readable trace log *)
+}
+
+(** Random strategy, seed 0, 10,000 executions, 5,000-step bound. *)
+val default_config : config
+
+type stats = {
+  executions : int;  (** executions performed (including the buggy one) *)
+  elapsed : float;  (** wall-clock seconds *)
+  total_steps : int;
+  search_exhausted : bool;  (** strategy ran out of schedules (DFS) *)
+}
+
+type outcome =
+  | Bug_found of Error.report * stats
+  | No_bug of stats
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+(** [run config ~monitors body] iterates executions of the harness [body]
+    (the root machine). [monitors] is called before each execution so every
+    run gets fresh monitor state. *)
+val run :
+  ?monitors:(unit -> Monitor.t list) ->
+  config ->
+  (Runtime.ctx -> unit) ->
+  outcome
+
+(** [replay config ~monitors trace body] re-executes one recorded schedule
+    (with [collect_log] on) and returns the raw execution result. *)
+val replay :
+  ?monitors:(unit -> Monitor.t list) ->
+  config ->
+  Trace.t ->
+  (Runtime.ctx -> unit) ->
+  Runtime.exec_result
+
+(** Survey mode: run the whole execution budget without stopping at the
+    first bug, deduplicating violations by kind. Returns, in order of first
+    discovery, each distinct bug's first report and the number of
+    executions that reproduced it — useful for judging how many distinct
+    defects a harness exposes and how frequently each one fires. *)
+val survey :
+  ?monitors:(unit -> Monitor.t list) ->
+  config ->
+  (Runtime.ctx -> unit) ->
+  (Error.report * int) list
+
+(** Number of nondeterministic choices in the buggy execution, the paper's
+    #NDC column; [None] if no bug was found. *)
+val ndc : outcome -> int option

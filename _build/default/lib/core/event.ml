@@ -1,0 +1,26 @@
+type t = ..
+
+type t +=
+  | Halt_event
+  | Unit_event
+
+(* Extension-constructor names are fully qualified ("Psharp.Timer.Timer_tick");
+   handler tables use the bare constructor name, so strip the module path. *)
+let name (e : t) =
+  let full =
+    Obj.Extension_constructor.name (Obj.Extension_constructor.of_val e)
+  in
+  match String.rindex_opt full '.' with
+  | None -> full
+  | Some i -> String.sub full (i + 1) (String.length full - i - 1)
+
+let printers : (t -> string option) list ref = ref []
+
+let register_printer f = printers := f :: !printers
+
+let to_string e =
+  let rec try_printers = function
+    | [] -> name e
+    | f :: rest -> (match f e with Some s -> s | None -> try_printers rest)
+  in
+  try_printers !printers

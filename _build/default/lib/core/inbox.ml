@@ -1,0 +1,46 @@
+(* Classic two-list deque: [front] is the head in order, [back] is the tail
+   reversed. Filtered removal rebuilds at most once. *)
+
+type t = { mutable front : Event.t list; mutable back : Event.t list }
+
+let create () = { front = []; back = [] }
+
+let push t e = t.back <- e :: t.back
+
+let normalize t =
+  if t.front = [] then begin
+    t.front <- List.rev t.back;
+    t.back <- []
+  end
+
+let is_empty t = t.front = [] && t.back = []
+
+let length t = List.length t.front + List.length t.back
+
+let to_list t = t.front @ List.rev t.back
+
+let pop_first t pred =
+  normalize t;
+  let rec remove acc = function
+    | [] -> None
+    | e :: rest ->
+      if pred e then Some (e, List.rev_append acc rest)
+      else remove (e :: acc) rest
+  in
+  match remove [] t.front with
+  | Some (e, front') ->
+    t.front <- front';
+    Some e
+  | None ->
+    (match remove [] (List.rev t.back) with
+     | Some (e, back_in_order) ->
+       t.front <- t.front @ back_in_order;
+       t.back <- [];
+       Some e
+     | None -> None)
+
+let exists t pred = List.exists pred t.front || List.exists pred t.back
+
+let clear t =
+  t.front <- [];
+  t.back <- []

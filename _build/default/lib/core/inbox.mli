@@ -1,0 +1,23 @@
+(** FIFO event inbox with filtered dequeue.
+
+    Machines dequeue in FIFO order; a filtered receive removes the first
+    event satisfying the predicate and leaves the rest in order (P#'s
+    [Receive] semantics). *)
+
+type t
+
+val create : unit -> t
+val push : t -> Event.t -> unit
+val is_empty : t -> bool
+val length : t -> int
+
+(** First event satisfying [pred], removed from the inbox. *)
+val pop_first : t -> (Event.t -> bool) -> Event.t option
+
+(** Does any queued event satisfy [pred]? *)
+val exists : t -> (Event.t -> bool) -> bool
+
+(** Queued events, front first (for diagnostics). *)
+val to_list : t -> Event.t list
+
+val clear : t -> unit

@@ -1,0 +1,47 @@
+type temperature = Hot | Cold | Neutral
+
+type t = {
+  name : string;
+  states : (string * temperature) list;
+  mutable current : string;
+  mutable handler : (t -> Event.t -> unit) option;
+  mutable hot_since : int option;
+}
+
+let make ~name ~initial ~states handler =
+  if not (List.mem_assoc initial states) then
+    invalid_arg
+      (Printf.sprintf "Monitor.make: initial state %s not declared" initial);
+  Registry.register_machine ~machine:name ~kind:Registry.Monitor
+    ~states:(List.length states) ~handlers:1;
+  { name; states; current = initial; handler = Some handler; hot_since = None }
+
+let name t = t.name
+let current t = t.current
+
+let temperature t =
+  match List.assoc_opt t.current t.states with
+  | Some temp -> temp
+  | None -> Neutral
+
+let is_hot t = temperature t = Hot
+
+let goto t s =
+  if not (List.mem_assoc s t.states) then
+    invalid_arg (Printf.sprintf "Monitor.goto: state %s not declared" s);
+  if t.current <> s then
+    Registry.record_transition ~machine:t.name ~from_:t.current ~to_:s;
+  t.current <- s
+
+let fail t msg =
+  raise (Error.Bug (Error.Safety_violation { monitor = t.name; message = msg }))
+
+let assert_ t cond msg = if not cond then fail t msg
+
+let notify t e =
+  match t.handler with
+  | Some h -> h t e
+  | None -> ()
+
+let hot_since t = t.hot_since
+let set_hot_since t v = t.hot_since <- v

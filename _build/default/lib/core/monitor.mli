@@ -1,0 +1,52 @@
+(** Safety and liveness monitors (paper §2.4–2.5).
+
+    A monitor is a special machine that can receive, but not send, events.
+    Machines notify monitors synchronously via [Runtime.notify]; the monitor
+    updates private state and may (a) fail an assertion — a safety
+    violation — or (b) move between {e hot} and {e cold} states. An
+    execution that ends (or exceeds the step bound) while some liveness
+    monitor is hot is a liveness violation.
+
+    Monitors keep their instrumentation state in closures: build them inside
+    the thunk passed to [Engine.run] so each execution gets fresh state. *)
+
+type temperature = Hot | Cold | Neutral
+
+type t
+
+(** [make ~name ~initial ~states handler] creates a monitor whose states are
+    [states] (name, temperature); [initial] must be one of them. [handler]
+    receives the monitor (for [goto]/[current]/[fail]) and each notified
+    event.
+    @raise Invalid_argument if [initial] is not declared. *)
+val make :
+  name:string ->
+  initial:string ->
+  states:(string * temperature) list ->
+  (t -> Event.t -> unit) ->
+  t
+
+val name : t -> string
+val current : t -> string
+val temperature : t -> temperature
+val is_hot : t -> bool
+
+(** [goto m s] transitions the monitor to state [s].
+    @raise Invalid_argument if [s] was not declared. *)
+val goto : t -> string -> unit
+
+(** [fail m msg] flags a safety violation. *)
+val fail : t -> string -> 'a
+
+(** [assert_ m cond msg] is [fail m msg] when [cond] is false. *)
+val assert_ : t -> bool -> string -> unit
+
+(** [notify m e] runs the handler. Used by the runtime; may raise
+    [Error.Bug]. *)
+val notify : t -> Event.t -> unit
+
+(** Step at which the monitor last entered a hot state, if currently hot.
+    Maintained by the runtime. *)
+val hot_since : t -> int option
+
+val set_hot_since : t -> int option -> unit

@@ -1,0 +1,60 @@
+module Int_set = Set.Make (Int)
+
+let make ~seed ~change_points ~max_steps ~iteration : Strategy.t =
+  let rng =
+    Prng.create ~seed:(Int64.add seed (Int64.of_int (iteration * 2 + 1)))
+  in
+  (* Steps at which the highest-priority enabled machine is demoted. *)
+  let change_steps =
+    let rec sample acc remaining =
+      if remaining = 0 then acc
+      else
+        let s = Prng.int rng max_steps in
+        if Int_set.mem s acc then sample acc remaining
+        else sample (Int_set.add s acc) (remaining - 1)
+    in
+    sample Int_set.empty (min change_points max_steps)
+  in
+  let priorities : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let lowest = ref 0 in
+  let priority_of m =
+    match Hashtbl.find_opt priorities m with
+    | Some p -> p
+    | None ->
+      (* Random initial priority, strictly above any demotion slot. *)
+      let p = 1 + Prng.int rng 1_000_000 in
+      Hashtbl.replace priorities m p;
+      p
+  in
+  let best enabled =
+    Array.fold_left
+      (fun acc m ->
+        match acc with
+        | None -> Some m
+        | Some b -> if priority_of m > priority_of b then Some m else acc)
+      None enabled
+  in
+  let next_schedule ~enabled ~step =
+    match best enabled with
+    | None -> invalid_arg "Pct_strategy: empty enabled set"
+    | Some b ->
+      if Int_set.mem step change_steps then begin
+        (* Demote the machine that would have run; rerun the choice. *)
+        decr lowest;
+        Hashtbl.replace priorities b !lowest;
+        match best enabled with
+        | Some b' -> b'
+        | None -> b
+      end
+      else b
+  in
+  {
+    name = "pct";
+    next_schedule;
+    next_bool = (fun ~step:_ -> Prng.bool rng);
+    next_int = (fun ~bound ~step:_ -> Prng.int rng bound);
+  }
+
+let factory ~seed ?(change_points = 2) ?(max_steps = 10_000) () =
+  Strategy.stateless ~name:"pct" (fun ~iteration ->
+      make ~seed ~change_points ~max_steps ~iteration)

@@ -1,0 +1,11 @@
+(** Randomized priority-based scheduler (paper §6.2; Burckhardt et al.,
+    ASPLOS 2010 — "PCT").
+
+    Each machine is assigned a random priority when first seen; at every
+    scheduling point the highest-priority enabled machine runs. The strategy
+    additionally places [change_points] priority-change points at random
+    steps of the execution; when one is hit, the machine about to run is
+    demoted below every other machine. The paper configures a budget of
+    2 change points per execution. *)
+
+val factory : seed:int64 -> ?change_points:int -> ?max_steps:int -> unit -> Strategy.factory

@@ -1,0 +1,51 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = seed }
+
+let copy t = { state = t.state }
+
+(* SplitMix64 output function: see Steele, Lea & Flood, OOPSLA 2014. *)
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t =
+  let seed = next_int64 t in
+  create ~seed
+
+(* Keep 62 bits so the result fits OCaml's 63-bit native int as a
+   non-negative value. *)
+let mask62 = 0x3FFF_FFFF_FFFF_FFFFL
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let nonneg = Int64.to_int (Int64.logand (next_int64 t) mask62) in
+  nonneg mod bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let float t bound =
+  let nonneg = Int64.to_float (Int64.logand (next_int64 t) mask62) in
+  bound *. (nonneg /. Int64.to_float mask62)
+
+let pick t xs =
+  match xs with
+  | [] -> invalid_arg "Prng.pick: empty list"
+  | _ -> List.nth xs (int t (List.length xs))
+
+let pick_array t xs =
+  if Array.length xs = 0 then invalid_arg "Prng.pick_array: empty array";
+  xs.(int t (Array.length xs))
+
+let shuffle t xs =
+  for i = Array.length xs - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = xs.(i) in
+    xs.(i) <- xs.(j);
+    xs.(j) <- tmp
+  done

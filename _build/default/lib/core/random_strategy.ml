@@ -1,0 +1,13 @@
+let make ~seed ~iteration : Strategy.t =
+  let rng =
+    Prng.create ~seed:(Int64.add seed (Int64.of_int (iteration * 2 + 1)))
+  in
+  {
+    name = "random";
+    next_schedule = (fun ~enabled ~step:_ -> Prng.pick_array rng enabled);
+    next_bool = (fun ~step:_ -> Prng.bool rng);
+    next_int = (fun ~bound ~step:_ -> Prng.int rng bound);
+  }
+
+let factory ~seed =
+  Strategy.stateless ~name:"random" (fun ~iteration -> make ~seed ~iteration)

@@ -1,0 +1,8 @@
+(** Uniform random scheduler (paper §6.2).
+
+    At every scheduling point, picks uniformly among the enabled machines;
+    [nondet] choices are uniform too. Each execution derives an independent
+    stream from the base seed, so a run is reproducible from
+    [(seed, iteration)]. *)
+
+val factory : seed:int64 -> Strategy.factory

@@ -1,0 +1,53 @@
+type kind = Machine | Monitor
+
+type machine_stats = {
+  machine : string;
+  kind : kind;
+  states : int;
+  handlers : int;
+}
+
+let registered : (string, machine_stats) Hashtbl.t = Hashtbl.create 32
+let order : string list ref = ref []
+
+module Edge_set = Set.Make (struct
+  type t = string * string
+
+  let compare = compare
+end)
+
+let edges : (string, Edge_set.t) Hashtbl.t = Hashtbl.create 32
+
+let register_machine ~machine ~kind ~states ~handlers =
+  if not (Hashtbl.mem registered machine) then begin
+    Hashtbl.replace registered machine { machine; kind; states; handlers };
+    order := machine :: !order
+  end
+
+let record_transition ~machine ~from_ ~to_ =
+  let current =
+    Option.value (Hashtbl.find_opt edges machine) ~default:Edge_set.empty
+  in
+  Hashtbl.replace edges machine (Edge_set.add (from_, to_) current)
+
+let machines () =
+  List.rev_map (fun name -> Hashtbl.find registered name) !order
+
+let transitions ~machine =
+  match Hashtbl.find_opt edges machine with
+  | Some s -> Edge_set.cardinal s
+  | None -> 0
+
+let aggregate ~matching =
+  List.fold_left
+    (fun (m, s, t, h) st ->
+      if matching st.machine then
+        (m + 1, s + st.states, t + transitions ~machine:st.machine,
+         h + st.handlers)
+      else (m, s, t, h))
+    (0, 0, 0, 0) (machines ())
+
+let reset () =
+  Hashtbl.reset registered;
+  Hashtbl.reset edges;
+  order := []

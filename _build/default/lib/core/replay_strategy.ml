@@ -1,0 +1,49 @@
+let diverged ~step message =
+  raise (Error.Bug (Error.Replay_divergence { step; message }))
+
+let make trace : Strategy.t =
+  let choices = Trace.to_list trace |> Array.of_list in
+  let cursor = ref 0 in
+  let next ~step expected =
+    if !cursor >= Array.length choices then
+      diverged ~step
+        (Printf.sprintf "trace exhausted after %d choices but a %s choice \
+                         was requested"
+           (Array.length choices) expected);
+    let c = choices.(!cursor) in
+    incr cursor;
+    c
+  in
+  let next_schedule ~enabled ~step =
+    match next ~step "schedule" with
+    | Trace.Schedule m ->
+      if Array.exists (fun e -> e = m) enabled then m
+      else
+        diverged ~step
+          (Printf.sprintf "machine %d from trace is not enabled" m)
+    | Trace.Bool _ | Trace.Int _ ->
+      diverged ~step "expected a schedule choice, trace has a nondet choice"
+  in
+  let next_bool ~step =
+    match next ~step "bool" with
+    | Trace.Bool b -> b
+    | Trace.Schedule _ | Trace.Int _ ->
+      diverged ~step "expected a bool choice"
+  in
+  let next_int ~bound ~step =
+    match next ~step "int" with
+    | Trace.Int i when i < bound -> i
+    | Trace.Int i ->
+      diverged ~step
+        (Printf.sprintf "int choice %d out of bound %d" i bound)
+    | Trace.Schedule _ | Trace.Bool _ ->
+      diverged ~step "expected an int choice"
+  in
+  { name = "replay"; next_schedule; next_bool; next_int }
+
+let factory trace : Strategy.factory =
+  {
+    factory_name = "replay";
+    fresh =
+      (fun ~iteration -> if iteration = 0 then Some (make trace) else None);
+  }

@@ -1,0 +1,8 @@
+(** Deterministic replay of a recorded trace.
+
+    Feeds back the exact choices of a previous execution. If the program has
+    changed (or the trace is stale) so that a recorded choice is no longer
+    possible, the execution aborts with [Error.Replay_divergence]. The
+    factory yields exactly one strategy: replay is a single execution. *)
+
+val factory : Trace.t -> Strategy.factory

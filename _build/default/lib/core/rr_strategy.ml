@@ -1,0 +1,22 @@
+let make ~iteration : Strategy.t =
+  let cursor = ref iteration in
+  let ints = ref 0 in
+  let next_schedule ~enabled ~step:_ =
+    let n = Array.length enabled in
+    if n = 0 then invalid_arg "Rr_strategy: empty enabled set";
+    let m = enabled.(!cursor mod n) in
+    incr cursor;
+    m
+  in
+  {
+    name = "round-robin";
+    next_schedule;
+    next_bool = (fun ~step -> (step + iteration) mod 2 = 0);
+    next_int =
+      (fun ~bound ~step:_ ->
+        incr ints;
+        (!ints + iteration) mod bound);
+  }
+
+let factory () =
+  Strategy.stateless ~name:"round-robin" (fun ~iteration -> make ~iteration)

@@ -1,0 +1,9 @@
+(** Round-robin scheduler.
+
+    Deterministic baseline used in ablations: machines are scheduled in
+    creation order, cycling. [nondet] booleans alternate per execution
+    (iteration parity) and integers count up, so successive executions are
+    not all identical, but coverage is intentionally poor — this is the
+    contrast case for the randomized strategies. *)
+
+val factory : unit -> Strategy.factory

@@ -1,0 +1,353 @@
+type config = {
+  max_steps : int;
+  liveness_grace : int option;
+  deadlock_is_bug : bool;
+  collect_log : bool;
+}
+
+let default_config =
+  {
+    max_steps = 5_000;
+    liveness_grace = None;
+    deadlock_is_bug = true;
+    collect_log = false;
+  }
+
+(* A machine blocked on [receive] is a captured continuation expecting the
+   dequeued event. The whole handled computation produces [unit]: both the
+   effect branch (after stashing the continuation) and the return/exception
+   branches just fall back to the scheduler. *)
+type status =
+  | Not_started of (ctx -> unit)
+  | Waiting of (Event.t -> bool) option * (Event.t, unit) Effect.Deep.continuation
+  | Running
+  | Halted
+
+and machine = {
+  id : Id.t;
+  inbox : Inbox.t;
+  mutable status : status;
+}
+
+and t = {
+  config : config;
+  strategy : Strategy.t;
+  monitors : Monitor.t list;
+  mutable machines : machine array;
+  mutable n_machines : int;
+  mutable steps : int;
+  trace : Trace.Builder.t;
+  mutable log_rev : string list;
+  mutable bug : Error.kind option;
+  mutable bug_step : int;
+}
+
+and ctx = { rt : t; me : machine }
+
+type exec_result = {
+  bug : Error.kind option;
+  bug_step : int;
+  steps : int;
+  choices : Trace.t;
+  log : string list;
+}
+
+exception Halt_exn
+
+type _ Effect.t += Receive_eff : (Event.t -> bool) option -> Event.t Effect.t
+
+let logf (rt : t) fmt =
+  Printf.ksprintf
+    (fun s -> if rt.config.collect_log then rt.log_rev <- s :: rt.log_rev)
+    fmt
+
+let set_bug (rt : t) kind =
+  if rt.bug = None then begin
+    rt.bug <- Some kind;
+    rt.bug_step <- rt.steps;
+    logf rt "[%d] BUG: %s" rt.steps (Error.kind_to_string kind)
+  end
+
+let add_machine rt ~name body =
+  if rt.n_machines = Array.length rt.machines then begin
+    let bigger =
+      Array.make (max 8 (2 * rt.n_machines))
+        { id = Id.make ~index:(-1) ~name:"<pad>";
+          inbox = Inbox.create ();
+          status = Halted }
+    in
+    Array.blit rt.machines 0 bigger 0 rt.n_machines;
+    rt.machines <- bigger
+  end;
+  let id = Id.make ~index:rt.n_machines ~name in
+  let m = { id; inbox = Inbox.create (); status = Not_started body } in
+  rt.machines.(rt.n_machines) <- m;
+  rt.n_machines <- rt.n_machines + 1;
+  m
+
+(* --- Machine API --- *)
+
+let self ctx = ctx.me.id
+
+let name_of ctx id =
+  if Id.index id < ctx.rt.n_machines then
+    Id.name ctx.rt.machines.(Id.index id).id
+  else "<unknown>"
+
+let create ctx ~name body =
+  let m = add_machine ctx.rt ~name body in
+  logf ctx.rt "[%d] %s creates %s" ctx.rt.steps (Id.to_string ctx.me.id)
+    (Id.to_string m.id);
+  m.id
+
+let send ctx target e =
+  let rt = ctx.rt in
+  if Id.index target < 0 || Id.index target >= rt.n_machines then
+    invalid_arg "Runtime.send: unknown target machine";
+  let m = rt.machines.(Id.index target) in
+  (match m.status with
+   | Halted ->
+     logf rt "[%d] %s -> %s: %s (dropped: target halted)" rt.steps
+       (Id.to_string ctx.me.id) (Id.to_string target) (Event.to_string e)
+   | Not_started _ | Waiting _ | Running ->
+     Inbox.push m.inbox e;
+     logf rt "[%d] %s -> %s: %s" rt.steps (Id.to_string ctx.me.id)
+       (Id.to_string target) (Event.to_string e))
+
+let send_unless_pending ?same ctx target e =
+  let rt = ctx.rt in
+  if Id.index target < 0 || Id.index target >= rt.n_machines then
+    invalid_arg "Runtime.send_unless_pending: unknown target machine";
+  let m = rt.machines.(Id.index target) in
+  let duplicate =
+    match same with
+    | Some pred -> pred
+    | None ->
+      let name = Event.name e in
+      fun e' -> Event.name e' = name
+  in
+  if Inbox.exists m.inbox duplicate then
+    logf rt "[%d] %s -> %s: %s (coalesced)" rt.steps
+      (Id.to_string ctx.me.id) (Id.to_string target) (Event.to_string e)
+  else send ctx target e
+
+let receive _ctx = Effect.perform (Receive_eff None)
+
+let receive_where _ctx pred = Effect.perform (Receive_eff (Some pred))
+
+let nondet ctx =
+  let rt = ctx.rt in
+  let b = rt.strategy.next_bool ~step:rt.steps in
+  Trace.Builder.add rt.trace (Trace.Bool b);
+  logf rt "[%d] %s nondet -> %b" rt.steps (Id.to_string ctx.me.id) b;
+  b
+
+let nondet_int ctx bound =
+  if bound <= 0 then invalid_arg "Runtime.nondet_int: bound must be positive";
+  let rt = ctx.rt in
+  let i = rt.strategy.next_int ~bound ~step:rt.steps in
+  Trace.Builder.add rt.trace (Trace.Int i);
+  logf rt "[%d] %s nondet_int(%d) -> %d" rt.steps (Id.to_string ctx.me.id)
+    bound i;
+  i
+
+let choose ctx xs =
+  match xs with
+  | [] -> invalid_arg "Runtime.choose: empty list"
+  | [ x ] -> x
+  | _ -> List.nth xs (nondet_int ctx (List.length xs))
+
+let halt _ctx = raise Halt_exn
+
+let update_monitor_temperature (rt : t) mon =
+  if Monitor.is_hot mon then begin
+    if Monitor.hot_since mon = None then
+      Monitor.set_hot_since mon (Some rt.steps)
+  end
+  else Monitor.set_hot_since mon None
+
+let notify ctx monitor_name e =
+  let rt = ctx.rt in
+  match List.find_opt (fun m -> Monitor.name m = monitor_name) rt.monitors with
+  | None -> ()
+  | Some mon ->
+    logf rt "[%d] %s notifies monitor %s: %s" rt.steps
+      (Id.to_string ctx.me.id) monitor_name (Event.to_string e);
+    Monitor.notify mon e;
+    update_monitor_temperature rt mon;
+    logf rt "[%d] monitor %s now in state %s%s" rt.steps monitor_name
+      (Monitor.current mon)
+      (if Monitor.is_hot mon then " (hot)" else "")
+
+let assert_here ctx cond msg =
+  if not cond then
+    raise
+      (Error.Bug
+         (Error.Assertion_failure
+            { machine = Id.to_string ctx.me.id; message = msg }))
+
+let log ctx s = logf ctx.rt "[%d] %s: %s" ctx.rt.steps (Id.to_string ctx.me.id) s
+
+let step_count ctx = ctx.rt.steps
+
+(* --- Scheduler --- *)
+
+let machine_enabled m =
+  match m.status with
+  | Not_started _ -> true
+  | Waiting (None, _) -> not (Inbox.is_empty m.inbox)
+  | Waiting (Some pred, _) -> Inbox.exists m.inbox pred
+  | Running | Halted -> false
+
+let enabled_indices rt =
+  let acc = ref [] in
+  for i = rt.n_machines - 1 downto 0 do
+    if machine_enabled rt.machines.(i) then acc := i :: !acc
+  done;
+  Array.of_list !acc
+
+(* Run [m] until it blocks, halts, or finishes. The deep handler persists
+   across resumptions, so exceptions and returns are funnelled here no
+   matter how many receives the machine has performed. *)
+let start_machine rt m =
+  let ctx = { rt; me = m } in
+  let handler : (unit, unit) Effect.Deep.handler =
+    {
+      retc =
+        (fun () ->
+          m.status <- Halted;
+          Inbox.clear m.inbox;
+          logf rt "[%d] %s finished" rt.steps (Id.to_string m.id));
+      exnc =
+        (fun e ->
+          match e with
+          | Halt_exn ->
+            m.status <- Halted;
+            Inbox.clear m.inbox;
+            logf rt "[%d] %s halted" rt.steps (Id.to_string m.id)
+          | Error.Bug kind ->
+            m.status <- Halted;
+            set_bug rt kind
+          | e ->
+            m.status <- Halted;
+            set_bug rt
+              (Error.Machine_exception
+                 {
+                   machine = Id.to_string m.id;
+                   exn = Printexc.to_string e;
+                 }));
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Receive_eff pred ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                m.status <- Waiting (pred, k))
+          | _ -> None);
+    }
+  in
+  match m.status with
+  | Not_started body ->
+    m.status <- Running;
+    Effect.Deep.match_with (fun () -> body ctx) () handler
+  | Waiting _ | Running | Halted -> assert false
+
+let resume_machine rt m =
+  match m.status with
+  | Waiting (pred, k) ->
+    let matches = Option.value pred ~default:(fun _ -> true) in
+    (match Inbox.pop_first m.inbox matches with
+     | None -> assert false (* scheduler only picks enabled machines *)
+     | Some e ->
+       m.status <- Running;
+       logf rt "[%d] %s dequeues %s" rt.steps (Id.to_string m.id)
+         (Event.to_string e);
+       Effect.Deep.continue k e)
+  | Not_started _ -> start_machine rt m
+  | Running | Halted -> assert false
+
+let check_end_of_execution (rt : t) ~at_bound =
+  if rt.bug = None then begin
+    (* A hot liveness monitor at the end of a bounded "infinite" execution,
+       or when the system can make no further progress, is a liveness
+       violation (§2.5). At the bound we additionally require the monitor to
+       have been continuously hot for a grace period, so executions that the
+       bound merely cut mid-progress do not count as violations. *)
+    let grace =
+      if at_bound then
+        Option.value rt.config.liveness_grace
+          ~default:(rt.config.max_steps / 2)
+      else 0
+    in
+    let stuck mon =
+      Monitor.is_hot mon
+      &&
+      match Monitor.hot_since mon with
+      | Some since -> rt.steps - since >= grace
+      | None -> false
+    in
+    match List.find_opt stuck rt.monitors with
+    | Some mon ->
+      set_bug rt
+        (Error.Liveness_violation
+           {
+             monitor = Monitor.name mon;
+             hot_since = Option.value (Monitor.hot_since mon) ~default:0;
+             state = Monitor.current mon;
+           })
+    | None ->
+      if (not at_bound) && rt.config.deadlock_is_bug then begin
+        let blocked = ref [] in
+        for i = rt.n_machines - 1 downto 0 do
+          match rt.machines.(i).status with
+          | Waiting _ -> blocked := Id.to_string rt.machines.(i).id :: !blocked
+          | Not_started _ | Running | Halted -> ()
+        done;
+        if !blocked <> [] then set_bug rt (Error.Deadlock { blocked = !blocked })
+      end
+  end
+
+let execute config strategy ~monitors ~name body =
+  let rt =
+    {
+      config;
+      strategy;
+      monitors;
+      machines = [||];
+      n_machines = 0;
+      steps = 0;
+      trace = Trace.Builder.create ();
+      log_rev = [];
+      bug = None;
+      bug_step = 0;
+    }
+  in
+  ignore (add_machine rt ~name body);
+  let rec loop () =
+    if rt.bug <> None then ()
+    else if rt.steps >= config.max_steps then check_end_of_execution rt ~at_bound:true
+    else begin
+      let enabled = enabled_indices rt in
+      if Array.length enabled = 0 then check_end_of_execution rt ~at_bound:false
+      else begin
+        (match
+           (try Ok (strategy.next_schedule ~enabled ~step:rt.steps)
+            with Error.Bug kind -> Error kind)
+         with
+         | Error kind -> set_bug rt kind
+         | Ok idx ->
+           Trace.Builder.add rt.trace (Trace.Schedule idx);
+           rt.steps <- rt.steps + 1;
+           resume_machine rt rt.machines.(idx));
+        loop ()
+      end
+    end
+  in
+  loop ();
+  {
+    bug = rt.bug;
+    bug_step = (if rt.bug = None then rt.steps else rt.bug_step);
+    steps = rt.steps;
+    choices = Trace.Builder.finish rt.trace;
+    log = List.rev rt.log_rev;
+  }

@@ -1,0 +1,110 @@
+(** The systematic-testing runtime (one execution).
+
+    Like P# (§2), the runtime serializes the whole system onto a single
+    thread. Machines are delimited continuations (OCaml effects): a machine
+    runs until it blocks on [receive], finishes, or halts; the scheduler
+    then picks the next enabled machine. The scheduling points — which
+    machine dequeues next, and every [nondet] choice — are resolved by a
+    {!Strategy.t} and recorded in a {!Trace.t}, so any execution can be
+    replayed deterministically. *)
+
+(** Capability handed to a machine body; identifies the machine and carries
+    the runtime. *)
+type ctx
+
+type config = {
+  max_steps : int;
+      (** executions longer than this are treated as infinite (§2.5) *)
+  liveness_grace : int option;
+      (** a liveness violation is reported at the step bound only if the
+          monitor has been continuously hot for at least this many steps
+          (default [max_steps / 2]); on deadlock any hot monitor reports *)
+  deadlock_is_bug : bool;
+      (** report a bug when no machine is enabled but some still wait *)
+  collect_log : bool;  (** record the human-readable global-order log *)
+}
+
+val default_config : config
+
+type exec_result = {
+  bug : Error.kind option;
+  bug_step : int;  (** step at which the bug was detected; [steps] if none *)
+  steps : int;  (** scheduling steps taken *)
+  choices : Trace.t;  (** all nondeterministic choices, in order *)
+  log : string list;  (** oldest first; empty unless [collect_log] *)
+}
+
+(** [execute config strategy ~monitors ~name body] runs one execution from
+    scratch: a root machine called [name] running [body] is created, and the
+    system runs until all machines halt, a bug is found, or [max_steps] is
+    reached. [monitors] must be freshly created for this execution. *)
+val execute :
+  config ->
+  Strategy.t ->
+  monitors:Monitor.t list ->
+  name:string ->
+  (ctx -> unit) ->
+  exec_result
+
+(** {1 Machine API}
+
+    These functions may only be called from within a machine body, on the
+    [ctx] the runtime passed to it. *)
+
+(** This machine's id. *)
+val self : ctx -> Id.t
+
+(** [create ctx ~name body] creates a new machine and returns its id. The
+    machine starts when the scheduler first picks it. *)
+val create : ctx -> name:string -> (ctx -> unit) -> Id.t
+
+(** [send ctx target e] enqueues [e] in [target]'s inbox (non-blocking).
+    Sends to halted machines are dropped, as in P#. *)
+val send : ctx -> Id.t -> Event.t -> unit
+
+(** Like [send], but coalesces: if the target's inbox already holds a
+    duplicate (same constructor by default; [same] overrides the test), the
+    new event is dropped. Used for periodic signals — timer ticks,
+    heartbeats, sync reports — whose missed occurrences collapse, so they
+    cannot flood a slow machine's queue. *)
+val send_unless_pending :
+  ?same:(Event.t -> bool) -> ctx -> Id.t -> Event.t -> unit
+
+(** Block until an event is available, then dequeue it (FIFO). *)
+val receive : ctx -> Event.t
+
+(** Block until an event satisfying [pred] is available; dequeues the first
+    such event, leaving others in order. *)
+val receive_where : ctx -> (Event.t -> bool) -> Event.t
+
+(** Controlled nondeterministic boolean (a scheduling choice point). *)
+val nondet : ctx -> bool
+
+(** Controlled nondeterministic integer in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+val nondet_int : ctx -> int -> int
+
+(** Uniform controlled choice among a list.
+    @raise Invalid_argument on the empty list. *)
+val choose : ctx -> 'a list -> 'a
+
+(** Terminate this machine. Remaining queued events are dropped. *)
+val halt : ctx -> 'a
+
+(** [notify ctx monitor_name e] synchronously notifies the named monitor.
+    Unknown monitor names are ignored (harnesses may run without their
+    monitors installed). *)
+val notify : ctx -> string -> Event.t -> unit
+
+(** [assert_here ctx cond msg] reports an assertion-failure bug on this
+    machine when [cond] is false. *)
+val assert_here : ctx -> bool -> string -> unit
+
+(** Append a line to the global-order log (no-op unless [collect_log]). *)
+val log : ctx -> string -> unit
+
+(** Current scheduling step (useful as a logical clock in models). *)
+val step_count : ctx -> int
+
+(** Machine name for [id] in this execution. *)
+val name_of : ctx -> Id.t -> string

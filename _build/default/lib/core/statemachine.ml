@@ -1,0 +1,152 @@
+type 'm transition =
+  | Stay
+  | Goto of string
+  | Push of string
+  | Pop
+  | Halt_machine
+  | Unhandled
+
+type 'm handler = Runtime.ctx -> 'm -> Event.t -> 'm transition
+
+type 'm state = {
+  sname : string;
+  entry : Runtime.ctx -> 'm -> unit;
+  exit_ : Runtime.ctx -> 'm -> unit;
+  handlers : (string * 'm handler) list;
+  deferred : string list;
+  ignored : string list;
+}
+
+let nop _ _ = ()
+
+let state ?(entry = nop) ?(exit_ = nop) ?(defer = []) ?(ignore_ = []) sname
+    handlers =
+  { sname; entry; exit_; handlers; deferred = defer; ignored = ignore_ }
+
+let find_state states name =
+  match List.find_opt (fun s -> s.sname = name) states with
+  | Some s -> s
+  | None ->
+    invalid_arg (Printf.sprintf "Statemachine: undeclared state %s" name)
+
+type disposition = Handle of string | Defer_it | Ignore_it | Implicit_halt | Bug
+
+let disposition st ev_name =
+  if List.mem_assoc ev_name st.handlers then Handle ev_name
+  else if List.mem ev_name st.deferred then Defer_it
+  else if List.mem ev_name st.ignored then Ignore_it
+  else if ev_name = Event.name Event.Halt_event then Implicit_halt
+  else Bug
+
+(* The active states form a stack (P# push/pop semantics): the top state
+   handles events first; events it neither handles, defers nor ignores
+   fall through to the states below it. *)
+let stack_disposition stack ev_name =
+  let rec walk = function
+    | [] ->
+      if ev_name = Event.name Event.Halt_event then `Halt else `Bug
+    | st :: below ->
+      (match disposition st ev_name with
+       | Handle name -> `Handle (st, name)
+       | Defer_it -> `Defer
+       | Ignore_it -> `Ignore
+       | Implicit_halt | Bug -> walk below)
+  in
+  walk stack
+
+let run ctx ~machine ~states ~init model =
+  Registry.register_machine ~machine ~kind:Registry.Machine
+    ~states:(List.length states)
+    ~handlers:
+      (List.fold_left (fun n s -> n + List.length s.handlers) 0 states);
+  let stack = ref [ find_state states init ] in
+  let top () =
+    match !stack with
+    | st :: _ -> st
+    | [] -> assert false
+  in
+  (* Deferred events, oldest first. *)
+  let stash = ref [] in
+  let unhandled e =
+    raise
+      (Error.Bug
+         (Error.Unhandled_event
+            {
+              machine = Id.to_string (Runtime.self ctx);
+              state = (top ()).sname;
+              event = Event.to_string e;
+            }))
+  in
+  let record target =
+    Registry.record_transition ~machine ~from_:(top ()).sname ~to_:target;
+    Runtime.log ctx
+      (Printf.sprintf "transition %s -> %s" (top ()).sname target)
+  in
+  let goto target =
+    (top ()).exit_ ctx model;
+    record target;
+    stack := [ find_state states target ];
+    (top ()).entry ctx model
+  in
+  let push target =
+    record target;
+    stack := find_state states target :: !stack;
+    (top ()).entry ctx model
+  in
+  let pop () =
+    match !stack with
+    | [ _ ] ->
+      raise
+        (Error.Bug
+           (Error.Machine_exception
+              {
+                machine = Id.to_string (Runtime.self ctx);
+                exn = "Statemachine: pop from the initial state";
+              }))
+    | st :: rest ->
+      st.exit_ ctx model;
+      stack := rest;
+      record (top ()).sname
+    | [] -> assert false
+  in
+  let apply e =
+    match stack_disposition !stack (Event.name e) with
+    | `Handle (st, name) ->
+      let h = List.assoc name st.handlers in
+      (match h ctx model e with
+       | Stay -> ()
+       | Goto target -> goto target
+       | Push target -> push target
+       | Pop -> pop ()
+       | Halt_machine -> Runtime.halt ctx
+       | Unhandled -> unhandled e)
+    | `Defer -> stash := !stash @ [ e ]
+    | `Ignore -> ()
+    | `Halt -> Runtime.halt ctx
+    | `Bug -> unhandled e
+  in
+  (* Pull the first stashed event the current state stack no longer
+     defers. *)
+  let pop_replayable () =
+    let rec split acc = function
+      | [] -> None
+      | e :: rest ->
+        (match stack_disposition !stack (Event.name e) with
+         | `Defer -> split (e :: acc) rest
+         | `Handle _ | `Ignore | `Halt | `Bug ->
+           Some (e, List.rev_append acc rest))
+    in
+    match split [] !stash with
+    | Some (e, rest) ->
+      stash := rest;
+      Some e
+    | None -> None
+  in
+  (top ()).entry ctx model;
+  let rec loop () =
+    (match pop_replayable () with
+     | Some e -> apply e
+     | None -> apply (Runtime.receive ctx));
+    loop ()
+  in
+  loop ()

@@ -1,0 +1,14 @@
+type t = {
+  name : string;
+  next_schedule : enabled:int array -> step:int -> int;
+  next_bool : step:int -> bool;
+  next_int : bound:int -> step:int -> int;
+}
+
+type factory = {
+  factory_name : string;
+  fresh : iteration:int -> t option;
+}
+
+let stateless ~name make =
+  { factory_name = name; fresh = (fun ~iteration -> Some (make ~iteration)) }

@@ -1,0 +1,25 @@
+(** Scheduling strategies.
+
+    A strategy resolves every nondeterministic choice of one execution:
+    which enabled machine runs next, and the value of each [nondet] choice.
+    The engine asks the factory for a fresh strategy before each execution;
+    factories may carry state across executions (e.g. DFS backtracking). *)
+
+type t = {
+  name : string;
+  next_schedule : enabled:int array -> step:int -> int;
+      (** pick one element of [enabled] (machine creation indices, sorted) *)
+  next_bool : step:int -> bool;
+  next_int : bound:int -> step:int -> int;  (** in [\[0, bound)] *)
+}
+
+type factory = {
+  factory_name : string;
+  fresh : iteration:int -> t option;
+      (** strategy for execution number [iteration] (0-based), or [None]
+          when the strategy has exhausted its search space *)
+}
+
+(** A factory that returns the same strategy forever (for stateless
+    strategies built per-iteration from a seed). *)
+val stateless : name:string -> (iteration:int -> t) -> factory

@@ -1,0 +1,24 @@
+type Event.t +=
+  | Timer_tick
+  | Timer_repeat
+  | Timer_stop
+
+let body ~target ~tick ctx =
+  Registry.register_machine ~machine:"Timer" ~kind:Registry.Machine ~states:1
+    ~handlers:2;
+  Runtime.send ctx (Runtime.self ctx) Timer_repeat;
+  let rec loop () =
+    match Runtime.receive ctx with
+    | Timer_stop -> Runtime.halt ctx
+    | Timer_repeat ->
+      (* Coalescing send: a pending, not-yet-handled tick is not duplicated,
+         as with a real periodic timer whose callback is still queued. *)
+      if Runtime.nondet ctx then Runtime.send_unless_pending ctx target (tick ());
+      Runtime.send ctx (Runtime.self ctx) Timer_repeat;
+      loop ()
+    | _ -> loop ()
+  in
+  loop ()
+
+let create ctx ~target ?(tick = fun () -> Timer_tick) ?(name = "Timer") () =
+  Runtime.create ctx ~name (body ~target ~tick)

@@ -1,0 +1,22 @@
+(** Modeled timer (paper Fig. 9).
+
+    All timing-related nondeterminism is delegated to the testing engine:
+    the timer machine loops, nondeterministically deciding at each turn
+    whether to deliver a tick to its target. The scheduler is thus free to
+    interleave timeout events arbitrarily with regular system events. *)
+
+type Event.t +=
+  | Timer_tick  (** default tick delivered to the target *)
+  | Timer_repeat  (** internal self-message driving the loop *)
+  | Timer_stop  (** stops and halts the timer machine *)
+
+(** [create ctx ~target ()] spawns a timer machine that repeatedly,
+    nondeterministically sends [tick ()] (default [Timer_tick]) to
+    [target]. Returns the timer's id; send it [Timer_stop] to stop it. *)
+val create :
+  Runtime.ctx ->
+  target:Id.t ->
+  ?tick:(unit -> Event.t) ->
+  ?name:string ->
+  unit ->
+  Id.t

@@ -1,0 +1,63 @@
+type choice =
+  | Schedule of int
+  | Bool of bool
+  | Int of int
+
+type t = choice array
+
+let empty = [||]
+let of_list = Array.of_list
+let to_list = Array.to_list
+let length = Array.length
+let equal a b = a = b
+
+let choice_to_string = function
+  | Schedule i -> Printf.sprintf "s:%d" i
+  | Bool b -> Printf.sprintf "b:%d" (if b then 1 else 0)
+  | Int i -> Printf.sprintf "i:%d" i
+
+let choice_of_string s =
+  match String.split_on_char ':' s with
+  | [ "s"; i ] -> Schedule (int_of_string i)
+  | [ "b"; "0" ] -> Bool false
+  | [ "b"; "1" ] -> Bool true
+  | [ "i"; i ] -> Int (int_of_string i)
+  | _ -> failwith (Printf.sprintf "Trace.of_string: malformed choice %S" s)
+
+let to_string t =
+  String.concat "\n" (List.map choice_to_string (to_list t))
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let keep line = String.trim line <> "" in
+  of_list (List.map choice_of_string (List.filter keep lines))
+
+let save ~path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t); output_char oc '\n')
+
+let load ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      of_string (really_input_string ic len))
+
+module Builder = struct
+  type trace = t
+
+  type t = { mutable rev : choice list; mutable len : int }
+
+  let create () = { rev = []; len = 0 }
+
+  let add t c =
+    t.rev <- c :: t.rev;
+    t.len <- t.len + 1
+
+  let length t = t.len
+
+  let finish t : trace = of_list (List.rev t.rev)
+end

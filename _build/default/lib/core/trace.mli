@@ -1,0 +1,41 @@
+(** Schedule traces.
+
+    A trace is the sequence of nondeterministic choices the engine made
+    during one execution: which machine was scheduled at each step, and the
+    value of every [nondet] choice. Replaying a trace against the same
+    program reproduces the execution deterministically — this is the paper's
+    "bug witnessed by a full system trace" (§1, §2). *)
+
+type choice =
+  | Schedule of int  (** creation index of the machine scheduled *)
+  | Bool of bool     (** outcome of a boolean [nondet] choice *)
+  | Int of int       (** outcome of an integer [nondet] choice *)
+
+type t
+
+val empty : t
+val of_list : choice list -> t
+val to_list : t -> choice list
+val length : t -> int
+val equal : t -> t -> bool
+
+(** Line-oriented textual format: ["s:3"], ["b:1"], ["i:42"]. *)
+val to_string : t -> string
+
+(** Inverse of [to_string].
+    @raise Failure on malformed input. *)
+val of_string : string -> t
+
+val save : path:string -> t -> unit
+val load : path:string -> t
+
+(** Mutable builder used by the runtime while an execution unfolds. *)
+module Builder : sig
+  type trace := t
+  type t
+
+  val create : unit -> t
+  val add : t -> choice -> unit
+  val length : t -> int
+  val finish : t -> trace
+end

@@ -1,0 +1,1 @@
+lib/fabric/bug_flags.mli:

@@ -1,0 +1,1 @@
+lib/fabric/chained.ml: Bug_flags List Option Printf Psharp

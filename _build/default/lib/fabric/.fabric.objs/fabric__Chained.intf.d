@@ -1,0 +1,1 @@
+lib/fabric/chained.mli: Bug_flags Psharp

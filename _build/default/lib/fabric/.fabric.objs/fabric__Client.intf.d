@@ -1,0 +1,1 @@
+lib/fabric/client.mli: Psharp

@@ -1,0 +1,1 @@
+lib/fabric/cluster_manager.ml: Bug_flags Events List Monitors Printf Psharp Replica Service

@@ -1,0 +1,1 @@
+lib/fabric/cluster_manager.mli: Bug_flags Psharp Service

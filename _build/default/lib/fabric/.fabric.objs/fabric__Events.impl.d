@@ -1,0 +1,1 @@
+lib/fabric/events.ml: List Printf Psharp Service String

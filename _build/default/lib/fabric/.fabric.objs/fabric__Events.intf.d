@@ -1,0 +1,1 @@
+lib/fabric/events.mli: Psharp Service

@@ -1,0 +1,1 @@
+lib/fabric/harness.ml: Bug_flags Client Cluster_manager Events Monitors Psharp Service

@@ -1,0 +1,1 @@
+lib/fabric/harness.mli: Bug_flags Psharp Service

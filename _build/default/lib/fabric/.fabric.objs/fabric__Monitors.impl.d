@@ -1,0 +1,1 @@
+lib/fabric/monitors.ml: Events Int List Printf Psharp Set String

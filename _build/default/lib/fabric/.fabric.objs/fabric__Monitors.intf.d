@@ -1,0 +1,1 @@
+lib/fabric/monitors.mli: Psharp

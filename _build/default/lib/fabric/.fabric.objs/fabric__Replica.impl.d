@@ -1,0 +1,1 @@
+lib/fabric/replica.ml: Events List Monitors Psharp Service

@@ -1,0 +1,1 @@
+lib/fabric/replica.mli: Psharp Service

@@ -1,0 +1,1 @@
+lib/fabric/service.ml: Hashtbl List Printf String

@@ -1,0 +1,8 @@
+type t = {
+  promote_during_copy : bool;
+  null_deref : bool;
+}
+
+let none = { promote_during_copy = false; null_deref = false }
+let promotion_bug = { none with promote_during_copy = true }
+let cscale_bug = { none with null_deref = true }

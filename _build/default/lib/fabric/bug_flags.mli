@@ -1,0 +1,20 @@
+(** Re-introducible bugs of the Service Fabric model and the CScale-like
+    chained service (paper §5). *)
+
+type t = {
+  promote_during_copy : bool;
+      (** the bug the paper found in the Fabric model itself: when the
+          primary fails while a new secondary is still waiting for its
+          state copy, the failover manager's election wrongly includes the
+          copying (idle) secondary; the stale copy then completes and the
+          new primary is "promoted" to active secondary, violating the
+          model's promotion assertion *)
+  null_deref : bool;
+      (** the CScale-like NullReferenceException: the aggregation stage
+          dereferences its current-batch field without checking when a
+          flush overtakes the data it flushes *)
+}
+
+val none : t
+val promotion_bug : t
+val cscale_bug : t

@@ -1,0 +1,21 @@
+(** CScale-like chained stream-processing application (paper §5): multiple
+    services chained via RPC. A source streams record batches through a
+    transform stage into an aggregation stage; batch-control messages
+    travel on a separate control path, so data can overtake control — the
+    class of race behind the NullReferenceException the paper found when
+    running CScale against the Fabric model.
+
+    With [Bug_flags.null_deref], the aggregation stage dereferences its
+    current-batch state without checking when a record arrives before the
+    batch-open control message; the correct implementation buffers early
+    records. *)
+
+(** Root harness body: source, transform stage, control relay, aggregation
+    stage, and a sink that checks batch sums. *)
+val test :
+  ?bugs:Bug_flags.t ->
+  ?n_batches:int ->
+  ?batch_size:int ->
+  unit ->
+  Psharp.Runtime.ctx ->
+  unit

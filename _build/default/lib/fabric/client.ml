@@ -1,0 +1,23 @@
+module R = Psharp.Runtime
+
+let machine ~manager ~report_to ~n_requests ctx =
+  Events.install_printer ();
+  Psharp.Registry.register_machine ~machine:"FabricClient"
+    ~kind:Psharp.Registry.Machine ~states:1 ~handlers:1;
+  for req_id = 1 to n_requests do
+    let op =
+      match R.nondet_int ctx 3 with
+      | 0 -> Service.Increment
+      | 1 -> Service.Add (1 + R.nondet_int ctx 3)
+      | _ -> Service.Get "_"
+    in
+    R.send ctx manager
+      (Events.Client_request { client = R.self ctx; req_id; op });
+    let matches = function
+      | Events.Client_response { req_id = id; _ } -> id = req_id
+      | _ -> false
+    in
+    ignore (R.receive_where ctx matches)
+  done;
+  R.send ctx report_to Events.Client_done;
+  R.halt ctx

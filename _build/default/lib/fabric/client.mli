@@ -1,0 +1,10 @@
+(** Modeled client of a Fabric-hosted service: issues requests through the
+    failover manager, one at a time, waiting for each response; reports to
+    the harness and halts when done. *)
+
+val machine :
+  manager:Psharp.Id.t ->
+  report_to:Psharp.Id.t ->
+  n_requests:int ->
+  Psharp.Runtime.ctx ->
+  unit

@@ -1,0 +1,20 @@
+(** Failover manager of the Fabric model (paper §5).
+
+    Launches and tracks the replica set of one user service: routes client
+    requests to the primary, elects a new primary when the current one
+    fails, launches replacement replicas and drives their build (state
+    copy) and promotion.
+
+    The model's promotion assertion lives here: a completed state copy may
+    only promote a replica that is still an idle secondary — "only a
+    secondary can be promoted to an active secondary" (§5). The
+    [promote_during_copy] bug makes the election consider idle (still
+    copying) secondaries, which lets a stale copy complete against the new
+    primary and trip the assertion. *)
+
+val machine :
+  bugs:Bug_flags.t ->
+  make_service:(unit -> Service.t) ->
+  n_replicas:int ->
+  Psharp.Runtime.ctx ->
+  unit

@@ -1,0 +1,69 @@
+type Psharp.Event.t +=
+  | Become_primary of { actives : (int * Psharp.Id.t) list }
+  | Promote_to_active
+  | Build_replica of { target_rid : int; target : Psharp.Id.t }
+  | Update_view of { actives : (int * Psharp.Id.t) list }
+  | Replicate of { op : Service.request; seq : int }
+  | Copy_state of { snapshot : string; seq : int }
+  | Copy_done of { rid : int }
+  | Client_request of { client : Psharp.Id.t; req_id : int; op : Service.request }
+  | Forward_request of { client : Psharp.Id.t; req_id : int; op : Service.request }
+  | Request_served of {
+      client : Psharp.Id.t;
+      req_id : int;
+      response : Service.response;
+    }
+  | Client_response of { req_id : int; response : Service.response }
+  | Fail_replica
+  | Replica_failed of { rid : int }
+  | Inject_failure
+  | Shutdown_cluster
+  | Client_done
+  | Fab_driver_tick
+  | M_became_primary of int
+  | M_primary_down of int
+  | M_request of int
+  | M_response of int
+
+let printer = function
+  | Become_primary { actives } ->
+    Some
+      (Printf.sprintf "BecomePrimary(actives=[%s])"
+         (String.concat ";" (List.map (fun (rid, _) -> string_of_int rid) actives)))
+  | Promote_to_active -> Some "PromoteToActive"
+  | Build_replica { target_rid; _ } ->
+    Some (Printf.sprintf "BuildReplica(rid=%d)" target_rid)
+  | Replicate { op; seq } ->
+    Some (Printf.sprintf "Replicate(%s, seq=%d)" (Service.request_to_string op) seq)
+  | Copy_state { seq; _ } -> Some (Printf.sprintf "CopyState(seq=%d)" seq)
+  | Copy_done { rid } -> Some (Printf.sprintf "CopyDone(rid=%d)" rid)
+  | Client_request { req_id; op; _ } ->
+    Some
+      (Printf.sprintf "ClientRequest(#%d, %s)" req_id
+         (Service.request_to_string op))
+  | Forward_request { req_id; op; _ } ->
+    Some
+      (Printf.sprintf "ForwardRequest(#%d, %s)" req_id
+         (Service.request_to_string op))
+  | Request_served { req_id; response; _ } ->
+    Some
+      (Printf.sprintf "RequestServed(#%d, %s)" req_id
+         (Service.response_to_string response))
+  | Client_response { req_id; response } ->
+    Some
+      (Printf.sprintf "ClientResponse(#%d, %s)" req_id
+         (Service.response_to_string response))
+  | Replica_failed { rid } -> Some (Printf.sprintf "ReplicaFailed(rid=%d)" rid)
+  | M_became_primary rid -> Some (Printf.sprintf "M_became_primary(%d)" rid)
+  | M_primary_down rid -> Some (Printf.sprintf "M_primary_down(%d)" rid)
+  | M_request id -> Some (Printf.sprintf "M_request(%d)" id)
+  | M_response id -> Some (Printf.sprintf "M_response(%d)" id)
+  | _ -> None
+
+let installed = ref false
+
+let install_printer () =
+  if not !installed then begin
+    installed := true;
+    Psharp.Event.register_printer printer
+  end

@@ -1,0 +1,36 @@
+(** Events of the Fabric model (paper §5). *)
+
+type Psharp.Event.t +=
+  (* failover manager -> replica *)
+  | Become_primary of { actives : (int * Psharp.Id.t) list }
+  | Promote_to_active
+  | Build_replica of { target_rid : int; target : Psharp.Id.t }
+  | Update_view of { actives : (int * Psharp.Id.t) list }
+  (* replication *)
+  | Replicate of { op : Service.request; seq : int }
+  | Copy_state of { snapshot : string; seq : int }
+  | Copy_done of { rid : int }
+  (* client traffic *)
+  | Client_request of { client : Psharp.Id.t; req_id : int; op : Service.request }
+  | Forward_request of { client : Psharp.Id.t; req_id : int; op : Service.request }
+  | Request_served of {
+      client : Psharp.Id.t;
+      req_id : int;
+      response : Service.response;
+    }
+  | Client_response of { req_id : int; response : Service.response }
+  (* failures *)
+  | Fail_replica
+  | Replica_failed of { rid : int }
+  (* harness control *)
+  | Inject_failure
+  | Shutdown_cluster
+  | Client_done
+  | Fab_driver_tick
+  (* monitor notifications *)
+  | M_became_primary of int
+  | M_primary_down of int
+  | M_request of int
+  | M_response of int
+
+val install_printer : unit -> unit

@@ -1,0 +1,36 @@
+module R = Psharp.Runtime
+
+let test ?(bugs = Bug_flags.none) ?(n_replicas = 3) ?(n_requests = 3)
+    ?(make_service = Service.counter) () ctx =
+  Events.install_printer ();
+  Psharp.Registry.register_machine ~machine:"FabricTestingDriver"
+    ~kind:Psharp.Registry.Machine ~states:2 ~handlers:2;
+  let manager =
+    R.create ctx ~name:"FailoverManager"
+      (Cluster_manager.machine ~bugs ~make_service ~n_replicas)
+  in
+  ignore
+    (R.create ctx ~name:"Client"
+       (Client.machine ~manager ~report_to:(R.self ctx) ~n_requests));
+  let timer =
+    Psharp.Timer.create ctx ~target:(R.self ctx)
+      ~tick:(fun () -> Events.Fab_driver_tick)
+      ~name:"DriverTimer" ()
+  in
+  let injected = ref false in
+  let rec loop () =
+    match R.receive ctx with
+    | Events.Fab_driver_tick ->
+      if (not !injected) && R.nondet ctx then begin
+        injected := true;
+        R.send ctx manager Events.Inject_failure
+      end;
+      loop ()
+    | Events.Client_done ->
+      R.send ctx timer Psharp.Timer.Timer_stop;
+      R.send ctx manager Events.Shutdown_cluster
+    | _ -> loop ()
+  in
+  loop ()
+
+let monitors () = Monitors.all ()

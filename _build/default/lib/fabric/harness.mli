@@ -1,0 +1,16 @@
+(** Test harness for the Fabric model (paper §5): a failover manager with
+    its replica set hosting a user service, a client driving requests, and
+    a driver that injects a replica failure at a nondeterministic time —
+    the scenario in which "the primary replica fails at some
+    nondeterministic point". *)
+
+val test :
+  ?bugs:Bug_flags.t ->
+  ?n_replicas:int ->
+  ?n_requests:int ->
+  ?make_service:(unit -> Service.t) ->
+  unit ->
+  Psharp.Runtime.ctx ->
+  unit
+
+val monitors : unit -> Psharp.Monitor.t list

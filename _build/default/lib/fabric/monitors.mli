@@ -1,0 +1,12 @@
+(** Monitors for the Fabric model. *)
+
+val primary_name : string
+val liveness_name : string
+
+(** Safety: at most one live primary at any time. *)
+val single_primary : unit -> Psharp.Monitor.t
+
+(** Liveness: every accepted client request is eventually answered. *)
+val client_liveness : unit -> Psharp.Monitor.t
+
+val all : unit -> Psharp.Monitor.t list

@@ -1,0 +1,112 @@
+module Sm = Psharp.Statemachine
+module R = Psharp.Runtime
+
+type model = {
+  rid : int;
+  manager : Psharp.Id.t;
+  service : Service.t;
+  mutable seq : int;  (** last applied mutation sequence number *)
+  mutable actives : (int * Psharp.Id.t) list;  (** primary's replication view *)
+}
+
+let on_fail ctx m _e =
+  R.notify ctx Monitors.primary_name (Events.M_primary_down m.rid);
+  R.send ctx m.manager (Events.Replica_failed { rid = m.rid });
+  Sm.Halt_machine
+
+(* The model replies to a state copy from any state; the manager's
+   promotion assertion is what catches copies completing against replicas
+   that are no longer idle (§5). *)
+let on_copy_state ctx m e =
+  match e with
+  | Events.Copy_state { snapshot; seq } ->
+    m.service.Service.restore snapshot;
+    m.seq <- seq;
+    R.send ctx m.manager (Events.Copy_done { rid = m.rid });
+    Sm.Stay
+  | _ -> Sm.Unhandled
+
+let on_replicate _ctx m e =
+  match e with
+  | Events.Replicate { op; seq } ->
+    if seq > m.seq then begin
+      ignore (m.service.Service.apply op);
+      m.seq <- seq
+    end;
+    Sm.Stay
+  | _ -> Sm.Unhandled
+
+let on_become_primary _ctx m e =
+  match e with
+  | Events.Become_primary { actives } ->
+    m.actives <- actives;
+    Sm.Goto "Primary"
+  | _ -> Sm.Unhandled
+
+let on_update_view _ctx m e =
+  match e with
+  | Events.Update_view { actives } ->
+    m.actives <- actives;
+    Sm.Stay
+  | _ -> Sm.Unhandled
+
+let on_forward ctx m e =
+  match e with
+  | Events.Forward_request { client; req_id; op } ->
+    let response = m.service.Service.apply op in
+    if Service.mutates op then begin
+      m.seq <- m.seq + 1;
+      List.iter
+        (fun (rid, id) ->
+          if rid <> m.rid then
+            R.send ctx id (Events.Replicate { op; seq = m.seq }))
+        m.actives
+    end;
+    R.send ctx m.manager (Events.Request_served { client; req_id; response });
+    Sm.Stay
+  | _ -> Sm.Unhandled
+
+let on_build ctx m e =
+  match e with
+  | Events.Build_replica { target; target_rid = _ } ->
+    R.send ctx target
+      (Events.Copy_state
+         { snapshot = m.service.Service.snapshot (); seq = m.seq });
+    Sm.Stay
+  | _ -> Sm.Unhandled
+
+let machine ~rid ~manager ~make_service ~initial_role ctx =
+  Events.install_printer ();
+  let m = { rid; manager; service = make_service (); seq = 0; actives = [] } in
+  let common =
+    [
+      ("Fail_replica", on_fail);
+      ("Copy_state", on_copy_state);
+      ("Become_primary", on_become_primary);
+    ]
+  in
+  let idle =
+    Sm.state "IdleSecondary"
+      (( "Promote_to_active", fun _ _ _ -> Sm.Goto "ActiveSecondary" )
+       :: ("Replicate", on_replicate) :: common)
+  in
+  let active =
+    Sm.state "ActiveSecondary"
+      ~ignore_:[ "Promote_to_active" ]
+      (("Replicate", on_replicate) :: common)
+  in
+  let primary =
+    Sm.state "Primary"
+      ~ignore_:[ "Promote_to_active"; "Replicate" ]
+      (("Forward_request", on_forward)
+       :: ("Build_replica", on_build)
+       :: ("Update_view", on_update_view)
+       :: common)
+  in
+  let init =
+    match initial_role with
+    | `Primary -> "Primary"
+    | `Active -> "ActiveSecondary"
+    | `Idle -> "IdleSecondary"
+  in
+  Sm.run ctx ~machine:"Replica" ~states:[ idle; active; primary ] ~init m

@@ -1,0 +1,16 @@
+(** Replica machine (paper §5): hosts one copy of a user service and moves
+    through the replica lifecycle — idle secondary (waiting for its state
+    copy) → active secondary (caught up, applying replicated operations) →
+    primary (serving client requests and replicating mutations).
+
+    The lifecycle states are P# states of the machine; the failover manager
+    drives transitions with [Promote_to_active] and [Become_primary]. On
+    [Fail_replica] the replica notifies the manager and halts. *)
+
+val machine :
+  rid:int ->
+  manager:Psharp.Id.t ->
+  make_service:(unit -> Service.t) ->
+  initial_role:[ `Primary | `Active | `Idle ] ->
+  Psharp.Runtime.ctx ->
+  unit

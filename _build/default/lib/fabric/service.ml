@@ -1,0 +1,85 @@
+type request =
+  | Increment
+  | Add of int
+  | Put of string * int
+  | Get of string
+
+type response =
+  | Value of int
+  | Absent
+  | Done
+
+let request_to_string = function
+  | Increment -> "Increment"
+  | Add n -> Printf.sprintf "Add(%d)" n
+  | Put (k, v) -> Printf.sprintf "Put(%s,%d)" k v
+  | Get k -> Printf.sprintf "Get(%s)" k
+
+let response_to_string = function
+  | Value v -> Printf.sprintf "Value(%d)" v
+  | Absent -> "Absent"
+  | Done -> "Done"
+
+let mutates = function
+  | Increment | Add _ | Put _ -> true
+  | Get _ -> false
+
+type t = {
+  name : string;
+  apply : request -> response;
+  snapshot : unit -> string;
+  restore : string -> unit;
+}
+
+let counter () =
+  let state = ref 0 in
+  {
+    name = "Counter";
+    apply =
+      (fun req ->
+        match req with
+        | Increment ->
+          incr state;
+          Value !state
+        | Add n ->
+          state := !state + n;
+          Value !state
+        | Get _ -> Value !state
+        | Put _ -> Done);
+    snapshot = (fun () -> string_of_int !state);
+    restore = (fun s -> state := int_of_string s);
+  }
+
+let kv_store () =
+  let state : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  {
+    name = "KvStore";
+    apply =
+      (fun req ->
+        match req with
+        | Put (k, v) ->
+          Hashtbl.replace state k v;
+          Done
+        | Get k ->
+          (match Hashtbl.find_opt state k with
+           | Some v -> Value v
+           | None -> Absent)
+        | Increment | Add _ -> Done);
+    snapshot =
+      (fun () ->
+        Hashtbl.fold (fun k v acc -> Printf.sprintf "%s=%d;%s" k v acc) state "");
+    restore =
+      (fun s ->
+        Hashtbl.reset state;
+        String.split_on_char ';' s
+        |> List.iter (fun entry ->
+               match String.index_opt entry '=' with
+               | Some i ->
+                 let k = String.sub entry 0 i in
+                 let v =
+                   int_of_string
+                     (String.sub entry (i + 1) (String.length entry - i - 1))
+                 in
+                 Hashtbl.replace state k v
+               | None -> ()));
+  }

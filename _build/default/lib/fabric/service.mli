@@ -1,0 +1,34 @@
+(** User services hosted on the Fabric model (paper §5): a service receives
+    requests and mutates its state; Fabric replicates the state-mutating
+    operations across replicas. Implementations must be deterministic. *)
+
+type request =
+  | Increment
+  | Add of int
+  | Put of string * int
+  | Get of string
+
+type response =
+  | Value of int
+  | Absent
+  | Done
+
+val request_to_string : request -> string
+val response_to_string : response -> string
+
+(** Is the request state-mutating (and thus replicated)? *)
+val mutates : request -> bool
+
+type t = {
+  name : string;
+  apply : request -> response;
+      (** apply one request to the local state (imperative) *)
+  snapshot : unit -> string;  (** serialize state (for replica copy) *)
+  restore : string -> unit;  (** install a snapshot *)
+}
+
+(** A replicated counter: [Increment]/[Add]/[Get "_"]. *)
+val counter : unit -> t
+
+(** A small replicated key-value store. *)
+val kv_store : unit -> t

@@ -1,0 +1,38 @@
+(** Single-decree Paxos (Lamport, "The Part-Time Parliament"), one of the
+    sample protocols shipped with P# that the paper points readers to
+    (§2.3). Competing proposers drive prepare/accept rounds against a set
+    of acceptors; the agreement invariant — at most one value is ever
+    chosen — is checked by a safety monitor.
+
+    Two classic seeded bugs:
+    - [forget_promise]: an acceptor accepts a proposal it has promised a
+      higher ballot to reject;
+    - [choose_own_value]: a proposer ignores the highest-ballot accepted
+      value reported in promises and proposes its own value instead.
+
+    Both allow two different values to be chosen under the right
+    interleaving of messages from competing proposers. *)
+
+type bugs = {
+  forget_promise : bool;
+  choose_own_value : bool;
+}
+
+val no_bugs : bugs
+val bug_forget_promise : bugs
+val bug_choose_own_value : bugs
+
+(** [test ~bugs ~n_acceptors ~n_proposers ()] is a harness body: each
+    proposer tries to get its own value chosen, retrying with higher
+    ballots a bounded number of times. *)
+val test :
+  ?bugs:bugs ->
+  ?n_acceptors:int ->
+  ?n_proposers:int ->
+  ?max_ballots:int ->
+  unit ->
+  Psharp.Runtime.ctx ->
+  unit
+
+(** The agreement monitor. *)
+val monitors : unit -> Psharp.Monitor.t list

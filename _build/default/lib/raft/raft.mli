@@ -1,0 +1,39 @@
+(** A compact Raft (Ongaro & Ousterhout, USENIX ATC 2014) — the other
+    sample protocol the paper points readers to (§2.3). Leader election
+    with randomized (modeled) timeouts plus log replication; replication
+    ships the leader's full log, which preserves Raft's safety structure
+    while staying small.
+
+    Safety monitors:
+    - election safety: at most one leader per term;
+    - state-machine safety: all servers agree on the command committed at
+      each log index.
+
+    Seeded bugs:
+    - [double_vote]: a voter forgets it already voted in the current term,
+      so competing candidates can both win it — two leaders in one term;
+    - [stale_leader_election]: voters skip the log up-to-dateness check, so
+      a candidate missing committed entries can be elected and overwrite
+      them — a state-machine safety violation. *)
+
+type bugs = {
+  double_vote : bool;
+  stale_leader_election : bool;
+}
+
+val no_bugs : bugs
+val bug_double_vote : bugs
+val bug_stale_leader_election : bugs
+
+(** [test ~bugs ~n_servers ~n_commands ()] is a harness body: a cluster of
+    servers with modeled election/heartbeat timers, and a client machine
+    that broadcasts commands at nondeterministic times. *)
+val test :
+  ?bugs:bugs ->
+  ?n_servers:int ->
+  ?n_commands:int ->
+  unit ->
+  Psharp.Runtime.ctx ->
+  unit
+
+val monitors : unit -> Psharp.Monitor.t list

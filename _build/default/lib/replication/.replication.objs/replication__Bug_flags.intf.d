@@ -1,0 +1,1 @@
+lib/replication/bug_flags.mli:

@@ -1,0 +1,1 @@
+lib/replication/client.ml: Events Psharp

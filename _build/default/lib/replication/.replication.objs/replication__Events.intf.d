@@ -1,0 +1,1 @@
+lib/replication/events.mli: Psharp

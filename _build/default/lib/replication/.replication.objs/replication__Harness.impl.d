@@ -1,0 +1,1 @@
+lib/replication/harness.ml: Bug_flags Client Events List Monitors Printf Psharp Server Storage_node

@@ -1,0 +1,1 @@
+lib/replication/harness.mli: Bug_flags Psharp

@@ -1,0 +1,1 @@
+lib/replication/monitors.ml: Events Hashtbl Printf Psharp

@@ -1,0 +1,1 @@
+lib/replication/monitors.mli: Psharp

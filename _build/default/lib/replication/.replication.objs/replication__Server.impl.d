@@ -1,0 +1,1 @@
+lib/replication/server.ml: Bug_flags Events List Monitors Psharp Set

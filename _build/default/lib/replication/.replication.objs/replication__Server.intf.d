@@ -1,0 +1,1 @@
+lib/replication/server.mli: Bug_flags Psharp

@@ -1,0 +1,1 @@
+lib/replication/storage_node.ml: Events Monitors Psharp

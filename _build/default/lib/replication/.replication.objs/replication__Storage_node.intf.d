@@ -1,0 +1,1 @@
+lib/replication/storage_node.mli: Psharp

@@ -1,0 +1,9 @@
+type t = {
+  count_duplicates : bool;
+  no_counter_reset : bool;
+}
+
+let none = { count_duplicates = false; no_counter_reset = false }
+let bug1 = { none with count_duplicates = true }
+let bug2 = { none with no_counter_reset = true }
+let both = { count_duplicates = true; no_counter_reset = true }

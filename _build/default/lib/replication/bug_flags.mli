@@ -1,0 +1,16 @@
+(** Re-introducible bugs of the Fig. 1 example system (paper §2.2). *)
+
+type t = {
+  count_duplicates : bool;
+      (** bug 1 (safety): the server does not track unique replicas — the
+          counter increments on every up-to-date sync, so an Ack can be sent
+          with fewer than three true replicas *)
+  no_counter_reset : bool;
+      (** bug 2 (liveness): the replica counter is not reset after an Ack,
+          so no later request is ever acknowledged *)
+}
+
+val none : t
+val bug1 : t
+val bug2 : t
+val both : t

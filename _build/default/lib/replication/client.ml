@@ -1,0 +1,12 @@
+module R = Psharp.Runtime
+
+let machine ~server ~n_requests ctx =
+  Events.install_printer ();
+  Psharp.Registry.register_machine ~machine:"ReplicationClient"
+    ~kind:Psharp.Registry.Machine ~states:1 ~handlers:1;
+  for seq = 1 to n_requests do
+    R.send ctx server (Events.Client_req { client = R.self ctx; seq });
+    let is_ack e = match e with Events.Ack -> true | _ -> false in
+    ignore (R.receive_where ctx is_ack)
+  done;
+  R.halt ctx

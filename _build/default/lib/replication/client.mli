@@ -1,0 +1,4 @@
+(** Modeled client (paper §2.3): issues [n_requests] replication requests,
+    waiting for an Ack between consecutive requests, then halts. *)
+
+val machine : server:Psharp.Id.t -> n_requests:int -> Psharp.Runtime.ctx -> unit

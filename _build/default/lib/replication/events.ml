@@ -1,0 +1,30 @@
+type Psharp.Event.t +=
+  | Client_req of { client : Psharp.Id.t; seq : int }
+  | Repl_req of int
+  | Sync of { node : Psharp.Id.t; node_index : int; stored : int option }
+  | Ack
+  | Bind_nodes of Psharp.Id.t list
+  | M_req of int
+  | M_ack of int
+  | M_stored of { node_index : int; seq : int }
+
+let printer = function
+  | Client_req { seq; _ } -> Some (Printf.sprintf "ClientReq(seq=%d)" seq)
+  | Repl_req seq -> Some (Printf.sprintf "ReplReq(seq=%d)" seq)
+  | Sync { node_index; stored; _ } ->
+    Some
+      (Printf.sprintf "Sync(node=%d, stored=%s)" node_index
+         (match stored with None -> "-" | Some s -> string_of_int s))
+  | M_req seq -> Some (Printf.sprintf "M_req(%d)" seq)
+  | M_ack seq -> Some (Printf.sprintf "M_ack(%d)" seq)
+  | M_stored { node_index; seq } ->
+    Some (Printf.sprintf "M_stored(node=%d, seq=%d)" node_index seq)
+  | _ -> None
+
+let installed = ref false
+
+let install_printer () =
+  if not !installed then begin
+    installed := true;
+    Psharp.Event.register_printer printer
+  end

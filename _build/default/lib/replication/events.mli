@@ -1,0 +1,18 @@
+(** Events of the simple replicating storage system (paper Fig. 1). *)
+
+type Psharp.Event.t +=
+  | Client_req of { client : Psharp.Id.t; seq : int }
+      (** data (identified by sequence number) to replicate *)
+  | Repl_req of int  (** server asks a storage node to store [seq] *)
+  | Sync of { node : Psharp.Id.t; node_index : int; stored : int option }
+      (** storage node reports its log to the server *)
+  | Ack  (** server acknowledges full replication to the client *)
+  | Bind_nodes of Psharp.Id.t list  (** harness wires the nodes to the server *)
+  (* monitor notifications *)
+  | M_req of int  (** server accepted request [seq] *)
+  | M_ack of int  (** server acked request [seq] *)
+  | M_stored of { node_index : int; seq : int }
+      (** a storage node durably stored [seq] *)
+
+(** Install a pretty-printer for these events (idempotent). *)
+val install_printer : unit -> unit

@@ -1,0 +1,21 @@
+module R = Psharp.Runtime
+
+let test ?(bugs = Bug_flags.none) ?(n_nodes = 3) ?(n_requests = 2) () ctx =
+  Events.install_printer ();
+  let server =
+    R.create ctx ~name:"Server"
+      (Server.machine ~bugs ~replica_target:n_nodes)
+  in
+  let nodes =
+    List.init n_nodes (fun node_index ->
+        R.create ctx
+          ~name:(Printf.sprintf "SN%d" node_index)
+          (Storage_node.machine ~server ~node_index))
+  in
+  R.send ctx server (Events.Bind_nodes nodes);
+  List.iter
+    (fun node -> ignore (Psharp.Timer.create ctx ~target:node ()))
+    nodes;
+  ignore (R.create ctx ~name:"Client" (Client.machine ~server ~n_requests))
+
+let monitors ?(n_nodes = 3) () = Monitors.all ~replica_target:n_nodes ()

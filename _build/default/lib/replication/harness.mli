@@ -1,0 +1,15 @@
+(** P# test harness for the Fig. 1 system (paper Fig. 2): real server,
+    modeled client, modeled storage nodes, modeled timers, plus the safety
+    and liveness monitors. *)
+
+(** Root machine body: creates the whole system. *)
+val test :
+  ?bugs:Bug_flags.t ->
+  ?n_nodes:int ->
+  ?n_requests:int ->
+  unit ->
+  Psharp.Runtime.ctx ->
+  unit
+
+(** Fresh monitors matching [test]'s replica target. *)
+val monitors : ?n_nodes:int -> unit -> Psharp.Monitor.t list

@@ -1,0 +1,16 @@
+(** Safety and liveness monitors for the Fig. 1 system (paper §2.4–2.5). *)
+
+val safety_name : string
+val liveness_name : string
+
+(** Safety: tracks which storage nodes durably stored the current request;
+    when the server Acks, asserts at least [replica_target] true replicas
+    exist. *)
+val safety : replica_target:int -> unit -> Psharp.Monitor.t
+
+(** Liveness: hot from the moment the server accepts a request until it
+    sends the matching Ack. *)
+val liveness : unit -> Psharp.Monitor.t
+
+(** Both monitors, fresh; pass to [Psharp.Engine.run ~monitors]. *)
+val all : replica_target:int -> unit -> Psharp.Monitor.t list

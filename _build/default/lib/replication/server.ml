@@ -1,0 +1,144 @@
+module Logic = struct
+  module Id_set = Set.Make (Psharp.Id)
+
+  type t = {
+    bugs : Bug_flags.t;
+    replica_target : int;
+    mutable nodes : Psharp.Id.t list;
+    mutable data : int option;  (** seq of the request being replicated *)
+    mutable client : Psharp.Id.t option;
+    mutable counter : int;
+    mutable replicas : Id_set.t;  (** used only by the fixed server *)
+    mutable acked : bool;
+        (** stale syncs that race past an Ack must not count toward the
+            next request *)
+  }
+
+  type effect_ =
+    | Broadcast_repl of int
+    | Resend_repl of { node : Psharp.Id.t; seq : int }
+    | Send_ack of { client : Psharp.Id.t; seq : int }
+
+  let create ~bugs ~replica_target =
+    {
+      bugs;
+      replica_target;
+      nodes = [];
+      data = None;
+      client = None;
+      counter = 0;
+      replicas = Id_set.empty;
+      acked = false;
+    }
+
+  let set_nodes t nodes = t.nodes <- nodes
+
+  let on_client_req t ~client ~seq =
+    t.data <- Some seq;
+    t.client <- Some client;
+    t.acked <- false;
+    [ Broadcast_repl seq ]
+
+  let is_up_to_date t ~stored =
+    match (t.data, stored) with
+    | Some seq, Some stored_seq -> seq = stored_seq
+    | Some _, None -> false
+    | None, _ -> false
+
+  let on_sync t ~node ~stored =
+    match t.data with
+    | None -> []
+    | Some _ when t.acked -> []
+    | Some seq ->
+      if not (is_up_to_date t ~stored) then
+        [ Resend_repl { node; seq } ]
+      else begin
+        (* Bug 1: count every up-to-date sync, even from a node already
+           counted as a replica. The fixed server tracks unique nodes.
+           As in Fig. 1, the ack test runs right after an increment. *)
+        let incremented =
+          if t.bugs.Bug_flags.count_duplicates then begin
+            t.counter <- t.counter + 1;
+            true
+          end
+          else if not (Id_set.mem node t.replicas) then begin
+            t.replicas <- Id_set.add node t.replicas;
+            t.counter <- t.counter + 1;
+            true
+          end
+          else false
+        in
+        if incremented && t.counter = t.replica_target then begin
+          t.acked <- true;
+          (* Bug 2: forget to reset the counter after acknowledging. *)
+          if not t.bugs.Bug_flags.no_counter_reset then begin
+            t.counter <- 0;
+            t.replicas <- Id_set.empty
+          end;
+          match t.client with
+          | Some client -> [ Send_ack { client; seq } ]
+          | None -> []
+        end
+        else []
+      end
+
+  let replica_count t = t.counter
+  let current_seq t = t.data
+  let nodes t = t.nodes
+end
+
+(* --- The machine wrapper (paper Fig. 5 style) --- *)
+
+module Sm = Psharp.Statemachine
+module R = Psharp.Runtime
+
+let machine ~bugs ~replica_target ctx =
+  Events.install_printer ();
+  let logic = Logic.create ~bugs ~replica_target in
+  let apply ctx (eff : Logic.effect_) =
+    match eff with
+    | Logic.Broadcast_repl seq ->
+      List.iter (fun n -> R.send ctx n (Events.Repl_req seq)) (Logic.nodes logic)
+    | Logic.Resend_repl { node; seq } -> R.send ctx node (Events.Repl_req seq)
+    | Logic.Send_ack { client; seq } ->
+      R.notify ctx Monitors.safety_name (Events.M_ack seq);
+      R.notify ctx Monitors.liveness_name (Events.M_ack seq);
+      R.send ctx client Events.Ack
+  in
+  let init_state =
+    Sm.state "Init"
+      ~defer:[ "Client_req"; "Sync" ]
+      [
+        ( "Bind_nodes",
+          fun _ctx _logic e ->
+            match e with
+            | Events.Bind_nodes nodes ->
+              Logic.set_nodes logic nodes;
+              Sm.Goto "Active"
+            | _ -> Sm.Unhandled );
+      ]
+  in
+  let active_state =
+    Sm.state "Active"
+      [
+        ( "Client_req",
+          fun ctx _logic e ->
+            match e with
+            | Events.Client_req { client; seq } ->
+              R.notify ctx Monitors.safety_name (Events.M_req seq);
+              R.notify ctx Monitors.liveness_name (Events.M_req seq);
+              List.iter (apply ctx) (Logic.on_client_req logic ~client ~seq);
+              Sm.Stay
+            | _ -> Sm.Unhandled );
+        ( "Sync",
+          fun ctx _logic e ->
+            match e with
+            | Events.Sync { node; stored; _ } ->
+              List.iter (apply ctx) (Logic.on_sync logic ~node ~stored);
+              Sm.Stay
+            | _ -> Sm.Unhandled );
+      ]
+  in
+  Sm.run ctx ~machine:"ReplicationServer"
+    ~states:[ init_state; active_state ]
+    ~init:"Init" logic

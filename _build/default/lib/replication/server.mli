@@ -1,0 +1,33 @@
+(** The replication server — the "real component" of the Fig. 1 system.
+
+    [Logic] is the plain, framework-free server implementation (the code a
+    production system would ship); [machine] wraps it in a P#-style machine
+    exactly as the paper wraps real components (§2.3, Fig. 5). *)
+
+module Logic : sig
+  type t
+
+  type effect_ =
+    | Broadcast_repl of int  (** send ReplReq(seq) to every storage node *)
+    | Resend_repl of { node : Psharp.Id.t; seq : int }
+    | Send_ack of { client : Psharp.Id.t; seq : int }
+
+  val create : bugs:Bug_flags.t -> replica_target:int -> t
+
+  val set_nodes : t -> Psharp.Id.t list -> unit
+
+  (** Client request [seq] from [client]: store and return the broadcast. *)
+  val on_client_req : t -> client:Psharp.Id.t -> seq:int -> effect_ list
+
+  (** Sync report from a node: returns repair/ack effects per Fig. 1. *)
+  val on_sync :
+    t -> node:Psharp.Id.t -> stored:int option -> effect_ list
+
+  val replica_count : t -> int
+  val current_seq : t -> int option
+  val nodes : t -> Psharp.Id.t list
+end
+
+(** The server machine. Initially waits for [Bind_nodes], then serves
+    client requests and sync reports, notifying the monitors. *)
+val machine : bugs:Bug_flags.t -> replica_target:int -> Psharp.Runtime.ctx -> unit

@@ -1,0 +1,29 @@
+module Sm = Psharp.Statemachine
+module R = Psharp.Runtime
+
+type model = { mutable stored : int option }
+
+let machine ~server ~node_index ctx =
+  Events.install_printer ();
+  let model = { stored = None } in
+  let running =
+    Sm.state "Running"
+      [
+        ( "Repl_req",
+          fun ctx model e ->
+            match e with
+            | Events.Repl_req seq ->
+              model.stored <- Some seq;
+              R.notify ctx Monitors.safety_name
+                (Events.M_stored { node_index; seq });
+              Sm.Stay
+            | _ -> Sm.Unhandled );
+        ( "Timer_tick",
+          fun ctx model _e ->
+            R.send ctx server
+              (Events.Sync
+                 { node = R.self ctx; node_index; stored = model.stored });
+            Sm.Stay );
+      ]
+  in
+  Sm.run ctx ~machine:"StorageNode" ~states:[ running ] ~init:"Running" model

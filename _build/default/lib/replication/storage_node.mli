@@ -1,0 +1,6 @@
+(** Modeled storage node (paper §2.3): stores data in memory rather than on
+    disk, reports its log to the server when its modeled timer fires, and
+    notifies the safety monitor whenever it durably stores a request. *)
+
+val machine :
+  server:Psharp.Id.t -> node_index:int -> Psharp.Runtime.ctx -> unit

@@ -1,0 +1,1 @@
+lib/vnext/bug_flags.mli:

@@ -1,0 +1,1 @@
+lib/vnext/events.ml: Extent_manager List Printf Psharp String

@@ -1,0 +1,1 @@
+lib/vnext/events.mli: Extent_manager Psharp

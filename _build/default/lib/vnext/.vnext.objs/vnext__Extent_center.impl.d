@@ -1,0 +1,1 @@
+lib/vnext/extent_center.ml: Int List Map Option Set

@@ -1,0 +1,1 @@
+lib/vnext/extent_manager.ml: Bug_flags Extent_center Extent_node_map List

@@ -1,0 +1,1 @@
+lib/vnext/extent_manager.mli: Bug_flags

@@ -1,0 +1,1 @@
+lib/vnext/extent_node.ml: Events Extent_center Extent_manager List Printf Psharp Relay Repair_monitor

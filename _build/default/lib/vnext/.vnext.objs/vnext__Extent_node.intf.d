@@ -1,0 +1,1 @@
+lib/vnext/extent_node.mli: Psharp

@@ -1,0 +1,1 @@
+lib/vnext/extent_node_map.ml: Int List Map

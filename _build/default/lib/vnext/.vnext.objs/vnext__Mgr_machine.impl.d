@@ -1,0 +1,1 @@
+lib/vnext/mgr_machine.ml: Events Extent_manager List Printf Psharp Relay String

@@ -1,0 +1,1 @@
+lib/vnext/mgr_machine.mli: Bug_flags Psharp

@@ -1,0 +1,1 @@
+lib/vnext/relay.ml: Events Printf Psharp

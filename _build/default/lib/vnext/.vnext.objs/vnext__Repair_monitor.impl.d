@@ -1,0 +1,1 @@
+lib/vnext/repair_monitor.ml: Events Int List Map Option Psharp Set

@@ -1,0 +1,1 @@
+lib/vnext/repair_monitor.mli: Psharp

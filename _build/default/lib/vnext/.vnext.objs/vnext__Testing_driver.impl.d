@@ -1,0 +1,1 @@
+lib/vnext/testing_driver.ml: Bug_flags Events Extent_node Fun List Mgr_machine Printf Psharp Relay Repair_monitor

@@ -1,0 +1,1 @@
+lib/vnext/testing_driver.mli: Bug_flags Psharp

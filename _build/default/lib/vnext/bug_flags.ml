@@ -1,0 +1,4 @@
+type t = { sync_after_expiry : bool }
+
+let none = { sync_after_expiry = false }
+let liveness_bug = { sync_after_expiry = true }

@@ -1,0 +1,13 @@
+(** Re-introducible bugs of the vNext extent manager (paper §3.6). *)
+
+type t = {
+  sync_after_expiry : bool;
+      (** ExtentNodeLivenessViolation: the manager accepts a sync report
+          from an extent node it has already expired and deleted, which
+          resurrects the node's extent records in the extent center. The
+          replica count then looks healthy while a true replica is missing,
+          so the repair loop never schedules the repair. *)
+}
+
+val none : t
+val liveness_bug : t

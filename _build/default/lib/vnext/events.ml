@@ -1,0 +1,49 @@
+type Psharp.Event.t +=
+  | To_mgr of Extent_manager.message
+  | Net_deliver of { target : Psharp.Id.t; event : Psharp.Event.t }
+  | Repair_request of { extent : int; source : int }
+  | Copy_request of { extent : int; requester : Psharp.Id.t }
+  | Copy_response of { extent : int; ok : bool }
+  | Bind_directory of (int * Psharp.Id.t) list
+  | Fail_en
+  | Heartbeat_tick
+  | Sync_tick
+  | Expiration_tick
+  | Repair_tick
+  | Driver_tick
+  | M_initial_extents of (int * int list) list
+  | M_en_failed of int
+  | M_extent_repaired of { en : int; extent : int }
+
+let printer = function
+  | To_mgr (Extent_manager.Heartbeat { en }) ->
+    Some (Printf.sprintf "Heartbeat(en=%d)" en)
+  | To_mgr (Extent_manager.Sync_report { en; extents }) ->
+    Some
+      (Printf.sprintf "SyncReport(en=%d, extents=[%s])" en
+         (String.concat ";" (List.map string_of_int extents)))
+  | Net_deliver { target; event } ->
+    Some
+      (Printf.sprintf "NetDeliver(to=%s, %s)" (Psharp.Id.to_string target)
+         (Psharp.Event.to_string event))
+  | Repair_request { extent; source } ->
+    Some (Printf.sprintf "RepairRequest(extent=%d, source=%d)" extent source)
+  | Copy_request { extent; _ } ->
+    Some (Printf.sprintf "CopyRequest(extent=%d)" extent)
+  | Copy_response { extent; ok } ->
+    Some (Printf.sprintf "CopyResponse(extent=%d, ok=%b)" extent ok)
+  | M_en_failed en -> Some (Printf.sprintf "M_en_failed(%d)" en)
+  | M_extent_repaired { en; extent } ->
+    Some (Printf.sprintf "M_extent_repaired(en=%d, extent=%d)" en extent)
+  | M_initial_extents layout ->
+    Some
+      (Printf.sprintf "M_initial_extents(%d extents)" (List.length layout))
+  | _ -> None
+
+let installed = ref false
+
+let install_printer () =
+  if not !installed then begin
+    installed := true;
+    Psharp.Event.register_printer printer
+  end

@@ -1,0 +1,27 @@
+(** Events of the vNext test harness (paper Fig. 4). *)
+
+type Psharp.Event.t +=
+  | To_mgr of Extent_manager.message
+      (** EN-to-manager traffic (heartbeats, sync reports); routed through
+          the modeled network relay so it can be delayed *)
+  | Net_deliver of { target : Psharp.Id.t; event : Psharp.Event.t }
+      (** envelope processed by the relay machine *)
+  | Repair_request of { extent : int; source : int }
+      (** manager asks an EN to repair [extent] from EN [source] *)
+  | Copy_request of { extent : int; requester : Psharp.Id.t }
+      (** EN asks a source EN for a replica *)
+  | Copy_response of { extent : int; ok : bool }
+  | Bind_directory of (int * Psharp.Id.t) list
+      (** logical EN id to machine id map (for EN-to-EN copies) *)
+  | Fail_en  (** injected node failure (paper Fig. 10) *)
+  | Heartbeat_tick
+  | Sync_tick
+  | Expiration_tick
+  | Repair_tick
+  | Driver_tick
+  (* monitor notifications *)
+  | M_initial_extents of (int * int list) list
+  | M_en_failed of int
+  | M_extent_repaired of { en : int; extent : int }
+
+val install_printer : unit -> unit

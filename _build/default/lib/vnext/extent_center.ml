@@ -1,0 +1,43 @@
+type extent_id = int
+type en_id = int
+
+module Int_set = Set.Make (Int)
+
+type t = { mutable by_extent : Int_set.t Map.Make(Int).t }
+
+module Int_map = Map.Make (Int)
+
+let create () = { by_extent = Int_map.empty }
+
+let holders_set t extent =
+  Option.value (Int_map.find_opt extent t.by_extent) ~default:Int_set.empty
+
+let remove_en t ~en =
+  t.by_extent <-
+    Int_map.filter_map
+      (fun _extent ens ->
+        let ens = Int_set.remove en ens in
+        if Int_set.is_empty ens then None else Some ens)
+      t.by_extent
+
+let add t ~en ~extent =
+  t.by_extent <-
+    Int_map.add extent (Int_set.add en (holders_set t extent)) t.by_extent
+
+let apply_sync t ~en ~extents =
+  remove_en t ~en;
+  List.iter (fun extent -> add t ~en ~extent) extents
+
+let replica_count t ~extent = Int_set.cardinal (holders_set t extent)
+
+let holders t ~extent = Int_set.elements (holders_set t extent)
+
+let extents t = List.map fst (Int_map.bindings t.by_extent)
+
+let extents_of t ~en =
+  Int_map.fold
+    (fun extent ens acc -> if Int_set.mem en ens then extent :: acc else acc)
+    t.by_extent []
+  |> List.rev
+
+let holds t ~en ~extent = Int_set.mem en (holders_set t extent)

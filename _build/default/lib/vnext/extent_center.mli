@@ -1,0 +1,33 @@
+(** ExtentCenter: the extent manager's map from extents to the extent nodes
+    believed to host a replica (paper Fig. 6). Updated upon sync reports,
+    which carry the ground truth of one node's holdings. This is "real"
+    vNext code — it knows nothing about the testing framework, and the
+    modeled extent nodes reuse it for their own bookkeeping (§3.2). *)
+
+type extent_id = int
+type en_id = int
+
+type t
+
+val create : unit -> t
+
+(** [apply_sync t ~en ~extents] replaces [en]'s holdings with [extents]. *)
+val apply_sync : t -> en:en_id -> extents:extent_id list -> unit
+
+(** [add t ~en ~extent] records a single new replica (used by extent nodes
+    when a copy completes). *)
+val add : t -> en:en_id -> extent:extent_id -> unit
+
+(** [remove_en t ~en] deletes every record of [en] (EN expiration). *)
+val remove_en : t -> en:en_id -> unit
+
+val replica_count : t -> extent:extent_id -> int
+val holders : t -> extent:extent_id -> en_id list
+
+(** All known extents, ascending. *)
+val extents : t -> extent_id list
+
+(** Extents hosted by [en], ascending (a node's sync report). *)
+val extents_of : t -> en:en_id -> extent_id list
+
+val holds : t -> en:en_id -> extent:extent_id -> bool

@@ -1,0 +1,81 @@
+type extent_id = int
+type en_id = int
+
+type message =
+  | Heartbeat of { en : en_id }
+  | Sync_report of { en : en_id; extents : extent_id list }
+
+type network_engine = {
+  send_repair_request :
+    en:en_id -> extent:extent_id -> source:en_id -> unit;
+}
+
+type config = {
+  replica_target : int;
+  heartbeat_misses : int;
+  bugs : Bug_flags.t;
+}
+
+type t = {
+  config : config;
+  net : network_engine;
+  center : Extent_center.t;
+  node_map : Extent_node_map.t;
+}
+
+let create config net =
+  {
+    config;
+    net;
+    center = Extent_center.create ();
+    node_map = Extent_node_map.create ~misses_before_expiry:config.heartbeat_misses;
+  }
+
+let process_message t = function
+  | Heartbeat { en } -> Extent_node_map.heartbeat t.node_map ~en
+  | Sync_report { en; extents } ->
+    (* The repaired manager drops reports from nodes it no longer tracks —
+       they are either dead (the report was delayed in the network) or will
+       re-register with their next heartbeat and report again. The buggy
+       manager applies them unconditionally, resurrecting a deleted node's
+       extent records (§3.6, step iv). *)
+    if t.config.bugs.Bug_flags.sync_after_expiry
+       || Extent_node_map.mem t.node_map ~en
+    then Extent_center.apply_sync t.center ~en ~extents
+
+let run_expiration_loop t =
+  let expired = Extent_node_map.sweep t.node_map in
+  List.iter (fun en -> Extent_center.remove_en t.center ~en) expired;
+  expired
+
+(* Lowest-id live node not already holding the extent; real vNext balances
+   load, which is irrelevant to correctness here. *)
+let pick_destination t ~extent =
+  let holders = Extent_center.holders t.center ~extent in
+  List.find_opt
+    (fun en -> not (List.mem en holders))
+    (Extent_node_map.live t.node_map)
+
+(* A live holder to copy from; prefer the lowest id for determinism. *)
+let pick_source t ~extent =
+  List.find_opt
+    (fun en -> Extent_node_map.mem t.node_map ~en)
+    (Extent_center.holders t.center ~extent)
+
+let run_repair_loop t =
+  List.fold_left
+    (fun issued extent ->
+      if Extent_center.replica_count t.center ~extent
+         >= t.config.replica_target
+      then issued
+      else
+        match (pick_destination t ~extent, pick_source t ~extent) with
+        | Some en, Some source ->
+          t.net.send_repair_request ~en ~extent ~source;
+          issued + 1
+        | None, _ | _, None -> issued)
+    0 (Extent_center.extents t.center)
+
+let replica_count t ~extent = Extent_center.replica_count t.center ~extent
+let known_holders t ~extent = Extent_center.holders t.center ~extent
+let live_nodes t = Extent_node_map.live t.node_map

@@ -1,0 +1,54 @@
+(** The real Extent Manager of Azure Storage vNext (paper §3, Fig. 6).
+
+    This module is the system-under-test: plain OCaml with no dependency on
+    the testing framework. It receives heartbeats and sync reports from
+    extent nodes, runs an EN-expiration loop and an extent-repair loop, and
+    sends repair requests through a pluggable {!network_engine} — the
+    virtual-dispatch seam the P# harness overrides (paper Fig. 7). Both
+    loops are driven externally (the paper's [DisableTimer] change, §3.3):
+    production wires them to real timers, the harness to modeled ones. *)
+
+type extent_id = int
+type en_id = int
+
+(** Messages from extent nodes. *)
+type message =
+  | Heartbeat of { en : en_id }
+  | Sync_report of { en : en_id; extents : extent_id list }
+
+(** Outbound interface; production sends over sockets, the harness relays
+    through the testing engine. *)
+type network_engine = {
+  send_repair_request :
+    en:en_id -> extent:extent_id -> source:en_id -> unit;
+}
+
+type config = {
+  replica_target : int;  (** desired replicas per extent (3 in the paper) *)
+  heartbeat_misses : int;
+      (** consecutive expiration sweeps without a heartbeat before a node
+          expires (the "extended period" of §3) *)
+  bugs : Bug_flags.t;
+}
+
+type t
+
+val create : config -> network_engine -> t
+
+(** Handle one inbound message ([ExtMgr.ProcessMessage]). *)
+val process_message : t -> message -> unit
+
+(** One iteration of the EN expiration loop: expire nodes missing
+    heartbeats, delete their extent records. Returns the expired nodes. *)
+val run_expiration_loop : t -> en_id list
+
+(** One iteration of the extent repair loop: examine every extent in the
+    extent center and send a repair request for each one that is missing
+    replicas. Returns the number of requests issued. *)
+val run_repair_loop : t -> int
+
+(** Manager's current view (diagnostics and tests). *)
+val replica_count : t -> extent:extent_id -> int
+
+val known_holders : t -> extent:extent_id -> en_id list
+val live_nodes : t -> en_id list

@@ -1,0 +1,115 @@
+module Sm = Psharp.Statemachine
+module R = Psharp.Runtime
+
+type model = {
+  en : int;
+  mgr : Psharp.Id.t;
+  relay : Psharp.Id.t;
+  center : Extent_center.t;  (* real vNext data structure, re-used (§3.2) *)
+  mutable directory : (int * Psharp.Id.t) list;
+}
+
+let holds m extent = Extent_center.holds m.center ~en:m.en ~extent
+
+(* EN-to-manager messages do not go through the modeled network engine;
+   they are delivered to the ExtentManager machine directly (§3.1). A
+   periodic report identical to one still queued at the manager is
+   coalesced — a node does not stack up identical reports. *)
+let send_report ctx m report =
+  let e = Events.To_mgr report in
+  let rendered = Psharp.Event.to_string e in
+  R.send_unless_pending
+    ~same:(fun e' -> Psharp.Event.to_string e' = rendered)
+    ctx m.mgr e
+
+let on_heartbeat_tick ctx m _e =
+  send_report ctx m (Extent_manager.Heartbeat { en = m.en });
+  Sm.Stay
+
+let on_sync_tick ctx m _e =
+  let extents = Extent_center.extents_of m.center ~en:m.en in
+  send_report ctx m (Extent_manager.Sync_report { en = m.en; extents });
+  Sm.Stay
+
+let on_copy_request ctx m e =
+  match e with
+  | Events.Copy_request { extent; requester } ->
+    Relay.send ctx ~relay:m.relay ~target:requester
+      (Events.Copy_response { extent; ok = holds m extent });
+    Sm.Stay
+  | _ -> Sm.Unhandled
+
+let on_copy_response ctx m e =
+  match e with
+  | Events.Copy_response { extent; ok } ->
+    if ok && not (holds m extent) then begin
+      Extent_center.add m.center ~en:m.en ~extent;
+      R.notify ctx Repair_monitor.name
+        (Events.M_extent_repaired { en = m.en; extent })
+    end;
+    Sm.Stay
+  | _ -> Sm.Unhandled
+
+let on_failure ctx m _e =
+  R.notify ctx Repair_monitor.name (Events.M_en_failed m.en);
+  Sm.Halt_machine
+
+let on_repair_request ctx m e =
+  match e with
+  | Events.Repair_request { extent; source } ->
+    if not (holds m extent) then begin
+      match List.assoc_opt source m.directory with
+      | Some source_machine ->
+        Relay.send ctx ~relay:m.relay ~target:source_machine
+          (Events.Copy_request { extent; requester = R.self ctx })
+      | None -> ()
+    end;
+    Sm.Stay
+  | _ -> Sm.Unhandled
+
+let machine ~en ~mgr ~relay ~initial_extents ctx =
+  Events.install_printer ();
+  let m = { en; mgr; relay; center = Extent_center.create (); directory = [] } in
+  List.iter (fun extent -> Extent_center.add m.center ~en ~extent)
+    initial_extents;
+  ignore
+    (Psharp.Timer.create ctx ~target:(R.self ctx)
+       ~tick:(fun () -> Events.Heartbeat_tick)
+       ~name:(Printf.sprintf "HbTimer%d" en) ());
+  ignore
+    (Psharp.Timer.create ctx ~target:(R.self ctx)
+       ~tick:(fun () -> Events.Sync_tick)
+       ~name:(Printf.sprintf "SyncTimer%d" en) ());
+  let common =
+    [
+      ("Heartbeat_tick", on_heartbeat_tick);
+      ("Sync_tick", on_sync_tick);
+      ("Copy_request", on_copy_request);
+      ("Copy_response", on_copy_response);
+      ("Fail_en", on_failure);
+    ]
+  in
+  let init =
+    Sm.state "Init" ~defer:[ "Repair_request" ]
+      (( "Bind_directory",
+         fun _ctx m e ->
+           match e with
+           | Events.Bind_directory d ->
+             m.directory <- d;
+             Sm.Goto "Active"
+           | _ -> Sm.Unhandled )
+       :: common)
+  in
+  let rebind _ctx m e =
+    match e with
+    | Events.Bind_directory d ->
+      m.directory <- d;
+      Sm.Stay
+    | _ -> Sm.Unhandled
+  in
+  let active =
+    Sm.state "Active"
+      (("Repair_request", on_repair_request)
+       :: ("Bind_directory", rebind) :: common)
+  in
+  Sm.run ctx ~machine:"ExtentNode" ~states:[ init; active ] ~init:"Init" m

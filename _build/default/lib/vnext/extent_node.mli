@@ -1,0 +1,17 @@
+(** Modeled extent node (paper §3.2, Fig. 8).
+
+    Omits most of a real EN and models only the logic needed for testing:
+    periodic heartbeats and sync reports (driven by modeled timers the node
+    creates for itself), repairing an extent from a source replica, and
+    failure handling. Re-uses the real {!Extent_center} data structure for
+    bookkeeping, as the paper's harness does. *)
+
+(** [machine ~en ~mgr ~relay ~initial_extents ctx] runs an EN with logical
+    id [en]. The node awaits [Bind_directory] before serving repairs. *)
+val machine :
+  en:int ->
+  mgr:Psharp.Id.t ->
+  relay:Psharp.Id.t ->
+  initial_extents:int list ->
+  Psharp.Runtime.ctx ->
+  unit

@@ -1,0 +1,32 @@
+type en_id = int
+
+module Int_map = Map.Make (Int)
+
+type t = {
+  misses_before_expiry : int;
+  mutable nodes : int Int_map.t;  (* en -> consecutive sweeps missed *)
+}
+
+let create ~misses_before_expiry = { misses_before_expiry; nodes = Int_map.empty }
+
+let heartbeat t ~en = t.nodes <- Int_map.add en 0 t.nodes
+
+let sweep t =
+  let expired =
+    Int_map.fold
+      (fun en misses acc ->
+        if misses + 1 >= t.misses_before_expiry then en :: acc else acc)
+      t.nodes []
+  in
+  t.nodes <-
+    Int_map.filter_map
+      (fun _en misses ->
+        if misses + 1 >= t.misses_before_expiry then None else Some (misses + 1))
+      t.nodes;
+  List.rev expired
+
+let mem t ~en = Int_map.mem en t.nodes
+
+let live t = List.map fst (Int_map.bindings t.nodes)
+
+let remove t ~en = t.nodes <- Int_map.remove en t.nodes

@@ -1,0 +1,29 @@
+(** ExtentNodeMap: the extent manager's map from extent nodes to heartbeat
+    freshness (paper Fig. 6).
+
+    Real vNext compares heartbeat timestamps against a wall-clock timeout
+    spanning many heartbeat periods ("missing heartbeats for an extended
+    period"). Under the testing engine all timing is logical, so freshness
+    is modeled by counting expiration sweeps: a node expires after
+    [misses_before_expiry] consecutive sweeps with no heartbeat in
+    between. *)
+
+type en_id = int
+
+type t
+
+val create : misses_before_expiry:int -> t
+
+(** Record a heartbeat: (re-)registers the node and resets its miss count. *)
+val heartbeat : t -> en:en_id -> unit
+
+(** One expiration sweep: increments every node's miss count and removes
+    (and returns) the nodes that reached the threshold. *)
+val sweep : t -> en_id list
+
+val mem : t -> en:en_id -> bool
+
+(** Registered nodes, ascending. *)
+val live : t -> en_id list
+
+val remove : t -> en:en_id -> unit

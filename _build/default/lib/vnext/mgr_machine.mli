@@ -1,0 +1,13 @@
+(** ExtentManager machine: thin wrapper around the real {!Extent_manager}
+    (paper §3.1, Fig. 5). Relays inbound EN messages to the wrapped
+    component and drives its expiration and repair loops from modeled
+    timers; outbound repair requests leave through a modeled network engine
+    that routes them via the relay. *)
+
+val machine :
+  ?heartbeat_misses:int ->
+  bugs:Bug_flags.t ->
+  replica_target:int ->
+  relay:Psharp.Id.t ->
+  Psharp.Runtime.ctx ->
+  unit

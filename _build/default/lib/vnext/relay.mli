@@ -1,0 +1,20 @@
+(** Modeled network (paper Fig. 7).
+
+    A relay machine stands between senders and receivers: a message sits in
+    the relay's inbox until the scheduler runs the relay, so the engine can
+    interleave deliveries arbitrarily with other events — this is how
+    "messages delayed in the network" (§3.6) are explored systematically.
+    Optionally the relay drops messages nondeterministically. *)
+
+(** [machine ~lossy ctx] forwards every [Net_deliver] envelope to its
+    target; when [lossy], each message is dropped or delivered by a
+    controlled nondeterministic choice. *)
+val machine : lossy:bool -> Psharp.Runtime.ctx -> unit
+
+(** [send ctx ~relay ~target e] routes [e] to [target] via the relay. *)
+val send :
+  Psharp.Runtime.ctx ->
+  relay:Psharp.Id.t ->
+  target:Psharp.Id.t ->
+  Psharp.Event.t ->
+  unit

@@ -1,0 +1,43 @@
+module M = Psharp.Monitor
+module Int_set = Set.Make (Int)
+module Int_map = Map.Make (Int)
+
+let name = "RepairMonitor"
+
+(* Tracks, per extent, which ENs truly hold a replica. Hot while any
+   tracked extent is below the target. *)
+let create ~replica_target () =
+  let replicas : Int_set.t Int_map.t ref = ref Int_map.empty in
+  let refresh m =
+    let deficient =
+      Int_map.exists
+        (fun _extent ens -> Int_set.cardinal ens < replica_target)
+        !replicas
+    in
+    if deficient then M.goto m "Repairing" else M.goto m "Repaired"
+  in
+  let update extent f =
+    let current =
+      Option.value (Int_map.find_opt extent !replicas)
+        ~default:Int_set.empty
+    in
+    replicas := Int_map.add extent (f current) !replicas
+  in
+  M.make ~name ~initial:"Repaired"
+    ~states:[ ("Repaired", M.Cold); ("Repairing", M.Hot) ]
+    (fun m e ->
+      match e with
+      | Events.M_initial_extents layout ->
+        replicas :=
+          List.fold_left
+            (fun acc (extent, ens) ->
+              Int_map.add extent (Int_set.of_list ens) acc)
+            Int_map.empty layout;
+        refresh m
+      | Events.M_en_failed en ->
+        replicas := Int_map.map (fun ens -> Int_set.remove en ens) !replicas;
+        refresh m
+      | Events.M_extent_repaired { en; extent } ->
+        update extent (Int_set.add en);
+        refresh m
+      | _ -> ())

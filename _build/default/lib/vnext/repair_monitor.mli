@@ -1,0 +1,10 @@
+(** RepairMonitor (paper §3.5, Fig. 11): a liveness monitor that is hot
+    while any extent has fewer true replicas than the target, and cold when
+    every extent is fully replicated. Tracks reality (which ENs actually
+    hold replicas), not the manager's view. *)
+
+val name : string
+
+(** [create ~replica_target ()] returns a fresh monitor. The harness must
+    notify it with [M_initial_extents] before the scenario starts. *)
+val create : replica_target:int -> unit -> Psharp.Monitor.t

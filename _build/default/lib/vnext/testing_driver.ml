@@ -1,0 +1,91 @@
+module R = Psharp.Runtime
+
+type scenario =
+  | Initial_replication
+  | Fail_and_repair
+
+let test ?(bugs = Bug_flags.none) ?(n_nodes = 3) ?(replica_target = 3)
+    ?(n_extents = 1) ?(lossy_network = false) ?(warmup_ticks = 8) ~scenario ()
+    ctx =
+  Events.install_printer ();
+  Psharp.Registry.register_machine ~machine:"TestingDriver"
+    ~kind:Psharp.Registry.Machine ~states:2 ~handlers:2;
+  let relay =
+    R.create ctx ~name:"Network" (Relay.machine ~lossy:lossy_network)
+  in
+  let mgr =
+    R.create ctx ~name:"ExtentManager"
+      (Mgr_machine.machine ~bugs ~replica_target ~relay)
+  in
+  let extents = List.init n_extents Fun.id in
+  let initial_extents en =
+    match scenario with
+    | Initial_replication ->
+      (* each extent starts with a single replica, spread over the nodes *)
+      List.filter (fun extent -> extent mod n_nodes = en) extents
+    | Fail_and_repair -> extents
+  in
+  let nodes =
+    List.init n_nodes (fun en ->
+        ( en,
+          R.create ctx
+            ~name:(Printf.sprintf "EN%d" en)
+            (Extent_node.machine ~en ~mgr ~relay
+               ~initial_extents:(initial_extents en)) ))
+  in
+  let bind directory =
+    R.send ctx mgr (Events.Bind_directory directory);
+    List.iter
+      (fun (_, node) -> R.send ctx node (Events.Bind_directory directory))
+      directory
+  in
+  bind nodes;
+  let layout =
+    List.map
+      (fun extent ->
+        ( extent,
+          List.filter_map
+            (fun (en, _) ->
+              if List.mem extent (initial_extents en) then Some en else None)
+            nodes ))
+      extents
+  in
+  R.notify ctx Repair_monitor.name (Events.M_initial_extents layout);
+  match scenario with
+  | Initial_replication -> ()
+  | Fail_and_repair ->
+    (* Fail one EN at a nondeterministic time, then launch a fresh one. *)
+    let timer =
+      Psharp.Timer.create ctx ~target:(R.self ctx)
+        ~tick:(fun () -> Events.Driver_tick)
+        ~name:"DriverTimer" ()
+    in
+    (* Let the system warm up (nodes register, sync) before failing one, as
+       the stress tests the paper describes fail nodes of a live system. *)
+    let ticks_seen = ref 0 in
+    let rec wait_for_injection () =
+      match R.receive ctx with
+      | Events.Driver_tick ->
+        incr ticks_seen;
+        if !ticks_seen > warmup_ticks && R.nondet ctx then begin
+          let victim_en = R.nondet_int ctx n_nodes in
+          let victim = List.assoc victim_en nodes in
+          R.send ctx victim Events.Fail_en;
+          R.log ctx (Printf.sprintf "injected failure into EN%d" victim_en);
+          let fresh_en = n_nodes in
+          let fresh =
+            R.create ctx
+              ~name:(Printf.sprintf "EN%d" fresh_en)
+              (Extent_node.machine ~en:fresh_en ~mgr ~relay
+                 ~initial_extents:[])
+          in
+          bind (nodes @ [ (fresh_en, fresh) ]);
+          R.send ctx timer Psharp.Timer.Timer_stop
+        end
+        else wait_for_injection ()
+      | _ -> wait_for_injection ()
+    in
+    wait_for_injection ()
+
+let monitors ?(replica_target = 3) () =
+  [ Repair_monitor.create ~replica_target () ]

@@ -1,0 +1,24 @@
+(** TestingDriver (paper §3.4, Fig. 10): drives the two vNext testing
+    scenarios and injects nondeterministic failures. *)
+
+type scenario =
+  | Initial_replication
+      (** one extent on one EN; wait for it to replicate to the target *)
+  | Fail_and_repair
+      (** extent fully replicated; fail a nondeterministically chosen EN at
+          a nondeterministic time, launch a fresh EN, wait for repair *)
+
+(** Root harness body. *)
+val test :
+  ?bugs:Bug_flags.t ->
+  ?n_nodes:int ->
+  ?replica_target:int ->
+  ?n_extents:int ->
+  ?lossy_network:bool ->
+  ?warmup_ticks:int ->
+  scenario:scenario ->
+  unit ->
+  Psharp.Runtime.ctx ->
+  unit
+
+val monitors : ?replica_target:int -> unit -> Psharp.Monitor.t list

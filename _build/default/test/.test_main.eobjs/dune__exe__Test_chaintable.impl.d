@@ -1,0 +1,1 @@
+test/test_chaintable.ml: Alcotest Chaintable List Option Printf QCheck QCheck_alcotest

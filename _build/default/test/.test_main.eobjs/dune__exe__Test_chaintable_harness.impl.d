@@ -1,0 +1,1 @@
+test/test_chaintable_harness.ml: Alcotest Chaintable List Printf Psharp

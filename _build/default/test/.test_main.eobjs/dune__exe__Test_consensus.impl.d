@@ -1,0 +1,1 @@
+test/test_consensus.ml: Alcotest Paxos Psharp Raft

@@ -1,0 +1,1 @@
+test/test_core_extra.ml: Alcotest List Psharp QCheck QCheck_alcotest String Unix

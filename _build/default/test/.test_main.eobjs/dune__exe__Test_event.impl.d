@@ -1,0 +1,1 @@
+test/test_event.ml: Alcotest Printf Psharp

@@ -1,0 +1,1 @@
+test/test_fabric.ml: Alcotest Fabric Psharp String

@@ -1,0 +1,1 @@
+test/test_inbox.ml: Alcotest List Option Psharp QCheck QCheck_alcotest Test

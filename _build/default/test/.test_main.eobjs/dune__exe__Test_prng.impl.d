@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Fun Gen List Psharp QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_pushpop.ml: Alcotest List Psharp

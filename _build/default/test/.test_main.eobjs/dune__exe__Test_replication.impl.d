@@ -1,0 +1,1 @@
+test/test_replication.ml: Alcotest Printf Psharp Replication

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest List Printf Psharp String

@@ -1,0 +1,1 @@
+test/test_shrinker.ml: Alcotest Chaintable Psharp Replication

@@ -1,0 +1,1 @@
+test/test_statemachine.ml: Alcotest List Printf Psharp

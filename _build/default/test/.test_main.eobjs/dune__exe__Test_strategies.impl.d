@@ -1,0 +1,1 @@
+test/test_strategies.ml: Alcotest List Printf Psharp

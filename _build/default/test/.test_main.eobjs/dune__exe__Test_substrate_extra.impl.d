@@ -1,0 +1,1 @@
+test/test_substrate_extra.ml: Alcotest Catalog Chaintable Gen Hashtbl Int64 List Printf Psharp QCheck QCheck_alcotest String Vnext

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Filename Fun Psharp QCheck QCheck_alcotest Sys

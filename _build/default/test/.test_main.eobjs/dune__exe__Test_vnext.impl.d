@@ -1,0 +1,1 @@
+test/test_vnext.ml: Alcotest List Psharp Vnext

@@ -1,0 +1,688 @@
+(* MigratingTable substrate: reference-table spec, filters, internal row
+   metadata, phases, and the migration protocol driven synchronously
+   through the local backend. *)
+
+module T = Chaintable.Table_types
+module F0 = Chaintable.Filter0
+module Filter = Chaintable.Filter
+module Rt = Chaintable.Reference_table
+module Mt = Chaintable.Migrating_table
+module Lb = Chaintable.Local_backend
+module Lin = Chaintable.Linearize
+module Phase = Chaintable.Phase
+module Internal = Chaintable.Internal
+module Bug_flags = Chaintable.Bug_flags
+
+let k pk rk = T.key pk rk
+let props v = [ ("v", v) ]
+
+let ok_etag = function
+  | Ok { T.new_etag = Some e } -> e
+  | Ok { T.new_etag = None } -> Alcotest.fail "expected etag"
+  | Error e -> Alcotest.failf "unexpected error %s" (T.op_error_to_string e)
+
+(* --- Reference table --------------------------------------------------- *)
+
+let test_insert_and_conflict () =
+  let t = Rt.create () in
+  let e = ok_etag (Rt.execute t (T.Insert { key = k "P" "a"; props = props "1" })) in
+  Alcotest.(check bool) "etag positive" true (e > 0);
+  Alcotest.(check bool) "conflict on reinsert" true
+    (Rt.execute t (T.Insert { key = k "P" "a"; props = props "2" })
+     = Error T.Conflict)
+
+let test_replace_etag_semantics () =
+  let t = Rt.create () in
+  let e1 = ok_etag (Rt.execute t (T.Insert { key = k "P" "a"; props = props "1" })) in
+  Alcotest.(check bool) "replace missing row" true
+    (Rt.execute t (T.Replace { key = k "P" "b"; etag = 1; props = [] })
+     = Error T.Not_found);
+  let e2 =
+    ok_etag (Rt.execute t (T.Replace { key = k "P" "a"; etag = e1; props = props "2" }))
+  in
+  Alcotest.(check bool) "etag changed" true (e2 <> e1);
+  Alcotest.(check bool) "stale etag rejected" true
+    (Rt.execute t (T.Replace { key = k "P" "a"; etag = e1; props = props "3" })
+     = Error T.Precondition_failed);
+  match Rt.retrieve t (k "P" "a") with
+  | Some row -> Alcotest.(check string) "value" "2" (List.assoc "v" row.T.props)
+  | None -> Alcotest.fail "row missing"
+
+let test_merge_keeps_other_props () =
+  let t = Rt.create () in
+  let e1 =
+    ok_etag
+      (Rt.execute t (T.Insert { key = k "P" "a"; props = [ ("x", "1"); ("y", "2") ] }))
+  in
+  ignore
+    (ok_etag
+       (Rt.execute t (T.Merge { key = k "P" "a"; etag = e1; props = [ ("y", "9"); ("z", "3") ] })));
+  match Rt.retrieve t (k "P" "a") with
+  | Some row ->
+    Alcotest.(check (list (pair string string)))
+      "merged" [ ("x", "1"); ("y", "9"); ("z", "3") ] row.T.props
+  | None -> Alcotest.fail "row missing"
+
+let test_delete_semantics () =
+  let t = Rt.create () in
+  let e1 = ok_etag (Rt.execute t (T.Insert { key = k "P" "a"; props = props "1" })) in
+  Alcotest.(check bool) "delete stale etag" true
+    (Rt.execute t (T.Delete { key = k "P" "a"; etag = Some (e1 + 1) })
+     = Error T.Precondition_failed);
+  Alcotest.(check bool) "delete ok" true
+    (Rt.execute t (T.Delete { key = k "P" "a"; etag = Some e1 })
+     = Ok { T.new_etag = None });
+  Alcotest.(check bool) "delete missing" true
+    (Rt.execute t (T.Delete { key = k "P" "a"; etag = None }) = Error T.Not_found)
+
+let test_insert_or_variants () =
+  let t = Rt.create () in
+  ignore (ok_etag (Rt.execute t (T.Insert_or_replace { key = k "P" "a"; props = [ ("x", "1") ] })));
+  ignore (ok_etag (Rt.execute t (T.Insert_or_merge { key = k "P" "a"; props = [ ("y", "2") ] })));
+  ignore (ok_etag (Rt.execute t (T.Insert_or_replace { key = k "P" "a"; props = [ ("z", "3") ] })));
+  match Rt.retrieve t (k "P" "a") with
+  | Some row ->
+    Alcotest.(check (list (pair string string))) "replace wins" [ ("z", "3") ]
+      row.T.props
+  | None -> Alcotest.fail "row missing"
+
+let test_batch_atomicity () =
+  let t = Rt.create () in
+  ignore (ok_etag (Rt.execute t (T.Insert { key = k "P" "a"; props = props "1" })));
+  (* Second op fails (conflict), so the first must not be applied. *)
+  let r =
+    Rt.execute_batch t
+      [
+        T.Insert { key = k "P" "b"; props = props "2" };
+        T.Insert { key = k "P" "a"; props = props "3" };
+      ]
+  in
+  Alcotest.(check bool) "batch failed" true (r = Error T.Conflict);
+  Alcotest.(check bool) "b not inserted" true (Rt.retrieve t (k "P" "b") = None)
+
+let test_batch_rejects_cross_partition () =
+  let t = Rt.create () in
+  match
+    Rt.execute_batch t
+      [
+        T.Insert { key = k "P" "a"; props = [] };
+        T.Insert { key = k "Q" "b"; props = [] };
+      ]
+  with
+  | Error (T.Batch_rejected _) -> ()
+  | _ -> Alcotest.fail "cross-partition batch must be rejected"
+
+let test_batch_rejects_duplicate_key () =
+  let t = Rt.create () in
+  match
+    Rt.execute_batch t
+      [
+        T.Insert { key = k "P" "a"; props = [] };
+        T.Insert_or_replace { key = k "P" "a"; props = [] };
+      ]
+  with
+  | Error (T.Batch_rejected _) -> ()
+  | _ -> Alcotest.fail "duplicate key in batch must be rejected"
+
+let test_batch_success_applies_all () =
+  let t = Rt.create () in
+  match
+    Rt.execute_batch t
+      [
+        T.Insert { key = k "P" "a"; props = props "1" };
+        T.Insert { key = k "P" "b"; props = props "2" };
+      ]
+  with
+  | Ok results ->
+    Alcotest.(check int) "two results" 2 (List.length results);
+    Alcotest.(check int) "two rows" 2 (Rt.size t)
+  | Error e -> Alcotest.failf "batch failed: %s" (T.op_error_to_string e)
+
+let test_query_and_peek () =
+  let t = Rt.create () in
+  List.iter
+    (fun (pk, rk, v) ->
+      ignore (Rt.execute t (T.Insert { key = k pk rk; props = props v })))
+    [ ("P", "a", "1"); ("P", "b", "2"); ("Q", "a", "1") ];
+  let rows = Rt.query t (Filter.of_pk "P") in
+  Alcotest.(check int) "partition query" 2 (List.length rows);
+  let v1 = Rt.query t (F0.Compare (F0.Prop "v", F0.Eq, "1")) in
+  Alcotest.(check int) "filter by prop" 2 (List.length v1);
+  (match Rt.peek_after t None F0.True with
+   | Some row -> Alcotest.(check string) "first key" "P/a" (T.key_to_string row.T.key)
+   | None -> Alcotest.fail "peek empty");
+  (match Rt.peek_after t (Some (k "P" "a")) F0.True with
+   | Some row -> Alcotest.(check string) "next key" "P/b" (T.key_to_string row.T.key)
+   | None -> Alcotest.fail "peek after empty")
+
+let test_history_records_versions () =
+  let t = Rt.create () in
+  let e1 = ok_etag (Rt.execute t (T.Insert { key = k "P" "a"; props = props "1" })) in
+  ignore (Rt.execute t (T.Replace { key = k "P" "a"; etag = e1; props = props "2" }));
+  ignore (Rt.execute t (T.Delete { key = k "P" "a"; etag = None }));
+  let hist = Rt.history t (k "P" "a") in
+  Alcotest.(check int) "three versions" 3 (List.length hist);
+  (match hist with
+   | [ (_, Some r1); (_, Some r2); (_, None) ] ->
+     Alcotest.(check string) "v1" "1" (List.assoc "v" r1.T.props);
+     Alcotest.(check string) "v2" "2" (List.assoc "v" r2.T.props)
+   | _ -> Alcotest.fail "unexpected history shape");
+  Alcotest.(check int) "known keys" 1 (List.length (Rt.known_keys t))
+
+(* --- Filters ------------------------------------------------------------ *)
+
+let row_with props = { T.key = k "P" "a"; props = T.norm_props props; etag = 1 }
+
+let test_filter_semantics () =
+  let row = row_with [ ("v", "5") ] in
+  let check name f expected =
+    Alcotest.(check bool) name expected (Filter.matches f row)
+  in
+  check "true" F0.True true;
+  check "pk eq" (F0.Compare (F0.Pk, F0.Eq, "P")) true;
+  check "rk ge" (F0.Compare (F0.Rk, F0.Ge, "a")) true;
+  check "prop eq" (F0.Compare (F0.Prop "v", F0.Eq, "5")) true;
+  check "prop lt" (F0.Compare (F0.Prop "v", F0.Lt, "4")) false;
+  check "missing prop eq is false" (F0.Compare (F0.Prop "w", F0.Eq, "5")) false;
+  check "missing prop ne is true" (F0.Compare (F0.Prop "w", F0.Ne, "5")) true;
+  check "and" (F0.And (F0.True, F0.Compare (F0.Prop "v", F0.Eq, "5"))) true;
+  check "or" (F0.Or (F0.Compare (F0.Prop "v", F0.Eq, "6"), F0.True)) true;
+  check "not" (F0.Not F0.True) false
+
+(* --- Internal metadata --------------------------------------------------- *)
+
+let test_internal_vetag_strip () =
+  let raw =
+    { T.key = k "P" "a";
+      props = T.norm_props [ ("v", "1"); ("__vetag", "7") ];
+      etag = 42 }
+  in
+  Alcotest.(check int) "vetag from prop" 7 (Internal.vetag raw);
+  let stripped = Internal.strip ~bugs:Bug_flags.none raw in
+  Alcotest.(check int) "virtual etag" 7 stripped.T.etag;
+  Alcotest.(check (list (pair string string))) "reserved props stripped"
+    [ ("v", "1") ] stripped.T.props;
+  let leaky =
+    Internal.strip ~bugs:(Bug_flags.with_bug "TombstoneOutputETag") raw
+  in
+  Alcotest.(check int) "bug leaks backend etag" 42 leaky.T.etag
+
+let test_internal_tombstone () =
+  let tomb = { T.key = k "P" "a"; props = Internal.tombstone_props; etag = 1 } in
+  Alcotest.(check bool) "is tombstone" true (Internal.is_tombstone tomb);
+  Alcotest.(check bool) "live row is not" false
+    (Internal.is_tombstone (row_with (props "1")))
+
+(* --- Phases -------------------------------------------------------------- *)
+
+let test_phase_order_and_compat () =
+  Alcotest.(check int) "five phases" 5 (List.length Phase.all);
+  Alcotest.(check bool) "next chain" true
+    (Phase.next Phase.Use_old = Some Phase.Prefer_old
+     && Phase.next Phase.Use_new = None);
+  Alcotest.(check bool) "use_old incompatible with later" false
+    (Phase.compatible Phase.Use_old Phase.Prefer_old);
+  Alcotest.(check bool) "overlay incompatible with cleanup" false
+    (Phase.compatible Phase.Prefer_new Phase.Use_new_with_tombstones);
+  Alcotest.(check bool) "overlay overlap ok" true
+    (Phase.compatible Phase.Prefer_old Phase.Prefer_new)
+
+(* --- Migration protocol through the local backend ------------------------ *)
+
+let mutate lb mt mt_op rt_op =
+  Lb.set_pending lb (Lin.Mutate rt_op);
+  let res = Mt.mutate mt mt_op in
+  let rt = Lb.take_rt_outcome lb in
+  Alcotest.(check bool)
+    (Printf.sprintf "linearized: %s" (T.op_to_string mt_op))
+    true (rt <> None);
+  Alcotest.(check bool)
+    (Printf.sprintf "equivalent outcome: %s" (T.op_to_string mt_op))
+    true
+    (T.outcome_equivalent (T.Mutated res) (Option.get rt));
+  res
+
+let retrieve lb mt key =
+  Lb.set_pending lb (Lin.Read (T.Retrieve key));
+  let row = Mt.retrieve mt key in
+  let rt = Option.get (Lb.take_rt_outcome lb) in
+  Alcotest.(check bool) "retrieve equivalent" true
+    (T.outcome_equivalent (T.Row row) rt);
+  row
+
+let query lb mt filter =
+  Lb.set_pending lb (Lin.Read (T.Query_atomic filter));
+  let rows = Mt.query_atomic mt filter in
+  let rt = Option.get (Lb.take_rt_outcome lb) in
+  Alcotest.(check bool) "query equivalent" true
+    (T.outcome_equivalent (T.Rows rows) rt);
+  rows
+
+let same op = (op, op)
+
+let test_full_migration_with_ops () =
+  let lb = Lb.create () in
+  let mt = Mt.create (Lb.ops lb) in
+  (* USE_OLD *)
+  let m1, r1 = same (T.Insert { key = k "P" "a"; props = props "1" }) in
+  let e_mt = ok_etag (mutate lb mt m1 r1) in
+  let e_rt =
+    match Rt.retrieve (Lb.rt lb) (k "P" "a") with
+    | Some r -> r.T.etag
+    | None -> Alcotest.fail "rt row"
+  in
+  (* overlay: conditional update using the pair of observed etags *)
+  Lb.set_phase lb Phase.Prefer_old;
+  let e_mt2 =
+    ok_etag
+      (mutate lb mt
+         (T.Replace { key = k "P" "a"; etag = e_mt; props = props "2" })
+         (T.Replace { key = k "P" "a"; etag = e_rt; props = props "2" }))
+  in
+  ignore e_mt2;
+  (* stale etags fail on both sides *)
+  (match
+     mutate lb mt
+       (T.Replace { key = k "P" "a"; etag = e_mt; props = props "3" })
+       (T.Replace { key = k "P" "a"; etag = e_rt; props = props "3" })
+   with
+   | Error T.Precondition_failed -> ()
+   | _ -> Alcotest.fail "stale replace must fail");
+  (* insert another row, delete it (tombstone), check reads *)
+  let m2, r2 = same (T.Insert { key = k "P" "b"; props = props "9" }) in
+  ignore (ok_etag (mutate lb mt m2 r2));
+  let m3, r3 = same (T.Delete { key = k "P" "b"; etag = None }) in
+  (match mutate lb mt m3 r3 with
+   | Ok { T.new_etag = None } -> ()
+   | _ -> Alcotest.fail "delete should succeed");
+  Alcotest.(check bool) "deleted row invisible" true
+    (retrieve lb mt (k "P" "b") = None);
+  (* run the migration to completion *)
+  Chaintable.Migrator.run
+    { Chaintable.Migrator.backend = Lb.ops lb; advance = Lb.advance lb };
+  Alcotest.(check bool) "reaches USE_NEW" true (Lb.phase lb = Phase.Use_new);
+  Alcotest.(check int) "old table emptied" 0 (Rt.size (Lb.old_table lb));
+  Alcotest.(check int) "no tombstones left" 1 (Rt.size (Lb.new_table lb));
+  (* post-migration behavior *)
+  let rows = query lb mt F0.True in
+  Alcotest.(check int) "one live row" 1 (List.length rows);
+  (match retrieve lb mt (k "P" "a") with
+   | Some row -> Alcotest.(check string) "value survived" "2" (List.assoc "v" row.T.props)
+   | None -> Alcotest.fail "row lost by migration")
+
+let test_migration_preserves_held_etags () =
+  (* An etag observed before migration must keep working afterwards
+     (virtual etags). *)
+  let lb = Lb.create () in
+  let mt = Mt.create (Lb.ops lb) in
+  let m1, r1 = same (T.Insert { key = k "P" "a"; props = props "1" }) in
+  let e_mt = ok_etag (mutate lb mt m1 r1) in
+  let e_rt = (Option.get (Rt.retrieve (Lb.rt lb) (k "P" "a"))).T.etag in
+  Chaintable.Migrator.run
+    { Chaintable.Migrator.backend = Lb.ops lb; advance = Lb.advance lb };
+  match
+    mutate lb mt
+      (T.Replace { key = k "P" "a"; etag = e_mt; props = props "2" })
+      (T.Replace { key = k "P" "a"; etag = e_rt; props = props "2" })
+  with
+  | Ok _ -> ()
+  | Error e ->
+    Alcotest.failf "pre-migration etag rejected after migration: %s"
+      (T.op_error_to_string e)
+
+let test_streamed_query_post_migration () =
+  let lb = Lb.create () in
+  let mt = Mt.create (Lb.ops lb) in
+  List.iter
+    (fun (rk, v) ->
+      let op, op' = same (T.Insert { key = k "P" rk; props = props v }) in
+      ignore (ok_etag (mutate lb mt op op')))
+    [ ("a", "1"); ("b", "2"); ("c", "1") ];
+  Chaintable.Migrator.run
+    { Chaintable.Migrator.backend = Lb.ops lb; advance = Lb.advance lb };
+  let stream = Mt.query_streamed mt (F0.Compare (F0.Prop "v", F0.Eq, "1")) in
+  let rows = Mt.stream_to_list stream in
+  Alcotest.(check (list string)) "filtered stream in key order"
+    [ "P/a"; "P/c" ]
+    (List.map (fun r -> T.key_to_string r.T.key) rows)
+
+let test_skip_prefer_old_loses_rows () =
+  let lb = Lb.create () in
+  let mt = Mt.create (Lb.ops lb) in
+  let op, op' = same (T.Insert { key = k "P" "a"; props = props "1" }) in
+  ignore (ok_etag (mutate lb mt op op'));
+  Chaintable.Migrator.run
+    ~bugs:(Bug_flags.with_bug "MigrateSkipPreferOld")
+    { Chaintable.Migrator.backend = Lb.ops lb; advance = Lb.advance lb };
+  (* The row is gone from the virtual table but the reference table still
+     has it: the retrieve comparison must now diverge. *)
+  Lb.set_pending lb (Lin.Read (T.Retrieve (k "P" "a")));
+  let row = Mt.retrieve mt (k "P" "a") in
+  let rt = Option.get (Lb.take_rt_outcome lb) in
+  Alcotest.(check bool) "divergence detected" false
+    (T.outcome_equivalent (T.Row row) rt)
+
+(* --- Spec_check ----------------------------------------------------------- *)
+
+let make_history_table () =
+  (* key a: v=1 at t=1, v=2 at t=10; key b: v=1 at t=1, deleted at t=10. *)
+  let t = Rt.create () in
+  let e_a = ok_etag (Rt.execute ~at:1 t (T.Insert { key = k "P" "a"; props = props "1" })) in
+  let e_b = ok_etag (Rt.execute ~at:1 t (T.Insert { key = k "P" "b"; props = props "1" })) in
+  ignore (Rt.execute ~at:10 t (T.Replace { key = k "P" "a"; etag = e_a; props = props "2" }));
+  ignore (Rt.execute ~at:10 t (T.Delete { key = k "P" "b"; etag = Some e_b }));
+  t
+
+let emission rk v at =
+  { Chaintable.Spec_check.row = { T.key = k "P" rk; props = props v; etag = 0 }; at }
+
+let check_stream rt ~started_at ~finished_at emissions =
+  Chaintable.Spec_check.check_stream ~rt ~started_at ~finished_at
+    ~filter:F0.True ~emissions
+
+let test_spec_valid_stream () =
+  let rt = make_history_table () in
+  (* Stream spanning the change: may see old or new values. *)
+  Alcotest.(check bool) "old values ok" true
+    (check_stream rt ~started_at:5 ~finished_at:8
+       [ emission "a" "1" 6; emission "b" "1" 7 ]
+     = Ok ());
+  Alcotest.(check bool) "new value + skip deleted ok" true
+    (check_stream rt ~started_at:5 ~finished_at:15 [ emission "a" "2" 12 ] = Ok ())
+
+let test_spec_rejects_stale_emission () =
+  let rt = make_history_table () in
+  (* Stream started after the update: v=1 is no longer observable. *)
+  Alcotest.(check bool) "stale row rejected" true
+    (check_stream rt ~started_at:11 ~finished_at:15 [ emission "a" "1" 12 ]
+     <> Ok ())
+
+let test_spec_rejects_missed_row () =
+  let rt = make_history_table () in
+  (* Key a exists continuously; a stream that never emits it is wrong. *)
+  Alcotest.(check bool) "missed row rejected" true
+    (check_stream rt ~started_at:2 ~finished_at:8 [ emission "b" "1" 6 ] <> Ok ())
+
+let test_spec_rejects_unordered () =
+  let rt = make_history_table () in
+  Alcotest.(check bool) "unordered rejected" true
+    (check_stream rt ~started_at:5 ~finished_at:8
+       [ emission "b" "1" 6; emission "a" "1" 7 ]
+     <> Ok ())
+
+let test_spec_allows_skip_of_deleted () =
+  let rt = make_history_table () in
+  (* Key b absent from t=10 on: a stream reading past it later may skip it. *)
+  Alcotest.(check bool) "skip of deleted ok" true
+    (check_stream rt ~started_at:5 ~finished_at:20 [ emission "a" "2" 18 ] = Ok ())
+
+(* --- Property test: random synchronous histories ------------------------- *)
+
+let op_gen =
+  let open QCheck.Gen in
+  let key_g = map2 (fun pk rk -> k pk rk)
+      (oneofl [ "P0"; "P1" ]) (oneofl [ "a"; "b"; "c" ]) in
+  let v_g = map (fun i -> props (string_of_int i)) (int_range 0 5) in
+  frequency
+    [
+      (3, map2 (fun key props -> `Insert (key, props)) key_g v_g);
+      (3, map2 (fun key props -> `Upsert (key, props)) key_g v_g);
+      (2, map2 (fun key props -> `Replace_current (key, props)) key_g v_g);
+      (2, map2 (fun key props -> `Merge_current (key, props)) key_g v_g);
+      (2, map (fun key -> `Delete_uncond key) key_g);
+      (1, map (fun key -> `Delete_current key) key_g);
+      (2, map (fun key -> `Retrieve key) key_g);
+      (1, return `Query);
+      (1, return `Advance);
+      (1, map2 (fun rks v -> `Batch (rks, v))
+           (list_size (2 -- 3) (oneofl [ "a"; "b"; "c"; "d" ]))
+           (int_range 0 5));
+    ]
+
+let prop_mt_equals_rt =
+  QCheck.Test.make ~name:"migrating table ≡ reference table (synchronous)"
+    ~count:150
+    (QCheck.make QCheck.Gen.(list_size (5 -- 40) op_gen))
+    (fun ops ->
+      let lb = Lb.create () in
+      let mt = Mt.create (Lb.ops lb) in
+      (* (mt_etag, rt_etag) pairs per key, newest first *)
+      let pairs : (T.key * (int * int)) list ref = ref [] in
+      let current key = List.assoc_opt key !pairs in
+      let run mt_op rt_op =
+        Lb.set_pending lb (Lin.Mutate rt_op);
+        let res = Mt.mutate mt mt_op in
+        match Lb.take_rt_outcome lb with
+        | None -> false
+        | Some rt ->
+          let equiv = T.outcome_equivalent (T.Mutated res) rt in
+          (match (res, rt) with
+           | Ok { T.new_etag = Some m }, T.Mutated (Ok { T.new_etag = Some r }) ->
+             pairs := (T.op_key mt_op, (m, r))
+                      :: List.remove_assoc (T.op_key mt_op) !pairs
+           | _ -> ());
+          equiv
+      in
+      let step = function
+        | `Insert (key, props) ->
+          run (T.Insert { key; props }) (T.Insert { key; props })
+        | `Upsert (key, props) ->
+          run (T.Insert_or_replace { key; props })
+            (T.Insert_or_replace { key; props })
+        | `Replace_current (key, props) -> begin
+          match current key with
+          | Some (m, r) ->
+            run (T.Replace { key; etag = m; props })
+              (T.Replace { key; etag = r; props })
+          | None -> true
+        end
+        | `Merge_current (key, props) -> begin
+          match current key with
+          | Some (m, r) ->
+            run (T.Merge { key; etag = m; props })
+              (T.Merge { key; etag = r; props })
+          | None -> true
+        end
+        | `Delete_uncond key ->
+          run (T.Delete { key; etag = None }) (T.Delete { key; etag = None })
+        | `Delete_current key -> begin
+          match current key with
+          | Some (m, r) ->
+            run (T.Delete { key; etag = Some m })
+              (T.Delete { key; etag = Some r })
+          | None -> true
+        end
+        | `Retrieve key ->
+          Lb.set_pending lb (Lin.Read (T.Retrieve key));
+          let row = Mt.retrieve mt key in
+          (match Lb.take_rt_outcome lb with
+           | Some rt -> T.outcome_equivalent (T.Row row) rt
+           | None -> false)
+        | `Query ->
+          Lb.set_pending lb (Lin.Read (T.Query_atomic F0.True));
+          let rows = Mt.query_atomic mt F0.True in
+          (match Lb.take_rt_outcome lb with
+           | Some rt -> T.outcome_equivalent (T.Rows rows) rt
+           | None -> false)
+        | `Batch (rks, v) -> begin
+          let rks = List.sort_uniq compare rks in
+          let ops =
+            List.map
+              (fun rk ->
+                T.Insert_or_replace
+                  { key = k "P0" rk; props = props (string_of_int v) })
+              rks
+          in
+          let res = Mt.mutate_batch mt ops in
+          ignore (Lb.take_rt_outcome lb);
+          match (Lb.phase lb, List.length ops) with
+          | (Phase.Prefer_old | Phase.Prefer_new), n when n > 1 ->
+            (* documented restriction: nothing may have been applied *)
+            (match res with Error (T.Batch_rejected _) -> true | _ -> false)
+          | _ ->
+            let rt_res = Rt.execute_batch (Lb.rt lb) ops in
+            (match (res, rt_res) with
+             | Ok a, Ok b -> List.length a = List.length b
+             | Error a, Error b -> a = b
+             | _ -> false)
+        end
+        | `Advance -> begin
+          match Phase.next (Lb.phase lb) with
+          | Some Phase.Prefer_new ->
+            (* Entering PREFER_NEW requires the copy pass to be complete. *)
+            Chaintable.Migrator.(
+              run { backend = Lb.ops lb; advance = Lb.advance lb });
+            true
+          | Some p ->
+            Lb.advance lb p;
+            true
+          | None -> true
+        end
+      in
+      List.for_all step ops)
+
+let suite =
+  [
+    Alcotest.test_case "rt: insert + conflict" `Quick test_insert_and_conflict;
+    Alcotest.test_case "rt: replace etag semantics" `Quick
+      test_replace_etag_semantics;
+    Alcotest.test_case "rt: merge keeps props" `Quick test_merge_keeps_other_props;
+    Alcotest.test_case "rt: delete semantics" `Quick test_delete_semantics;
+    Alcotest.test_case "rt: insert-or variants" `Quick test_insert_or_variants;
+    Alcotest.test_case "rt: batch atomicity" `Quick test_batch_atomicity;
+    Alcotest.test_case "rt: batch cross-partition" `Quick
+      test_batch_rejects_cross_partition;
+    Alcotest.test_case "rt: batch duplicate key" `Quick
+      test_batch_rejects_duplicate_key;
+    Alcotest.test_case "rt: batch success" `Quick test_batch_success_applies_all;
+    Alcotest.test_case "rt: query + peek" `Quick test_query_and_peek;
+    Alcotest.test_case "rt: history" `Quick test_history_records_versions;
+    Alcotest.test_case "filter semantics" `Quick test_filter_semantics;
+    Alcotest.test_case "internal: vetag + strip" `Quick test_internal_vetag_strip;
+    Alcotest.test_case "internal: tombstone" `Quick test_internal_tombstone;
+    Alcotest.test_case "phases" `Quick test_phase_order_and_compat;
+    Alcotest.test_case "mt: full migration with ops" `Quick
+      test_full_migration_with_ops;
+    Alcotest.test_case "mt: held etags survive migration" `Quick
+      test_migration_preserves_held_etags;
+    Alcotest.test_case "mt: streamed query post-migration" `Quick
+      test_streamed_query_post_migration;
+    Alcotest.test_case "mt: skip-prefer-old loses rows" `Quick
+      test_skip_prefer_old_loses_rows;
+    Alcotest.test_case "spec: valid stream" `Quick test_spec_valid_stream;
+    Alcotest.test_case "spec: stale emission" `Quick
+      test_spec_rejects_stale_emission;
+    Alcotest.test_case "spec: missed row" `Quick test_spec_rejects_missed_row;
+    Alcotest.test_case "spec: unordered" `Quick test_spec_rejects_unordered;
+    Alcotest.test_case "spec: skip of deleted" `Quick
+      test_spec_allows_skip_of_deleted;
+    QCheck_alcotest.to_alcotest prop_mt_equals_rt;
+  ]
+
+(* --- Batches through the migrating table -------------------------------- *)
+
+(* For batches the reference outcome is computed by applying the same
+   batch directly to the reference table (the local backend is race-free,
+   so no linearization plumbing is needed). *)
+let batch lb mt ops rt_ops =
+  let res = Mt.mutate_batch mt ops in
+  ignore (Lb.take_rt_outcome lb);
+  let rt_res = Rt.execute_batch (Lb.rt lb) rt_ops in
+  (res, rt_res)
+
+let test_batch_use_old_passthrough () =
+  let lb = Lb.create () in
+  let mt = Mt.create (Lb.ops lb) in
+  let ops =
+    [
+      T.Insert { key = k "P" "a"; props = props "1" };
+      T.Insert { key = k "P" "b"; props = props "2" };
+    ]
+  in
+  (match batch lb mt ops ops with
+   | Ok rs, Ok rs' ->
+     Alcotest.(check int) "two results" 2 (List.length rs);
+     Alcotest.(check int) "rt two results" 2 (List.length rs')
+   | _ -> Alcotest.fail "batch should succeed in USE_OLD");
+  (* atomicity: second op conflicts, first must not apply *)
+  let ops2 =
+    [
+      T.Insert { key = k "P" "c"; props = props "3" };
+      T.Insert { key = k "P" "a"; props = props "9" };
+    ]
+  in
+  (match batch lb mt ops2 ops2 with
+   | Error T.Conflict, Error T.Conflict -> ()
+   | _ -> Alcotest.fail "conflicting batch must fail on both");
+  Lb.set_pending lb (Lin.Read (T.Retrieve (k "P" "c")));
+  Alcotest.(check bool) "c not inserted" true (Mt.retrieve mt (k "P" "c") = None)
+
+let test_batch_rejected_during_overlay () =
+  let lb = Lb.create () in
+  let mt = Mt.create (Lb.ops lb) in
+  Lb.set_phase lb Phase.Prefer_old;
+  match
+    Mt.mutate_batch mt
+      [
+        T.Insert { key = k "P" "a"; props = props "1" };
+        T.Insert { key = k "P" "b"; props = props "2" };
+      ]
+  with
+  | Error (T.Batch_rejected _) -> ()
+  | _ -> Alcotest.fail "multi-op batch must be rejected mid-migration"
+
+let test_batch_new_only_translates_etags () =
+  let lb = Lb.create () in
+  let mt = Mt.create (Lb.ops lb) in
+  (* Insert pre-migration so the row carries a virtual etag afterwards. *)
+  let m1, r1 = same (T.Insert { key = k "P" "a"; props = props "1" }) in
+  let e_mt = ok_etag (mutate lb mt m1 r1) in
+  Chaintable.Migrator.run
+    { Chaintable.Migrator.backend = Lb.ops lb; advance = Lb.advance lb };
+  (* Conditional replace via a batch using the pre-migration virtual etag,
+     bundled with an insert. *)
+  let ops =
+    [
+      T.Replace { key = k "P" "a"; etag = e_mt; props = props "2" };
+      T.Insert { key = k "P" "b"; props = props "3" };
+    ]
+  in
+  (match Mt.mutate_batch mt ops with
+   | Ok rs -> Alcotest.(check int) "two results" 2 (List.length rs)
+   | Error e ->
+     Alcotest.failf "batch failed post-migration: %s" (T.op_error_to_string e));
+  (* Stale etag in a batch fails and applies nothing. *)
+  (match
+     Mt.mutate_batch mt
+       [
+         T.Replace { key = k "P" "a"; etag = e_mt; props = props "9" };
+         T.Delete { key = k "P" "b"; etag = None };
+       ]
+   with
+   | Error T.Precondition_failed -> ()
+   | _ -> Alcotest.fail "stale conditional batch must fail");
+  Lb.set_pending lb (Lin.Read (T.Retrieve (k "P" "b")));
+  Alcotest.(check bool) "b survived the failed batch" true
+    (Mt.retrieve mt (k "P" "b") <> None)
+
+let test_batch_singleton_any_phase () =
+  let lb = Lb.create () in
+  let mt = Mt.create (Lb.ops lb) in
+  Lb.set_phase lb Phase.Prefer_old;
+  Lb.set_pending lb (Lin.Mutate (T.Insert { key = k "P" "a"; props = props "1" }));
+  match Mt.mutate_batch mt [ T.Insert { key = k "P" "a"; props = props "1" } ] with
+  | Ok [ _ ] -> ()
+  | _ -> Alcotest.fail "singleton batch must work during migration"
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "mt batch: use_old passthrough + atomicity" `Quick
+        test_batch_use_old_passthrough;
+      Alcotest.test_case "mt batch: rejected during overlay" `Quick
+        test_batch_rejected_during_overlay;
+      Alcotest.test_case "mt batch: etag translation post-migration" `Quick
+        test_batch_new_only_translates_etags;
+      Alcotest.test_case "mt batch: singleton in any phase" `Quick
+        test_batch_singleton_any_phase;
+    ]

@@ -1,0 +1,31 @@
+(* Event naming and printer registration. *)
+
+module Event = Psharp.Event
+
+type Event.t += Sample_event of int | Other_event
+
+let test_name_strips_path () =
+  Alcotest.(check string) "bare constructor name" "Sample_event"
+    (Event.name (Sample_event 3));
+  Alcotest.(check string) "builtin" "Halt_event" (Event.name Event.Halt_event)
+
+let test_default_to_string () =
+  Alcotest.(check string) "falls back to name" "Other_event"
+    (Event.to_string Other_event)
+
+let test_registered_printer_wins () =
+  Event.register_printer (function
+    | Sample_event i -> Some (Printf.sprintf "Sample(%d)" i)
+    | _ -> None);
+  Alcotest.(check string) "printer used" "Sample(7)"
+    (Event.to_string (Sample_event 7));
+  Alcotest.(check string) "other unaffected" "Other_event"
+    (Event.to_string Other_event)
+
+let suite =
+  [
+    Alcotest.test_case "name strips module path" `Quick test_name_strips_path;
+    Alcotest.test_case "default to_string" `Quick test_default_to_string;
+    Alcotest.test_case "registered printer wins" `Quick
+      test_registered_printer_wins;
+  ]

@@ -1,0 +1,135 @@
+(* Fabric model: user services, replica lifecycle via the engine, the §5
+   promotion bug, and the CScale-like chained service. *)
+
+module E = Psharp.Engine
+module Error = Psharp.Error
+module Service = Fabric.Service
+
+(* --- User services ------------------------------------------------------- *)
+
+let test_counter_service () =
+  let s = Service.counter () in
+  Alcotest.(check bool) "increment" true (s.Service.apply Service.Increment = Service.Value 1);
+  Alcotest.(check bool) "add" true (s.Service.apply (Service.Add 4) = Service.Value 5);
+  Alcotest.(check bool) "get" true (s.Service.apply (Service.Get "_") = Service.Value 5)
+
+let test_counter_snapshot_restore () =
+  let a = Service.counter () in
+  ignore (a.Service.apply (Service.Add 7));
+  let b = Service.counter () in
+  b.Service.restore (a.Service.snapshot ());
+  Alcotest.(check bool) "restored" true
+    (b.Service.apply (Service.Get "_") = Service.Value 7)
+
+let test_kv_service () =
+  let s = Service.kv_store () in
+  Alcotest.(check bool) "get missing" true
+    (s.Service.apply (Service.Get "k") = Service.Absent);
+  ignore (s.Service.apply (Service.Put ("k", 3)));
+  Alcotest.(check bool) "get" true (s.Service.apply (Service.Get "k") = Service.Value 3);
+  let b = Service.kv_store () in
+  b.Service.restore (s.Service.snapshot ());
+  Alcotest.(check bool) "snapshot/restore" true
+    (b.Service.apply (Service.Get "k") = Service.Value 3)
+
+let test_mutates () =
+  Alcotest.(check bool) "increment mutates" true (Service.mutates Service.Increment);
+  Alcotest.(check bool) "get does not" false (Service.mutates (Service.Get "x"))
+
+(* --- Engine-driven fabric tests ------------------------------------------ *)
+
+let config =
+  {
+    E.default_config with
+    max_executions = 5_000;
+    max_steps = 3_000;
+    seed = 0L;
+  }
+
+let run_fabric ?(config = config) bugs =
+  E.run
+    ~monitors:(fun () -> Fabric.Harness.monitors ())
+    config
+    (Fabric.Harness.test ~bugs ())
+
+let test_promotion_bug_found () =
+  match run_fabric Fabric.Bug_flags.promotion_bug with
+  | E.Bug_found (report, _) -> begin
+    match report.Error.kind with
+    | Error.Assertion_failure { message; _ } ->
+      Alcotest.(check bool) "promotion assertion" true
+        (String.length message > 0)
+    | k -> Alcotest.failf "wrong kind: %s" (Error.kind_to_string k)
+  end
+  | E.No_bug _ -> Alcotest.fail "promotion bug not found"
+
+let test_fixed_fabric_clean () =
+  match
+    run_fabric ~config:{ config with max_executions = 500 } Fabric.Bug_flags.none
+  with
+  | E.No_bug _ -> ()
+  | E.Bug_found (r, _) ->
+    Alcotest.failf "false positive: %s" (Error.kind_to_string r.Error.kind)
+
+let test_promotion_bug_replays () =
+  match run_fabric Fabric.Bug_flags.promotion_bug with
+  | E.Bug_found (report, _) ->
+    let result =
+      E.replay
+        ~monitors:(fun () -> Fabric.Harness.monitors ())
+        config report.Error.trace
+        (Fabric.Harness.test ~bugs:Fabric.Bug_flags.promotion_bug ())
+    in
+    (match result.Psharp.Runtime.bug with
+     | Some (Error.Assertion_failure _) -> ()
+     | _ -> Alcotest.fail "replay did not reproduce the promotion bug")
+  | E.No_bug _ -> Alcotest.fail "bug not found"
+
+let test_kv_service_on_fabric () =
+  match
+    E.run
+      ~monitors:(fun () -> Fabric.Harness.monitors ())
+      { config with max_executions = 300 }
+      (Fabric.Harness.test ~make_service:Service.kv_store ())
+  with
+  | E.No_bug _ -> ()
+  | E.Bug_found (r, _) ->
+    Alcotest.failf "kv service false positive: %s"
+      (Error.kind_to_string r.Error.kind)
+
+(* --- CScale-like chained service ------------------------------------------ *)
+
+let run_cscale ?(config = config) bugs =
+  E.run config (Fabric.Chained.test ~bugs ())
+
+let test_cscale_bug_found () =
+  match run_cscale Fabric.Bug_flags.cscale_bug with
+  | E.Bug_found (report, _) -> begin
+    match report.Error.kind with
+    | Error.Machine_exception { exn; _ } ->
+      Alcotest.(check bool) "is the null dereference" true
+        (String.length exn > 0)
+    | k -> Alcotest.failf "wrong kind: %s" (Error.kind_to_string k)
+  end
+  | E.No_bug _ -> Alcotest.fail "CScale null dereference not found"
+
+let test_cscale_fixed_clean () =
+  match run_cscale ~config:{ config with max_executions = 2_000 } Fabric.Bug_flags.none with
+  | E.No_bug _ -> ()
+  | E.Bug_found (r, _) ->
+    Alcotest.failf "false positive: %s" (Error.kind_to_string r.Error.kind)
+
+let suite =
+  [
+    Alcotest.test_case "counter service" `Quick test_counter_service;
+    Alcotest.test_case "counter snapshot/restore" `Quick
+      test_counter_snapshot_restore;
+    Alcotest.test_case "kv service" `Quick test_kv_service;
+    Alcotest.test_case "mutates classification" `Quick test_mutates;
+    Alcotest.test_case "promotion bug found" `Slow test_promotion_bug_found;
+    Alcotest.test_case "fixed fabric clean" `Slow test_fixed_fabric_clean;
+    Alcotest.test_case "promotion bug replays" `Slow test_promotion_bug_replays;
+    Alcotest.test_case "kv service on fabric" `Slow test_kv_service_on_fabric;
+    Alcotest.test_case "cscale bug found" `Slow test_cscale_bug_found;
+    Alcotest.test_case "cscale fixed clean" `Slow test_cscale_fixed_clean;
+  ]

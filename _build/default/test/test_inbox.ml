@@ -1,0 +1,100 @@
+(* FIFO inbox with filtered dequeue. *)
+
+module Inbox = Psharp.Inbox
+module Event = Psharp.Event
+
+type Event.t += N of int
+
+let n i = N i
+
+let to_int = function N i -> i | _ -> -1
+
+let drain inbox =
+  let rec go acc =
+    match Inbox.pop_first inbox (fun _ -> true) with
+    | Some e -> go (to_int e :: acc)
+    | None -> List.rev acc
+  in
+  go []
+
+let test_fifo () =
+  let q = Inbox.create () in
+  List.iter (fun i -> Inbox.push q (n i)) [ 1; 2; 3; 4 ];
+  Alcotest.(check (list int)) "fifo order" [ 1; 2; 3; 4 ] (drain q)
+
+let test_filtered_pop_preserves_order () =
+  let q = Inbox.create () in
+  List.iter (fun i -> Inbox.push q (n i)) [ 1; 2; 3; 4; 5 ];
+  let picked = Inbox.pop_first q (fun e -> to_int e mod 2 = 0) in
+  Alcotest.(check int) "first even" 2 (to_int (Option.get picked));
+  Alcotest.(check (list int)) "others in order" [ 1; 3; 4; 5 ] (drain q)
+
+let test_pop_none () =
+  let q = Inbox.create () in
+  Inbox.push q (n 1);
+  Alcotest.(check bool) "no match" true
+    (Inbox.pop_first q (fun e -> to_int e = 9) = None);
+  Alcotest.(check int) "element kept" 1 (Inbox.length q)
+
+let test_exists_and_clear () =
+  let q = Inbox.create () in
+  Alcotest.(check bool) "empty" true (Inbox.is_empty q);
+  Inbox.push q (n 5);
+  Alcotest.(check bool) "exists" true (Inbox.exists q (fun e -> to_int e = 5));
+  Alcotest.(check bool) "not exists" false (Inbox.exists q (fun e -> to_int e = 6));
+  Inbox.clear q;
+  Alcotest.(check bool) "cleared" true (Inbox.is_empty q)
+
+let test_interleaved_push_pop () =
+  let q = Inbox.create () in
+  Inbox.push q (n 1);
+  Inbox.push q (n 2);
+  ignore (Inbox.pop_first q (fun _ -> true));
+  Inbox.push q (n 3);
+  Alcotest.(check (list int)) "order across push/pop" [ 2; 3 ] (drain q)
+
+(* Model-based property: Inbox behaves like a functional queue with
+   filtered removal. *)
+let prop_model =
+  let open QCheck in
+  Test.make ~name:"inbox matches list model" ~count:300
+    (list (pair bool (int_range 0 9)))
+    (fun ops ->
+      let q = Inbox.create () in
+      let model = ref [] in
+      List.for_all
+        (fun (is_push, v) ->
+          if is_push then begin
+            Inbox.push q (n v);
+            model := !model @ [ v ];
+            true
+          end
+          else begin
+            let pred e = to_int e mod 3 = v mod 3 in
+            let expected =
+              match List.find_opt (fun x -> x mod 3 = v mod 3) !model with
+              | Some x ->
+                model := (
+                  let rec remove = function
+                    | [] -> []
+                    | y :: ys -> if y = x then ys else y :: remove ys
+                  in
+                  remove !model);
+                Some x
+              | None -> None
+            in
+            let got = Option.map to_int (Inbox.pop_first q pred) in
+            got = expected && Inbox.length q = List.length !model
+          end)
+        ops)
+
+let suite =
+  [
+    Alcotest.test_case "fifo order" `Quick test_fifo;
+    Alcotest.test_case "filtered pop preserves order" `Quick
+      test_filtered_pop_preserves_order;
+    Alcotest.test_case "pop with no match" `Quick test_pop_none;
+    Alcotest.test_case "exists / clear" `Quick test_exists_and_clear;
+    Alcotest.test_case "interleaved push/pop" `Quick test_interleaved_push_pop;
+    QCheck_alcotest.to_alcotest prop_model;
+  ]

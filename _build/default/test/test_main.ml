@@ -1,0 +1,23 @@
+let () =
+  Alcotest.run "psharp-repro"
+    [
+      ("prng", Test_prng.suite);
+      ("trace", Test_trace.suite);
+      ("inbox", Test_inbox.suite);
+      ("event", Test_event.suite);
+      ("monitor", Test_monitor.suite);
+      ("runtime", Test_runtime.suite);
+      ("statemachine", Test_statemachine.suite);
+      ("strategies", Test_strategies.suite);
+      ("engine", Test_engine.suite);
+      ("core-extra", Test_core_extra.suite);
+      ("pushpop-delay", Test_pushpop.suite);
+      ("replication", Test_replication.suite);
+      ("vnext", Test_vnext.suite);
+      ("chaintable", Test_chaintable.suite);
+      ("chaintable-harness", Test_chaintable_harness.suite);
+      ("fabric", Test_fabric.suite);
+      ("consensus", Test_consensus.suite);
+      ("shrinker", Test_shrinker.suite);
+      ("substrate-extra", Test_substrate_extra.suite);
+    ]

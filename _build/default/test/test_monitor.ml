@@ -1,0 +1,77 @@
+(* Monitor mechanics: states, temperatures, transitions, failures. *)
+
+module M = Psharp.Monitor
+module Event = Psharp.Event
+
+type Event.t += Up | Down
+
+let mk () =
+  M.make ~name:"Mon" ~initial:"Cold"
+    ~states:[ ("Cold", M.Cold); ("Hot", M.Hot); ("Mid", M.Neutral) ]
+    (fun m e ->
+      match e with
+      | Up -> M.goto m "Hot"
+      | Down -> M.goto m "Cold"
+      | _ -> ())
+
+let test_initial_state () =
+  let m = mk () in
+  Alcotest.(check string) "initial" "Cold" (M.current m);
+  Alcotest.(check bool) "cold not hot" false (M.is_hot m)
+
+let test_transitions_and_temperature () =
+  let m = mk () in
+  M.notify m Up;
+  Alcotest.(check string) "hot state" "Hot" (M.current m);
+  Alcotest.(check bool) "is hot" true (M.is_hot m);
+  M.notify m Down;
+  Alcotest.(check bool) "cooled" false (M.is_hot m)
+
+let test_goto_undeclared () =
+  let m = mk () in
+  Alcotest.(check bool) "undeclared goto raises" true
+    (try
+       M.goto m "Nope";
+       false
+     with Invalid_argument _ -> true)
+
+let test_initial_undeclared () =
+  Alcotest.(check bool) "undeclared initial raises" true
+    (try
+       ignore
+         (M.make ~name:"Bad" ~initial:"X" ~states:[ ("A", M.Neutral) ]
+            (fun _ _ -> ()));
+       false
+     with Invalid_argument _ -> true)
+
+let test_fail_raises_bug () =
+  let m = mk () in
+  Alcotest.(check bool) "fail raises Error.Bug" true
+    (try
+       M.fail m "oops"
+     with
+     | Psharp.Error.Bug (Psharp.Error.Safety_violation { monitor; message }) ->
+       monitor = "Mon" && message = "oops")
+
+let test_assert_passthrough () =
+  let m = mk () in
+  M.assert_ m true "fine";
+  Alcotest.(check bool) "assert true is no-op" true (M.current m = "Cold")
+
+let test_hot_since_bookkeeping () =
+  let m = mk () in
+  Alcotest.(check (option int)) "initially none" None (M.hot_since m);
+  M.set_hot_since m (Some 17);
+  Alcotest.(check (option int)) "stored" (Some 17) (M.hot_since m)
+
+let suite =
+  [
+    Alcotest.test_case "initial state" `Quick test_initial_state;
+    Alcotest.test_case "transitions and temperature" `Quick
+      test_transitions_and_temperature;
+    Alcotest.test_case "goto undeclared" `Quick test_goto_undeclared;
+    Alcotest.test_case "initial undeclared" `Quick test_initial_undeclared;
+    Alcotest.test_case "fail raises" `Quick test_fail_raises_bug;
+    Alcotest.test_case "assert passthrough" `Quick test_assert_passthrough;
+    Alcotest.test_case "hot_since bookkeeping" `Quick test_hot_since_bookkeeping;
+  ]

@@ -1,0 +1,199 @@
+(* Push/pop state transitions (P# semantics) and the delay-bounded
+   scheduler. *)
+
+module R = Psharp.Runtime
+module Sm = Psharp.Statemachine
+module E = Psharp.Engine
+module Event = Psharp.Event
+module Error = Psharp.Error
+
+type Event.t += Go_push | Go_pop | Shared of int | Only_base | Fin
+
+let strategy ~seed =
+  match (Psharp.Random_strategy.factory ~seed).Psharp.Strategy.fresh ~iteration:0 with
+  | Some s -> s
+  | None -> assert false
+
+let execute body =
+  R.execute { R.default_config with max_steps = 1_000 } (strategy ~seed:1L)
+    ~monitors:[] ~name:"Root" body
+
+type model = { mutable log : string list }
+
+let record m s = m.log <- s :: m.log
+
+let machine_with states init m ctx sctx =
+  ignore ctx;
+  Sm.run sctx ~machine:"PushPopSm" ~states ~init m
+
+let base_states m =
+  ignore m;
+  let base =
+    Sm.state "Base"
+      ~entry:(fun _ m -> record m "enter base")
+      [
+        ("Go_push", fun _ _ _ -> Sm.Push "Overlay");
+        ( "Only_base",
+          fun _ m _ ->
+            record m "base handled Only_base";
+            Sm.Stay );
+        ( "Shared",
+          fun _ m _ ->
+            record m "base handled Shared";
+            Sm.Stay );
+        ("Fin", fun _ _ _ -> Sm.Halt_machine);
+      ]
+  in
+  let overlay =
+    Sm.state "Overlay"
+      ~entry:(fun _ m -> record m "enter overlay")
+      ~exit_:(fun _ m -> record m "exit overlay")
+      [
+        ( "Shared",
+          fun _ m _ ->
+            record m "overlay handled Shared";
+            Sm.Stay );
+        ("Go_pop", fun _ _ _ -> Sm.Pop);
+      ]
+  in
+  [ base; overlay ]
+
+let test_push_inherits_lower_handlers () =
+  let m = { log = [] } in
+  let result =
+    execute (fun ctx ->
+        let sm =
+          R.create ctx ~name:"Sm" (fun sctx ->
+              machine_with (base_states m) "Base" m ctx sctx)
+        in
+        R.send ctx sm Go_push;
+        (* Overlay handles Shared itself, but Only_base falls through to
+           the base state below. *)
+        R.send ctx sm (Shared 1);
+        R.send ctx sm Only_base;
+        R.send ctx sm Go_pop;
+        R.send ctx sm (Shared 2);
+        R.send ctx sm Fin)
+  in
+  Alcotest.(check bool) "no bug" true (result.R.bug = None);
+  Alcotest.(check (list string)) "push/pop event routing"
+    [
+      "enter base"; "enter overlay"; "overlay handled Shared";
+      "base handled Only_base"; "exit overlay"; "base handled Shared";
+    ]
+    (List.rev m.log)
+
+let test_pop_from_initial_is_bug () =
+  let result =
+    execute (fun ctx ->
+        let sm =
+          R.create ctx ~name:"Sm" (fun sctx ->
+              let only =
+                Sm.state "Only" [ ("Go_pop", fun _ _ _ -> Sm.Pop) ]
+              in
+              Sm.run sctx ~machine:"PopBug" ~states:[ only ] ~init:"Only"
+                { log = [] })
+        in
+        R.send ctx sm Go_pop)
+  in
+  match result.R.bug with
+  | Some (Error.Machine_exception _) -> ()
+  | _ -> Alcotest.fail "expected pop-from-initial to be reported"
+
+let test_unhandled_searches_whole_stack () =
+  let result =
+    execute (fun ctx ->
+        let sm =
+          R.create ctx ~name:"Sm" (fun sctx ->
+              let base = Sm.state "Base" [ ("Go_push", fun _ _ _ -> Sm.Push "Top") ] in
+              let top_ = Sm.state "Top" [] in
+              Sm.run sctx ~machine:"StackBug" ~states:[ base; top_ ]
+                ~init:"Base" { log = [] })
+        in
+        R.send ctx sm Go_push;
+        R.send ctx sm (Shared 0))
+  in
+  match result.R.bug with
+  | Some (Error.Unhandled_event { state = "Top"; _ }) -> ()
+  | _ -> Alcotest.fail "expected unhandled event reported at the top state"
+
+(* --- Delay-bounded strategy ------------------------------------------------ *)
+
+let test_delay_strategy_deterministic () =
+  let get ~iteration =
+    match
+      (Psharp.Delay_strategy.factory ~seed:4L ~delays:2 ~max_steps:100 ())
+        .Psharp.Strategy.fresh ~iteration
+    with
+    | Some s -> s
+    | None -> assert false
+  in
+  let drive s =
+    List.init 50 (fun step ->
+        s.Psharp.Strategy.next_schedule ~enabled:[| 0; 1; 2 |] ~step)
+  in
+  Alcotest.(check (list int)) "same iteration, same schedule"
+    (drive (get ~iteration:0))
+    (drive (get ~iteration:0));
+  Alcotest.(check bool) "iterations differ" true
+    (drive (get ~iteration:0) <> drive (get ~iteration:1))
+
+let test_delay_strategy_run_to_completion () =
+  (* With zero delays, the schedule must stick to one machine while it
+     stays enabled. *)
+  let s =
+    match
+      (Psharp.Delay_strategy.factory ~seed:4L ~delays:0 ~max_steps:100 ())
+        .Psharp.Strategy.fresh ~iteration:0
+    with
+    | Some s -> s
+    | None -> assert false
+  in
+  let picks =
+    List.init 20 (fun step ->
+        s.Psharp.Strategy.next_schedule ~enabled:[| 0; 1 |] ~step)
+  in
+  Alcotest.(check bool) "constant without delays" true
+    (List.for_all (fun p -> p = List.hd picks) picks)
+
+let test_delay_engine_finds_race () =
+  let racy ctx =
+    let flag = ref false in
+    let referee =
+      R.create ctx ~name:"Ref" (fun rctx ->
+          ignore (R.receive rctx);
+          R.assert_here rctx !flag "loser ran first")
+    in
+    ignore
+      (R.create ctx ~name:"W1" (fun c ->
+           flag := true;
+           R.send c referee (Shared 0)));
+    ignore (R.create ctx ~name:"W2" (fun c -> R.send c referee (Shared 1)))
+  in
+  let cfg =
+    {
+      E.default_config with
+      strategy = E.Delay_bounded { delays = 2 };
+      max_executions = 500;
+      max_steps = 100;
+    }
+  in
+  match E.run cfg racy with
+  | E.Bug_found _ -> ()
+  | E.No_bug _ -> Alcotest.fail "delay-bounded should find the race"
+
+let suite =
+  [
+    Alcotest.test_case "push inherits lower handlers" `Quick
+      test_push_inherits_lower_handlers;
+    Alcotest.test_case "pop from initial is a bug" `Quick
+      test_pop_from_initial_is_bug;
+    Alcotest.test_case "unhandled searches whole stack" `Quick
+      test_unhandled_searches_whole_stack;
+    Alcotest.test_case "delay strategy deterministic" `Quick
+      test_delay_strategy_deterministic;
+    Alcotest.test_case "delay strategy run-to-completion" `Quick
+      test_delay_strategy_run_to_completion;
+    Alcotest.test_case "delay engine finds race" `Quick
+      test_delay_engine_finds_race;
+  ]

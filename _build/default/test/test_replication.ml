@@ -1,0 +1,172 @@
+(* The Fig. 1 replication system: server logic unit tests and end-to-end
+   bug finding with the engine (paper §2). *)
+
+module E = Psharp.Engine
+module Error = Psharp.Error
+module Logic = Replication.Server.Logic
+module Bug_flags = Replication.Bug_flags
+
+let id i = Psharp.Id.make ~index:i ~name:(Printf.sprintf "SN%d" i)
+
+(* --- Server logic unit tests (the "real component") --- *)
+
+let setup ?(bugs = Bug_flags.none) () =
+  let s = Logic.create ~bugs ~replica_target:3 in
+  Logic.set_nodes s [ id 1; id 2; id 3 ];
+  s
+
+let test_client_req_broadcasts () =
+  let s = setup () in
+  match Logic.on_client_req s ~client:(id 9) ~seq:1 with
+  | [ Logic.Broadcast_repl 1 ] -> ()
+  | _ -> Alcotest.fail "expected broadcast of seq 1"
+
+let test_stale_sync_resent () =
+  let s = setup () in
+  ignore (Logic.on_client_req s ~client:(id 9) ~seq:2);
+  match Logic.on_sync s ~node:(id 1) ~stored:(Some 1) with
+  | [ Logic.Resend_repl { seq = 2; _ } ] -> ()
+  | _ -> Alcotest.fail "expected resend for stale node"
+
+let test_empty_log_resent () =
+  let s = setup () in
+  ignore (Logic.on_client_req s ~client:(id 9) ~seq:1);
+  match Logic.on_sync s ~node:(id 1) ~stored:None with
+  | [ Logic.Resend_repl _ ] -> ()
+  | _ -> Alcotest.fail "expected resend for empty node"
+
+let test_ack_after_three_unique () =
+  let s = setup () in
+  ignore (Logic.on_client_req s ~client:(id 9) ~seq:1);
+  Alcotest.(check bool) "no ack after 1" true
+    (Logic.on_sync s ~node:(id 1) ~stored:(Some 1) = []);
+  Alcotest.(check bool) "no ack after duplicate" true
+    (Logic.on_sync s ~node:(id 1) ~stored:(Some 1) = []);
+  Alcotest.(check bool) "no ack after 2" true
+    (Logic.on_sync s ~node:(id 2) ~stored:(Some 1) = []);
+  match Logic.on_sync s ~node:(id 3) ~stored:(Some 1) with
+  | [ Logic.Send_ack { seq = 1; _ } ] -> ()
+  | _ -> Alcotest.fail "expected ack after third unique replica"
+
+let test_buggy_counts_duplicates () =
+  let s = setup ~bugs:Bug_flags.bug1 () in
+  ignore (Logic.on_client_req s ~client:(id 9) ~seq:1);
+  ignore (Logic.on_sync s ~node:(id 1) ~stored:(Some 1));
+  ignore (Logic.on_sync s ~node:(id 1) ~stored:(Some 1));
+  match Logic.on_sync s ~node:(id 1) ~stored:(Some 1) with
+  | [ Logic.Send_ack _ ] -> ()
+  | _ -> Alcotest.fail "buggy server should ack after 3 duplicate syncs"
+
+let test_counter_resets_for_next_request () =
+  let s = setup () in
+  ignore (Logic.on_client_req s ~client:(id 9) ~seq:1);
+  ignore (Logic.on_sync s ~node:(id 1) ~stored:(Some 1));
+  ignore (Logic.on_sync s ~node:(id 2) ~stored:(Some 1));
+  ignore (Logic.on_sync s ~node:(id 3) ~stored:(Some 1));
+  Alcotest.(check int) "counter reset after ack" 0 (Logic.replica_count s);
+  ignore (Logic.on_client_req s ~client:(id 9) ~seq:2);
+  ignore (Logic.on_sync s ~node:(id 1) ~stored:(Some 2));
+  ignore (Logic.on_sync s ~node:(id 2) ~stored:(Some 2));
+  match Logic.on_sync s ~node:(id 3) ~stored:(Some 2) with
+  | [ Logic.Send_ack { seq = 2; _ } ] -> ()
+  | _ -> Alcotest.fail "second request should also be acked"
+
+let test_buggy_counter_sticks () =
+  let s = setup ~bugs:Bug_flags.bug2 () in
+  ignore (Logic.on_client_req s ~client:(id 9) ~seq:1);
+  ignore (Logic.on_sync s ~node:(id 1) ~stored:(Some 1));
+  ignore (Logic.on_sync s ~node:(id 2) ~stored:(Some 1));
+  ignore (Logic.on_sync s ~node:(id 3) ~stored:(Some 1));
+  Alcotest.(check int) "counter stuck at 3" 3 (Logic.replica_count s);
+  ignore (Logic.on_client_req s ~client:(id 9) ~seq:2);
+  ignore (Logic.on_sync s ~node:(id 1) ~stored:(Some 2));
+  ignore (Logic.on_sync s ~node:(id 2) ~stored:(Some 2));
+  Alcotest.(check bool) "no ack ever again" true
+    (Logic.on_sync s ~node:(id 3) ~stored:(Some 2) = [])
+
+let test_stale_sync_after_ack_ignored () =
+  let s = setup () in
+  ignore (Logic.on_client_req s ~client:(id 9) ~seq:1);
+  ignore (Logic.on_sync s ~node:(id 1) ~stored:(Some 1));
+  ignore (Logic.on_sync s ~node:(id 2) ~stored:(Some 1));
+  ignore (Logic.on_sync s ~node:(id 3) ~stored:(Some 1));
+  (* Acked; a racing duplicate sync must not count toward anything. *)
+  Alcotest.(check bool) "post-ack sync is a no-op" true
+    (Logic.on_sync s ~node:(id 1) ~stored:(Some 1) = []);
+  Alcotest.(check int) "counter still 0" 0 (Logic.replica_count s)
+
+(* --- End-to-end systematic testing (paper §2.3-2.5) --- *)
+
+let config =
+  {
+    E.default_config with
+    max_executions = 3_000;
+    max_steps = 2_000;
+    seed = 0L;
+  }
+
+let run_harness ?(config = config) bugs =
+  E.run
+    ~monitors:(fun () -> Replication.Harness.monitors ())
+    config
+    (Replication.Harness.test ~bugs ())
+
+let test_engine_finds_bug1_safety () =
+  match run_harness Bug_flags.bug1 with
+  | E.Bug_found (report, _) ->
+    (match report.Error.kind with
+     | Error.Safety_violation { monitor; _ } ->
+       Alcotest.(check string) "safety monitor" "ReplicationSafety" monitor
+     | k -> Alcotest.failf "wrong kind: %s" (Error.kind_to_string k))
+  | E.No_bug _ -> Alcotest.fail "bug 1 not found"
+
+let test_engine_finds_bug2_liveness () =
+  match run_harness Bug_flags.bug2 with
+  | E.Bug_found (report, _) ->
+    (match report.Error.kind with
+     | Error.Liveness_violation { monitor; _ } ->
+       Alcotest.(check string) "liveness monitor" "ReplicationLiveness" monitor
+     | k -> Alcotest.failf "wrong kind: %s" (Error.kind_to_string k))
+  | E.No_bug _ -> Alcotest.fail "bug 2 not found"
+
+let test_fixed_system_clean () =
+  match run_harness ~config:{ config with max_executions = 300 } Bug_flags.none with
+  | E.No_bug _ -> ()
+  | E.Bug_found (r, _) ->
+    Alcotest.failf "false positive: %s" (Error.kind_to_string r.Error.kind)
+
+let test_bug1_replay () =
+  match run_harness Bug_flags.bug1 with
+  | E.Bug_found (report, _) ->
+    let result =
+      E.replay
+        ~monitors:(fun () -> Replication.Harness.monitors ())
+        config report.Error.trace
+        (Replication.Harness.test ~bugs:Bug_flags.bug1 ())
+    in
+    (match result.Psharp.Runtime.bug with
+     | Some (Error.Safety_violation _) -> ()
+     | _ -> Alcotest.fail "replay did not reproduce bug 1")
+  | E.No_bug _ -> Alcotest.fail "bug 1 not found"
+
+let suite =
+  [
+    Alcotest.test_case "client req broadcasts" `Quick test_client_req_broadcasts;
+    Alcotest.test_case "stale sync resent" `Quick test_stale_sync_resent;
+    Alcotest.test_case "empty log resent" `Quick test_empty_log_resent;
+    Alcotest.test_case "ack after three unique" `Quick
+      test_ack_after_three_unique;
+    Alcotest.test_case "bug1 counts duplicates" `Quick
+      test_buggy_counts_duplicates;
+    Alcotest.test_case "counter resets per request" `Quick
+      test_counter_resets_for_next_request;
+    Alcotest.test_case "bug2 counter sticks" `Quick test_buggy_counter_sticks;
+    Alcotest.test_case "post-ack sync ignored" `Quick
+      test_stale_sync_after_ack_ignored;
+    Alcotest.test_case "engine finds bug1 (safety)" `Slow
+      test_engine_finds_bug1_safety;
+    Alcotest.test_case "engine finds bug2 (liveness)" `Slow
+      test_engine_finds_bug2_liveness;
+    Alcotest.test_case "fixed system clean" `Slow test_fixed_system_clean;
+    Alcotest.test_case "bug1 trace replays" `Slow test_bug1_replay;
+  ]

@@ -1,0 +1,211 @@
+(* Declarative state-machine layer: dispatch, goto, entry/exit, defer,
+   ignore, implicit halt, unhandled events. *)
+
+module R = Psharp.Runtime
+module Sm = Psharp.Statemachine
+module Event = Psharp.Event
+module Error = Psharp.Error
+
+type Event.t += Go | Work of int | Noise | Finish
+
+let strategy ~seed =
+  match (Psharp.Random_strategy.factory ~seed).Psharp.Strategy.fresh ~iteration:0 with
+  | Some s -> s
+  | None -> assert false
+
+let config = { R.default_config with max_steps = 1_000 }
+
+let execute body =
+  R.execute config (strategy ~seed:1L) ~monitors:[] ~name:"Root" body
+
+type model = { mutable log : string list }
+
+let record m s = m.log <- s :: m.log
+
+let run_machine ctx states init m = Sm.run ctx ~machine:"TestSm" ~states ~init m
+
+let test_goto_entry_exit () =
+  let m = { log = [] } in
+  let result =
+    execute (fun ctx ->
+        let sm =
+          R.create ctx ~name:"Sm" (fun sctx ->
+              let a =
+                Sm.state "A"
+                  ~entry:(fun _ m -> record m "enter A")
+                  ~exit_:(fun _ m -> record m "exit A")
+                  [
+                    ("Go", fun _ _ _ -> Sm.Goto "B");
+                  ]
+              in
+              let b =
+                Sm.state "B"
+                  ~entry:(fun _ m -> record m "enter B")
+                  [ ("Finish", fun _ _ _ -> Sm.Halt_machine) ]
+              in
+              run_machine sctx [ a; b ] "A" m)
+        in
+        R.send ctx sm Go;
+        R.send ctx sm Finish)
+  in
+  Alcotest.(check bool) "no bug" true (result.R.bug = None);
+  Alcotest.(check (list string)) "lifecycle order"
+    [ "enter A"; "exit A"; "enter B" ] (List.rev m.log)
+
+let test_defer_replayed_in_next_state () =
+  let m = { log = [] } in
+  let result =
+    execute (fun ctx ->
+        let sm =
+          R.create ctx ~name:"Sm" (fun sctx ->
+              let a =
+                Sm.state "A" ~defer:[ "Work" ]
+                  [ ("Go", fun _ _ _ -> Sm.Goto "B") ]
+              in
+              let b =
+                Sm.state "B"
+                  [
+                    ( "Work",
+                      fun _ m e ->
+                        (match e with
+                         | Work i -> record m (Printf.sprintf "work %d" i)
+                         | _ -> ());
+                        Sm.Stay );
+                    ("Finish", fun _ _ _ -> Sm.Halt_machine);
+                  ]
+              in
+              run_machine sctx [ a; b ] "A" m)
+        in
+        (* Work arrives while in A (deferred), then Go transitions to B,
+           where the deferred Work must be replayed before Finish. *)
+        R.send ctx sm (Work 1);
+        R.send ctx sm (Work 2);
+        R.send ctx sm Go;
+        R.send ctx sm Finish)
+  in
+  Alcotest.(check bool) "no bug" true (result.R.bug = None);
+  Alcotest.(check (list string)) "deferred replayed in order"
+    [ "work 1"; "work 2" ] (List.rev m.log)
+
+let test_ignore_drops () =
+  let m = { log = [] } in
+  let result =
+    execute (fun ctx ->
+        let sm =
+          R.create ctx ~name:"Sm" (fun sctx ->
+              let a =
+                Sm.state "A" ~ignore_:[ "Noise" ]
+                  [ ("Finish", fun _ _ _ -> Sm.Halt_machine) ]
+              in
+              run_machine sctx [ a ] "A" m)
+        in
+        R.send ctx sm Noise;
+        R.send ctx sm Noise;
+        R.send ctx sm Finish)
+  in
+  Alcotest.(check bool) "no bug" true (result.R.bug = None)
+
+let test_unhandled_event_bug () =
+  let result =
+    execute (fun ctx ->
+        let sm =
+          R.create ctx ~name:"Sm" (fun sctx ->
+              let a = Sm.state "A" [] in
+              run_machine sctx [ a ] "A" { log = [] })
+        in
+        R.send ctx sm Noise)
+  in
+  match result.R.bug with
+  | Some (Error.Unhandled_event { state = "A"; _ }) -> ()
+  | _ -> Alcotest.fail "expected unhandled-event bug"
+
+let test_halt_event_implicit () =
+  let result =
+    execute (fun ctx ->
+        let sm =
+          R.create ctx ~name:"Sm" (fun sctx ->
+              let a = Sm.state "A" [] in
+              run_machine sctx [ a ] "A" { log = [] })
+        in
+        R.send ctx sm Event.Halt_event)
+  in
+  Alcotest.(check bool) "halt event halts gracefully" true (result.R.bug = None)
+
+let test_undeclared_initial_state () =
+  let result =
+    execute (fun ctx ->
+        ignore ctx;
+        let a = Sm.state "A" [] in
+        R.create ctx ~name:"Sm" (fun sctx ->
+            run_machine sctx [ a ] "Nope" { log = [] })
+        |> ignore)
+  in
+  match result.R.bug with
+  | Some (Error.Machine_exception _) -> ()
+  | _ -> Alcotest.fail "expected machine exception for undeclared state"
+
+let test_transition_handler_receives_event () =
+  let got = ref 0 in
+  let result =
+    execute (fun ctx ->
+        let sm =
+          R.create ctx ~name:"Sm" (fun sctx ->
+              let a =
+                Sm.state "A"
+                  [
+                    ( "Work",
+                      fun _ _ e ->
+                        (match e with Work i -> got := i | _ -> ());
+                        Sm.Halt_machine );
+                  ]
+              in
+              run_machine sctx [ a ] "A" { log = [] })
+        in
+        R.send ctx sm (Work 42))
+  in
+  Alcotest.(check bool) "no bug" true (result.R.bug = None);
+  Alcotest.(check int) "payload" 42 !got
+
+let test_registry_counts () =
+  Psharp.Registry.reset ();
+  let result =
+    execute (fun ctx ->
+        let sm =
+          R.create ctx ~name:"Sm" (fun sctx ->
+              let a =
+                Sm.state "A" [ ("Go", fun _ _ _ -> Sm.Goto "B") ]
+              in
+              let b = Sm.state "B" [ ("Finish", fun _ _ _ -> Sm.Halt_machine) ] in
+              Sm.run sctx ~machine:"RegistryProbe" ~states:[ a; b ] ~init:"A"
+                { log = [] })
+        in
+        R.send ctx sm Go;
+        R.send ctx sm Finish)
+  in
+  Alcotest.(check bool) "no bug" true (result.R.bug = None);
+  let stats =
+    List.find
+      (fun s -> s.Psharp.Registry.machine = "RegistryProbe")
+      (Psharp.Registry.machines ())
+  in
+  Alcotest.(check int) "states" 2 stats.Psharp.Registry.states;
+  Alcotest.(check int) "handlers" 2 stats.Psharp.Registry.handlers;
+  Alcotest.(check int) "observed transitions" 1
+    (Psharp.Registry.transitions ~machine:"RegistryProbe")
+
+let suite =
+  [
+    Alcotest.test_case "goto + entry/exit" `Quick test_goto_entry_exit;
+    Alcotest.test_case "defer replayed in next state" `Quick
+      test_defer_replayed_in_next_state;
+    Alcotest.test_case "ignore drops events" `Quick test_ignore_drops;
+    Alcotest.test_case "unhandled event is a bug" `Quick
+      test_unhandled_event_bug;
+    Alcotest.test_case "Halt_event halts implicitly" `Quick
+      test_halt_event_implicit;
+    Alcotest.test_case "undeclared initial state" `Quick
+      test_undeclared_initial_state;
+    Alcotest.test_case "handler receives payload" `Quick
+      test_transition_handler_receives_event;
+    Alcotest.test_case "registry counts" `Quick test_registry_counts;
+  ]

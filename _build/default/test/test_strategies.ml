@@ -1,0 +1,175 @@
+(* Scheduling strategies: determinism, coverage, replay, DFS exhaustion. *)
+
+module S = Psharp.Strategy
+module Trace = Psharp.Trace
+
+let get_fresh factory ~iteration =
+  match factory.S.fresh ~iteration with
+  | Some s -> s
+  | None -> Alcotest.fail "strategy exhausted unexpectedly"
+
+let drive strategy n =
+  List.init n (fun step ->
+      strategy.S.next_schedule ~enabled:[| 0; 1; 2 |] ~step)
+
+let test_random_deterministic_per_seed () =
+  let f1 = Psharp.Random_strategy.factory ~seed:5L in
+  let f2 = Psharp.Random_strategy.factory ~seed:5L in
+  let a = drive (get_fresh f1 ~iteration:0) 50 in
+  let b = drive (get_fresh f2 ~iteration:0) 50 in
+  Alcotest.(check (list int)) "same seed, same schedule" a b
+
+let test_random_iterations_differ () =
+  let f = Psharp.Random_strategy.factory ~seed:5L in
+  let a = drive (get_fresh f ~iteration:0) 50 in
+  let b = drive (get_fresh f ~iteration:1) 50 in
+  Alcotest.(check bool) "iterations differ" true (a <> b)
+
+let test_random_covers_all_machines () =
+  let f = Psharp.Random_strategy.factory ~seed:0L in
+  let picks = drive (get_fresh f ~iteration:0) 200 in
+  List.iter
+    (fun m ->
+      Alcotest.(check bool)
+        (Printf.sprintf "machine %d scheduled" m)
+        true (List.mem m picks))
+    [ 0; 1; 2 ]
+
+let test_random_respects_enabled () =
+  let s = get_fresh (Psharp.Random_strategy.factory ~seed:9L) ~iteration:0 in
+  for step = 0 to 100 do
+    let pick = s.S.next_schedule ~enabled:[| 4; 7 |] ~step in
+    Alcotest.(check bool) "member of enabled" true (pick = 4 || pick = 7)
+  done
+
+let test_pct_prefers_priority () =
+  (* Without hitting a change point, PCT must repeatedly pick the same
+     (highest-priority) machine for a fixed enabled set. *)
+  let s =
+    get_fresh
+      (Psharp.Pct_strategy.factory ~seed:1L ~change_points:0 ~max_steps:100 ())
+      ~iteration:0
+  in
+  let picks = drive s 20 in
+  match picks with
+  | first :: rest ->
+    Alcotest.(check bool) "stable priority" true
+      (List.for_all (fun p -> p = first) rest)
+  | [] -> Alcotest.fail "no picks"
+
+let test_pct_change_points_change_schedule () =
+  (* With many change points the winner must change at least once. *)
+  let s =
+    get_fresh
+      (Psharp.Pct_strategy.factory ~seed:1L ~change_points:50 ~max_steps:60 ())
+      ~iteration:0
+  in
+  let picks = drive s 60 in
+  let distinct = List.sort_uniq compare picks in
+  Alcotest.(check bool) "schedule not constant" true (List.length distinct > 1)
+
+let test_rr_cycles () =
+  let s = get_fresh (Psharp.Rr_strategy.factory ()) ~iteration:0 in
+  let picks = drive s 6 in
+  Alcotest.(check (list int)) "round robin" [ 0; 1; 2; 0; 1; 2 ] picks
+
+let test_replay_feeds_back () =
+  let trace =
+    Trace.of_list [ Trace.Schedule 2; Trace.Bool true; Trace.Int 5 ]
+  in
+  let s = get_fresh (Psharp.Replay_strategy.factory trace) ~iteration:0 in
+  Alcotest.(check int) "schedule" 2
+    (s.S.next_schedule ~enabled:[| 0; 1; 2 |] ~step:0);
+  Alcotest.(check bool) "bool" true (s.S.next_bool ~step:1);
+  Alcotest.(check int) "int" 5 (s.S.next_int ~bound:10 ~step:2)
+
+let test_replay_single_iteration () =
+  let f = Psharp.Replay_strategy.factory Trace.empty in
+  Alcotest.(check bool) "first iteration available" true
+    (f.S.fresh ~iteration:0 <> None);
+  Alcotest.(check bool) "second iteration exhausted" true
+    (f.S.fresh ~iteration:1 = None)
+
+let test_replay_divergence_raises () =
+  let trace = Trace.of_list [ Trace.Schedule 7 ] in
+  let s = get_fresh (Psharp.Replay_strategy.factory trace) ~iteration:0 in
+  Alcotest.(check bool) "divergence raises Bug" true
+    (try
+       ignore (s.S.next_schedule ~enabled:[| 0; 1 |] ~step:0);
+       false
+     with Psharp.Error.Bug (Psharp.Error.Replay_divergence _) -> true)
+
+let test_dfs_enumerates_booleans () =
+  (* A "program" with two boolean choices: DFS must enumerate all four
+     outcomes, then exhaust. *)
+  let f = Psharp.Dfs_strategy.factory () in
+  let outcomes = ref [] in
+  let rec go iteration =
+    match f.S.fresh ~iteration with
+    | None -> ()
+    | Some s ->
+      let a = s.S.next_bool ~step:0 in
+      let b = s.S.next_bool ~step:1 in
+      outcomes := (a, b) :: !outcomes;
+      go (iteration + 1)
+  in
+  go 0;
+  let sorted = List.sort_uniq compare !outcomes in
+  Alcotest.(check int) "four distinct outcomes" 4 (List.length sorted);
+  Alcotest.(check int) "exactly four executions" 4 (List.length !outcomes)
+
+let test_dfs_enumerates_schedules () =
+  (* Two scheduling choices over two machines: 4 paths. *)
+  let f = Psharp.Dfs_strategy.factory () in
+  let outcomes = ref [] in
+  let rec go iteration =
+    match f.S.fresh ~iteration with
+    | None -> ()
+    | Some s ->
+      let a = s.S.next_schedule ~enabled:[| 0; 1 |] ~step:0 in
+      let b = s.S.next_schedule ~enabled:[| 0; 1 |] ~step:1 in
+      outcomes := (a, b) :: !outcomes;
+      go (iteration + 1)
+  in
+  go 0;
+  Alcotest.(check int) "four paths" 4 (List.length (List.sort_uniq compare !outcomes))
+
+let test_dfs_int_cap () =
+  let f = Psharp.Dfs_strategy.factory ~int_cap:2 () in
+  let outcomes = ref [] in
+  let rec go iteration =
+    match f.S.fresh ~iteration with
+    | None -> ()
+    | Some s ->
+      outcomes := s.S.next_int ~bound:100 ~step:0 :: !outcomes;
+      go (iteration + 1)
+  in
+  go 0;
+  Alcotest.(check (list int)) "capped enumeration" [ 0; 1 ]
+    (List.sort compare !outcomes)
+
+let suite =
+  [
+    Alcotest.test_case "random deterministic per seed" `Quick
+      test_random_deterministic_per_seed;
+    Alcotest.test_case "random iterations differ" `Quick
+      test_random_iterations_differ;
+    Alcotest.test_case "random covers machines" `Quick
+      test_random_covers_all_machines;
+    Alcotest.test_case "random respects enabled set" `Quick
+      test_random_respects_enabled;
+    Alcotest.test_case "pct stable without change points" `Quick
+      test_pct_prefers_priority;
+    Alcotest.test_case "pct change points take effect" `Quick
+      test_pct_change_points_change_schedule;
+    Alcotest.test_case "round robin cycles" `Quick test_rr_cycles;
+    Alcotest.test_case "replay feeds back" `Quick test_replay_feeds_back;
+    Alcotest.test_case "replay single iteration" `Quick
+      test_replay_single_iteration;
+    Alcotest.test_case "replay divergence" `Quick test_replay_divergence_raises;
+    Alcotest.test_case "dfs enumerates booleans" `Quick
+      test_dfs_enumerates_booleans;
+    Alcotest.test_case "dfs enumerates schedules" `Quick
+      test_dfs_enumerates_schedules;
+    Alcotest.test_case "dfs int cap" `Quick test_dfs_int_cap;
+  ]

@@ -1,0 +1,73 @@
+(* Trace serialization and builder tests. *)
+
+module Trace = Psharp.Trace
+
+let sample =
+  Trace.of_list
+    [ Trace.Schedule 0; Trace.Bool true; Trace.Int 7; Trace.Schedule 3;
+      Trace.Bool false ]
+
+let test_roundtrip () =
+  let s = Trace.to_string sample in
+  Alcotest.(check bool) "roundtrip equal" true
+    (Trace.equal sample (Trace.of_string s))
+
+let test_empty_roundtrip () =
+  Alcotest.(check bool) "empty roundtrip" true
+    (Trace.equal Trace.empty (Trace.of_string (Trace.to_string Trace.empty)))
+
+let test_length () =
+  Alcotest.(check int) "length" 5 (Trace.length sample);
+  Alcotest.(check int) "empty length" 0 (Trace.length Trace.empty)
+
+let test_malformed () =
+  Alcotest.(check bool) "malformed raises" true
+    (try
+       ignore (Trace.of_string "x:1");
+       false
+     with Failure _ -> true)
+
+let test_builder () =
+  let b = Trace.Builder.create () in
+  Trace.Builder.add b (Trace.Schedule 1);
+  Trace.Builder.add b (Trace.Bool false);
+  Alcotest.(check int) "builder length" 2 (Trace.Builder.length b);
+  let t = Trace.Builder.finish b in
+  Alcotest.(check bool) "builder order" true
+    (Trace.to_list t = [ Trace.Schedule 1; Trace.Bool false ])
+
+let test_save_load () =
+  let path = Filename.temp_file "psharp_trace" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace.save ~path sample;
+      Alcotest.(check bool) "save/load" true
+        (Trace.equal sample (Trace.load ~path)))
+
+let choice_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun i -> Trace.Schedule i) (int_range 0 1_000);
+        map (fun b -> Trace.Bool b) bool;
+        map (fun i -> Trace.Int i) (int_range 0 1_000);
+      ])
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"trace to_string/of_string roundtrip" ~count:300
+    (QCheck.make QCheck.Gen.(list_size (0 -- 50) choice_gen))
+    (fun choices ->
+      let t = Trace.of_list choices in
+      Trace.equal t (Trace.of_string (Trace.to_string t)))
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "empty roundtrip" `Quick test_empty_roundtrip;
+    Alcotest.test_case "length" `Quick test_length;
+    Alcotest.test_case "malformed input" `Quick test_malformed;
+    Alcotest.test_case "builder" `Quick test_builder;
+    Alcotest.test_case "save/load file" `Quick test_save_load;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+  ]

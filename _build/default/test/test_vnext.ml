@@ -1,0 +1,307 @@
+(* vNext extent management: unit tests for the real manager's data
+   structures and logic, plus end-to-end bug finding (paper §3). *)
+
+module E = Psharp.Engine
+module Error = Psharp.Error
+module Ec = Vnext.Extent_center
+module Enm = Vnext.Extent_node_map
+module Mgr = Vnext.Extent_manager
+
+(* --- ExtentCenter --- *)
+
+let test_center_sync_replaces () =
+  let c = Ec.create () in
+  Ec.apply_sync c ~en:1 ~extents:[ 10; 11 ];
+  Alcotest.(check (list int)) "holdings" [ 10; 11 ] (Ec.extents_of c ~en:1);
+  Ec.apply_sync c ~en:1 ~extents:[ 11; 12 ];
+  Alcotest.(check (list int)) "replaced" [ 11; 12 ] (Ec.extents_of c ~en:1);
+  Alcotest.(check int) "10 dropped" 0 (Ec.replica_count c ~extent:10)
+
+let test_center_replica_count () =
+  let c = Ec.create () in
+  Ec.apply_sync c ~en:1 ~extents:[ 5 ];
+  Ec.apply_sync c ~en:2 ~extents:[ 5 ];
+  Ec.apply_sync c ~en:3 ~extents:[ 5; 6 ];
+  Alcotest.(check int) "three replicas" 3 (Ec.replica_count c ~extent:5);
+  Alcotest.(check int) "one replica" 1 (Ec.replica_count c ~extent:6);
+  Alcotest.(check (list int)) "holders sorted" [ 1; 2; 3 ] (Ec.holders c ~extent:5)
+
+let test_center_remove_en () =
+  let c = Ec.create () in
+  Ec.apply_sync c ~en:1 ~extents:[ 5 ];
+  Ec.apply_sync c ~en:2 ~extents:[ 5 ];
+  Ec.remove_en c ~en:1;
+  Alcotest.(check int) "one left" 1 (Ec.replica_count c ~extent:5);
+  Alcotest.(check bool) "holds false" false (Ec.holds c ~en:1 ~extent:5);
+  Ec.remove_en c ~en:2;
+  Alcotest.(check (list int)) "extent disappears entirely" [] (Ec.extents c)
+
+let test_center_add_idempotent () =
+  let c = Ec.create () in
+  Ec.add c ~en:1 ~extent:5;
+  Ec.add c ~en:1 ~extent:5;
+  Alcotest.(check int) "set semantics" 1 (Ec.replica_count c ~extent:5)
+
+(* --- ExtentNodeMap --- *)
+
+let test_node_map_expiry_after_misses () =
+  let m = Enm.create ~misses_before_expiry:3 in
+  Enm.heartbeat m ~en:1;
+  Alcotest.(check (list int)) "sweep 1" [] (Enm.sweep m);
+  Alcotest.(check (list int)) "sweep 2" [] (Enm.sweep m);
+  Alcotest.(check (list int)) "sweep 3 expires" [ 1 ] (Enm.sweep m);
+  Alcotest.(check bool) "gone" false (Enm.mem m ~en:1)
+
+let test_node_map_heartbeat_resets () =
+  let m = Enm.create ~misses_before_expiry:2 in
+  Enm.heartbeat m ~en:1;
+  Alcotest.(check (list int)) "sweep" [] (Enm.sweep m);
+  Enm.heartbeat m ~en:1;
+  Alcotest.(check (list int)) "reset, survives" [] (Enm.sweep m);
+  Alcotest.(check (list int)) "expires eventually" [ 1 ] (Enm.sweep m)
+
+let test_node_map_multiple_nodes () =
+  let m = Enm.create ~misses_before_expiry:2 in
+  Enm.heartbeat m ~en:1;
+  Enm.heartbeat m ~en:2;
+  ignore (Enm.sweep m);
+  Enm.heartbeat m ~en:2;
+  Alcotest.(check (list int)) "only silent node expires" [ 1 ] (Enm.sweep m);
+  Alcotest.(check (list int)) "live nodes" [ 2 ] (Enm.live m)
+
+(* --- Extent manager logic (with a recording network engine) --- *)
+
+let make_mgr ?(bugs = Vnext.Bug_flags.none) () =
+  let sent = ref [] in
+  let net =
+    {
+      Mgr.send_repair_request =
+        (fun ~en ~extent ~source -> sent := (en, extent, source) :: !sent);
+    }
+  in
+  let mgr =
+    Mgr.create { Mgr.replica_target = 3; heartbeat_misses = 3; bugs } net
+  in
+  (mgr, sent)
+
+let test_mgr_repairs_missing_replicas () =
+  let mgr, sent = make_mgr () in
+  Mgr.process_message mgr (Mgr.Heartbeat { en = 0 });
+  Mgr.process_message mgr (Mgr.Heartbeat { en = 1 });
+  Mgr.process_message mgr (Mgr.Heartbeat { en = 2 });
+  Mgr.process_message mgr (Mgr.Sync_report { en = 0; extents = [ 7 ] });
+  Alcotest.(check int) "one request" 1 (Mgr.run_repair_loop mgr);
+  (match !sent with
+   | [ (en, 7, 0) ] ->
+     Alcotest.(check bool) "destination is a non-holder" true (en = 1 || en = 2)
+   | _ -> Alcotest.fail "expected one repair request for extent 7 from EN0")
+
+let test_mgr_no_repair_at_target () =
+  let mgr, _sent = make_mgr () in
+  List.iter (fun en -> Mgr.process_message mgr (Mgr.Heartbeat { en })) [ 0; 1; 2 ];
+  List.iter
+    (fun en -> Mgr.process_message mgr (Mgr.Sync_report { en; extents = [ 7 ] }))
+    [ 0; 1; 2 ];
+  Alcotest.(check int) "no requests" 0 (Mgr.run_repair_loop mgr)
+
+let test_mgr_fixed_drops_unknown_sync () =
+  let mgr, _ = make_mgr () in
+  (* EN 5 never heartbeated: its sync must be ignored. *)
+  Mgr.process_message mgr (Mgr.Sync_report { en = 5; extents = [ 7 ] });
+  Alcotest.(check int) "not recorded" 0 (Mgr.replica_count mgr ~extent:7)
+
+let test_mgr_buggy_accepts_unknown_sync () =
+  let mgr, _ = make_mgr ~bugs:Vnext.Bug_flags.liveness_bug () in
+  Mgr.process_message mgr (Mgr.Sync_report { en = 5; extents = [ 7 ] });
+  Alcotest.(check int) "recorded despite unknown node" 1
+    (Mgr.replica_count mgr ~extent:7)
+
+let test_mgr_expiration_cleans_center () =
+  let mgr, _ = make_mgr () in
+  Mgr.process_message mgr (Mgr.Heartbeat { en = 0 });
+  Mgr.process_message mgr (Mgr.Sync_report { en = 0; extents = [ 7 ] });
+  Alcotest.(check (list int)) "sweep 1" [] (Mgr.run_expiration_loop mgr);
+  Alcotest.(check (list int)) "sweep 2" [] (Mgr.run_expiration_loop mgr);
+  Alcotest.(check (list int)) "sweep 3 expires" [ 0 ] (Mgr.run_expiration_loop mgr);
+  Alcotest.(check int) "records deleted" 0 (Mgr.replica_count mgr ~extent:7)
+
+let test_mgr_paper_interleaving () =
+  (* The exact §3.6 sequence, replayed against the real component:
+     (i-ii) EN0 expires, (iii) replica count drops, (iv) stale sync from
+     EN0 arrives, (v) buggy manager resurrects the count. *)
+  let play bugs =
+    let mgr, sent = make_mgr ~bugs () in
+    List.iter (fun en -> Mgr.process_message mgr (Mgr.Heartbeat { en })) [ 0; 1; 2 ];
+    List.iter
+      (fun en -> Mgr.process_message mgr (Mgr.Sync_report { en; extents = [ 7 ] }))
+      [ 0; 1; 2 ];
+    (* EN0 dies silently; EN1/EN2 keep heartbeating through 3 sweeps. *)
+    for _ = 1 to 3 do
+      Mgr.process_message mgr (Mgr.Heartbeat { en = 1 });
+      Mgr.process_message mgr (Mgr.Heartbeat { en = 2 });
+      ignore (Mgr.run_expiration_loop mgr)
+    done;
+    Alcotest.(check int) "replica count dropped" 2 (Mgr.replica_count mgr ~extent:7);
+    (* a fresh empty EN3 is launched and registers *)
+    Mgr.process_message mgr (Mgr.Heartbeat { en = 3 });
+    (* (iv) delayed sync report from the dead EN0 *)
+    Mgr.process_message mgr (Mgr.Sync_report { en = 0; extents = [ 7 ] });
+    (Mgr.replica_count mgr ~extent:7, Mgr.run_repair_loop mgr, !sent)
+  in
+  let count_fixed, repairs_fixed, _ = play Vnext.Bug_flags.none in
+  Alcotest.(check int) "fixed: still 2" 2 count_fixed;
+  Alcotest.(check int) "fixed: repair scheduled" 1 repairs_fixed;
+  let count_buggy, repairs_buggy, _ = play Vnext.Bug_flags.liveness_bug in
+  Alcotest.(check int) "buggy: resurrected to 3" 3 count_buggy;
+  Alcotest.(check int) "buggy: repair never scheduled" 0 repairs_buggy
+
+(* --- End-to-end systematic testing --- *)
+
+let config =
+  {
+    E.default_config with
+    max_executions = 4_000;
+    max_steps = 3_000;
+    seed = 0L;
+  }
+
+let run_scenario ?(config = config) ~bugs scenario =
+  E.run
+    ~monitors:(fun () -> Vnext.Testing_driver.monitors ())
+    config
+    (Vnext.Testing_driver.test ~bugs ~scenario ())
+
+let test_engine_finds_liveness_bug () =
+  match run_scenario ~bugs:Vnext.Bug_flags.liveness_bug
+          Vnext.Testing_driver.Fail_and_repair with
+  | E.Bug_found (report, _) ->
+    (match report.Error.kind with
+     | Error.Liveness_violation { monitor; _ } ->
+       Alcotest.(check string) "repair monitor" "RepairMonitor" monitor
+     | k -> Alcotest.failf "wrong kind: %s" (Error.kind_to_string k))
+  | E.No_bug _ -> Alcotest.fail "ExtentNodeLivenessViolation not found"
+
+let test_fixed_repair_clean () =
+  match
+    run_scenario
+      ~config:{ config with max_executions = 300 }
+      ~bugs:Vnext.Bug_flags.none Vnext.Testing_driver.Fail_and_repair
+  with
+  | E.No_bug _ -> ()
+  | E.Bug_found (r, _) ->
+    Alcotest.failf "false positive: %s" (Error.kind_to_string r.Error.kind)
+
+let test_fixed_initial_replication_clean () =
+  match
+    run_scenario
+      ~config:{ config with max_executions = 300 }
+      ~bugs:Vnext.Bug_flags.none Vnext.Testing_driver.Initial_replication
+  with
+  | E.No_bug _ -> ()
+  | E.Bug_found (r, _) ->
+    Alcotest.failf "false positive: %s" (Error.kind_to_string r.Error.kind)
+
+let test_liveness_bug_replay () =
+  match run_scenario ~bugs:Vnext.Bug_flags.liveness_bug
+          Vnext.Testing_driver.Fail_and_repair with
+  | E.Bug_found (report, _) ->
+    let result =
+      E.replay
+        ~monitors:(fun () -> Vnext.Testing_driver.monitors ())
+        config report.Error.trace
+        (Vnext.Testing_driver.test ~bugs:Vnext.Bug_flags.liveness_bug
+           ~scenario:Vnext.Testing_driver.Fail_and_repair ())
+    in
+    (match result.Psharp.Runtime.bug with
+     | Some (Error.Liveness_violation _) -> ()
+     | _ -> Alcotest.fail "replay did not reproduce the liveness bug")
+  | E.No_bug _ -> Alcotest.fail "bug not found"
+
+let suite =
+  [
+    Alcotest.test_case "center: sync replaces holdings" `Quick
+      test_center_sync_replaces;
+    Alcotest.test_case "center: replica counting" `Quick
+      test_center_replica_count;
+    Alcotest.test_case "center: remove node" `Quick test_center_remove_en;
+    Alcotest.test_case "center: add idempotent" `Quick test_center_add_idempotent;
+    Alcotest.test_case "node map: expiry after misses" `Quick
+      test_node_map_expiry_after_misses;
+    Alcotest.test_case "node map: heartbeat resets" `Quick
+      test_node_map_heartbeat_resets;
+    Alcotest.test_case "node map: multiple nodes" `Quick
+      test_node_map_multiple_nodes;
+    Alcotest.test_case "mgr: repairs missing replicas" `Quick
+      test_mgr_repairs_missing_replicas;
+    Alcotest.test_case "mgr: no repair at target" `Quick
+      test_mgr_no_repair_at_target;
+    Alcotest.test_case "mgr: fixed drops unknown sync" `Quick
+      test_mgr_fixed_drops_unknown_sync;
+    Alcotest.test_case "mgr: buggy accepts unknown sync" `Quick
+      test_mgr_buggy_accepts_unknown_sync;
+    Alcotest.test_case "mgr: expiration cleans center" `Quick
+      test_mgr_expiration_cleans_center;
+    Alcotest.test_case "mgr: paper §3.6 interleaving" `Quick
+      test_mgr_paper_interleaving;
+    Alcotest.test_case "engine finds ExtentNodeLivenessViolation" `Slow
+      test_engine_finds_liveness_bug;
+    Alcotest.test_case "fixed repair scenario clean" `Slow
+      test_fixed_repair_clean;
+    Alcotest.test_case "fixed initial replication clean" `Slow
+      test_fixed_initial_replication_clean;
+    Alcotest.test_case "liveness bug trace replays" `Slow
+      test_liveness_bug_replay;
+  ]
+
+(* --- Multi-extent scenarios (the stress tests of §3 use many extents) --- *)
+
+let test_multi_extent_initial_replication () =
+  match
+    run_scenario
+      ~config:{ config with max_executions = 200; max_steps = 4_000 }
+      ~bugs:Vnext.Bug_flags.none Vnext.Testing_driver.Initial_replication
+  with
+  | E.No_bug _ -> ()
+  | E.Bug_found (r, _) ->
+    Alcotest.failf "false positive: %s" (Error.kind_to_string r.Error.kind)
+
+let run_multi ?(config = config) ~bugs scenario =
+  E.run
+    ~monitors:(fun () -> Vnext.Testing_driver.monitors ())
+    config
+    (Vnext.Testing_driver.test ~bugs ~n_extents:3 ~scenario ())
+
+let test_multi_extent_fixed_clean () =
+  match
+    run_multi
+      ~config:{ config with max_executions = 150; max_steps = 5_000 }
+      ~bugs:Vnext.Bug_flags.none Vnext.Testing_driver.Fail_and_repair
+  with
+  | E.No_bug _ -> ()
+  | E.Bug_found (r, _) ->
+    Alcotest.failf "multi-extent false positive: %s"
+      (Error.kind_to_string r.Error.kind)
+
+let test_multi_extent_bug_found () =
+  match
+    run_multi
+      ~config:{ config with max_executions = 4_000; max_steps = 3_000 }
+      ~bugs:Vnext.Bug_flags.liveness_bug Vnext.Testing_driver.Fail_and_repair
+  with
+  | E.Bug_found (r, _) -> begin
+    match r.Error.kind with
+    | Error.Liveness_violation _ -> ()
+    | k -> Alcotest.failf "wrong kind: %s" (Error.kind_to_string k)
+  end
+  | E.No_bug _ -> Alcotest.fail "liveness bug not found with 3 extents"
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "multi-extent initial replication" `Slow
+        test_multi_extent_initial_replication;
+      Alcotest.test_case "multi-extent fixed clean" `Slow
+        test_multi_extent_fixed_clean;
+      Alcotest.test_case "multi-extent bug found" `Slow
+        test_multi_extent_bug_found;
+    ]
