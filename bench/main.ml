@@ -332,6 +332,86 @@ let samples ~budget () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Parallel scaling (Worker_pool across OCaml 5 domains)               *)
+(* ------------------------------------------------------------------ *)
+
+(* Throughput of the random-strategy vNext harness at increasing worker
+   counts. The fixed (bug-free) variant is used so every execution runs to
+   completion and the measurement is pure engine throughput, not
+   time-to-bug luck. Results land in BENCH_parallel.json. *)
+let parallel_scaling ~budget () =
+  Printf.printf
+    "== Parallel scaling: random-strategy vNext harness, %d executions ==\n"
+    budget;
+  Printf.printf "(available cores: %d)\n" (Domain.recommended_domain_count ());
+  let harness =
+    Vnext.Testing_driver.test ~bugs:Vnext.Bug_flags.none
+      ~scenario:Vnext.Testing_driver.Fail_and_repair ()
+  in
+  let monitors () = Vnext.Testing_driver.monitors () in
+  let measure workers =
+    let cfg =
+      {
+        E.default_config with
+        seed = base_seed;
+        max_executions = budget;
+        max_steps = 3_000;
+        workers;
+      }
+    in
+    match E.run ~monitors cfg harness with
+    | E.No_bug stats -> stats
+    | E.Bug_found (report, stats) ->
+      Printf.printf "UNEXPECTED bug during scaling run: %s\n"
+        (Error.kind_to_string report.Error.kind);
+      stats
+  in
+  let rows =
+    List.map
+      (fun workers ->
+        let stats = measure workers in
+        let throughput =
+          if stats.E.elapsed > 0. then
+            float_of_int stats.E.executions /. stats.E.elapsed
+          else 0.
+        in
+        (workers, stats, throughput))
+      [ 1; 2; 4; 8 ]
+  in
+  let base =
+    match rows with
+    | (_, _, t) :: _ -> t
+    | [] -> 0.
+  in
+  Printf.printf "%8s %12s %10s %14s %9s\n" "workers" "executions" "elapsed"
+    "execs/sec" "speedup";
+  List.iter
+    (fun (w, stats, t) ->
+      Printf.printf "%8d %12d %9.2fs %14.1f %8.2fx\n" w stats.E.executions
+        stats.E.elapsed t
+        (if base > 0. then t /. base else 0.))
+    rows;
+  let oc = open_out "BENCH_parallel.json" in
+  output_string oc "{\n";
+  Printf.fprintf oc "  \"harness\": \"vnext-fixed-random\",\n";
+  Printf.fprintf oc "  \"budget\": %d,\n" budget;
+  Printf.fprintf oc "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
+  output_string oc "  \"points\": [\n";
+  List.iteri
+    (fun i (w, stats, t) ->
+      Printf.fprintf oc
+        "    {\"workers\": %d, \"executions\": %d, \"total_steps\": %d, \
+         \"elapsed_s\": %.4f, \"execs_per_sec\": %.1f, \"speedup\": %.3f}%s\n"
+        w stats.E.executions stats.E.total_steps stats.E.elapsed t
+        (if base > 0. then t /. base else 0.)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  print_endline "wrote BENCH_parallel.json";
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -411,13 +491,18 @@ let () =
   let full = List.mem "--full" args in
   let sections =
     match List.filter (fun a -> a <> "--full") args with
-    | [] -> [ "table1"; "table2"; "vnext-fix"; "ablation"; "samples"; "micro" ]
+    | [] ->
+      [
+        "table1"; "table2"; "vnext-fix"; "ablation"; "samples";
+        "parallel-scaling"; "micro";
+      ]
     | picked -> picked
   in
   let table2_budget = if full then 100_000 else 20_000 in
   let fix_budget = if full then 100_000 else 2_000 in
   let ablation_budget = if full then 100_000 else 20_000 in
   let samples_budget = if full then 100_000 else 10_000 in
+  let scaling_budget = if full then 2_000 else 400 in
   List.iter
     (fun section ->
       match section with
@@ -426,6 +511,7 @@ let () =
       | "vnext-fix" -> vnext_fix ~budget:fix_budget ()
       | "ablation" -> ablation ~budget:ablation_budget ()
       | "samples" -> samples ~budget:samples_budget ()
+      | "parallel-scaling" -> parallel_scaling ~budget:scaling_budget ()
       | "micro" -> micro ()
       | other -> Printf.printf "unknown section %s\n" other)
     sections

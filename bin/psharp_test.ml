@@ -32,6 +32,23 @@ let executions_arg =
   let doc = "Maximum number of executions to explore." in
   Arg.(value & opt int 10_000 & info [ "executions" ] ~doc)
 
+let workers_arg =
+  let doc =
+    "Explore with $(docv) parallel worker domains (0 = one per core). \
+     Parallel runs cover the same schedules as sequential runs; stateful \
+     strategies (dfs) fall back to sequential."
+  in
+  let nonneg =
+    let parse s =
+      match Arg.conv_parser Arg.int s with
+      | Ok n when n >= 0 -> Ok n
+      | Ok _ -> Error (`Msg "worker count must be >= 0")
+      | Error _ as e -> e
+    in
+    Arg.conv (parse, Arg.conv_printer Arg.int)
+  in
+  Arg.(value & opt nonneg 1 & info [ "workers" ] ~docv:"N" ~doc)
+
 let steps_arg =
   let doc = "Step bound per execution (0 = the bug's default)." in
   Arg.(value & opt int 0 & info [ "steps" ] ~doc)
@@ -64,7 +81,7 @@ let parse_strategy = function
   | "delay" -> Ok (E.Delay_bounded { delays = 2 })
   | other -> Error (Printf.sprintf "unknown strategy %s" other)
 
-let config_of entry ~strategy ~seed ~executions ~steps ~log =
+let config_of ?(workers = 1) entry ~strategy ~seed ~executions ~steps ~log =
   {
     E.default_config with
     strategy;
@@ -72,6 +89,7 @@ let config_of entry ~strategy ~seed ~executions ~steps ~log =
     max_executions = executions;
     max_steps = (if steps > 0 then steps else entry.Bug_catalog.max_steps);
     collect_log_on_bug = log;
+    workers;
   }
 
 let harness_of entry ~custom =
@@ -106,7 +124,8 @@ let list_cmd =
 
 (* --- hunt --------------------------------------------------------------- *)
 
-let hunt bug strategy seed executions steps custom trace_out log shrink =
+let hunt bug strategy seed executions steps custom trace_out log shrink
+    workers =
   match parse_strategy strategy with
   | Error msg ->
     prerr_endline msg;
@@ -122,7 +141,9 @@ let hunt bug strategy seed executions steps custom trace_out log shrink =
         prerr_endline msg;
         2
       | Ok harness -> begin
-        let config = config_of entry ~strategy ~seed ~executions ~steps ~log in
+        let config =
+          config_of ~workers entry ~strategy ~seed ~executions ~steps ~log
+        in
         match E.run ~monitors:entry.Bug_catalog.monitors config harness with
         | E.Bug_found (first_report, stats) ->
           let report =
@@ -160,7 +181,8 @@ let hunt_cmd =
     (Cmd.info "hunt" ~doc:"Systematically search for a catalog bug.")
     Term.(
       const hunt $ bug_arg $ strategy_arg $ seed_arg $ executions_arg
-      $ steps_arg $ custom_arg $ trace_out_arg $ log_arg $ shrink_arg)
+      $ steps_arg $ custom_arg $ trace_out_arg $ log_arg $ shrink_arg
+      $ workers_arg)
 
 (* --- replay ------------------------------------------------------------- *)
 
@@ -204,7 +226,7 @@ let replay_cmd =
 
 (* --- survey --------------------------------------------------------------- *)
 
-let survey bug strategy seed executions custom =
+let survey bug strategy seed executions custom workers =
   match parse_strategy strategy with
   | Error msg ->
     prerr_endline msg;
@@ -221,7 +243,8 @@ let survey bug strategy seed executions custom =
         2
       | Ok harness ->
         let config =
-          config_of entry ~strategy ~seed ~executions ~steps:0 ~log:false
+          config_of ~workers entry ~strategy ~seed ~executions ~steps:0
+            ~log:false
         in
         let found =
           E.survey ~monitors:entry.Bug_catalog.monitors config harness
@@ -252,7 +275,7 @@ let survey_cmd =
           violation with its frequency.")
     Term.(
       const survey $ bug_arg $ strategy_arg $ seed_arg $ executions_arg
-      $ custom_arg)
+      $ custom_arg $ workers_arg)
 
 (* --- check (fixed variant) ---------------------------------------------- *)
 

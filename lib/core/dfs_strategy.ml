@@ -78,6 +78,8 @@ let factory ?(max_depth = 1_000) ?(int_cap = 4) () : Strategy.factory =
   let st = { stack = []; depth = 0; max_depth; int_cap } in
   {
     factory_name = "dfs";
+    (* The backtracking stack is shared across iterations. *)
+    parallel_safe = false;
     fresh =
       (fun ~iteration ->
         if iteration = 0 then begin

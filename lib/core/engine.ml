@@ -15,6 +15,7 @@ type config = {
   liveness_grace : int option;
   deadlock_is_bug : bool;
   collect_log_on_bug : bool;
+  workers : int;
 }
 
 let default_config =
@@ -27,6 +28,7 @@ let default_config =
     liveness_grace = None;
     deadlock_is_bug = true;
     collect_log_on_bug = false;
+    workers = 1;
   }
 
 type stats = {
@@ -73,7 +75,22 @@ let replay ?(monitors = no_monitors) config trace body =
     (runtime_config config ~collect_log:true)
     strategy ~monitors:(monitors ()) ~name:"Harness" body
 
-let run ?(monitors = no_monitors) config body =
+(* Assemble the report of a buggy execution, optionally re-executing the
+   schedule with logging on to capture a readable trace log. *)
+let finish_report ~monitors config ~kind (result : Runtime.exec_result) body =
+  let log =
+    if config.collect_log_on_bug then
+      (replay ~monitors config result.Runtime.choices body).Runtime.log
+    else result.Runtime.log
+  in
+  {
+    Error.kind;
+    step = result.Runtime.bug_step;
+    trace = result.Runtime.choices;
+    log;
+  }
+
+let run_sequential ~monitors config body =
   let factory = factory_of config in
   let started = Unix.gettimeofday () in
   let total_steps = ref 0 in
@@ -111,19 +128,7 @@ let run ?(monitors = no_monitors) config body =
         (match result.Runtime.bug with
          | None -> iterate (i + 1)
          | Some kind ->
-           let log =
-             if config.collect_log_on_bug then
-               (replay ~monitors config result.Runtime.choices body).Runtime.log
-             else result.Runtime.log
-           in
-           let report =
-             {
-               Error.kind;
-               step = result.Runtime.bug_step;
-               trace = result.Runtime.choices;
-               log;
-             }
-           in
+           let report = finish_report ~monitors config ~kind result body in
            let stats =
              {
                executions = i + 1;
@@ -136,15 +141,94 @@ let run ?(monitors = no_monitors) config body =
   in
   iterate 0
 
+(* Parallel exploration: each worker domain owns a private factory built
+   from the same config and explores the global iteration indices assigned
+   to it by the pool, so the set of schedules explored is exactly the
+   sequential set for every worker count (seeds derive from the global
+   iteration index, not from the worker). *)
+let run_parallel ~monitors ~workers config body =
+  let winner, pool_stats =
+    Worker_pool.hunt ~workers ~max_iterations:config.max_executions
+      ?max_seconds:config.max_seconds
+      ~init:(fun ~worker:_ -> factory_of config)
+      ~body:(fun factory ~iteration ->
+        match factory.Strategy.fresh ~iteration with
+        | None -> (None, 0)
+        | Some strategy ->
+          let result =
+            Runtime.execute
+              (runtime_config config ~collect_log:false)
+              strategy ~monitors:(monitors ()) ~name:"Harness" body
+          in
+          let payload =
+            match result.Runtime.bug with
+            | None -> None
+            | Some kind -> Some (kind, result)
+          in
+          (payload, result.Runtime.steps))
+      ()
+  in
+  let stats =
+    {
+      executions = pool_stats.Worker_pool.executions;
+      elapsed = pool_stats.Worker_pool.elapsed;
+      total_steps = pool_stats.Worker_pool.total_steps;
+      search_exhausted = false;
+    }
+  in
+  match winner with
+  | None -> No_bug stats
+  | Some ((kind, result), _iteration) ->
+    Bug_found (finish_report ~monitors config ~kind result body, stats)
+
+(* Parallel mode needs a parallel-safe strategy (a stateless factory each
+   worker can instantiate privately); otherwise fall back with a notice. *)
+let parallel_plan config =
+  let workers = Worker_pool.resolve config.workers in
+  if workers <= 1 || config.max_executions <= 1 then `Sequential
+  else begin
+    let factory = factory_of config in
+    if factory.Strategy.parallel_safe then `Parallel workers
+    else begin
+      Printf.eprintf
+        "[engine] strategy %s keeps state across executions; ignoring \
+         workers=%d and exploring sequentially\n\
+         %!"
+        factory.Strategy.factory_name workers;
+      `Sequential
+    end
+  end
+
+let run ?(monitors = no_monitors) config body =
+  match parallel_plan config with
+  | `Sequential -> run_sequential ~monitors config body
+  | `Parallel workers -> run_parallel ~monitors ~workers config body
+
 (* Survey mode: keep exploring after bugs are found, deduplicating by the
    rendered bug kind; returns each distinct bug's first report and how many
    executions reproduced it. *)
-let survey ?(monitors = no_monitors) config body =
+let report_of_result kind (result : Runtime.exec_result) =
+  {
+    Error.kind;
+    step = result.Runtime.bug_step;
+    trace = result.Runtime.choices;
+    log = result.Runtime.log;
+  }
+
+let survey_sequential ~monitors config body =
   let factory = factory_of config in
+  let started = Unix.gettimeofday () in
+  let out_of_time () =
+    match config.max_seconds with
+    | Some budget -> Unix.gettimeofday () -. started >= budget
+    | None -> false
+  in
   let found : (string, Error.report * int) Hashtbl.t = Hashtbl.create 8 in
   let order : string list ref = ref [] in
   let rec iterate i =
-    if i >= config.max_executions then ()
+    (* The wall-clock budget applies here too: stop at the deadline and
+       return the violations collected so far. *)
+    if i >= config.max_executions || out_of_time () then ()
     else
       match factory.Strategy.fresh ~iteration:i with
       | None -> ()
@@ -161,20 +245,60 @@ let survey ?(monitors = no_monitors) config body =
            (match Hashtbl.find_opt found key with
             | Some (report, n) -> Hashtbl.replace found key (report, n + 1)
             | None ->
-              let report =
-                {
-                  Error.kind;
-                  step = result.Runtime.bug_step;
-                  trace = result.Runtime.choices;
-                  log = result.Runtime.log;
-                }
-              in
-              Hashtbl.replace found key (report, 1);
+              Hashtbl.replace found key (report_of_result kind result, 1);
               order := key :: !order));
         iterate (i + 1)
   in
   iterate 0;
   List.rev_map (fun key -> Hashtbl.find found key) !order
+
+(* Workers dedupe into a shared lock-protected table; each distinct kind
+   keeps the report from the lowest global iteration, and kinds are
+   returned ordered by that iteration — the same order the sequential
+   survey discovers them in. *)
+let survey_parallel ~monitors ~workers config body =
+  let mu = Mutex.create () in
+  let found : (string, Error.report * int * int) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let (_ : (unit * int) list), (_ : Worker_pool.stats) =
+    Worker_pool.sweep ~workers ~max_iterations:config.max_executions
+      ?max_seconds:config.max_seconds
+      ~init:(fun ~worker:_ -> factory_of config)
+      ~body:(fun factory ~iteration ->
+        match factory.Strategy.fresh ~iteration with
+        | None -> (None, 0)
+        | Some strategy ->
+          let result =
+            Runtime.execute
+              (runtime_config config ~collect_log:false)
+              strategy ~monitors:(monitors ()) ~name:"Harness" body
+          in
+          (match result.Runtime.bug with
+           | None -> ()
+           | Some kind ->
+             let key = Error.kind_to_string kind in
+             Mutex.protect mu (fun () ->
+                 match Hashtbl.find_opt found key with
+                 | Some (report, n, first) ->
+                   if iteration < first then
+                     Hashtbl.replace found key
+                       (report_of_result kind result, n + 1, iteration)
+                   else Hashtbl.replace found key (report, n + 1, first)
+                 | None ->
+                   Hashtbl.replace found key
+                     (report_of_result kind result, 1, iteration)));
+          (None, result.Runtime.steps))
+      ()
+  in
+  Hashtbl.fold (fun _ entry acc -> entry :: acc) found []
+  |> List.sort (fun (_, _, a) (_, _, b) -> compare a b)
+  |> List.map (fun (report, n, _) -> (report, n))
+
+let survey ?(monitors = no_monitors) config body =
+  match parallel_plan config with
+  | `Sequential -> survey_sequential ~monitors config body
+  | `Parallel workers -> survey_parallel ~monitors ~workers config body
 
 let ndc = function
   | Bug_found (report, _) -> Some (Trace.length report.Error.trace)

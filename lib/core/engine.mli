@@ -30,9 +30,21 @@ type config = {
   deadlock_is_bug : bool;
   collect_log_on_bug : bool;
       (** re-execute the buggy schedule to capture a readable trace log *)
+  workers : int;
+      (** number of OCaml domains exploring the execution budget in
+          parallel: [1] (the default) is fully sequential, [0] means one
+          worker per available core. Parallel exploration covers exactly
+          the same set of schedules as sequential exploration — execution
+          seeds derive from the global iteration index, not from the
+          worker — so a bug found with any worker count is found with
+          every other (only wall-clock time and, when several distinct
+          buggy schedules exist, which one is reported first can differ).
+          Stateful strategies (DFS, trace replay) are not parallel-safe;
+          the engine logs a notice and falls back to sequential. *)
 }
 
-(** Random strategy, seed 0, 10,000 executions, 5,000-step bound. *)
+(** Random strategy, seed 0, 10,000 executions, 5,000-step bound, one
+    worker. *)
 val default_config : config
 
 type stats = {
@@ -50,7 +62,10 @@ val pp_outcome : Format.formatter -> outcome -> unit
 
 (** [run config ~monitors body] iterates executions of the harness [body]
     (the root machine). [monitors] is called before each execution so every
-    run gets fresh monitor state. *)
+    run gets fresh monitor state. With [config.workers] other than [1] and
+    a parallel-safe strategy, executions fan out across domains
+    ({!Worker_pool}); the first bug raises an atomic stop flag and
+    in-flight workers exit at their next iteration boundary. *)
 val run :
   ?monitors:(unit -> Monitor.t list) ->
   config ->
@@ -70,7 +85,9 @@ val replay :
     first bug, deduplicating violations by kind. Returns, in order of first
     discovery, each distinct bug's first report and the number of
     executions that reproduced it — useful for judging how many distinct
-    defects a harness exposes and how frequently each one fires. *)
+    defects a harness exposes and how frequently each one fires. Honors
+    [config.max_seconds] (partial results at the deadline) and
+    [config.workers] like {!run}. *)
 val survey :
   ?monitors:(unit -> Monitor.t list) ->
   config ->

@@ -14,13 +14,23 @@ let name (e : t) =
   | None -> full
   | Some i -> String.sub full (i + 1) (String.length full - i - 1)
 
-let printers : (t -> string option) list ref = ref []
+(* Registration happens lazily from machine bodies, which may execute
+   concurrently across domains; publish the list with a CAS loop so no
+   registration is lost. Reads are plain: a momentarily stale list only
+   affects how an event renders. *)
+let printers : (t -> string option) list Atomic.t = Atomic.make []
 
-let register_printer f = printers := f :: !printers
+let register_printer f =
+  let rec loop () =
+    let current = Atomic.get printers in
+    if not (Atomic.compare_and_set printers current (f :: current)) then
+      loop ()
+  in
+  loop ()
 
 let to_string e =
   let rec try_printers = function
     | [] -> name e
     | f :: rest -> (match f e with Some s -> s | None -> try_printers rest)
   in
-  try_printers !printers
+  try_printers (Atomic.get printers)

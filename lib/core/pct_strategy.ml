@@ -1,6 +1,9 @@
 module Int_set = Set.Make (Int)
 
 let make ~seed ~change_points ~max_steps ~iteration : Strategy.t =
+  (* Domain-safety audit: the Prng, change-point set and priority table
+     are all created fresh per execution and owned by the strategy value;
+     no state escapes to other executions or worker domains. *)
   let rng =
     Prng.create ~seed:(Int64.add seed (Int64.of_int (iteration * 2 + 1)))
   in

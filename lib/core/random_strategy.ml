@@ -1,4 +1,9 @@
 let make ~seed ~iteration : Strategy.t =
+  (* Domain-safety audit: the only state is this Prng, created fresh per
+     execution from (seed, iteration) and owned by the strategy value —
+     never shared across executions or worker domains. Seeding by the
+     global iteration index keeps the explored schedule set identical for
+     every Worker_pool worker count. *)
   let rng =
     Prng.create ~seed:(Int64.add seed (Int64.of_int (iteration * 2 + 1)))
   in

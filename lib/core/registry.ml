@@ -18,25 +18,33 @@ end)
 
 let edges : (string, Edge_set.t) Hashtbl.t = Hashtbl.create 32
 
+(* The registry is global, and executions may run concurrently across
+   domains (Worker_pool); every access goes through this lock. *)
+let mu = Mutex.create ()
+
 let register_machine ~machine ~kind ~states ~handlers =
-  if not (Hashtbl.mem registered machine) then begin
-    Hashtbl.replace registered machine { machine; kind; states; handlers };
-    order := machine :: !order
-  end
+  Mutex.protect mu (fun () ->
+      if not (Hashtbl.mem registered machine) then begin
+        Hashtbl.replace registered machine { machine; kind; states; handlers };
+        order := machine :: !order
+      end)
 
 let record_transition ~machine ~from_ ~to_ =
-  let current =
-    Option.value (Hashtbl.find_opt edges machine) ~default:Edge_set.empty
-  in
-  Hashtbl.replace edges machine (Edge_set.add (from_, to_) current)
+  Mutex.protect mu (fun () ->
+      let current =
+        Option.value (Hashtbl.find_opt edges machine) ~default:Edge_set.empty
+      in
+      Hashtbl.replace edges machine (Edge_set.add (from_, to_) current))
 
 let machines () =
-  List.rev_map (fun name -> Hashtbl.find registered name) !order
+  Mutex.protect mu (fun () ->
+      List.rev_map (fun name -> Hashtbl.find registered name) !order)
 
 let transitions ~machine =
-  match Hashtbl.find_opt edges machine with
-  | Some s -> Edge_set.cardinal s
-  | None -> 0
+  Mutex.protect mu (fun () ->
+      match Hashtbl.find_opt edges machine with
+      | Some s -> Edge_set.cardinal s
+      | None -> 0)
 
 let aggregate ~matching =
   List.fold_left
@@ -48,6 +56,7 @@ let aggregate ~matching =
     (0, 0, 0, 0) (machines ())
 
 let reset () =
-  Hashtbl.reset registered;
-  Hashtbl.reset edges;
-  order := []
+  Mutex.protect mu (fun () ->
+      Hashtbl.reset registered;
+      Hashtbl.reset edges;
+      order := [])

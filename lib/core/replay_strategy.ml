@@ -32,7 +32,7 @@ let make trace : Strategy.t =
   in
   let next_int ~bound ~step =
     match next ~step "int" with
-    | Trace.Int i when i < bound -> i
+    | Trace.Int i when i >= 0 && i < bound -> i
     | Trace.Int i ->
       diverged ~step
         (Printf.sprintf "int choice %d out of bound %d" i bound)
@@ -44,6 +44,8 @@ let make trace : Strategy.t =
 let factory trace : Strategy.factory =
   {
     factory_name = "replay";
+    (* Single-execution by construction; nothing to fan out. *)
+    parallel_safe = false;
     fresh =
       (fun ~iteration -> if iteration = 0 then Some (make trace) else None);
   }

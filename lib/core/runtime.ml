@@ -90,7 +90,9 @@ let add_machine rt ~name body =
 let self ctx = ctx.me.id
 
 let name_of ctx id =
-  if Id.index id < ctx.rt.n_machines then
+  (* Same bounds pattern as [send]/[send_unless_pending]: a forged or stale
+     id with a negative index must not reach the machine array. *)
+  if Id.index id >= 0 && Id.index id < ctx.rt.n_machines then
     Id.name ctx.rt.machines.(Id.index id).id
   else "<unknown>"
 

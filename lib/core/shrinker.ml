@@ -29,7 +29,9 @@ let lenient_strategy trace ~seed : Strategy.t =
   in
   let next_int ~bound ~step:_ =
     match next () with
-    | Some (Trace.Int i) when i < bound -> i
+    (* A corrupted or hand-edited trace can carry a negative choice; treat
+       it as a divergence rather than propagating an invalid value. *)
+    | Some (Trace.Int i) when i >= 0 && i < bound -> i
     | Some _ | None ->
       diverged := true;
       Prng.int rng bound

@@ -7,8 +7,13 @@ type t = {
 
 type factory = {
   factory_name : string;
+  parallel_safe : bool;
   fresh : iteration:int -> t option;
 }
 
-let stateless ~name make =
-  { factory_name = name; fresh = (fun ~iteration -> Some (make ~iteration)) }
+let stateless ?(parallel_safe = true) ~name make =
+  {
+    factory_name = name;
+    parallel_safe;
+    fresh = (fun ~iteration -> Some (make ~iteration));
+  }

@@ -15,11 +15,17 @@ type t = {
 
 type factory = {
   factory_name : string;
+  parallel_safe : bool;
+      (** [fresh] carries no state across iterations, so disjoint iteration
+          sets may be explored concurrently by independent factory copies
+          (one per domain). Enumerative strategies (DFS, replay) are not
+          parallel-safe: their factory mutates shared search state. *)
   fresh : iteration:int -> t option;
       (** strategy for execution number [iteration] (0-based), or [None]
           when the strategy has exhausted its search space *)
 }
 
 (** A factory that returns the same strategy forever (for stateless
-    strategies built per-iteration from a seed). *)
-val stateless : name:string -> (iteration:int -> t) -> factory
+    strategies built per-iteration from a seed). Stateless factories are
+    [parallel_safe] by default. *)
+val stateless : ?parallel_safe:bool -> name:string -> (iteration:int -> t) -> factory

@@ -1,0 +1,78 @@
+type stats = {
+  executions : int;
+  total_steps : int;
+  elapsed : float;
+}
+
+let resolve n =
+  if n < 0 then invalid_arg "Worker_pool.resolve: negative worker count"
+  else if n = 0 then Domain.recommended_domain_count ()
+  else n
+
+let drive ~workers ~max_iterations ?max_seconds ~stop_on_result ~init ~body ()
+    =
+  let workers = max 1 (min (resolve workers) (max 1 max_iterations)) in
+  let started = Unix.gettimeofday () in
+  let stop = Atomic.make false in
+  let executions = Atomic.make 0 in
+  let total_steps = Atomic.make 0 in
+  let mu = Mutex.create () in
+  let results = ref [] in
+  let failure : (exn * Printexc.raw_backtrace) option ref = ref None in
+  let out_of_time () =
+    match max_seconds with
+    | Some budget -> Unix.gettimeofday () -. started >= budget
+    | None -> false
+  in
+  let worker_loop w =
+    let state = init ~worker:w in
+    let g = ref w in
+    while
+      !g < max_iterations && (not (Atomic.get stop)) && not (out_of_time ())
+    do
+      let r, steps = body state ~iteration:!g in
+      ignore (Atomic.fetch_and_add executions 1);
+      ignore (Atomic.fetch_and_add total_steps steps);
+      (match r with
+       | None -> ()
+       | Some v ->
+         Mutex.protect mu (fun () -> results := (v, !g) :: !results);
+         if stop_on_result then Atomic.set stop true);
+      g := !g + workers
+    done
+  in
+  let guarded w () =
+    try worker_loop w
+    with e ->
+      let bt = Printexc.get_raw_backtrace () in
+      Mutex.protect mu (fun () ->
+          if !failure = None then failure := Some (e, bt));
+      Atomic.set stop true
+  in
+  let domains =
+    List.init (workers - 1) (fun i -> Domain.spawn (guarded (i + 1)))
+  in
+  guarded 0 ();
+  List.iter Domain.join domains;
+  (match !failure with
+   | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+   | None -> ());
+  let collected = List.sort (fun (_, g1) (_, g2) -> compare g1 g2) !results in
+  ( collected,
+    {
+      executions = Atomic.get executions;
+      total_steps = Atomic.get total_steps;
+      elapsed = Unix.gettimeofday () -. started;
+    } )
+
+let hunt ~workers ~max_iterations ?max_seconds ~init ~body () =
+  let collected, stats =
+    drive ~workers ~max_iterations ?max_seconds ~stop_on_result:true ~init
+      ~body ()
+  in
+  let winner = match collected with [] -> None | best :: _ -> Some best in
+  (winner, stats)
+
+let sweep ~workers ~max_iterations ?max_seconds ~init ~body () =
+  drive ~workers ~max_iterations ?max_seconds ~stop_on_result:false ~init
+    ~body ()

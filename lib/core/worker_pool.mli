@@ -1,0 +1,58 @@
+(** Domain-parallel iteration driver.
+
+    Fans a budget of independent iterations (systematic-testing executions)
+    across OCaml 5 domains. Iterations are assigned statically: worker [w]
+    of [n] runs global iterations [w], [w + n], [w + 2n], ... — so the
+    {e set} of iterations explored (and hence, for seed-derived strategies,
+    the set of schedules explored) is identical for every worker count,
+    including the sequential [n = 1] case. Only the wall-clock order of
+    exploration, and therefore which of several buggy iterations is hit
+    first, can vary with [n].
+
+    Each worker builds its own iteration state (strategy factory, PRNGs)
+    via [init], inside its own domain; nothing is shared between workers
+    except the atomic progress counters and the result accumulator. *)
+
+type stats = {
+  executions : int;  (** iterations completed across all workers *)
+  total_steps : int;  (** sum of per-iteration step counts *)
+  elapsed : float;  (** wall-clock seconds for the whole fan-out *)
+}
+
+(** [resolve n] is the effective worker count: [n] itself when positive,
+    the number of available cores ([Domain.recommended_domain_count])
+    when [n = 0].
+    @raise Invalid_argument when [n] is negative. *)
+val resolve : int -> int
+
+(** [hunt ~workers ~max_iterations ?max_seconds ~init ~body ()] drives
+    [body] over iterations [0 .. max_iterations - 1] and stops early at
+    the first [Some] result: an atomic stop flag is raised and every
+    in-flight worker exits at its next iteration boundary. [body] returns
+    the optional result of one iteration plus the number of scheduler
+    steps it took. Returns the winning result tagged with its global
+    iteration index — when several workers report before observing the
+    stop flag, the result with the {e lowest} iteration index wins, so the
+    outcome is deterministic whenever the racing iterations are. A worker
+    exception is re-raised in the calling domain after all workers have
+    been joined. *)
+val hunt :
+  workers:int ->
+  max_iterations:int ->
+  ?max_seconds:float ->
+  init:(worker:int -> 'w) ->
+  body:('w -> iteration:int -> 'r option * int) ->
+  unit ->
+  ('r * int) option * stats
+
+(** [sweep] is [hunt] without the early stop: every iteration of the
+    budget runs (subject to [max_seconds]) and all [Some] results are
+    collected, sorted by iteration index. *)
+val sweep :
+  workers:int ->
+  max_iterations:int ->
+  ?max_seconds:float ->
+  init:(worker:int -> 'w) ->
+  body:('w -> iteration:int -> 'r option * int) ->
+  unit ->
+  ('r * int) list * stats

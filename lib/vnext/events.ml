@@ -40,10 +40,10 @@ let printer = function
       (Printf.sprintf "M_initial_extents(%d extents)" (List.length layout))
   | _ -> None
 
-let installed = ref false
+(* First executions may race across domains: CAS so the printer is
+   registered exactly once. *)
+let installed = Atomic.make false
 
 let install_printer () =
-  if not !installed then begin
-    installed := true;
+  if Atomic.compare_and_set installed false true then
     Psharp.Event.register_printer printer
-  end

@@ -10,6 +10,7 @@ let () =
       ("statemachine", Test_statemachine.suite);
       ("strategies", Test_strategies.suite);
       ("engine", Test_engine.suite);
+      ("parallel", Test_parallel.suite);
       ("core-extra", Test_core_extra.suite);
       ("pushpop-delay", Test_pushpop.suite);
       ("replication", Test_replication.suite);

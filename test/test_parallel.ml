@@ -1,0 +1,299 @@
+(* Domain-parallel exploration (Worker_pool / Engine.workers) and the
+   engine budget/bounds fixes that ride along with it. *)
+
+module E = Psharp.Engine
+module R = Psharp.Runtime
+module W = Psharp.Worker_pool
+module Error = Psharp.Error
+module Trace = Psharp.Trace
+module Id = Psharp.Id
+module Event = Psharp.Event
+
+type Event.t += Token
+
+(* Same minimal racy program as test_engine: roughly half of all schedules
+   violate the referee's assertion. *)
+let racy_harness ctx =
+  let first = ref None in
+  let referee =
+    R.create ctx ~name:"Referee" (fun rctx ->
+        ignore (R.receive rctx);
+        R.assert_here rctx (!first = Some "A") "B overtook A")
+  in
+  let writer name wctx =
+    if !first = None then first := Some name;
+    R.send wctx referee Token
+  in
+  ignore (R.create ctx ~name:"A" (writer "A"));
+  ignore (R.create ctx ~name:"B" (writer "B"))
+
+let clean_harness ctx =
+  let echo = R.create ctx ~name:"Echo" (fun ectx -> ignore (R.receive ectx)) in
+  R.send ctx echo Token
+
+let config = { E.default_config with max_executions = 500; max_steps = 200 }
+
+(* --- Worker_pool ------------------------------------------------------- *)
+
+let test_resolve () =
+  Alcotest.(check int) "1 stays 1" 1 (W.resolve 1);
+  Alcotest.(check int) "4 stays 4" 4 (W.resolve 4);
+  Alcotest.(check bool) "0 means all cores (>= 1)" true (W.resolve 0 >= 1);
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Worker_pool.resolve: negative worker count") (fun () ->
+      ignore (W.resolve (-1)))
+
+let test_pool_sweep_collects_everything () =
+  let results, stats =
+    W.sweep ~workers:4 ~max_iterations:20
+      ~init:(fun ~worker -> worker)
+      ~body:(fun _worker ~iteration ->
+        ((if iteration mod 2 = 0 then Some iteration else None), 1))
+      ()
+  in
+  Alcotest.(check int) "all iterations ran" 20 stats.W.executions;
+  Alcotest.(check int) "steps summed" 20 stats.W.total_steps;
+  Alcotest.(check (list (pair int int)))
+    "even iterations, sorted by index"
+    (List.init 10 (fun i -> (2 * i, 2 * i)))
+    results
+
+let test_pool_hunt_stops_early () =
+  let winner, stats =
+    W.hunt ~workers:4 ~max_iterations:10_000
+      ~init:(fun ~worker:_ -> ())
+      ~body:(fun () ~iteration ->
+        ((if iteration >= 10 then Some iteration else None), 1))
+      ()
+  in
+  (match winner with
+   | Some (value, iteration) ->
+     Alcotest.(check int) "value is its iteration" iteration value;
+     Alcotest.(check bool) "a buggy iteration won" true (iteration >= 10)
+   | None -> Alcotest.fail "expected a winner");
+  Alcotest.(check bool) "stopped far short of the budget" true
+    (stats.W.executions < 1_000)
+
+let test_pool_empty_budget () =
+  let winner, stats =
+    W.hunt ~workers:4 ~max_iterations:0
+      ~init:(fun ~worker:_ -> ())
+      ~body:(fun () ~iteration -> (Some iteration, 1))
+      ()
+  in
+  Alcotest.(check bool) "no winner" true (winner = None);
+  Alcotest.(check int) "no executions" 0 stats.W.executions
+
+let test_pool_propagates_exceptions () =
+  Alcotest.check_raises "worker exception reaches the caller"
+    (Failure "boom") (fun () ->
+      ignore
+        (W.sweep ~workers:2 ~max_iterations:50
+           ~init:(fun ~worker:_ -> ())
+           ~body:(fun () ~iteration ->
+             if iteration = 3 then failwith "boom" else (None, 1))
+           ()))
+
+(* --- Engine parallel semantics ----------------------------------------- *)
+
+let test_parallel_clean_stats_match_sequential () =
+  (* Parallel exploration covers exactly the sequential schedule set, so on
+     a bug-free harness the merged step count must match sequentially. *)
+  let cfg = { config with E.max_executions = 100 } in
+  let seq =
+    match E.run cfg clean_harness with
+    | E.No_bug stats -> stats
+    | E.Bug_found _ -> Alcotest.fail "clean harness reported a bug"
+  in
+  let par =
+    match E.run { cfg with E.workers = 4 } clean_harness with
+    | E.No_bug stats -> stats
+    | E.Bug_found _ -> Alcotest.fail "clean harness reported a bug (parallel)"
+  in
+  Alcotest.(check int) "same executions" seq.E.executions par.E.executions;
+  Alcotest.(check int) "same total steps" seq.E.total_steps par.E.total_steps
+
+let test_parallel_finds_race () =
+  match E.run { config with E.workers = 4; seed = 7L } racy_harness with
+  | E.Bug_found (report, stats) ->
+    (match report.Error.kind with
+     | Error.Assertion_failure _ -> ()
+     | k -> Alcotest.failf "wrong kind: %s" (Error.kind_to_string k));
+    Alcotest.(check bool) "stopped early" true (stats.E.executions < 500);
+    (* The reported witness replays deterministically. *)
+    let result = E.replay config report.Error.trace racy_harness in
+    (match result.R.bug with
+     | Some (Error.Assertion_failure _) -> ()
+     | _ -> Alcotest.fail "parallel witness did not replay")
+  | E.No_bug _ -> Alcotest.fail "race not found with 4 workers"
+
+let test_parallel_same_vnext_bug_kind_as_sequential () =
+  let cfg =
+    {
+      E.default_config with
+      max_executions = 4_000;
+      max_steps = 3_000;
+      seed = 0L;
+    }
+  in
+  let hunt workers =
+    match
+      E.run
+        ~monitors:(fun () -> Vnext.Testing_driver.monitors ())
+        { cfg with E.workers }
+        (Vnext.Testing_driver.test ~bugs:Vnext.Bug_flags.liveness_bug
+           ~scenario:Vnext.Testing_driver.Fail_and_repair ())
+    with
+    | E.Bug_found (report, _) -> report.Error.kind
+    | E.No_bug _ -> Alcotest.failf "bug not found with %d worker(s)" workers
+  in
+  match (hunt 1, hunt 4) with
+  | ( Error.Liveness_violation { monitor = m1; _ },
+      Error.Liveness_violation { monitor = m2; _ } ) ->
+    Alcotest.(check string) "same monitor" m1 m2;
+    Alcotest.(check string) "repair monitor" "RepairMonitor" m1
+  | k1, k2 ->
+    Alcotest.failf "kinds differ: %s vs %s" (Error.kind_to_string k1)
+      (Error.kind_to_string k2)
+
+let test_dfs_falls_back_to_sequential () =
+  (* Stateful strategies ignore [workers] (with a notice) and must still
+     work — including reporting search exhaustion. *)
+  let cfg =
+    {
+      config with
+      E.strategy = E.Dfs { max_depth = 50; int_cap = 2 };
+      max_executions = 10_000;
+      workers = 4;
+    }
+  in
+  match E.run cfg clean_harness with
+  | E.No_bug stats ->
+    Alcotest.(check bool) "search exhausted" true stats.E.search_exhausted
+  | E.Bug_found (r, _) ->
+    Alcotest.failf "unexpected bug: %s" (Error.kind_to_string r.Error.kind)
+
+(* --- Survey budget fixes ----------------------------------------------- *)
+
+let test_survey_honors_max_seconds () =
+  (* Before the fix, survey ignored max_seconds and would grind through the
+     whole 10M-execution budget (minutes); now it stops at the deadline. *)
+  let cfg =
+    {
+      E.default_config with
+      max_executions = 10_000_000;
+      max_steps = 200;
+      max_seconds = Some 0.2;
+    }
+  in
+  let started = Unix.gettimeofday () in
+  let found = E.survey cfg clean_harness in
+  let elapsed = Unix.gettimeofday () -. started in
+  Alcotest.(check (list (pair reject int))) "no violations" [] found;
+  Alcotest.(check bool) "returned at the deadline" true (elapsed < 5.0)
+
+let test_survey_partial_results_at_deadline () =
+  let cfg =
+    {
+      E.default_config with
+      max_executions = 10_000_000;
+      max_steps = 200;
+      max_seconds = Some 0.3;
+    }
+  in
+  let found = E.survey cfg racy_harness in
+  Alcotest.(check bool) "partial results collected" true (found <> []);
+  List.iter
+    (fun (report, n) ->
+      Alcotest.(check bool) "positive count" true (n > 0);
+      Alcotest.(check bool) "has witness" true
+        (Trace.length report.Error.trace > 0))
+    found
+
+let test_survey_parallel_matches_sequential_kinds () =
+  let cfg =
+    { E.default_config with max_executions = 300; max_steps = 200; seed = 3L }
+  in
+  let kinds found =
+    List.map (fun (r, _) -> Error.kind_to_string r.Error.kind) found
+    |> List.sort compare
+  in
+  let seq = kinds (E.survey cfg racy_harness) in
+  let par = kinds (E.survey { cfg with E.workers = 4 } racy_harness) in
+  Alcotest.(check (list string)) "same distinct kinds" seq par;
+  Alcotest.(check bool) "found something" true (seq <> [])
+
+(* --- Runtime.name_of bounds -------------------------------------------- *)
+
+let test_name_of_forged_negative_id () =
+  let harness ctx =
+    let forged = Id.make ~index:(-3) ~name:"ghost" in
+    R.assert_here ctx
+      (R.name_of ctx forged = "<unknown>")
+      "negative index must map to <unknown>";
+    (* And an index past the end still answers <unknown>. *)
+    let beyond = Id.make ~index:999 ~name:"ghost" in
+    R.assert_here ctx
+      (R.name_of ctx beyond = "<unknown>")
+      "out-of-range index must map to <unknown>"
+  in
+  match E.run { config with E.max_executions = 1 } harness with
+  | E.No_bug _ -> ()
+  | E.Bug_found (r, _) ->
+    Alcotest.failf "name_of misbehaved: %s" (Error.kind_to_string r.Error.kind)
+
+(* --- Negative int choices in recorded traces --------------------------- *)
+
+let test_lenient_strategy_rejects_negative_int () =
+  let strategy =
+    Psharp.Shrinker.lenient_strategy
+      (Trace.of_list [ Trace.Int (-5) ])
+      ~seed:42L
+  in
+  let v = strategy.Psharp.Strategy.next_int ~bound:10 ~step:0 in
+  Alcotest.(check bool) "diverged to a valid value" true (v >= 0 && v < 10);
+  (* Having diverged, the rest of the trace is abandoned. *)
+  let v2 = strategy.Psharp.Strategy.next_int ~bound:10 ~step:1 in
+  Alcotest.(check bool) "still valid" true (v2 >= 0 && v2 < 10)
+
+let test_replay_rejects_negative_int () =
+  let harness ctx = ignore (R.nondet_int ctx 10) in
+  let trace = Trace.of_list [ Trace.Schedule 0; Trace.Int (-5) ] in
+  let result = E.replay config trace harness in
+  match result.R.bug with
+  | Some (Error.Replay_divergence _) -> ()
+  | Some k ->
+    Alcotest.failf "wrong kind: %s" (Error.kind_to_string k)
+  | None -> Alcotest.fail "negative int choice replayed as if valid"
+
+let suite =
+  [
+    Alcotest.test_case "pool: resolve worker counts" `Quick test_resolve;
+    Alcotest.test_case "pool: sweep collects everything" `Quick
+      test_pool_sweep_collects_everything;
+    Alcotest.test_case "pool: hunt stops early" `Quick
+      test_pool_hunt_stops_early;
+    Alcotest.test_case "pool: empty budget" `Quick test_pool_empty_budget;
+    Alcotest.test_case "pool: exceptions propagate" `Quick
+      test_pool_propagates_exceptions;
+    Alcotest.test_case "engine: parallel clean stats = sequential" `Quick
+      test_parallel_clean_stats_match_sequential;
+    Alcotest.test_case "engine: parallel finds race + witness replays" `Quick
+      test_parallel_finds_race;
+    Alcotest.test_case "engine: parallel finds same vnext bug kind" `Slow
+      test_parallel_same_vnext_bug_kind_as_sequential;
+    Alcotest.test_case "engine: dfs ignores workers, still exhausts" `Quick
+      test_dfs_falls_back_to_sequential;
+    Alcotest.test_case "survey: honors max_seconds" `Quick
+      test_survey_honors_max_seconds;
+    Alcotest.test_case "survey: partial results at deadline" `Quick
+      test_survey_partial_results_at_deadline;
+    Alcotest.test_case "survey: parallel matches sequential kinds" `Quick
+      test_survey_parallel_matches_sequential_kinds;
+    Alcotest.test_case "runtime: name_of guards forged ids" `Quick
+      test_name_of_forged_negative_id;
+    Alcotest.test_case "shrinker: lenient replay rejects negative ints" `Quick
+      test_lenient_strategy_rejects_negative_int;
+    Alcotest.test_case "replay: rejects negative int choices" `Quick
+      test_replay_rejects_negative_int;
+  ]
