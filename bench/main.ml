@@ -5,6 +5,8 @@
      schedulers (paper Table 2)
    - [vnext-fix]: the §3.6 fix validation (no bug in many executions)
    - [ablation]: scheduler / change-point / liveness-bound sweeps (ours)
+   - [coverage-growth]: coverage-over-executions for random vs PCT vs
+     feedback-directed fuzz (ours)
    - [micro]: bechamel micro-benchmarks of engine throughput (ours)
 
    With no arguments, everything runs with a wall-clock-friendly execution
@@ -412,6 +414,178 @@ let parallel_scaling ~budget () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Coverage growth (coverage maps + feedback-directed fuzzing)         *)
+(* ------------------------------------------------------------------ *)
+
+module Coverage = Psharp.Coverage
+
+(* Coverage-over-executions for random vs PCT vs feedback-directed fuzz,
+   at increasing execution budgets. [E.explore] is used instead of [E.run]
+   so no strategy gets charged fewer executions for tripping a bug early,
+   making the numbers comparable at a fixed budget. Results land in
+   BENCH_coverage.json. *)
+
+let coverage_strategies =
+  [
+    ("random", "random", E.Random);
+    ("pct (d=2)", "pct2", E.Pct { change_points = 2 });
+    ("fuzz", "fuzz", E.Fuzz { corpus_cap = 32 });
+  ]
+
+let coverage_totals_at entry ~strategy ~budget =
+  let cfg =
+    {
+      E.default_config with
+      strategy;
+      seed = base_seed;
+      max_executions = budget;
+      max_steps = entry.Bug_catalog.max_steps;
+    }
+  in
+  let stats = E.explore ~monitors:entry.Bug_catalog.monitors cfg
+      entry.Bug_catalog.harness
+  in
+  match stats.E.coverage with
+  | Some cov -> Coverage.totals cov
+  | None -> assert false (* explore always collects coverage *)
+
+let coverage_harness oc ~last entry ~budgets =
+  Printf.printf "-- %s (max_steps %d) --\n" entry.Bug_catalog.name
+    entry.Bug_catalog.max_steps;
+  Printf.printf "%8s |" "budget";
+  List.iter
+    (fun (label, _, _) -> Printf.printf " %-26s |" (label ^ " st/ev/tr/br"))
+    coverage_strategies;
+  print_newline ();
+  print_endline (String.make (10 + (29 * List.length coverage_strategies)) '-');
+  let per_strategy =
+    List.map
+      (fun (label, json_name, strategy) ->
+        ( label,
+          json_name,
+          List.map
+            (fun budget -> (budget, coverage_totals_at entry ~strategy ~budget))
+            budgets ))
+      coverage_strategies
+  in
+  List.iteri
+    (fun i budget ->
+      Printf.printf "%8d |" budget;
+      List.iter
+        (fun (_, _, points) ->
+          let t = snd (List.nth points i) in
+          Printf.printf " %-26s |"
+            (Printf.sprintf "%d/%d/%d/%d" t.Coverage.machine_states
+               t.Coverage.event_types t.Coverage.transition_triples
+               t.Coverage.branch_outcomes))
+        per_strategy;
+      print_newline ())
+    budgets;
+  (* The headline claim: feedback-directed fuzzing reaches more transition
+     triples than undirected random search at the same budget. *)
+  let final label =
+    let _, _, points = List.find (fun (l, _, _) -> l = label) per_strategy in
+    (snd (List.nth points (List.length budgets - 1)))
+      .Coverage.transition_triples
+  in
+  let fuzz = final "fuzz" and random = final "random" in
+  Printf.printf
+    "final transition triples: fuzz %d vs random %d -> fuzz %s random\n" fuzz
+    random
+    (if fuzz > random then ">" else if fuzz = random then "=" else "<");
+  Printf.fprintf oc "    {\n      \"name\": %S,\n      \"max_steps\": %d,\n"
+    entry.Bug_catalog.name entry.Bug_catalog.max_steps;
+  Printf.fprintf oc "      \"strategies\": [\n";
+  List.iteri
+    (fun i (_, json_name, points) ->
+      Printf.fprintf oc "        {\"strategy\": %S, \"points\": [\n" json_name;
+      List.iteri
+        (fun j (budget, t) ->
+          Printf.fprintf oc
+            "          {\"budget\": %d, \"machine_states\": %d, \
+             \"event_types\": %d, \"transition_triples\": %d, \
+             \"branch_outcomes\": %d, \"unique_schedules\": %d, \
+             \"executions\": %d}%s\n"
+            budget t.Coverage.machine_states t.Coverage.event_types
+            t.Coverage.transition_triples t.Coverage.branch_outcomes
+            t.Coverage.unique_schedules t.Coverage.executions
+            (if j = List.length points - 1 then "" else ","))
+        points;
+      Printf.fprintf oc "        ]}%s\n"
+        (if i = List.length per_strategy - 1 then "" else ","))
+    per_strategy;
+  Printf.fprintf oc "      ]\n    }%s\n" (if last then "" else ",");
+  print_newline ()
+
+(* Replaying a recorded buggy schedule must reproduce the identical
+   coverage fingerprint — the fingerprint is a pure function of the choice
+   trace, and replay is deterministic. *)
+let coverage_fingerprint_replay oc entry =
+  let cfg =
+    {
+      E.default_config with
+      seed = base_seed;
+      max_executions = 20_000;
+      max_steps = entry.Bug_catalog.max_steps;
+      collect_coverage = true;
+    }
+  in
+  match
+    E.run ~monitors:entry.Bug_catalog.monitors cfg entry.Bug_catalog.harness
+  with
+  | E.No_bug _ ->
+    Printf.printf "fingerprint replay: no bug found on %s (unexpected)\n"
+      entry.Bug_catalog.name;
+    Printf.fprintf oc "  \"fingerprint_replay\": {\"found\": false}\n"
+  | E.Bug_found (report, _) ->
+    let recorded = Coverage.fingerprint report.Error.trace in
+    let result =
+      E.replay ~monitors:entry.Bug_catalog.monitors cfg report.Error.trace
+        entry.Bug_catalog.harness
+    in
+    let replayed = Coverage.fingerprint result.Psharp.Runtime.choices in
+    Printf.printf
+      "fingerprint replay on %s: recorded 0x%Lx, replayed 0x%Lx -> %s\n"
+      entry.Bug_catalog.name recorded replayed
+      (if Int64.equal recorded replayed then "identical" else "DIFFERENT");
+    Printf.fprintf oc
+      "  \"fingerprint_replay\": {\"found\": true, \"bug\": %S, \"recorded\": \
+       \"0x%Lx\", \"replayed\": \"0x%Lx\", \"identical\": %b}\n"
+      entry.Bug_catalog.name recorded replayed
+      (Int64.equal recorded replayed)
+
+let coverage_growth ~budgets () =
+  Printf.printf
+    "== Coverage growth: random vs PCT vs fuzz, budgets %s (seed %Ld) ==\n"
+    (String.concat "/" (List.map string_of_int budgets))
+    base_seed;
+  print_endline
+    "(st/ev/tr/br = machine states / event types / transition triples / \
+     branch outcomes)";
+  let entries =
+    [
+      Bug_catalog.find "ExtentNodeLivenessViolation";
+      Bug_catalog.find "QueryStreamedLock";
+    ]
+  in
+  let oc = open_out "BENCH_coverage.json" in
+  output_string oc "{\n";
+  Printf.fprintf oc "  \"seed\": %Ld,\n" base_seed;
+  Printf.fprintf oc "  \"budgets\": [%s],\n"
+    (String.concat ", " (List.map string_of_int budgets));
+  output_string oc "  \"harnesses\": [\n";
+  List.iteri
+    (fun i entry ->
+      coverage_harness oc ~last:(i = List.length entries - 1) entry ~budgets)
+    entries;
+  output_string oc "  ],\n";
+  coverage_fingerprint_replay oc (Bug_catalog.find "ExtentNodeLivenessViolation");
+  output_string oc "}\n";
+  close_out oc;
+  print_endline "wrote BENCH_coverage.json";
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -494,7 +668,7 @@ let () =
     | [] ->
       [
         "table1"; "table2"; "vnext-fix"; "ablation"; "samples";
-        "parallel-scaling"; "micro";
+        "parallel-scaling"; "coverage-growth"; "micro";
       ]
     | picked -> picked
   in
@@ -503,6 +677,9 @@ let () =
   let ablation_budget = if full then 100_000 else 20_000 in
   let samples_budget = if full then 100_000 else 10_000 in
   let scaling_budget = if full then 2_000 else 400 in
+  let coverage_budgets =
+    if full then [ 100; 250; 500; 1_000 ] else [ 25; 50; 100; 200 ]
+  in
   List.iter
     (fun section ->
       match section with
@@ -512,6 +689,7 @@ let () =
       | "ablation" -> ablation ~budget:ablation_budget ()
       | "samples" -> samples ~budget:samples_budget ()
       | "parallel-scaling" -> parallel_scaling ~budget:scaling_budget ()
+      | "coverage-growth" -> coverage_growth ~budgets:coverage_budgets ()
       | "micro" -> micro ()
       | other -> Printf.printf "unknown section %s\n" other)
     sections

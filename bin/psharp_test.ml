@@ -1,12 +1,14 @@
 (* Command-line systematic-testing runner.
 
    psharp_test list
-   psharp_test hunt BUG [--strategy random|pct|rr|dfs] [--seed N]
+   psharp_test hunt BUG [--sch random|pct|rr|dfs|delay|fuzz] [--seed N]
                         [--executions N] [--steps N] [--custom]
-                        [--trace-out FILE] [--log]
+                        [--trace-out FILE] [--log] [--workers N]
+                        [--coverage-report FILE] [--plateau N]
    psharp_test replay BUG --trace FILE [--custom]
    psharp_test survey BUG [--executions N]     (all distinct violations)
-   psharp_test check BUG [--executions N]      (fixed variant, expect clean) *)
+   psharp_test check BUG [--executions N] [--coverage-report FILE]
+                         [--plateau N]         (fixed variant, expect clean) *)
 
 module E = Psharp.Engine
 module Error = Psharp.Error
@@ -21,8 +23,14 @@ let bug_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"BUG" ~doc)
 
 let strategy_arg =
-  let doc = "Scheduling strategy: random, pct, rr, dfs, or delay." in
-  Arg.(value & opt string "random" & info [ "strategy" ] ~docv:"NAME" ~doc)
+  let doc =
+    "Scheduling strategy: random, pct, rr, dfs, delay, or fuzz \
+     (coverage-feedback-directed)."
+  in
+  Arg.(
+    value
+    & opt string "random"
+    & info [ "strategy"; "sch" ] ~docv:"NAME" ~doc)
 
 let seed_arg =
   let doc = "Base random seed." in
@@ -73,15 +81,36 @@ let shrink_arg =
   let doc = "Delta-debug the witness trace down to a shorter one." in
   Arg.(value & flag & info [ "shrink" ] ~doc)
 
+let coverage_report_arg =
+  let doc =
+    "Collect execution coverage (machine states, delivered event types, \
+     transition triples, nondet branch outcomes, unique schedules) and \
+     write the full JSON report to $(docv); a human-readable summary is \
+     printed as well."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "coverage-report" ] ~docv:"FILE" ~doc)
+
+let plateau_arg =
+  let doc =
+    "Stop after $(docv) consecutive executions that uncover no new \
+     coverage point (implies coverage collection)."
+  in
+  Arg.(value & opt (some int) None & info [ "plateau" ] ~docv:"N" ~doc)
+
 let parse_strategy = function
   | "random" -> Ok E.Random
   | "pct" -> Ok (E.Pct { change_points = 2 })
   | "rr" -> Ok E.Round_robin
   | "dfs" -> Ok (E.Dfs { max_depth = 200; int_cap = 3 })
   | "delay" -> Ok (E.Delay_bounded { delays = 2 })
+  | "fuzz" -> Ok (E.Fuzz { corpus_cap = 32 })
   | other -> Error (Printf.sprintf "unknown strategy %s" other)
 
-let config_of ?(workers = 1) entry ~strategy ~seed ~executions ~steps ~log =
+let config_of ?(workers = 1) ?(coverage = false) ?plateau entry ~strategy ~seed
+    ~executions ~steps ~log =
   {
     E.default_config with
     strategy;
@@ -90,6 +119,8 @@ let config_of ?(workers = 1) entry ~strategy ~seed ~executions ~steps ~log =
     max_steps = (if steps > 0 then steps else entry.Bug_catalog.max_steps);
     collect_log_on_bug = log;
     workers;
+    collect_coverage = coverage;
+    coverage_plateau = plateau;
   }
 
 let harness_of entry ~custom =
@@ -124,8 +155,19 @@ let list_cmd =
 
 (* --- hunt --------------------------------------------------------------- *)
 
+let emit_coverage_report ~path (stats : E.stats) =
+  match stats.E.coverage with
+  | None -> ()
+  | Some cov ->
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (Psharp.Coverage.to_json cov));
+    Format.printf "%a@." Psharp.Coverage.pp_table cov;
+    Format.printf "coverage report written to %s@." path
+
 let hunt bug strategy seed executions steps custom trace_out log shrink
-    workers =
+    workers coverage_report plateau =
   match parse_strategy strategy with
   | Error msg ->
     prerr_endline msg;
@@ -142,7 +184,14 @@ let hunt bug strategy seed executions steps custom trace_out log shrink
         2
       | Ok harness -> begin
         let config =
-          config_of ~workers entry ~strategy ~seed ~executions ~steps ~log
+          config_of ~workers
+            ~coverage:(coverage_report <> None)
+            ?plateau entry ~strategy ~seed ~executions ~steps ~log
+        in
+        let finish_coverage stats =
+          match coverage_report with
+          | Some path -> emit_coverage_report ~path stats
+          | None -> ()
         in
         match E.run ~monitors:entry.Bug_catalog.monitors config harness with
         | E.Bug_found (first_report, stats) ->
@@ -166,11 +215,14 @@ let hunt bug strategy seed executions steps custom trace_out log shrink
              Psharp.Trace.save ~path report.Error.trace;
              Format.printf "trace written to %s@." path
            | None -> ());
+          finish_coverage stats;
           0
         | E.No_bug stats ->
-          Format.printf "no bug found in %d execution(s) (%.2fs%s)@."
+          Format.printf "no bug found in %d execution(s) (%.2fs%s%s)@."
             stats.E.executions stats.E.elapsed
-            (if stats.E.search_exhausted then ", search exhausted" else "");
+            (if stats.E.search_exhausted then ", search exhausted" else "")
+            (if stats.E.plateaued then ", coverage plateau" else "");
+          finish_coverage stats;
           1
       end
     end
@@ -182,7 +234,7 @@ let hunt_cmd =
     Term.(
       const hunt $ bug_arg $ strategy_arg $ seed_arg $ executions_arg
       $ steps_arg $ custom_arg $ trace_out_arg $ log_arg $ shrink_arg
-      $ workers_arg)
+      $ workers_arg $ coverage_report_arg $ plateau_arg)
 
 (* --- replay ------------------------------------------------------------- *)
 
@@ -279,26 +331,36 @@ let survey_cmd =
 
 (* --- check (fixed variant) ---------------------------------------------- *)
 
-let check bug seed executions =
+let check bug seed executions coverage_report plateau =
   match Bug_catalog.find bug with
   | exception Invalid_argument msg ->
     prerr_endline msg;
     2
   | entry -> begin
     let config =
-      config_of entry ~strategy:E.Random ~seed ~executions ~steps:0 ~log:false
+      config_of
+        ~coverage:(coverage_report <> None)
+        ?plateau entry ~strategy:E.Random ~seed ~executions ~steps:0 ~log:false
+    in
+    let finish_coverage stats =
+      match coverage_report with
+      | Some path -> emit_coverage_report ~path stats
+      | None -> ()
     in
     match
       E.run ~monitors:entry.Bug_catalog.monitors config
         entry.Bug_catalog.fixed_harness
     with
     | E.No_bug stats ->
-      Format.printf "fixed variant clean over %d execution(s) (%.2fs)@."
-        stats.E.executions stats.E.elapsed;
+      Format.printf "fixed variant clean over %d execution(s) (%.2fs%s)@."
+        stats.E.executions stats.E.elapsed
+        (if stats.E.plateaued then ", coverage plateau" else "");
+      finish_coverage stats;
       0
     | E.Bug_found (report, stats) ->
       Format.printf "UNEXPECTED bug in fixed variant after %d execution(s):@.%a@."
         stats.E.executions Error.pp_report report;
+      finish_coverage stats;
       1
   end
 
@@ -306,7 +368,9 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check"
        ~doc:"Run the bug's fixed variant and expect no violations.")
-    Term.(const check $ bug_arg $ seed_arg $ executions_arg)
+    Term.(
+      const check $ bug_arg $ seed_arg $ executions_arg $ coverage_report_arg
+      $ plateau_arg)
 
 let () =
   let info =

@@ -13,6 +13,9 @@ let machine ~tables ~bugs ~report_to ctx =
       R.receive_where ctx (function Events.Advance_done -> true | _ -> false)
     with
     | Events.Advance_done ->
+      (* Phase marker for the coverage maps: deliveries to the migrator now
+         carry the migration phase as the receiver state. *)
+      R.set_state_name ctx (Phase.to_string target);
       R.log ctx (Printf.sprintf "advanced to %s" (Phase.to_string target))
     | _ -> assert false
   in

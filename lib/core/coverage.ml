@@ -1,0 +1,202 @@
+type t = {
+  states : (string, int) Hashtbl.t;
+  events : (string, int) Hashtbl.t;
+  triples : (string, int) Hashtbl.t;
+  branches : (string, int) Hashtbl.t;
+  schedules : (int64, int) Hashtbl.t;
+  mutable executions : int;
+}
+
+let create () =
+  {
+    states = Hashtbl.create 64;
+    events = Hashtbl.create 64;
+    triples = Hashtbl.create 256;
+    branches = Hashtbl.create 64;
+    schedules = Hashtbl.create 64;
+    executions = 0;
+  }
+
+let bump tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some n -> Hashtbl.replace tbl key (n + 1)
+  | None -> Hashtbl.replace tbl key 1
+
+(* --- Recording --------------------------------------------------------- *)
+
+let visit_state t ~machine ~state = bump t.states (machine ^ "." ^ state)
+
+let deliver t ~sender ~event ~receiver ~state =
+  bump t.events event;
+  bump t.triples (Printf.sprintf "%s -[%s]-> %s@%s" sender event receiver state)
+
+let branch_bool t ~machine b =
+  bump t.branches (Printf.sprintf "%s ? %b" machine b)
+
+let branch_int t ~machine ~bound v =
+  bump t.branches (Printf.sprintf "%s ? %d/%d" machine v bound)
+
+(* FNV-1a over the choice sequence; tags keep [Schedule 1] and [Int 1]
+   from colliding. *)
+let fnv_prime = 0x100000001b3L
+let fnv_offset = 0xcbf29ce484222325L
+
+let mix h x = Int64.mul (Int64.logxor h (Int64.of_int x)) fnv_prime
+
+let fingerprint trace =
+  List.fold_left
+    (fun h c ->
+      match c with
+      | Trace.Schedule i -> mix (mix h 1) i
+      | Trace.Bool b -> mix (mix h 2) (if b then 1 else 0)
+      | Trace.Int i -> mix (mix h 3) i)
+    fnv_offset (Trace.to_list trace)
+
+let note_execution t ~fingerprint =
+  (match Hashtbl.find_opt t.schedules fingerprint with
+   | Some n -> Hashtbl.replace t.schedules fingerprint (n + 1)
+   | None -> Hashtbl.replace t.schedules fingerprint 1);
+  t.executions <- t.executions + 1
+
+(* --- Merging ----------------------------------------------------------- *)
+
+let absorb ~into src =
+  let novel = ref false in
+  let merge src_tbl dst_tbl =
+    Hashtbl.iter
+      (fun k n ->
+        match Hashtbl.find_opt dst_tbl k with
+        | Some m -> Hashtbl.replace dst_tbl k (m + n)
+        | None ->
+          novel := true;
+          Hashtbl.replace dst_tbl k n)
+      src_tbl
+  in
+  merge src.states into.states;
+  merge src.events into.events;
+  merge src.triples into.triples;
+  merge src.branches into.branches;
+  (* Schedule fingerprints merge like the rest but do not feed the novelty
+     flag: almost every random schedule is unique. *)
+  Hashtbl.iter
+    (fun k n ->
+      match Hashtbl.find_opt into.schedules k with
+      | Some m -> Hashtbl.replace into.schedules k (m + n)
+      | None -> Hashtbl.replace into.schedules k n)
+    src.schedules;
+  into.executions <- into.executions + src.executions;
+  !novel
+
+(* --- Reading ----------------------------------------------------------- *)
+
+let sorted_entries tbl =
+  Hashtbl.fold (fun k n acc -> (k, n) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let states t = sorted_entries t.states
+let events t = sorted_entries t.events
+let triples t = sorted_entries t.triples
+let branches t = sorted_entries t.branches
+let schedules t = sorted_entries t.schedules
+
+let equal a b =
+  states a = states b && events a = events b && triples a = triples b
+  && branches a = branches b
+  && schedules a = schedules b
+  && a.executions = b.executions
+
+type totals = {
+  machine_states : int;
+  event_types : int;
+  transition_triples : int;
+  branch_outcomes : int;
+  unique_schedules : int;
+  executions : int;
+}
+
+let totals t =
+  {
+    machine_states = Hashtbl.length t.states;
+    event_types = Hashtbl.length t.events;
+    transition_triples = Hashtbl.length t.triples;
+    branch_outcomes = Hashtbl.length t.branches;
+    unique_schedules = Hashtbl.length t.schedules;
+    executions = t.executions;
+  }
+
+(* --- Reporting --------------------------------------------------------- *)
+
+let pp_totals fmt t =
+  let s = totals t in
+  Format.fprintf fmt
+    "%d states, %d event types, %d triples, %d branch outcomes, %d/%d \
+     unique schedules"
+    s.machine_states s.event_types s.transition_triples s.branch_outcomes
+    s.unique_schedules s.executions
+
+let pp_section fmt ~title ~cap entries =
+  let by_count = List.sort (fun (_, a) (_, b) -> compare b a) entries in
+  let shown = List.filteri (fun i _ -> i < cap) by_count in
+  Format.fprintf fmt "@,%s (%d):" title (List.length entries);
+  List.iter
+    (fun (key, n) -> Format.fprintf fmt "@,  %8d  %s" n key)
+    shown;
+  let rest = List.length entries - List.length shown in
+  if rest > 0 then Format.fprintf fmt "@,  ... and %d more" rest
+
+let pp_table fmt t =
+  Format.fprintf fmt "@[<v>coverage: %a" pp_totals t;
+  pp_section fmt ~title:"machine states" ~cap:20 (states t);
+  pp_section fmt ~title:"event types" ~cap:20 (events t);
+  pp_section fmt ~title:"transition triples" ~cap:20 (triples t);
+  pp_section fmt ~title:"branch outcomes" ~cap:20 (branches t);
+  Format.fprintf fmt "@]"
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json t =
+  let buf = Buffer.create 4096 in
+  let s = totals t in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"totals\": {\"machine_states\": %d, \"event_types\": %d, \
+        \"transition_triples\": %d, \"branch_outcomes\": %d, \
+        \"unique_schedules\": %d, \"executions\": %d},\n"
+       s.machine_states s.event_types s.transition_triples s.branch_outcomes
+       s.unique_schedules s.executions);
+  let family name entries ~last =
+    Buffer.add_string buf (Printf.sprintf "  \"%s\": {" name);
+    List.iteri
+      (fun i (key, n) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s\n    \"%s\": %d"
+             (if i = 0 then "" else ",")
+             (json_escape key) n))
+      entries;
+    Buffer.add_string buf
+      (if entries = [] then Printf.sprintf "}%s\n" (if last then "" else ",")
+       else Printf.sprintf "\n  }%s\n" (if last then "" else ","))
+  in
+  family "machine_states" (states t) ~last:false;
+  family "event_types" (events t) ~last:false;
+  family "transition_triples" (triples t) ~last:false;
+  family "branch_outcomes" (branches t) ~last:false;
+  family "schedule_fingerprints"
+    (List.map (fun (fp, n) -> (Printf.sprintf "%Lx" fp, n)) (schedules t))
+    ~last:true;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

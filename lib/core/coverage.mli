@@ -1,0 +1,105 @@
+(** Execution-coverage maps.
+
+    A coverage map records {e what} a testing run actually explored, so an
+    execution budget can be judged by more than "bug or no bug" (the
+    motivation behind P#'s activity coverage and Mallory-style feedback
+    fuzzing). Four families of coverage points are counted, each keyed by a
+    human-readable string:
+
+    - {b machine states}: ["Machine.State"] visits (plain machines that
+      never declare states appear as ["Machine.-"]);
+    - {b event types}: names of events actually delivered (dequeued);
+    - {b transition triples}: ["Sender -[Event]-> Receiver@State"], the
+      delivery edges of the execution — who sent which event into which
+      receiver state;
+    - {b branch outcomes}: resolved [nondet] / [nondet_int] choices,
+      ["Machine ? value"].
+
+    In addition every execution contributes a 64-bit {e schedule
+    fingerprint} (a hash of its full choice trace), so a map counts how
+    many {e distinct} schedules a run explored.
+
+    A map is either a per-execution map (filled by the {!Runtime} while one
+    execution unfolds) or an accumulator (the {!Engine} absorbs each
+    execution's map into a per-run accumulator, merging per-worker maps
+    when exploring across domains). Maps are not thread-safe; concurrent
+    absorbs must be serialized by the caller (the engine holds a mutex). *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Recording (one execution)} *)
+
+val visit_state : t -> machine:string -> state:string -> unit
+
+(** [deliver t ~sender ~event ~receiver ~state] records one event delivery:
+    the event type itself and the [(sender, event, receiver@state)]
+    transition triple. *)
+val deliver :
+  t -> sender:string -> event:string -> receiver:string -> state:string -> unit
+
+val branch_bool : t -> machine:string -> bool -> unit
+val branch_int : t -> machine:string -> bound:int -> int -> unit
+
+(** [fingerprint trace] hashes the full choice sequence (FNV-1a, 64-bit).
+    Purely a function of the trace: replaying a recorded schedule yields
+    the identical fingerprint. *)
+val fingerprint : Trace.t -> int64
+
+(** [note_execution t ~fingerprint] closes one execution: counts it and
+    files its schedule fingerprint. *)
+val note_execution : t -> fingerprint:int64 -> unit
+
+(** {1 Merging} *)
+
+(** [absorb ~into src] adds every count of [src] into [into] (commutative
+    and associative up to {!equal}, so per-worker maps may be merged in any
+    order). Returns [true] when [src] contributed at least one {e new}
+    coverage point — a state, event type, triple or branch outcome [into]
+    had never seen. New schedule fingerprints alone do not count as novel
+    (random scheduling makes almost every schedule unique, which would
+    drown the signal feedback strategies rely on). *)
+val absorb : into:t -> t -> bool
+
+(** Structural equality over every counter, fingerprint multiset included. *)
+val equal : t -> t -> bool
+
+(** {1 Reading} *)
+
+type totals = {
+  machine_states : int;
+  event_types : int;
+  transition_triples : int;
+  branch_outcomes : int;
+  unique_schedules : int;
+  executions : int;
+}
+
+val totals : t -> totals
+
+(** Entries of one family, sorted by key, with visit counts. *)
+
+val states : t -> (string * int) list
+
+val events : t -> (string * int) list
+val triples : t -> (string * int) list
+val branches : t -> (string * int) list
+
+(** Schedule fingerprints with the number of executions that produced
+    each. *)
+val schedules : t -> (int64 * int) list
+
+(** {1 Reporting} *)
+
+(** One-line totals, e.g.
+    ["12 states, 9 event types, 31 triples, 18 branch outcomes, 200/200 unique schedules"]. *)
+val pp_totals : Format.formatter -> t -> unit
+
+(** Human-readable report: totals plus the most-visited entries of each
+    family (capped; the JSON report is exhaustive). *)
+val pp_table : Format.formatter -> t -> unit
+
+(** Exhaustive JSON rendering of the map (totals + every entry of every
+    family + schedule fingerprints). *)
+val to_json : t -> string

@@ -91,4 +91,5 @@ let factory ?(max_depth = 1_000) ?(int_cap = 4) () : Strategy.factory =
           Some (make st)
         end
         else None);
+    feedback = None;
   }

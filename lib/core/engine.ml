@@ -5,6 +5,7 @@ type strategy_spec =
   | Round_robin
   | Delay_bounded of { delays : int }
   | Replay_trace of Trace.t
+  | Fuzz of { corpus_cap : int }
 
 type config = {
   strategy : strategy_spec;
@@ -16,6 +17,8 @@ type config = {
   deadlock_is_bug : bool;
   collect_log_on_bug : bool;
   workers : int;
+  collect_coverage : bool;
+  coverage_plateau : int option;
 }
 
 let default_config =
@@ -29,6 +32,8 @@ let default_config =
     deadlock_is_bug = true;
     collect_log_on_bug = false;
     workers = 1;
+    collect_coverage = false;
+    coverage_plateau = None;
   }
 
 type stats = {
@@ -36,6 +41,8 @@ type stats = {
   elapsed : float;
   total_steps : int;
   search_exhausted : bool;
+  coverage : Coverage.t option;
+  plateaued : bool;
 }
 
 type outcome =
@@ -54,13 +61,15 @@ let factory_of config =
     Delay_strategy.factory ~seed:config.seed ~delays
       ~max_steps:config.max_steps ()
   | Replay_trace t -> Replay_strategy.factory t
+  | Fuzz { corpus_cap } -> Fuzz_strategy.factory ~seed:config.seed ~corpus_cap ()
 
-let runtime_config config ~collect_log =
+let runtime_config ?coverage config ~collect_log =
   {
     Runtime.max_steps = config.max_steps;
     liveness_grace = config.liveness_grace;
     deadlock_is_bug = config.deadlock_is_bug;
     collect_log;
+    coverage;
   }
 
 let no_monitors () = []
@@ -90,8 +99,59 @@ let finish_report ~monitors config ~kind (result : Runtime.exec_result) body =
     log;
   }
 
+(* --- Per-run coverage collection --------------------------------------- *)
+
+(* The accumulator a run merges every execution's map into. Coverage is
+   collected when explicitly requested, when a plateau bound needs it, or
+   when the strategy wants feedback (fuzz). [absorb] serializes merges so
+   the parallel paths can share one collector across worker domains. *)
+type collector = {
+  acc : Coverage.t;
+  mu : Mutex.t;
+  no_gain : int Atomic.t;  (* consecutive executions with no new point *)
+}
+
+let collector_of config (factory : Strategy.factory) =
+  if
+    config.collect_coverage
+    || config.coverage_plateau <> None
+    || factory.Strategy.feedback <> None
+  then
+    Some { acc = Coverage.create (); mu = Mutex.create (); no_gain = Atomic.make 0 }
+  else None
+
+(* One execution's worth of coverage bookkeeping: fingerprint the schedule,
+   merge into the run accumulator, update the plateau counter and feed the
+   strategy back. Returns whether the execution was novel. *)
+let observe collector (factory : Strategy.factory) (result : Runtime.exec_result)
+    exec_cov =
+  match (collector, exec_cov) with
+  | Some c, Some exec ->
+    Coverage.note_execution exec
+      ~fingerprint:(Coverage.fingerprint result.Runtime.choices);
+    let novel = Mutex.protect c.mu (fun () -> Coverage.absorb ~into:c.acc exec) in
+    if novel then Atomic.set c.no_gain 0
+    else ignore (Atomic.fetch_and_add c.no_gain 1);
+    (match factory.Strategy.feedback with
+     | Some f -> f ~trace:result.Runtime.choices ~novel
+     | None -> ());
+    novel
+  | _ -> false
+
+let exec_cov_of collector = Option.map (fun _ -> Coverage.create ()) collector
+
+let hit_plateau config collector =
+  match (config.coverage_plateau, collector) with
+  | Some n, Some c -> Atomic.get c.no_gain >= n
+  | _ -> false
+
+let coverage_of collector = Option.map (fun c -> c.acc) collector
+
+(* ----------------------------------------------------------------------- *)
+
 let run_sequential ~monitors config body =
   let factory = factory_of config in
+  let collector = collector_of config factory in
   let started = Unix.gettimeofday () in
   let total_steps = ref 0 in
   let out_of_time () =
@@ -99,45 +159,38 @@ let run_sequential ~monitors config body =
     | Some budget -> Unix.gettimeofday () -. started >= budget
     | None -> false
   in
+  let stats_at ?(search_exhausted = false) ?(plateaued = false) i =
+    {
+      executions = i;
+      elapsed = Unix.gettimeofday () -. started;
+      total_steps = !total_steps;
+      search_exhausted;
+      coverage = coverage_of collector;
+      plateaued;
+    }
+  in
   let rec iterate i =
-    if i >= config.max_executions || out_of_time () then
-      No_bug
-        {
-          executions = i;
-          elapsed = Unix.gettimeofday () -. started;
-          total_steps = !total_steps;
-          search_exhausted = false;
-        }
+    if i >= config.max_executions || out_of_time () then No_bug (stats_at i)
     else
       match factory.Strategy.fresh ~iteration:i with
-      | None ->
-        No_bug
-          {
-            executions = i;
-            elapsed = Unix.gettimeofday () -. started;
-            total_steps = !total_steps;
-            search_exhausted = true;
-          }
+      | None -> No_bug (stats_at ~search_exhausted:true i)
       | Some strategy ->
+        let exec_cov = exec_cov_of collector in
         let result =
           Runtime.execute
-            (runtime_config config ~collect_log:false)
+            (runtime_config ?coverage:exec_cov config ~collect_log:false)
             strategy ~monitors:(monitors ()) ~name:"Harness" body
         in
         total_steps := !total_steps + result.Runtime.steps;
+        ignore (observe collector factory result exec_cov);
         (match result.Runtime.bug with
-         | None -> iterate (i + 1)
          | Some kind ->
            let report = finish_report ~monitors config ~kind result body in
-           let stats =
-             {
-               executions = i + 1;
-               elapsed = Unix.gettimeofday () -. started;
-               total_steps = !total_steps;
-               search_exhausted = false;
-             }
-           in
-           Bug_found (report, stats))
+           Bug_found (report, stats_at (i + 1))
+         | None ->
+           if hit_plateau config collector then
+             No_bug (stats_at ~plateaued:true (i + 1))
+           else iterate (i + 1))
   in
   iterate 0
 
@@ -145,8 +198,13 @@ let run_sequential ~monitors config body =
    from the same config and explores the global iteration indices assigned
    to it by the pool, so the set of schedules explored is exactly the
    sequential set for every worker count (seeds derive from the global
-   iteration index, not from the worker). *)
+   iteration index, not from the worker). Coverage merges into one shared
+   collector under its mutex; merge order varies with scheduling but the
+   merged map does not (absorb is commutative). *)
 let run_parallel ~monitors ~workers config body =
+  let collector =
+    collector_of config { (factory_of config) with Strategy.feedback = None }
+  in
   let winner, pool_stats =
     Worker_pool.hunt ~workers ~max_iterations:config.max_executions
       ?max_seconds:config.max_seconds
@@ -155,31 +213,37 @@ let run_parallel ~monitors ~workers config body =
         match factory.Strategy.fresh ~iteration with
         | None -> (None, 0)
         | Some strategy ->
+          let exec_cov = exec_cov_of collector in
           let result =
             Runtime.execute
-              (runtime_config config ~collect_log:false)
+              (runtime_config ?coverage:exec_cov config ~collect_log:false)
               strategy ~monitors:(monitors ()) ~name:"Harness" body
           in
+          ignore (observe collector factory result exec_cov);
           let payload =
             match result.Runtime.bug with
-            | None -> None
-            | Some kind -> Some (kind, result)
+            | Some kind -> Some (`Bug (kind, result))
+            | None ->
+              if hit_plateau config collector then Some `Plateau else None
           in
           (payload, result.Runtime.steps))
       ()
   in
-  let stats =
+  let stats ~plateaued =
     {
       executions = pool_stats.Worker_pool.executions;
       elapsed = pool_stats.Worker_pool.elapsed;
       total_steps = pool_stats.Worker_pool.total_steps;
       search_exhausted = false;
+      coverage = coverage_of collector;
+      plateaued;
     }
   in
   match winner with
-  | None -> No_bug stats
-  | Some ((kind, result), _iteration) ->
-    Bug_found (finish_report ~monitors config ~kind result body, stats)
+  | None -> No_bug (stats ~plateaued:false)
+  | Some (`Plateau, _iteration) -> No_bug (stats ~plateaued:true)
+  | Some (`Bug (kind, result), _iteration) ->
+    Bug_found (finish_report ~monitors config ~kind result body, stats ~plateaued:false)
 
 (* Parallel mode needs a parallel-safe strategy (a stateless factory each
    worker can instantiate privately); otherwise fall back with a notice. *)
@@ -203,6 +267,89 @@ let run ?(monitors = no_monitors) config body =
   match parallel_plan config with
   | `Sequential -> run_sequential ~monitors config body
   | `Parallel workers -> run_parallel ~monitors ~workers config body
+
+(* --- Explore: full-budget coverage measurement ------------------------- *)
+
+(* Like [run] but never stops at a bug: the whole budget executes (subject
+   to max_seconds / plateau), which makes coverage comparable across
+   strategies — a strategy that trips a bug early would otherwise be
+   charged fewer executions than its rivals. *)
+let explore_sequential ~monitors config body =
+  let factory = factory_of config in
+  let collector = collector_of config factory in
+  let started = Unix.gettimeofday () in
+  let total_steps = ref 0 in
+  let out_of_time () =
+    match config.max_seconds with
+    | Some budget -> Unix.gettimeofday () -. started >= budget
+    | None -> false
+  in
+  let stats_at ?(search_exhausted = false) ?(plateaued = false) i =
+    {
+      executions = i;
+      elapsed = Unix.gettimeofday () -. started;
+      total_steps = !total_steps;
+      search_exhausted;
+      coverage = coverage_of collector;
+      plateaued;
+    }
+  in
+  let rec iterate i =
+    if i >= config.max_executions || out_of_time () then stats_at i
+    else
+      match factory.Strategy.fresh ~iteration:i with
+      | None -> stats_at ~search_exhausted:true i
+      | Some strategy ->
+        let exec_cov = exec_cov_of collector in
+        let result =
+          Runtime.execute
+            (runtime_config ?coverage:exec_cov config ~collect_log:false)
+            strategy ~monitors:(monitors ()) ~name:"Harness" body
+        in
+        total_steps := !total_steps + result.Runtime.steps;
+        ignore (observe collector factory result exec_cov);
+        if hit_plateau config collector then stats_at ~plateaued:true (i + 1)
+        else iterate (i + 1)
+  in
+  iterate 0
+
+let explore_parallel ~monitors ~workers config body =
+  let collector =
+    collector_of config { (factory_of config) with Strategy.feedback = None }
+  in
+  let winner, pool_stats =
+    Worker_pool.hunt ~workers ~max_iterations:config.max_executions
+      ?max_seconds:config.max_seconds
+      ~init:(fun ~worker:_ -> factory_of config)
+      ~body:(fun factory ~iteration ->
+        match factory.Strategy.fresh ~iteration with
+        | None -> (None, 0)
+        | Some strategy ->
+          let exec_cov = exec_cov_of collector in
+          let result =
+            Runtime.execute
+              (runtime_config ?coverage:exec_cov config ~collect_log:false)
+              strategy ~monitors:(monitors ()) ~name:"Harness" body
+          in
+          ignore (observe collector factory result exec_cov);
+          ( (if hit_plateau config collector then Some () else None),
+            result.Runtime.steps ))
+      ()
+  in
+  {
+    executions = pool_stats.Worker_pool.executions;
+    elapsed = pool_stats.Worker_pool.elapsed;
+    total_steps = pool_stats.Worker_pool.total_steps;
+    search_exhausted = false;
+    coverage = coverage_of collector;
+    plateaued = winner <> None;
+  }
+
+let explore ?(monitors = no_monitors) config body =
+  let config = { config with collect_coverage = true } in
+  match parallel_plan config with
+  | `Sequential -> explore_sequential ~monitors config body
+  | `Parallel workers -> explore_parallel ~monitors ~workers config body
 
 (* Survey mode: keep exploring after bugs are found, deduplicating by the
    rendered bug kind; returns each distinct bug's first report and how many
@@ -304,12 +451,21 @@ let ndc = function
   | Bug_found (report, _) -> Some (Trace.length report.Error.trace)
   | No_bug _ -> None
 
+let pp_stats_extra fmt stats =
+  (match stats.coverage with
+   | Some cov -> Format.fprintf fmt ", %a" Coverage.pp_totals cov
+   | None -> ());
+  if stats.plateaued then
+    Format.fprintf fmt ", stopped on coverage plateau"
+
 let pp_outcome fmt = function
   | Bug_found (report, stats) ->
     Format.fprintf fmt
-      "@[<v>BUG FOUND after %d execution(s), %.2fs:@,%a@]" stats.executions
-      stats.elapsed Error.pp_report report
+      "@[<v>BUG FOUND after %d execution(s), %d total step(s), %.2fs%a:@,%a@]"
+      stats.executions stats.total_steps stats.elapsed pp_stats_extra stats
+      Error.pp_report report
   | No_bug stats ->
-    Format.fprintf fmt "no bug found in %d execution(s) (%.2fs%s)"
-      stats.executions stats.elapsed
+    Format.fprintf fmt "no bug found in %d execution(s) (%d total step(s), %.2fs%s%a)"
+      stats.executions stats.total_steps stats.elapsed
       (if stats.search_exhausted then ", search space exhausted" else "")
+      pp_stats_extra stats

@@ -4,7 +4,14 @@
     to completion, each time exploring a potentially different set of
     nondeterministic choices, until it reaches the execution budget or hits
     a safety or liveness violation. A found bug is witnessed by a full
-    schedule trace that {!replay} reproduces deterministically. *)
+    schedule trace that {!replay} reproduces deterministically.
+
+    With coverage enabled the engine also answers {e what} those executions
+    explored: every execution records a {!Coverage} map (machine-state
+    visits, delivered event types, transition triples, branch outcomes and
+    a schedule fingerprint) which is merged — domain-safely when exploring
+    across {!Worker_pool} workers — into a per-run accumulator returned in
+    {!stats}. *)
 
 type strategy_spec =
   | Random
@@ -16,6 +23,11 @@ type strategy_spec =
   | Delay_bounded of { delays : int }
       (** randomized delay-bounded scheduling (the paper's [11]) *)
   | Replay_trace of Trace.t
+  | Fuzz of { corpus_cap : int }
+      (** coverage-feedback-directed schedule fuzzing ({!Fuzz_strategy}):
+          keeps a corpus (bounded by [corpus_cap]) of schedules that found
+          new coverage and mutates them (splice / truncate / re-randomize
+          suffix). Stateful, hence sequential-only. *)
 
 type config = {
   strategy : strategy_spec;
@@ -39,12 +51,23 @@ type config = {
           worker — so a bug found with any worker count is found with
           every other (only wall-clock time and, when several distinct
           buggy schedules exist, which one is reported first can differ).
-          Stateful strategies (DFS, trace replay) are not parallel-safe;
-          the engine logs a notice and falls back to sequential. *)
+          Stateful strategies (DFS, trace replay, fuzz) are not
+          parallel-safe; the engine logs a notice and falls back to
+          sequential. *)
+  collect_coverage : bool;
+      (** record per-execution coverage maps and return the merged map in
+          [stats.coverage]. Coverage is also collected implicitly when
+          [coverage_plateau] is set or the strategy is feedback-directed
+          (fuzz). *)
+  coverage_plateau : int option;
+      (** stop after this many consecutive executions that uncovered no new
+          coverage point (state, event type, triple or branch outcome);
+          [stats.plateaued] reports the early stop. In parallel mode the
+          consecutive count is a cross-worker approximation. *)
 }
 
 (** Random strategy, seed 0, 10,000 executions, 5,000-step bound, one
-    worker. *)
+    worker, no coverage. *)
 val default_config : config
 
 type stats = {
@@ -52,12 +75,19 @@ type stats = {
   elapsed : float;  (** wall-clock seconds *)
   total_steps : int;
   search_exhausted : bool;  (** strategy ran out of schedules (DFS) *)
+  coverage : Coverage.t option;
+      (** merged coverage of every execution of the run; [Some] whenever
+          the run collected coverage ([collect_coverage], a plateau bound,
+          or a feedback-directed strategy) *)
+  plateaued : bool;  (** run stopped early on the coverage plateau bound *)
 }
 
 type outcome =
   | Bug_found of Error.report * stats
   | No_bug of stats
 
+(** Renders the outcome with self-describing run statistics — executions,
+    total steps, elapsed time, and coverage totals when collected. *)
 val pp_outcome : Format.formatter -> outcome -> unit
 
 (** [run config ~monitors body] iterates executions of the harness [body]
@@ -71,6 +101,17 @@ val run :
   config ->
   (Runtime.ctx -> unit) ->
   outcome
+
+(** [explore config ~monitors body] runs the whole execution budget with
+    coverage on and {e without} stopping at bugs, so coverage is
+    comparable across strategies at a fixed budget (a strategy that trips
+    a bug early is not charged fewer executions). Honors [max_seconds]
+    and [coverage_plateau]; [stats.coverage] is always [Some]. *)
+val explore :
+  ?monitors:(unit -> Monitor.t list) ->
+  config ->
+  (Runtime.ctx -> unit) ->
+  stats
 
 (** [replay config ~monitors trace body] re-executes one recorded schedule
     (with [collect_log] on) and returns the raw execution result. *)

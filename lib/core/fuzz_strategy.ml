@@ -1,0 +1,89 @@
+(* Follow the mutated prefix while it stays valid for the unfolding
+   execution; at the first mismatch (or exhaustion) abandon it and continue
+   with seeded random choices, like Shrinker's lenient replay. *)
+let guided ~seed ~(prefix : Trace.choice array) : Strategy.t =
+  let cursor = ref 0 in
+  let diverged = ref false in
+  let rng = Prng.create ~seed in
+  let next () =
+    if !diverged || !cursor >= Array.length prefix then None
+    else begin
+      let c = prefix.(!cursor) in
+      incr cursor;
+      Some c
+    end
+  in
+  let next_schedule ~enabled ~step:_ =
+    match next () with
+    | Some (Trace.Schedule m) when Array.exists (fun e -> e = m) enabled -> m
+    | Some _ | None ->
+      diverged := true;
+      Prng.pick_array rng enabled
+  in
+  let next_bool ~step:_ =
+    match next () with
+    | Some (Trace.Bool b) -> b
+    | Some _ | None ->
+      diverged := true;
+      Prng.bool rng
+  in
+  let next_int ~bound ~step:_ =
+    match next () with
+    | Some (Trace.Int i) when i >= 0 && i < bound -> i
+    | Some _ | None ->
+      diverged := true;
+      Prng.int rng bound
+  in
+  { Strategy.name = "fuzz"; next_schedule; next_bool; next_int }
+
+let factory ~seed ?(corpus_cap = 32) ?(random_bias = 4) () : Strategy.factory =
+  if corpus_cap <= 0 then invalid_arg "Fuzz_strategy: corpus_cap must be positive";
+  if random_bias <= 0 then invalid_arg "Fuzz_strategy: random_bias must be positive";
+  (* Factory-level rng drives corpus selection and mutation; per-execution
+     rngs are derived from (seed, iteration) like the other seeded
+     strategies, so the random tail of each execution is independent of
+     how many corpus decisions were made before it. *)
+  let rng = Prng.create ~seed:(Int64.logxor seed 0x9e3779b97f4a7c15L) in
+  let corpus : Trace.choice array array ref = ref [||] in
+  let add trace =
+    let choices = Array.of_list (Trace.to_list trace) in
+    if Array.length choices = 0 then ()
+    else if Array.length !corpus < corpus_cap then
+      corpus := Array.append !corpus [| choices |]
+    else !corpus.(Prng.int rng corpus_cap) <- choices
+  in
+  let pick () = !corpus.(Prng.int rng (Array.length !corpus)) in
+  (* A cut point in [1, len]: mutants always keep a non-empty prefix. *)
+  let cut a = 1 + Prng.int rng (Array.length a) in
+  let mutate () =
+    let a = pick () in
+    match Prng.int rng 3 with
+    | 0 ->
+      (* truncate: keep a uniformly short prefix *)
+      Array.sub a 0 (cut a)
+    | 1 ->
+      (* re-randomize suffix: keep at least half, redo the tail *)
+      let len = Array.length a in
+      let keep = max 1 (len / 2 + Prng.int rng (max 1 ((len + 1) / 2))) in
+      Array.sub a 0 (min len keep)
+    | _ ->
+      (* splice: prefix of a continued by a suffix of b *)
+      let b = pick () in
+      let i = cut a and j = Prng.int rng (Array.length b) in
+      Array.append (Array.sub a 0 i) (Array.sub b j (Array.length b - j))
+  in
+  {
+    Strategy.factory_name = "fuzz";
+    (* The corpus is shared mutable state across iterations. *)
+    parallel_safe = false;
+    fresh =
+      (fun ~iteration ->
+        let exec_seed = Int64.add seed (Int64.of_int (iteration * 2 + 1)) in
+        let prefix =
+          if Array.length !corpus = 0 || Prng.int rng random_bias = 0 then [||]
+          else mutate ()
+        in
+        Some (guided ~seed:exec_seed ~prefix));
+    feedback =
+      Some (fun ~trace ~novel -> if novel then add trace);
+  }

@@ -1,0 +1,28 @@
+(** Coverage-feedback-directed schedule fuzzing.
+
+    Keeps a bounded corpus of schedule traces that uncovered new coverage
+    (fed back by the engine through {!Strategy.factory.feedback}) and
+    derives each execution from a mutated corpus entry:
+
+    - {b truncate}: keep a random-length prefix, explore randomly after it;
+    - {b re-randomize suffix}: keep most of the schedule, redo the tail;
+    - {b splice}: a prefix of one corpus entry continued by the suffix of
+      another.
+
+    The mutated prefix is replayed {e leniently} — as soon as a recorded
+    choice no longer fits the execution (machine not enabled, bound
+    exceeded, wrong choice kind), the strategy falls back to seeded random
+    exploration for the rest of the run, so mutants always yield valid
+    executions. A fraction of executions (and every execution while the
+    corpus is empty) is pure seeded random, keeping exploration from
+    collapsing onto the corpus.
+
+    The factory is stateful (the corpus persists across iterations), hence
+    not parallel-safe: the engine explores sequentially under it. With the
+    same seed the whole run is deterministic. *)
+
+val factory : seed:int64 -> ?corpus_cap:int -> ?random_bias:int -> unit -> Strategy.factory
+(** [factory ~seed ()] — [corpus_cap] bounds the corpus (default 32;
+    once full, a random entry is evicted); [random_bias] is the
+    denominator of the pure-random fraction (default 4: one execution in
+    four explores purely randomly). *)

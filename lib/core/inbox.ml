@@ -1,11 +1,15 @@
 (* Classic two-list deque: [front] is the head in order, [back] is the tail
-   reversed. Filtered removal rebuilds at most once. *)
+   reversed. Filtered removal rebuilds at most once. Each entry carries the
+   creation index of the sending machine (-1 when unknown) so the coverage
+   layer can attribute deliveries without changing the event type. *)
 
-type t = { mutable front : Event.t list; mutable back : Event.t list }
+type entry = Event.t * int
+
+type t = { mutable front : entry list; mutable back : entry list }
 
 let create () = { front = []; back = [] }
 
-let push t e = t.back <- e :: t.back
+let push ?(sender = -1) t e = t.back <- (e, sender) :: t.back
 
 let normalize t =
   if t.front = [] then begin
@@ -17,29 +21,33 @@ let is_empty t = t.front = [] && t.back = []
 
 let length t = List.length t.front + List.length t.back
 
-let to_list t = t.front @ List.rev t.back
+let to_list t = List.map fst (t.front @ List.rev t.back)
 
-let pop_first t pred =
+let pop_entry t pred =
   normalize t;
   let rec remove acc = function
     | [] -> None
-    | e :: rest ->
-      if pred e then Some (e, List.rev_append acc rest)
-      else remove (e :: acc) rest
+    | ((e, _) as entry) :: rest ->
+      if pred e then Some (entry, List.rev_append acc rest)
+      else remove (entry :: acc) rest
   in
   match remove [] t.front with
-  | Some (e, front') ->
+  | Some (entry, front') ->
     t.front <- front';
-    Some e
+    Some entry
   | None ->
     (match remove [] (List.rev t.back) with
-     | Some (e, back_in_order) ->
+     | Some (entry, back_in_order) ->
        t.front <- t.front @ back_in_order;
        t.back <- [];
-       Some e
+       Some entry
      | None -> None)
 
-let exists t pred = List.exists pred t.front || List.exists pred t.back
+let pop_first t pred = Option.map fst (pop_entry t pred)
+
+let exists t pred =
+  List.exists (fun (e, _) -> pred e) t.front
+  || List.exists (fun (e, _) -> pred e) t.back
 
 let clear t =
   t.front <- [];

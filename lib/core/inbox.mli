@@ -7,12 +7,21 @@
 type t
 
 val create : unit -> t
-val push : t -> Event.t -> unit
+
+(** [push ?sender t e] enqueues [e]. [sender] is the creation index of the
+    sending machine (default [-1], unknown); it tags the entry for
+    coverage attribution and never affects delivery order or filtering. *)
+val push : ?sender:int -> t -> Event.t -> unit
+
 val is_empty : t -> bool
 val length : t -> int
 
 (** First event satisfying [pred], removed from the inbox. *)
 val pop_first : t -> (Event.t -> bool) -> Event.t option
+
+(** Like {!pop_first} but also returns the sender tag the event was pushed
+    with. *)
+val pop_entry : t -> (Event.t -> bool) -> (Event.t * int) option
 
 (** Does any queued event satisfy [pred]? *)
 val exists : t -> (Event.t -> bool) -> bool

@@ -48,4 +48,5 @@ let factory trace : Strategy.factory =
     parallel_safe = false;
     fresh =
       (fun ~iteration -> if iteration = 0 then Some (make trace) else None);
+    feedback = None;
   }

@@ -3,6 +3,7 @@ type config = {
   liveness_grace : int option;
   deadlock_is_bug : bool;
   collect_log : bool;
+  coverage : Coverage.t option;
 }
 
 let default_config =
@@ -11,6 +12,7 @@ let default_config =
     liveness_grace = None;
     deadlock_is_bug = true;
     collect_log = false;
+    coverage = None;
   }
 
 (* A machine blocked on [receive] is a captured continuation expecting the
@@ -27,6 +29,9 @@ and machine = {
   id : Id.t;
   inbox : Inbox.t;
   mutable status : status;
+  mutable state_name : string;
+      (* current declared state ("-" for plain machines); feeds the
+         receiver-state component of coverage triples *)
 }
 
 and t = {
@@ -74,15 +79,21 @@ let add_machine rt ~name body =
       Array.make (max 8 (2 * rt.n_machines))
         { id = Id.make ~index:(-1) ~name:"<pad>";
           inbox = Inbox.create ();
-          status = Halted }
+          status = Halted;
+          state_name = "-" }
     in
     Array.blit rt.machines 0 bigger 0 rt.n_machines;
     rt.machines <- bigger
   end;
   let id = Id.make ~index:rt.n_machines ~name in
-  let m = { id; inbox = Inbox.create (); status = Not_started body } in
+  let m =
+    { id; inbox = Inbox.create (); status = Not_started body; state_name = "-" }
+  in
   rt.machines.(rt.n_machines) <- m;
   rt.n_machines <- rt.n_machines + 1;
+  (match rt.config.coverage with
+   | Some cov -> Coverage.visit_state cov ~machine:name ~state:"-"
+   | None -> ());
   m
 
 (* --- Machine API --- *)
@@ -112,7 +123,7 @@ let send ctx target e =
      logf rt "[%d] %s -> %s: %s (dropped: target halted)" rt.steps
        (Id.to_string ctx.me.id) (Id.to_string target) (Event.to_string e)
    | Not_started _ | Waiting _ | Running ->
-     Inbox.push m.inbox e;
+     Inbox.push ~sender:(Id.index ctx.me.id) m.inbox e;
      logf rt "[%d] %s -> %s: %s" rt.steps (Id.to_string ctx.me.id)
        (Id.to_string target) (Event.to_string e))
 
@@ -141,6 +152,9 @@ let nondet ctx =
   let rt = ctx.rt in
   let b = rt.strategy.next_bool ~step:rt.steps in
   Trace.Builder.add rt.trace (Trace.Bool b);
+  (match rt.config.coverage with
+   | Some cov -> Coverage.branch_bool cov ~machine:(Id.name ctx.me.id) b
+   | None -> ());
   logf rt "[%d] %s nondet -> %b" rt.steps (Id.to_string ctx.me.id) b;
   b
 
@@ -149,6 +163,9 @@ let nondet_int ctx bound =
   let rt = ctx.rt in
   let i = rt.strategy.next_int ~bound ~step:rt.steps in
   Trace.Builder.add rt.trace (Trace.Int i);
+  (match rt.config.coverage with
+   | Some cov -> Coverage.branch_int cov ~machine:(Id.name ctx.me.id) ~bound i
+   | None -> ());
   logf rt "[%d] %s nondet_int(%d) -> %d" rt.steps (Id.to_string ctx.me.id)
     bound i;
   i
@@ -187,6 +204,12 @@ let assert_here ctx cond msg =
       (Error.Bug
          (Error.Assertion_failure
             { machine = Id.to_string ctx.me.id; message = msg }))
+
+let set_state_name ctx state =
+  ctx.me.state_name <- state;
+  match ctx.rt.config.coverage with
+  | Some cov -> Coverage.visit_state cov ~machine:(Id.name ctx.me.id) ~state
+  | None -> ()
 
 let log ctx s = logf ctx.rt "[%d] %s: %s" ctx.rt.steps (Id.to_string ctx.me.id) s
 
@@ -258,10 +281,20 @@ let resume_machine rt m =
   match m.status with
   | Waiting (pred, k) ->
     let matches = Option.value pred ~default:(fun _ -> true) in
-    (match Inbox.pop_first m.inbox matches with
+    (match Inbox.pop_entry m.inbox matches with
      | None -> assert false (* scheduler only picks enabled machines *)
-     | Some e ->
+     | Some (e, sender) ->
        m.status <- Running;
+       (match rt.config.coverage with
+        | Some cov ->
+          let sender_name =
+            if sender >= 0 && sender < rt.n_machines then
+              Id.name rt.machines.(sender).id
+            else "<external>"
+          in
+          Coverage.deliver cov ~sender:sender_name ~event:(Event.name e)
+            ~receiver:(Id.name m.id) ~state:m.state_name
+        | None -> ());
        logf rt "[%d] %s dequeues %s" rt.steps (Id.to_string m.id)
          (Event.to_string e);
        Effect.Deep.continue k e)

@@ -22,6 +22,11 @@ type config = {
   deadlock_is_bug : bool;
       (** report a bug when no machine is enabled but some still wait *)
   collect_log : bool;  (** record the human-readable global-order log *)
+  coverage : Coverage.t option;
+      (** when set, the execution records its coverage points — machine
+          state visits, delivered event types, [(sender, event,
+          receiver@state)] transition triples and nondet branch outcomes —
+          into this per-execution map *)
 }
 
 val default_config : config
@@ -105,6 +110,14 @@ val log : ctx -> string -> unit
 
 (** Current scheduling step (useful as a logical clock in models). *)
 val step_count : ctx -> int
+
+(** [set_state_name ctx s] declares this machine's current state for
+    coverage purposes (a machine-state visit is recorded when coverage is
+    on, and subsequent deliveries to this machine carry [s] as the
+    receiver state). {!Statemachine} calls this on every transition; plain
+    receive-loop machines may call it at interesting phase changes, or not
+    at all (they then appear as state ["-"]). *)
+val set_state_name : ctx -> string -> unit
 
 (** Machine name for [id] in this execution. *)
 val name_of : ctx -> Id.t -> string

@@ -57,6 +57,7 @@ let runtime_config (config : Engine.config) =
     liveness_grace = config.Engine.liveness_grace;
     deadlock_is_bug = config.Engine.deadlock_is_bug;
     collect_log = false;
+    coverage = None;
   }
 
 (* Execute once under lenient replay of [candidate]; if the same bug kind

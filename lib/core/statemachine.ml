@@ -79,6 +79,7 @@ let run ctx ~machine ~states ~init model =
   in
   let record target =
     Registry.record_transition ~machine ~from_:(top ()).sname ~to_:target;
+    Runtime.set_state_name ctx target;
     Runtime.log ctx
       (Printf.sprintf "transition %s -> %s" (top ()).sname target)
   in
@@ -142,6 +143,7 @@ let run ctx ~machine ~states ~init model =
       Some e
     | None -> None
   in
+  Runtime.set_state_name ctx init;
   (top ()).entry ctx model;
   let rec loop () =
     (match pop_replayable () with

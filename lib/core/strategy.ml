@@ -9,11 +9,13 @@ type factory = {
   factory_name : string;
   parallel_safe : bool;
   fresh : iteration:int -> t option;
+  feedback : (trace:Trace.t -> novel:bool -> unit) option;
 }
 
-let stateless ?(parallel_safe = true) ~name make =
+let stateless ?(parallel_safe = true) ?feedback ~name make =
   {
     factory_name = name;
     parallel_safe;
     fresh = (fun ~iteration -> Some (make ~iteration));
+    feedback;
   }

@@ -23,9 +23,20 @@ type factory = {
   fresh : iteration:int -> t option;
       (** strategy for execution number [iteration] (0-based), or [None]
           when the strategy has exhausted its search space *)
+  feedback : (trace:Trace.t -> novel:bool -> unit) option;
+      (** coverage feedback channel: when present, the engine calls it
+          after each execution with that execution's full choice trace and
+          whether the execution uncovered any new coverage point.
+          Feedback-directed strategies (fuzz) use it to grow their corpus;
+          [None] for everything else. *)
 }
 
 (** A factory that returns the same strategy forever (for stateless
     strategies built per-iteration from a seed). Stateless factories are
-    [parallel_safe] by default. *)
-val stateless : ?parallel_safe:bool -> name:string -> (iteration:int -> t) -> factory
+    [parallel_safe] by default and take no [feedback]. *)
+val stateless :
+  ?parallel_safe:bool ->
+  ?feedback:(trace:Trace.t -> novel:bool -> unit) ->
+  name:string ->
+  (iteration:int -> t) ->
+  factory

@@ -28,9 +28,30 @@ let to_string t =
   String.concat "\n" (List.map choice_to_string (to_list t))
 
 let of_string s =
+  (* Strict line-oriented parse: one choice per line, with at most one
+     trailing newline (the [save] format). Blank lines (duplicate
+     separators) and non-canonical spellings ("i:0x10", "s:01", trailing
+     whitespace) are rejected rather than silently skipped — a corrupted
+     trace must fail loudly, not replay a different schedule. *)
   let lines = String.split_on_char '\n' s in
-  let keep line = String.trim line <> "" in
-  of_list (List.map choice_of_string (List.filter keep lines))
+  let lines =
+    match List.rev lines with
+    | "" :: rest -> List.rev rest
+    | _ -> lines
+  in
+  let parse i line =
+    if String.trim line = "" then
+      failwith (Printf.sprintf "Trace.of_string: blank line %d" (i + 1))
+    else begin
+      let c = choice_of_string line in
+      if choice_to_string c <> line then
+        failwith
+          (Printf.sprintf "Trace.of_string: trailing garbage on line %d: %S"
+             (i + 1) line);
+      c
+    end
+  in
+  of_list (List.mapi parse lines)
 
 let save ~path t =
   let oc = open_out path in

@@ -22,7 +22,11 @@ val equal : t -> t -> bool
 (** Line-oriented textual format: ["s:3"], ["b:1"], ["i:42"]. *)
 val to_string : t -> string
 
-(** Inverse of [to_string].
+(** Inverse of [to_string]; also accepts one trailing newline (the
+    {!save} format). The parse is strict: blank lines (duplicate
+    separators) and lines carrying anything beyond one canonical choice
+    are rejected — a corrupted trace must fail loudly rather than replay
+    a different schedule.
     @raise Failure on malformed input. *)
 val of_string : string -> t
 

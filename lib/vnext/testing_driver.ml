@@ -61,13 +61,17 @@ let test ?(bugs = Bug_flags.none) ?(n_nodes = 3) ?(replica_target = 3)
         ~name:"DriverTimer" ()
     in
     (* Let the system warm up (nodes register, sync) before failing one, as
-       the stress tests the paper describes fail nodes of a live system. *)
+       the stress tests the paper describes fail nodes of a live system.
+       The phase markers feed the coverage maps (the driver is a plain
+       receive loop, not a Statemachine). *)
+    R.set_state_name ctx "Warmup";
     let ticks_seen = ref 0 in
     let rec wait_for_injection () =
       match R.receive ctx with
       | Events.Driver_tick ->
         incr ticks_seen;
         if !ticks_seen > warmup_ticks && R.nondet ctx then begin
+          R.set_state_name ctx "Injecting";
           let victim_en = R.nondet_int ctx n_nodes in
           let victim = List.assoc victim_en nodes in
           R.send ctx victim Events.Fail_en;
@@ -80,7 +84,8 @@ let test ?(bugs = Bug_flags.none) ?(n_nodes = 3) ?(replica_target = 3)
                  ~initial_extents:[])
           in
           bind (nodes @ [ (fresh_en, fresh) ]);
-          R.send ctx timer Psharp.Timer.Timer_stop
+          R.send ctx timer Psharp.Timer.Timer_stop;
+          R.set_state_name ctx "Repairing"
         end
         else wait_for_injection ()
       | _ -> wait_for_injection ()

@@ -1,0 +1,260 @@
+(* Coverage maps, engine coverage plumbing, the plateau bound and the
+   feedback-directed fuzz strategy. *)
+
+module Coverage = Psharp.Coverage
+module E = Psharp.Engine
+module R = Psharp.Runtime
+module Error = Psharp.Error
+module Trace = Psharp.Trace
+module Event = Psharp.Event
+
+type Event.t += Token
+
+(* Same minimal racy program as test_parallel: roughly half of all
+   schedules violate the referee's assertion. *)
+let racy_harness ctx =
+  let first = ref None in
+  let referee =
+    R.create ctx ~name:"Referee" (fun rctx ->
+        ignore (R.receive rctx);
+        R.assert_here rctx (!first = Some "A") "B overtook A")
+  in
+  let writer name wctx =
+    if !first = None then first := Some name;
+    R.send wctx referee Token
+  in
+  ignore (R.create ctx ~name:"A" (writer "A"));
+  ignore (R.create ctx ~name:"B" (writer "B"))
+
+let clean_harness ctx =
+  let echo = R.create ctx ~name:"Echo" (fun ectx -> ignore (R.receive ectx)) in
+  R.send ctx echo Token
+
+let config = { E.default_config with max_executions = 500; max_steps = 200 }
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+(* --- Map construction and merging -------------------------------------- *)
+
+(* Three overlapping per-execution maps, as the workers would produce. *)
+let sample_maps () =
+  let a = Coverage.create () in
+  Coverage.visit_state a ~machine:"M" ~state:"Init";
+  Coverage.deliver a ~sender:"A" ~event:"Token" ~receiver:"M" ~state:"Init";
+  Coverage.branch_bool a ~machine:"M" true;
+  Coverage.note_execution a ~fingerprint:1L;
+  let b = Coverage.create () in
+  Coverage.visit_state b ~machine:"M" ~state:"Init";
+  Coverage.visit_state b ~machine:"M" ~state:"Done";
+  Coverage.branch_int b ~machine:"M" ~bound:3 2;
+  Coverage.note_execution b ~fingerprint:2L;
+  let c = Coverage.create () in
+  Coverage.deliver c ~sender:"B" ~event:"Token" ~receiver:"M" ~state:"Done";
+  Coverage.branch_bool c ~machine:"M" true;
+  Coverage.note_execution c ~fingerprint:1L;
+  (a, b, c)
+
+let test_absorb_order_independent () =
+  let merge order =
+    let acc = Coverage.create () in
+    List.iter (fun m -> ignore (Coverage.absorb ~into:acc m)) order;
+    acc
+  in
+  let a, b, c = sample_maps () in
+  let abc = merge [ a; b; c ] in
+  let a, b, c = sample_maps () in
+  let cba = merge [ c; b; a ] in
+  let a, b, c = sample_maps () in
+  let bac = merge [ b; a; c ] in
+  Alcotest.(check bool) "abc = cba" true (Coverage.equal abc cba);
+  Alcotest.(check bool) "abc = bac" true (Coverage.equal abc bac);
+  let t = Coverage.totals abc in
+  Alcotest.(check int) "states" 2 t.Coverage.machine_states;
+  Alcotest.(check int) "event types" 1 t.Coverage.event_types;
+  Alcotest.(check int) "triples" 2 t.Coverage.transition_triples;
+  Alcotest.(check int) "branches" 2 t.Coverage.branch_outcomes;
+  Alcotest.(check int) "unique schedules" 2 t.Coverage.unique_schedules;
+  Alcotest.(check int) "executions" 3 t.Coverage.executions
+
+let test_absorb_novelty () =
+  let acc = Coverage.create () in
+  let a, _, _ = sample_maps () in
+  Alcotest.(check bool) "first absorb is novel" true
+    (Coverage.absorb ~into:acc a);
+  let a, _, _ = sample_maps () in
+  Alcotest.(check bool) "identical absorb is not novel" false
+    (Coverage.absorb ~into:acc a);
+  (* A new schedule fingerprint alone does not count as novelty: random
+     scheduling makes almost every schedule unique, which would drown the
+     feedback signal. *)
+  let fp_only = Coverage.create () in
+  Coverage.visit_state fp_only ~machine:"M" ~state:"Init";
+  Coverage.note_execution fp_only ~fingerprint:99L;
+  Alcotest.(check bool) "new fingerprint alone is not novel" false
+    (Coverage.absorb ~into:acc fp_only);
+  let t = Coverage.totals acc in
+  Alcotest.(check int) "fingerprint still filed" 2 t.Coverage.unique_schedules;
+  Alcotest.(check int) "executions counted" 3 t.Coverage.executions
+
+let test_fingerprint_pure () =
+  let t1 = Trace.of_list [ Trace.Schedule 0; Trace.Bool true; Trace.Int 7 ] in
+  let t2 = Trace.of_list [ Trace.Schedule 0; Trace.Bool true; Trace.Int 7 ] in
+  let t3 = Trace.of_list [ Trace.Schedule 0; Trace.Bool false; Trace.Int 7 ] in
+  Alcotest.(check bool) "same trace, same fingerprint" true
+    (Int64.equal (Coverage.fingerprint t1) (Coverage.fingerprint t2));
+  Alcotest.(check bool) "different trace, different fingerprint" false
+    (Int64.equal (Coverage.fingerprint t1) (Coverage.fingerprint t3));
+  Alcotest.(check bool) "empty differs from sample" false
+    (Int64.equal (Coverage.fingerprint Trace.empty) (Coverage.fingerprint t1))
+
+(* --- Engine plumbing ---------------------------------------------------- *)
+
+let test_run_collects_coverage_and_files_bug_fingerprint () =
+  match E.run { config with E.collect_coverage = true } racy_harness with
+  | E.No_bug _ -> Alcotest.fail "race not found"
+  | E.Bug_found (report, stats) ->
+    let cov =
+      match stats.E.coverage with
+      | Some cov -> cov
+      | None -> Alcotest.fail "coverage requested but absent"
+    in
+    let t = Coverage.totals cov in
+    Alcotest.(check bool) "saw states" true (t.Coverage.machine_states > 0);
+    Alcotest.(check bool) "saw triples" true
+      (t.Coverage.transition_triples > 0);
+    Alcotest.(check int) "every execution counted" stats.E.executions
+      t.Coverage.executions;
+    (* The buggy schedule's fingerprint is in the run's schedule set, and
+       replaying the recorded trace reproduces it exactly. *)
+    let fp = Coverage.fingerprint report.Error.trace in
+    Alcotest.(check bool) "bug fingerprint filed" true
+      (List.mem_assoc fp (Coverage.schedules cov));
+    let result = E.replay config report.Error.trace racy_harness in
+    Alcotest.(check bool) "replay reproduces the fingerprint" true
+      (Int64.equal fp (Coverage.fingerprint result.R.choices))
+
+let test_parallel_coverage_matches_sequential () =
+  let cfg = { config with E.max_executions = 100; collect_coverage = true } in
+  let coverage_of workers =
+    match E.run { cfg with E.workers } clean_harness with
+    | E.No_bug { coverage = Some cov; _ } -> cov
+    | E.No_bug _ -> Alcotest.fail "coverage absent"
+    | E.Bug_found _ -> Alcotest.fail "clean harness reported a bug"
+  in
+  let seq = coverage_of 1 in
+  let par = coverage_of 2 in
+  Alcotest.(check bool) "identical maps at the same budget" true
+    (Coverage.equal seq par);
+  let ts = Coverage.totals seq and tp = Coverage.totals par in
+  Alcotest.(check int) "same executions" ts.Coverage.executions
+    tp.Coverage.executions;
+  Alcotest.(check int) "same unique schedules" ts.Coverage.unique_schedules
+    tp.Coverage.unique_schedules
+
+let test_plateau_stops_early () =
+  let cfg =
+    {
+      config with
+      E.max_executions = 5_000;
+      coverage_plateau = Some 20;
+    }
+  in
+  match E.run cfg clean_harness with
+  | E.Bug_found _ -> Alcotest.fail "clean harness reported a bug"
+  | E.No_bug stats ->
+    Alcotest.(check bool) "plateaued" true stats.E.plateaued;
+    Alcotest.(check bool) "stopped far short of the budget" true
+      (stats.E.executions < 5_000);
+    Alcotest.(check bool) "coverage collected implicitly" true
+      (stats.E.coverage <> None)
+
+let test_explore_never_stops_at_bugs () =
+  let stats = E.explore { config with E.max_executions = 50 } racy_harness in
+  Alcotest.(check int) "full budget spent" 50 stats.E.executions;
+  match stats.E.coverage with
+  | None -> Alcotest.fail "explore must collect coverage"
+  | Some cov ->
+    Alcotest.(check int) "every execution in the map" 50
+      (Coverage.totals cov).Coverage.executions
+
+(* --- Fuzz strategy ------------------------------------------------------ *)
+
+let test_fuzz_finds_race_deterministically () =
+  let cfg =
+    { config with E.strategy = E.Fuzz { corpus_cap = 8 }; seed = 11L }
+  in
+  let run () =
+    match E.run cfg racy_harness with
+    | E.Bug_found (report, stats) -> (report, stats)
+    | E.No_bug _ -> Alcotest.fail "fuzz did not find the race"
+  in
+  let r1, s1 = run () in
+  let r2, s2 = run () in
+  Alcotest.(check int) "same executions to bug" s1.E.executions
+    s2.E.executions;
+  Alcotest.(check bool) "same witness trace" true
+    (Trace.equal r1.Error.trace r2.Error.trace);
+  (* The witness replays deterministically like any other strategy's. *)
+  let result = E.replay cfg r1.Error.trace racy_harness in
+  match result.R.bug with
+  | Some (Error.Assertion_failure _) -> ()
+  | _ -> Alcotest.fail "fuzz witness did not replay"
+
+let test_fuzz_ignores_workers () =
+  (* Fuzz is stateful (corpus), so [workers] falls back to sequential and
+     the result matches the sequential run exactly. *)
+  let cfg =
+    { config with E.strategy = E.Fuzz { corpus_cap = 8 }; seed = 11L }
+  in
+  let witness cfg =
+    match E.run cfg racy_harness with
+    | E.Bug_found (report, _) -> report.Error.trace
+    | E.No_bug _ -> Alcotest.fail "fuzz did not find the race"
+  in
+  Alcotest.(check bool) "workers=4 matches sequential" true
+    (Trace.equal (witness cfg) (witness { cfg with E.workers = 4 }))
+
+(* --- Reporting ---------------------------------------------------------- *)
+
+let test_pp_outcome_shows_steps_and_coverage () =
+  let outcome = E.run { config with E.collect_coverage = true } racy_harness in
+  let rendered = Format.asprintf "%a" E.pp_outcome outcome in
+  Alcotest.(check bool) "mentions total steps" true
+    (contains rendered "total step");
+  Alcotest.(check bool) "mentions coverage states" true
+    (contains rendered "states")
+
+let test_to_json_wellformed () =
+  let a, b, _ = sample_maps () in
+  ignore (Coverage.absorb ~into:a b);
+  let json = Coverage.to_json a in
+  Alcotest.(check bool) "has totals" true (contains json "\"totals\"");
+  Alcotest.(check bool) "has triples" true
+    (contains json "A -[Token]-> M@Init");
+  Alcotest.(check bool) "has schedules" true
+    (contains json "\"schedule_fingerprints\"")
+
+let suite =
+  [
+    Alcotest.test_case "absorb is order-independent" `Quick
+      test_absorb_order_independent;
+    Alcotest.test_case "absorb novelty excludes fingerprints" `Quick
+      test_absorb_novelty;
+    Alcotest.test_case "fingerprint is pure" `Quick test_fingerprint_pure;
+    Alcotest.test_case "run collects coverage, files bug fingerprint" `Quick
+      test_run_collects_coverage_and_files_bug_fingerprint;
+    Alcotest.test_case "parallel coverage = sequential" `Quick
+      test_parallel_coverage_matches_sequential;
+    Alcotest.test_case "plateau stops early" `Quick test_plateau_stops_early;
+    Alcotest.test_case "explore never stops at bugs" `Quick
+      test_explore_never_stops_at_bugs;
+    Alcotest.test_case "fuzz finds race deterministically" `Quick
+      test_fuzz_finds_race_deterministically;
+    Alcotest.test_case "fuzz ignores workers" `Quick test_fuzz_ignores_workers;
+    Alcotest.test_case "pp_outcome shows steps and coverage" `Quick
+      test_pp_outcome_shows_steps_and_coverage;
+    Alcotest.test_case "to_json is well-formed" `Quick test_to_json_wellformed;
+  ]

@@ -45,6 +45,25 @@ let test_save_load () =
       Alcotest.(check bool) "save/load" true
         (Trace.equal sample (Trace.load ~path)))
 
+let rejects label s =
+  Alcotest.(check bool) label true
+    (try
+       ignore (Trace.of_string s);
+       false
+     with Failure _ -> true)
+
+let test_strict_parsing () =
+  (* [save] appends exactly one newline; accept that and nothing looser. *)
+  Alcotest.(check bool) "one trailing newline accepted" true
+    (Trace.equal sample (Trace.of_string (Trace.to_string sample ^ "\n")));
+  rejects "two trailing newlines rejected" (Trace.to_string sample ^ "\n\n");
+  rejects "interior blank line rejected" "s:0\n\nb:1";
+  rejects "blank-only input rejected" "\n";
+  rejects "non-canonical int spelling rejected" "i:0x10";
+  rejects "leading zero rejected" "s:01";
+  rejects "trailing whitespace rejected" "s:0 ";
+  rejects "negative bool rejected" "b:2"
+
 let choice_gen =
   QCheck.Gen.(
     oneof
@@ -67,6 +86,7 @@ let suite =
     Alcotest.test_case "empty roundtrip" `Quick test_empty_roundtrip;
     Alcotest.test_case "length" `Quick test_length;
     Alcotest.test_case "malformed input" `Quick test_malformed;
+    Alcotest.test_case "strict parsing" `Quick test_strict_parsing;
     Alcotest.test_case "builder" `Quick test_builder;
     Alcotest.test_case "save/load file" `Quick test_save_load;
     QCheck_alcotest.to_alcotest prop_roundtrip;
