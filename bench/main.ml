@@ -586,6 +586,232 @@ let coverage_growth ~budgets () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Executions/sec throughput                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Raw engine throughput on the three case-study harnesses under three
+   observability configurations: plain (logging and coverage off — the
+   bug-hunting hot path), coverage collection on, and per-execution
+   logging on. Drives [Runtime.execute] directly with the seeded random
+   strategy, mirroring the engine's per-execution coverage bookkeeping
+   (fresh per-execution map absorbed into an accumulator), so the numbers
+   isolate engine + harness cost. Results land in BENCH_throughput.json. *)
+
+module Runtime = Psharp.Runtime
+
+type throughput_case = {
+  tname : string;
+  t_harness : Runtime.ctx -> unit;
+  t_monitors : unit -> Psharp.Monitor.t list;
+  t_max_steps : int;
+}
+
+let throughput_cases () =
+  [
+    {
+      tname = "vnext";
+      t_harness =
+        Vnext.Testing_driver.test ~bugs:Vnext.Bug_flags.none
+          ~scenario:Vnext.Testing_driver.Fail_and_repair ();
+      t_monitors = (fun () -> Vnext.Testing_driver.monitors ());
+      t_max_steps = 3_000;
+    };
+    {
+      tname = "chaintable";
+      t_harness = Chaintable.Harness.test ();
+      t_monitors = (fun () -> []);
+      t_max_steps = 4_000;
+    };
+    {
+      tname = "fabric";
+      t_harness = Fabric.Harness.test ();
+      t_monitors = (fun () -> Fabric.Harness.monitors ());
+      t_max_steps = 3_000;
+    };
+  ]
+
+type throughput_point = {
+  p_config : string;
+  p_executions : int;
+  p_steps : int;
+  p_elapsed : float;
+}
+
+let measure_throughput ~budget ~collect_log ~coverage case =
+  let factory = Psharp.Random_strategy.factory ~seed:base_seed in
+  let acc = if coverage then Some (Coverage.create ()) else None in
+  let total_steps = ref 0 in
+  let started = Unix.gettimeofday () in
+  for i = 0 to budget - 1 do
+    match factory.Psharp.Strategy.fresh ~iteration:i with
+    | None -> ()
+    | Some strategy ->
+      let exec_cov = Option.map (fun _ -> Coverage.create ()) acc in
+      let cfg =
+        {
+          Runtime.max_steps = case.t_max_steps;
+          liveness_grace = None;
+          deadlock_is_bug = true;
+          collect_log;
+          coverage = exec_cov;
+        }
+      in
+      let result =
+        Runtime.execute cfg strategy ~monitors:(case.t_monitors ())
+          ~name:"Harness" case.t_harness
+      in
+      total_steps := !total_steps + result.Runtime.steps;
+      (match (acc, exec_cov) with
+       | Some acc, Some exec ->
+         Coverage.note_execution exec
+           ~fingerprint:(Coverage.fingerprint result.Runtime.choices);
+         ignore (Coverage.absorb ~into:acc exec)
+       | _ -> ())
+  done;
+  {
+    p_config =
+      (match (collect_log, coverage) with
+       | false, false -> "plain"
+       | false, true -> "coverage"
+       | true, false -> "logging"
+       | true, true -> "logging+coverage");
+    p_executions = budget;
+    p_steps = !total_steps;
+    p_elapsed = Unix.gettimeofday () -. started;
+  }
+
+let exec_throughput ~budget () =
+  Printf.printf
+    "== Executions/sec: random strategy, %d executions per config (seed %Ld) \
+     ==\n"
+    budget base_seed;
+  let configs =
+    [ (false, false); (false, true); (true, false) ]
+  in
+  let rows =
+    List.map
+      (fun case ->
+        let points =
+          List.map
+            (fun (collect_log, coverage) ->
+              measure_throughput ~budget ~collect_log ~coverage case)
+            configs
+        in
+        (case, points))
+      (throughput_cases ())
+  in
+  Printf.printf "%-11s %-16s %12s %12s %14s %14s\n" "harness" "config"
+    "executions" "steps" "execs/sec" "steps/sec";
+  print_endline (String.make 84 '-');
+  List.iter
+    (fun (case, points) ->
+      List.iter
+        (fun p ->
+          let eps =
+            if p.p_elapsed > 0. then float_of_int p.p_executions /. p.p_elapsed
+            else 0.
+          and sps =
+            if p.p_elapsed > 0. then float_of_int p.p_steps /. p.p_elapsed
+            else 0.
+          in
+          Printf.printf "%-11s %-16s %12d %12d %14.1f %14.0f\n" case.tname
+            p.p_config p.p_executions p.p_steps eps sps)
+        points)
+    rows;
+  let oc = open_out "BENCH_throughput.json" in
+  output_string oc "{\n";
+  Printf.fprintf oc "  \"seed\": %Ld,\n" base_seed;
+  Printf.fprintf oc "  \"budget\": %d,\n" budget;
+  Printf.fprintf oc "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
+  output_string oc "  \"harnesses\": [\n";
+  List.iteri
+    (fun i (case, points) ->
+      Printf.fprintf oc "    {\"name\": %S, \"max_steps\": %d, \"configs\": [\n"
+        case.tname case.t_max_steps;
+      List.iteri
+        (fun j p ->
+          let eps =
+            if p.p_elapsed > 0. then float_of_int p.p_executions /. p.p_elapsed
+            else 0.
+          and sps =
+            if p.p_elapsed > 0. then float_of_int p.p_steps /. p.p_elapsed
+            else 0.
+          in
+          Printf.fprintf oc
+            "      {\"config\": %S, \"executions\": %d, \"total_steps\": %d, \
+             \"elapsed_s\": %.4f, \"execs_per_sec\": %.1f, \
+             \"steps_per_sec\": %.0f}%s\n"
+            p.p_config p.p_executions p.p_steps p.p_elapsed eps sps
+            (if j = List.length points - 1 then "" else ","))
+        points;
+      Printf.fprintf oc "    ]}%s\n"
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  print_endline "wrote BENCH_throughput.json";
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Golden determinism digests                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Prints the values test/test_golden.ml pins: per-harness schedule-
+   fingerprint digests of a fixed-seed [Engine.explore] (sequential and
+   2-worker) plus the MD5 of the first execution's choice trace. Rerun
+   this section to regenerate the literals after an *intentional*
+   schedule-semantics change. *)
+let golden_digests () =
+  print_endline "== Golden determinism digests (seed 1, 25 executions) ==";
+  List.iter
+    (fun case ->
+      let explore workers =
+        let cfg =
+          {
+            E.default_config with
+            seed = base_seed;
+            max_executions = 25;
+            max_steps = case.t_max_steps;
+            workers;
+          }
+        in
+        let stats = E.explore ~monitors:case.t_monitors cfg case.t_harness in
+        match stats.E.coverage with
+        | Some cov -> Coverage.schedule_digest cov
+        | None -> "no-coverage"
+      in
+      let trace_md5 =
+        let strategy =
+          match
+            (Psharp.Random_strategy.factory ~seed:base_seed).Psharp.Strategy
+              .fresh ~iteration:0
+          with
+          | Some s -> s
+          | None -> assert false
+        in
+        let cfg =
+          {
+            Runtime.max_steps = case.t_max_steps;
+            liveness_grace = None;
+            deadlock_is_bug = true;
+            collect_log = false;
+            coverage = None;
+          }
+        in
+        let result =
+          Runtime.execute cfg strategy ~monitors:(case.t_monitors ())
+            ~name:"Harness" case.t_harness
+        in
+        Digest.to_hex
+          (Digest.string (Psharp.Trace.to_string result.Runtime.choices))
+      in
+      Printf.printf
+        "  %-11s sequential %s  workers2 %s  trace-md5 %s\n" case.tname
+        (explore 1) (explore 2) trace_md5)
+    (throughput_cases ());
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -663,12 +889,13 @@ let micro () =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let full = List.mem "--full" args in
+  let smoke = List.mem "--smoke" args in
   let sections =
-    match List.filter (fun a -> a <> "--full") args with
+    match List.filter (fun a -> a <> "--full" && a <> "--smoke") args with
     | [] ->
       [
         "table1"; "table2"; "vnext-fix"; "ablation"; "samples";
-        "parallel-scaling"; "coverage-growth"; "micro";
+        "parallel-scaling"; "coverage-growth"; "exec-throughput"; "micro";
       ]
     | picked -> picked
   in
@@ -680,6 +907,7 @@ let () =
   let coverage_budgets =
     if full then [ 100; 250; 500; 1_000 ] else [ 25; 50; 100; 200 ]
   in
+  let throughput_budget = if full then 2_000 else if smoke then 60 else 400 in
   List.iter
     (fun section ->
       match section with
@@ -690,6 +918,8 @@ let () =
       | "samples" -> samples ~budget:samples_budget ()
       | "parallel-scaling" -> parallel_scaling ~budget:scaling_budget ()
       | "coverage-growth" -> coverage_growth ~budgets:coverage_budgets ()
+      | "exec-throughput" -> exec_throughput ~budget:throughput_budget ()
+      | "golden-digests" -> golden_digests ()
       | "micro" -> micro ()
       | other -> Printf.printf "unknown section %s\n" other)
     sections

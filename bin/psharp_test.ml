@@ -208,6 +208,10 @@ let hunt bug strategy seed executions steps custom trace_out log shrink
           Format.printf
             "found after %d execution(s) in %.2fs (%d total steps)@."
             stats.E.executions stats.E.elapsed stats.E.total_steps;
+          if stats.E.elapsed > 0. then
+            Format.printf "throughput: %.0f executions/sec, %.0f steps/sec@."
+              (float_of_int stats.E.executions /. stats.E.elapsed)
+              (float_of_int stats.E.total_steps /. stats.E.elapsed);
           if log then
             List.iter (fun line -> Format.printf "%s@." line) report.Error.log;
           (match trace_out with
@@ -222,6 +226,10 @@ let hunt bug strategy seed executions steps custom trace_out log shrink
             stats.E.executions stats.E.elapsed
             (if stats.E.search_exhausted then ", search exhausted" else "")
             (if stats.E.plateaued then ", coverage plateau" else "");
+          if stats.E.elapsed > 0. then
+            Format.printf "throughput: %.0f executions/sec, %.0f steps/sec@."
+              (float_of_int stats.E.executions /. stats.E.elapsed)
+              (float_of_int stats.E.total_steps /. stats.E.elapsed);
           finish_coverage stats;
           1
       end

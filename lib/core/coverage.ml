@@ -1,40 +1,79 @@
+(* Coverage keys are interned: the first time a key is seen it is assigned
+   an integer slot, and from then on recording is one hashtable lookup plus
+   an int-array bump — no Printf/Buffer allocation on the hot path. Keys
+   are structured tuples; their human-readable renderings (the public,
+   report-facing key strings) are produced only at read time. *)
+
+type 'k family = {
+  slots : ('k, int) Hashtbl.t;  (* key -> slot *)
+  mutable keys : 'k array;      (* slot -> key, first [n] valid *)
+  mutable counts : int array;   (* slot -> visit count *)
+  mutable n : int;
+}
+
+let family_create size =
+  { slots = Hashtbl.create size; keys = [||]; counts = [||]; n = 0 }
+
+(* Add [add] visits of [key]; returns [true] when the key is new. *)
+let family_bump_n fam key add =
+  match Hashtbl.find_opt fam.slots key with
+  | Some id ->
+    fam.counts.(id) <- fam.counts.(id) + add;
+    false
+  | None ->
+    if fam.n = Array.length fam.keys then begin
+      let cap = max 16 (2 * fam.n) in
+      let keys = Array.make cap key in
+      Array.blit fam.keys 0 keys 0 fam.n;
+      fam.keys <- keys;
+      let counts = Array.make cap 0 in
+      Array.blit fam.counts 0 counts 0 fam.n;
+      fam.counts <- counts
+    end;
+    Hashtbl.replace fam.slots key fam.n;
+    fam.keys.(fam.n) <- key;
+    fam.counts.(fam.n) <- add;
+    fam.n <- fam.n + 1;
+    true
+
+let family_bump fam key = ignore (family_bump_n fam key 1)
+
+type branch_key =
+  | Branch_bool of string * bool          (* machine, outcome *)
+  | Branch_int of string * int * int      (* machine, value, bound *)
+
 type t = {
-  states : (string, int) Hashtbl.t;
-  events : (string, int) Hashtbl.t;
-  triples : (string, int) Hashtbl.t;
-  branches : (string, int) Hashtbl.t;
+  states : (string * string) family;                    (* machine, state *)
+  events : string family;
+  triples : (string * string * string * string) family;
+      (* sender, event, receiver, receiver-state *)
+  branches : branch_key family;
   schedules : (int64, int) Hashtbl.t;
   mutable executions : int;
 }
 
 let create () =
   {
-    states = Hashtbl.create 64;
-    events = Hashtbl.create 64;
-    triples = Hashtbl.create 256;
-    branches = Hashtbl.create 64;
+    states = family_create 64;
+    events = family_create 64;
+    triples = family_create 256;
+    branches = family_create 64;
     schedules = Hashtbl.create 64;
     executions = 0;
   }
 
-let bump tbl key =
-  match Hashtbl.find_opt tbl key with
-  | Some n -> Hashtbl.replace tbl key (n + 1)
-  | None -> Hashtbl.replace tbl key 1
-
 (* --- Recording --------------------------------------------------------- *)
 
-let visit_state t ~machine ~state = bump t.states (machine ^ "." ^ state)
+let visit_state t ~machine ~state = family_bump t.states (machine, state)
 
 let deliver t ~sender ~event ~receiver ~state =
-  bump t.events event;
-  bump t.triples (Printf.sprintf "%s -[%s]-> %s@%s" sender event receiver state)
+  family_bump t.events event;
+  family_bump t.triples (sender, event, receiver, state)
 
-let branch_bool t ~machine b =
-  bump t.branches (Printf.sprintf "%s ? %b" machine b)
+let branch_bool t ~machine b = family_bump t.branches (Branch_bool (machine, b))
 
 let branch_int t ~machine ~bound v =
-  bump t.branches (Printf.sprintf "%s ? %d/%d" machine v bound)
+  family_bump t.branches (Branch_int (machine, v, bound))
 
 (* FNV-1a over the choice sequence; tags keep [Schedule 1] and [Int 1]
    from colliding. *)
@@ -44,13 +83,32 @@ let fnv_offset = 0xcbf29ce484222325L
 let mix h x = Int64.mul (Int64.logxor h (Int64.of_int x)) fnv_prime
 
 let fingerprint trace =
-  List.fold_left
+  Trace.fold
     (fun h c ->
       match c with
       | Trace.Schedule i -> mix (mix h 1) i
       | Trace.Bool b -> mix (mix h 2) (if b then 1 else 0)
       | Trace.Int i -> mix (mix h 3) i)
-    fnv_offset (Trace.to_list trace)
+    fnv_offset trace
+
+(* One 64-bit digest of the whole schedule-fingerprint multiset: FNV-1a
+   over the sorted (fingerprint, count) pairs. Two maps have the same
+   digest iff they saw the same schedules the same number of times (up to
+   hash collisions), which makes it a compact golden value for
+   determinism tests. *)
+let schedule_digest t =
+  let entries =
+    Hashtbl.fold (fun fp n acc -> (fp, n) :: acc) t.schedules []
+    |> List.sort compare
+  in
+  let h =
+    List.fold_left
+      (fun h (fp, n) ->
+        let h = Int64.mul (Int64.logxor h fp) fnv_prime in
+        Int64.mul (Int64.logxor h (Int64.of_int n)) fnv_prime)
+      fnv_offset entries
+  in
+  Printf.sprintf "%016Lx" h
 
 let note_execution t ~fingerprint =
   (match Hashtbl.find_opt t.schedules fingerprint with
@@ -62,15 +120,11 @@ let note_execution t ~fingerprint =
 
 let absorb ~into src =
   let novel = ref false in
-  let merge src_tbl dst_tbl =
-    Hashtbl.iter
-      (fun k n ->
-        match Hashtbl.find_opt dst_tbl k with
-        | Some m -> Hashtbl.replace dst_tbl k (m + n)
-        | None ->
-          novel := true;
-          Hashtbl.replace dst_tbl k n)
-      src_tbl
+  let merge src_fam dst_fam =
+    for i = 0 to src_fam.n - 1 do
+      if family_bump_n dst_fam src_fam.keys.(i) src_fam.counts.(i) then
+        novel := true
+    done
   in
   merge src.states into.states;
   merge src.events into.events;
@@ -89,15 +143,33 @@ let absorb ~into src =
 
 (* --- Reading ----------------------------------------------------------- *)
 
-let sorted_entries tbl =
-  Hashtbl.fold (fun k n acc -> (k, n) :: acc) tbl []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+(* Rendered (report-facing) key strings; these spellings are the public
+   format of the table and JSON reports and must stay stable. *)
 
-let states t = sorted_entries t.states
-let events t = sorted_entries t.events
-let triples t = sorted_entries t.triples
-let branches t = sorted_entries t.branches
-let schedules t = sorted_entries t.schedules
+let render_state (machine, state) = machine ^ "." ^ state
+
+let render_triple (sender, event, receiver, state) =
+  Printf.sprintf "%s -[%s]-> %s@%s" sender event receiver state
+
+let render_branch = function
+  | Branch_bool (machine, b) -> Printf.sprintf "%s ? %b" machine b
+  | Branch_int (machine, v, bound) -> Printf.sprintf "%s ? %d/%d" machine v bound
+
+let sorted_entries render fam =
+  let acc = ref [] in
+  for i = fam.n - 1 downto 0 do
+    acc := (render fam.keys.(i), fam.counts.(i)) :: !acc
+  done;
+  List.sort (fun (a, _) (b, _) -> compare a b) !acc
+
+let states t = sorted_entries render_state t.states
+let events t = sorted_entries Fun.id t.events
+let triples t = sorted_entries render_triple t.triples
+let branches t = sorted_entries render_branch t.branches
+
+let schedules t =
+  Hashtbl.fold (fun k n acc -> (k, n) :: acc) t.schedules []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let equal a b =
   states a = states b && events a = events b && triples a = triples b
@@ -116,10 +188,10 @@ type totals = {
 
 let totals t =
   {
-    machine_states = Hashtbl.length t.states;
-    event_types = Hashtbl.length t.events;
-    transition_triples = Hashtbl.length t.triples;
-    branch_outcomes = Hashtbl.length t.branches;
+    machine_states = t.states.n;
+    event_types = t.events.n;
+    transition_triples = t.triples.n;
+    branch_outcomes = t.branches.n;
     unique_schedules = Hashtbl.length t.schedules;
     executions = t.executions;
   }

@@ -51,6 +51,13 @@ val fingerprint : Trace.t -> int64
     files its schedule fingerprint. *)
 val note_execution : t -> fingerprint:int64 -> unit
 
+(** [schedule_digest t] is a 16-hex-digit digest of the whole
+    schedule-fingerprint multiset (FNV-1a over the sorted (fingerprint,
+    count) pairs): equal digests mean the run explored exactly the same
+    schedules the same number of times. Used as a compact golden value by
+    determinism tests. *)
+val schedule_digest : t -> string
+
 (** {1 Merging} *)
 
 (** [absorb ~into src] adds every count of [src] into [into] (commutative

@@ -15,17 +15,18 @@ let make ~seed ~delays ~max_steps ~iteration : Strategy.t =
     sample Int_set.empty (min delays max_steps)
   in
   let last = ref (-1) in
-  let next_schedule ~enabled ~step =
+  let next_schedule ~enabled ~n ~step =
     let default =
       (* run-to-completion: stick with the last machine while enabled *)
-      if Array.exists (fun m -> m = !last) enabled then !last else enabled.(0)
+      if Strategy.enabled_mem enabled n !last then !last else enabled.(0)
     in
     let choice =
       if Int_set.mem step delay_steps then begin
         (* delay the machine that would have run: next enabled after it *)
-        let n = Array.length enabled in
         let idx = ref 0 in
-        Array.iteri (fun i m -> if m = default then idx := i) enabled;
+        for i = 0 to n - 1 do
+          if enabled.(i) = default then idx := i
+        done;
         enabled.((!idx + 1) mod n)
       end
       else default

@@ -55,8 +55,9 @@ let advance st =
     true
 
 let make st : Strategy.t =
-  let next_schedule ~enabled ~step:_ =
-    let alts = Array.map (fun m -> Trace.Schedule m) enabled in
+  let next_schedule ~enabled ~n ~step:_ =
+    (* Copy the enabled prefix: frames outlive the runtime's scratch array. *)
+    let alts = Array.init n (fun i -> Trace.Schedule enabled.(i)) in
     match decide st alts with
     | Trace.Schedule m -> m
     | _ -> assert false

@@ -1,15 +1,18 @@
 (* Classic two-list deque: [front] is the head in order, [back] is the tail
-   reversed. Filtered removal rebuilds at most once. Each entry carries the
+   reversed, [len] counts both so [length]/[is_empty] are O(1). Filtered
+   removal rebuilds at most one of the lists. Each entry carries the
    creation index of the sending machine (-1 when unknown) so the coverage
    layer can attribute deliveries without changing the event type. *)
 
 type entry = Event.t * int
 
-type t = { mutable front : entry list; mutable back : entry list }
+type t = { mutable front : entry list; mutable back : entry list; mutable len : int }
 
-let create () = { front = []; back = [] }
+let create () = { front = []; back = []; len = 0 }
 
-let push ?(sender = -1) t e = t.back <- (e, sender) :: t.back
+let push ?(sender = -1) t e =
+  t.back <- (e, sender) :: t.back;
+  t.len <- t.len + 1
 
 let normalize t =
   if t.front = [] then begin
@@ -17,9 +20,9 @@ let normalize t =
     t.back <- []
   end
 
-let is_empty t = t.front = [] && t.back = []
+let is_empty t = t.len = 0
 
-let length t = List.length t.front + List.length t.back
+let length t = t.len
 
 let to_list t = List.map fst (t.front @ List.rev t.back)
 
@@ -34,12 +37,15 @@ let pop_entry t pred =
   match remove [] t.front with
   | Some (entry, front') ->
     t.front <- front';
+    t.len <- t.len - 1;
     Some entry
   | None ->
+    (* Search [back] in FIFO order but leave it where it lives: removing
+       from the reversed tail must not pay an O(|front|) append. *)
     (match remove [] (List.rev t.back) with
      | Some (entry, back_in_order) ->
-       t.front <- t.front @ back_in_order;
-       t.back <- [];
+       t.back <- List.rev back_in_order;
+       t.len <- t.len - 1;
        Some entry
      | None -> None)
 
@@ -51,4 +57,5 @@ let exists t pred =
 
 let clear t =
   t.front <- [];
-  t.back <- []
+  t.back <- [];
+  t.len <- 0

@@ -14,6 +14,8 @@ val create : unit -> t
 val push : ?sender:int -> t -> Event.t -> unit
 
 val is_empty : t -> bool
+
+(** O(1): the inbox maintains a count. *)
 val length : t -> int
 
 (** First event satisfying [pred], removed from the inbox. *)

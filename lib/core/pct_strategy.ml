@@ -29,23 +29,25 @@ let make ~seed ~change_points ~max_steps ~iteration : Strategy.t =
       Hashtbl.replace priorities m p;
       p
   in
-  let best enabled =
-    Array.fold_left
-      (fun acc m ->
-        match acc with
-        | None -> Some m
-        | Some b -> if priority_of m > priority_of b then Some m else acc)
-      None enabled
+  let best enabled n =
+    let acc = ref None in
+    for i = 0 to n - 1 do
+      let m = enabled.(i) in
+      match !acc with
+      | None -> acc := Some m
+      | Some b -> if priority_of m > priority_of b then acc := Some m
+    done;
+    !acc
   in
-  let next_schedule ~enabled ~step =
-    match best enabled with
+  let next_schedule ~enabled ~n ~step =
+    match best enabled n with
     | None -> invalid_arg "Pct_strategy: empty enabled set"
     | Some b ->
       if Int_set.mem step change_steps then begin
         (* Demote the machine that would have run; rerun the choice. *)
         decr lowest;
         Hashtbl.replace priorities b !lowest;
-        match best enabled with
+        match best enabled n with
         | Some b' -> b'
         | None -> b
       end

@@ -36,7 +36,11 @@ let float t bound =
 let pick t xs =
   match xs with
   | [] -> invalid_arg "Prng.pick: empty list"
-  | _ -> List.nth xs (int t (List.length xs))
+  | _ ->
+    (* One traversal (to an array) instead of List.length + List.nth; the
+       draw is unchanged (bound = length), so PRNG streams are stable. *)
+    let arr = Array.of_list xs in
+    arr.(int t (Array.length arr))
 
 let pick_array t xs =
   if Array.length xs = 0 then invalid_arg "Prng.pick_array: empty array";

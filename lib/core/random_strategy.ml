@@ -9,7 +9,7 @@ let make ~seed ~iteration : Strategy.t =
   in
   {
     name = "random";
-    next_schedule = (fun ~enabled ~step:_ -> Prng.pick_array rng enabled);
+    next_schedule = (fun ~enabled ~n ~step:_ -> enabled.(Prng.int rng n));
     next_bool = (fun ~step:_ -> Prng.bool rng);
     next_int = (fun ~bound ~step:_ -> Prng.int rng bound);
   }

@@ -14,10 +14,10 @@ let make trace : Strategy.t =
     incr cursor;
     c
   in
-  let next_schedule ~enabled ~step =
+  let next_schedule ~enabled ~n ~step =
     match next ~step "schedule" with
     | Trace.Schedule m ->
-      if Array.exists (fun e -> e = m) enabled then m
+      if Strategy.enabled_mem enabled n m then m
       else
         diverged ~step
           (Printf.sprintf "machine %d from trace is not enabled" m)

@@ -1,8 +1,7 @@
 let make ~iteration : Strategy.t =
   let cursor = ref iteration in
   let ints = ref 0 in
-  let next_schedule ~enabled ~step:_ =
-    let n = Array.length enabled in
+  let next_schedule ~enabled ~n ~step:_ =
     if n = 0 then invalid_arg "Rr_strategy: empty enabled set";
     let m = enabled.(!cursor mod n) in
     incr cursor;

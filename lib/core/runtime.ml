@@ -32,14 +32,26 @@ and machine = {
   mutable state_name : string;
       (* current declared state ("-" for plain machines); feeds the
          receiver-state component of coverage triples *)
+  mutable enabled_cache : bool;
+      (* last computed [machine_enabled], valid while not [dirty]. A
+         waiting machine's enabledness is monotone between status changes
+         (events are only ever added to its inbox until it runs), so the
+         cache stays valid until a send or a status transition marks it
+         dirty — which is what keeps filtered receives ([Waiting (Some
+         pred, _)]) from re-running [Inbox.exists pred] every step. *)
+  mutable dirty : bool;
 }
 
 and t = {
   config : config;
+  log_on : bool;  (* config.collect_log, hoisted for the hot path *)
   strategy : Strategy.t;
   monitors : Monitor.t list;
   mutable machines : machine array;
   mutable n_machines : int;
+  mutable enabled_buf : int array;
+      (* scratch for the enabled prefix passed to the strategy; reused
+         across steps, grown with the machine array *)
   mutable steps : int;
   trace : Trace.Builder.t;
   mutable log_rev : string list;
@@ -61,17 +73,22 @@ exception Halt_exn
 
 type _ Effect.t += Receive_eff : (Event.t -> bool) option -> Event.t Effect.t
 
+(* Zero-cost-when-disabled logging contract: [logf] itself always formats,
+   so every call site is guarded by [rt.log_on] — with logging off the
+   format arguments (Id.to_string, Event.to_string, ...) are never even
+   evaluated, and the hot path pays one boolean load. *)
 let logf (rt : t) fmt =
-  Printf.ksprintf
-    (fun s -> if rt.config.collect_log then rt.log_rev <- s :: rt.log_rev)
-    fmt
+  Printf.ksprintf (fun s -> rt.log_rev <- s :: rt.log_rev) fmt
 
 let set_bug (rt : t) kind =
   if rt.bug = None then begin
     rt.bug <- Some kind;
     rt.bug_step <- rt.steps;
-    logf rt "[%d] BUG: %s" rt.steps (Error.kind_to_string kind)
+    if rt.log_on then
+      logf rt "[%d] BUG: %s" rt.steps (Error.kind_to_string kind)
   end
+
+let mark_dirty m = m.dirty <- true
 
 let add_machine rt ~name body =
   if rt.n_machines = Array.length rt.machines then begin
@@ -80,14 +97,18 @@ let add_machine rt ~name body =
         { id = Id.make ~index:(-1) ~name:"<pad>";
           inbox = Inbox.create ();
           status = Halted;
-          state_name = "-" }
+          state_name = "-";
+          enabled_cache = false;
+          dirty = false }
     in
     Array.blit rt.machines 0 bigger 0 rt.n_machines;
-    rt.machines <- bigger
+    rt.machines <- bigger;
+    rt.enabled_buf <- Array.make (Array.length bigger) 0
   end;
   let id = Id.make ~index:rt.n_machines ~name in
   let m =
-    { id; inbox = Inbox.create (); status = Not_started body; state_name = "-" }
+    { id; inbox = Inbox.create (); status = Not_started body; state_name = "-";
+      enabled_cache = true; dirty = false }
   in
   rt.machines.(rt.n_machines) <- m;
   rt.n_machines <- rt.n_machines + 1;
@@ -109,8 +130,9 @@ let name_of ctx id =
 
 let create ctx ~name body =
   let m = add_machine ctx.rt ~name body in
-  logf ctx.rt "[%d] %s creates %s" ctx.rt.steps (Id.to_string ctx.me.id)
-    (Id.to_string m.id);
+  if ctx.rt.log_on then
+    logf ctx.rt "[%d] %s creates %s" ctx.rt.steps (Id.to_string ctx.me.id)
+      (Id.to_string m.id);
   m.id
 
 let send ctx target e =
@@ -120,12 +142,15 @@ let send ctx target e =
   let m = rt.machines.(Id.index target) in
   (match m.status with
    | Halted ->
-     logf rt "[%d] %s -> %s: %s (dropped: target halted)" rt.steps
-       (Id.to_string ctx.me.id) (Id.to_string target) (Event.to_string e)
+     if rt.log_on then
+       logf rt "[%d] %s -> %s: %s (dropped: target halted)" rt.steps
+         (Id.to_string ctx.me.id) (Id.to_string target) (Event.to_string e)
    | Not_started _ | Waiting _ | Running ->
      Inbox.push ~sender:(Id.index ctx.me.id) m.inbox e;
-     logf rt "[%d] %s -> %s: %s" rt.steps (Id.to_string ctx.me.id)
-       (Id.to_string target) (Event.to_string e))
+     mark_dirty m;
+     if rt.log_on then
+       logf rt "[%d] %s -> %s: %s" rt.steps (Id.to_string ctx.me.id)
+         (Id.to_string target) (Event.to_string e))
 
 let send_unless_pending ?same ctx target e =
   let rt = ctx.rt in
@@ -139,9 +164,11 @@ let send_unless_pending ?same ctx target e =
       let name = Event.name e in
       fun e' -> Event.name e' = name
   in
-  if Inbox.exists m.inbox duplicate then
-    logf rt "[%d] %s -> %s: %s (coalesced)" rt.steps
-      (Id.to_string ctx.me.id) (Id.to_string target) (Event.to_string e)
+  if Inbox.exists m.inbox duplicate then begin
+    if rt.log_on then
+      logf rt "[%d] %s -> %s: %s (coalesced)" rt.steps
+        (Id.to_string ctx.me.id) (Id.to_string target) (Event.to_string e)
+  end
   else send ctx target e
 
 let receive _ctx = Effect.perform (Receive_eff None)
@@ -155,7 +182,8 @@ let nondet ctx =
   (match rt.config.coverage with
    | Some cov -> Coverage.branch_bool cov ~machine:(Id.name ctx.me.id) b
    | None -> ());
-  logf rt "[%d] %s nondet -> %b" rt.steps (Id.to_string ctx.me.id) b;
+  if rt.log_on then
+    logf rt "[%d] %s nondet -> %b" rt.steps (Id.to_string ctx.me.id) b;
   b
 
 let nondet_int ctx bound =
@@ -166,15 +194,20 @@ let nondet_int ctx bound =
   (match rt.config.coverage with
    | Some cov -> Coverage.branch_int cov ~machine:(Id.name ctx.me.id) ~bound i
    | None -> ());
-  logf rt "[%d] %s nondet_int(%d) -> %d" rt.steps (Id.to_string ctx.me.id)
-    bound i;
+  if rt.log_on then
+    logf rt "[%d] %s nondet_int(%d) -> %d" rt.steps (Id.to_string ctx.me.id)
+      bound i;
   i
 
 let choose ctx xs =
   match xs with
   | [] -> invalid_arg "Runtime.choose: empty list"
   | [ x ] -> x
-  | _ -> List.nth xs (nondet_int ctx (List.length xs))
+  | _ ->
+    (* One traversal to an array, O(1) indexing; same [nondet_int] draw
+       (bound = length) as the old List.length/List.nth pair. *)
+    let arr = Array.of_list xs in
+    arr.(nondet_int ctx (Array.length arr))
 
 let halt _ctx = raise Halt_exn
 
@@ -190,13 +223,15 @@ let notify ctx monitor_name e =
   match List.find_opt (fun m -> Monitor.name m = monitor_name) rt.monitors with
   | None -> ()
   | Some mon ->
-    logf rt "[%d] %s notifies monitor %s: %s" rt.steps
-      (Id.to_string ctx.me.id) monitor_name (Event.to_string e);
+    if rt.log_on then
+      logf rt "[%d] %s notifies monitor %s: %s" rt.steps
+        (Id.to_string ctx.me.id) monitor_name (Event.to_string e);
     Monitor.notify mon e;
     update_monitor_temperature rt mon;
-    logf rt "[%d] monitor %s now in state %s%s" rt.steps monitor_name
-      (Monitor.current mon)
-      (if Monitor.is_hot mon then " (hot)" else "")
+    if rt.log_on then
+      logf rt "[%d] monitor %s now in state %s%s" rt.steps monitor_name
+        (Monitor.current mon)
+        (if Monitor.is_hot mon then " (hot)" else "")
 
 let assert_here ctx cond msg =
   if not cond then
@@ -211,7 +246,9 @@ let set_state_name ctx state =
   | Some cov -> Coverage.visit_state cov ~machine:(Id.name ctx.me.id) ~state
   | None -> ()
 
-let log ctx s = logf ctx.rt "[%d] %s: %s" ctx.rt.steps (Id.to_string ctx.me.id) s
+let log ctx s =
+  if ctx.rt.log_on then
+    logf ctx.rt "[%d] %s: %s" ctx.rt.steps (Id.to_string ctx.me.id) s
 
 let step_count ctx = ctx.rt.steps
 
@@ -224,12 +261,24 @@ let machine_enabled m =
   | Waiting (Some pred, _) -> Inbox.exists m.inbox pred
   | Running | Halted -> false
 
-let enabled_indices rt =
-  let acc = ref [] in
-  for i = rt.n_machines - 1 downto 0 do
-    if machine_enabled rt.machines.(i) then acc := i :: !acc
+(* Refresh dirty machines and compact the enabled creation indices
+   (ascending) into [rt.enabled_buf]; returns how many are enabled.
+   Allocation-free: the buffer is reused across steps. *)
+let compute_enabled rt =
+  let buf = rt.enabled_buf in
+  let n = ref 0 in
+  for i = 0 to rt.n_machines - 1 do
+    let m = Array.unsafe_get rt.machines i in
+    if m.dirty then begin
+      m.enabled_cache <- machine_enabled m;
+      m.dirty <- false
+    end;
+    if m.enabled_cache then begin
+      Array.unsafe_set buf !n i;
+      incr n
+    end
   done;
-  Array.of_list !acc
+  !n
 
 (* Run [m] until it blocks, halts, or finishes. The deep handler persists
    across resumptions, so exceptions and returns are funnelled here no
@@ -241,20 +290,26 @@ let start_machine rt m =
       retc =
         (fun () ->
           m.status <- Halted;
+          mark_dirty m;
           Inbox.clear m.inbox;
-          logf rt "[%d] %s finished" rt.steps (Id.to_string m.id));
+          if rt.log_on then
+            logf rt "[%d] %s finished" rt.steps (Id.to_string m.id));
       exnc =
         (fun e ->
           match e with
           | Halt_exn ->
             m.status <- Halted;
+            mark_dirty m;
             Inbox.clear m.inbox;
-            logf rt "[%d] %s halted" rt.steps (Id.to_string m.id)
+            if rt.log_on then
+              logf rt "[%d] %s halted" rt.steps (Id.to_string m.id)
           | Error.Bug kind ->
             m.status <- Halted;
+            mark_dirty m;
             set_bug rt kind
           | e ->
             m.status <- Halted;
+            mark_dirty m;
             set_bug rt
               (Error.Machine_exception
                  {
@@ -267,13 +322,15 @@ let start_machine rt m =
           | Receive_eff pred ->
             Some
               (fun (k : (a, unit) Effect.Deep.continuation) ->
-                m.status <- Waiting (pred, k))
+                m.status <- Waiting (pred, k);
+                mark_dirty m)
           | _ -> None);
     }
   in
   match m.status with
   | Not_started body ->
     m.status <- Running;
+    mark_dirty m;
     Effect.Deep.match_with (fun () -> body ctx) () handler
   | Waiting _ | Running | Halted -> assert false
 
@@ -285,6 +342,7 @@ let resume_machine rt m =
      | None -> assert false (* scheduler only picks enabled machines *)
      | Some (e, sender) ->
        m.status <- Running;
+       mark_dirty m;
        (match rt.config.coverage with
         | Some cov ->
           let sender_name =
@@ -295,8 +353,9 @@ let resume_machine rt m =
           Coverage.deliver cov ~sender:sender_name ~event:(Event.name e)
             ~receiver:(Id.name m.id) ~state:m.state_name
         | None -> ());
-       logf rt "[%d] %s dequeues %s" rt.steps (Id.to_string m.id)
-         (Event.to_string e);
+       if rt.log_on then
+         logf rt "[%d] %s dequeues %s" rt.steps (Id.to_string m.id)
+           (Event.to_string e);
        Effect.Deep.continue k e)
   | Not_started _ -> start_machine rt m
   | Running | Halted -> assert false
@@ -346,10 +405,12 @@ let execute config strategy ~monitors ~name body =
   let rt =
     {
       config;
+      log_on = config.collect_log;
       strategy;
       monitors;
       machines = [||];
       n_machines = 0;
+      enabled_buf = [||];
       steps = 0;
       trace = Trace.Builder.create ();
       log_rev = [];
@@ -362,11 +423,11 @@ let execute config strategy ~monitors ~name body =
     if rt.bug <> None then ()
     else if rt.steps >= config.max_steps then check_end_of_execution rt ~at_bound:true
     else begin
-      let enabled = enabled_indices rt in
-      if Array.length enabled = 0 then check_end_of_execution rt ~at_bound:false
+      let n = compute_enabled rt in
+      if n = 0 then check_end_of_execution rt ~at_bound:false
       else begin
         (match
-           (try Ok (strategy.next_schedule ~enabled ~step:rt.steps)
+           (try Ok (strategy.next_schedule ~enabled:rt.enabled_buf ~n ~step:rt.steps)
             with Error.Bug kind -> Error kind)
          with
          | Error kind -> set_bug rt kind

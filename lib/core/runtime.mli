@@ -21,7 +21,12 @@ type config = {
           (default [max_steps / 2]); on deadlock any hot monitor reports *)
   deadlock_is_bug : bool;
       (** report a bug when no machine is enabled but some still wait *)
-  collect_log : bool;  (** record the human-readable global-order log *)
+  collect_log : bool;
+      (** record the human-readable global-order log. The contract is
+          zero-cost-when-disabled: with [collect_log = false] no log line
+          is formatted — not even the arguments are evaluated — and with
+          it [true] only observation changes, never the schedule explored
+          (pinned by [test/test_golden.ml]) *)
   coverage : Coverage.t option;
       (** when set, the execution records its coverage points — machine
           state visits, delivered event types, [(sender, event,

@@ -13,12 +13,12 @@ let lenient_strategy trace ~seed : Strategy.t =
       Some c
     end
   in
-  let next_schedule ~enabled ~step:_ =
+  let next_schedule ~enabled ~n ~step:_ =
     match next () with
-    | Some (Trace.Schedule m) when Array.exists (fun e -> e = m) enabled -> m
+    | Some (Trace.Schedule m) when Strategy.enabled_mem enabled n m -> m
     | Some _ | None ->
       diverged := true;
-      Prng.pick_array rng enabled
+      enabled.(Prng.int rng n)
   in
   let next_bool ~step:_ =
     match next () with

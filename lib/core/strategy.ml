@@ -1,6 +1,6 @@
 type t = {
   name : string;
-  next_schedule : enabled:int array -> step:int -> int;
+  next_schedule : enabled:int array -> n:int -> step:int -> int;
   next_bool : step:int -> bool;
   next_int : bound:int -> step:int -> int;
 }
@@ -19,3 +19,9 @@ let stateless ?(parallel_safe = true) ?feedback ~name make =
     fresh = (fun ~iteration -> Some (make ~iteration));
     feedback;
   }
+
+(* Helpers over the enabled prefix [enabled.(0 .. n-1)]. *)
+
+let enabled_mem enabled n m =
+  let rec go i = i < n && (Array.unsafe_get enabled i = m || go (i + 1)) in
+  go 0

@@ -7,8 +7,13 @@
 
 type t = {
   name : string;
-  next_schedule : enabled:int array -> step:int -> int;
-      (** pick one element of [enabled] (machine creation indices, sorted) *)
+  next_schedule : enabled:int array -> n:int -> step:int -> int;
+      (** pick one of [enabled.(0 .. n-1)] (machine creation indices,
+          sorted ascending). Only the first [n] slots are meaningful: the
+          array is a scratch buffer the runtime reuses across steps to
+          keep the scheduling hot path allocation-free, so strategies
+          must neither read beyond [n - 1] nor retain the array (copy the
+          prefix if the choice point must be recorded, as DFS does). *)
   next_bool : step:int -> bool;
   next_int : bound:int -> step:int -> int;  (** in [\[0, bound)] *)
 }
@@ -40,3 +45,6 @@ val stateless :
   name:string ->
   (iteration:int -> t) ->
   factory
+
+(** [enabled_mem enabled n m]: is [m] among [enabled.(0 .. n-1)]? *)
+val enabled_mem : int array -> int -> int -> bool

@@ -10,6 +10,7 @@ let of_list = Array.of_list
 let to_list = Array.to_list
 let length = Array.length
 let equal a b = a = b
+let fold = Array.fold_left
 
 let choice_to_string = function
   | Schedule i -> Printf.sprintf "s:%d" i
@@ -70,15 +71,23 @@ let load ~path =
 module Builder = struct
   type trace = t
 
-  type t = { mutable rev : choice list; mutable len : int }
+  (* Growable array rather than a reversed list: one boxed choice per
+     [add] (amortized), no cons cell, and [finish] is a blit instead of a
+     reverse — the builder sits on the every-step hot path. *)
+  type t = { mutable buf : choice array; mutable len : int }
 
-  let create () = { rev = []; len = 0 }
+  let create () = { buf = [||]; len = 0 }
 
   let add t c =
-    t.rev <- c :: t.rev;
+    if t.len = Array.length t.buf then begin
+      let bigger = Array.make (max 64 (2 * t.len)) c in
+      Array.blit t.buf 0 bigger 0 t.len;
+      t.buf <- bigger
+    end;
+    t.buf.(t.len) <- c;
     t.len <- t.len + 1
 
   let length t = t.len
 
-  let finish t : trace = of_list (List.rev t.rev)
+  let finish t : trace = Array.sub t.buf 0 t.len
 end

@@ -19,6 +19,9 @@ val to_list : t -> choice list
 val length : t -> int
 val equal : t -> t -> bool
 
+(** Left fold over the choices in order, without materializing a list. *)
+val fold : ('a -> choice -> 'a) -> 'a -> t -> 'a
+
 (** Line-oriented textual format: ["s:3"], ["b:1"], ["i:42"]. *)
 val to_string : t -> string
 

@@ -53,6 +53,20 @@ let test_interleaved_push_pop () =
   Inbox.push q (n 3);
   Alcotest.(check (list int)) "order across push/pop" [ 2; 3 ] (drain q)
 
+let test_filtered_pop_from_back_segment () =
+  (* Force the removal to land in the not-yet-normalized tail: a first pop
+     normalizes [1;2;3] into the front list, later pushes then live in the
+     reversed back list, and the filtered pop must find 4 there while
+     keeping both order and the O(1) length consistent. *)
+  let q = Inbox.create () in
+  List.iter (fun i -> Inbox.push q (n i)) [ 1; 2; 3 ];
+  ignore (Inbox.pop_first q (fun _ -> true));
+  List.iter (fun i -> Inbox.push q (n i)) [ 4; 5 ];
+  let picked = Inbox.pop_first q (fun e -> to_int e = 4) in
+  Alcotest.(check int) "picked from back" 4 (to_int (Option.get picked));
+  Alcotest.(check int) "length maintained" 3 (Inbox.length q);
+  Alcotest.(check (list int)) "order preserved" [ 2; 3; 5 ] (drain q)
+
 (* Model-based property: Inbox behaves like a functional queue with
    filtered removal. *)
 let prop_model =
@@ -96,5 +110,7 @@ let suite =
     Alcotest.test_case "pop with no match" `Quick test_pop_none;
     Alcotest.test_case "exists / clear" `Quick test_exists_and_clear;
     Alcotest.test_case "interleaved push/pop" `Quick test_interleaved_push_pop;
+    Alcotest.test_case "filtered pop from back segment" `Quick
+      test_filtered_pop_from_back_segment;
     QCheck_alcotest.to_alcotest prop_model;
   ]

@@ -11,6 +11,7 @@ let () =
       ("strategies", Test_strategies.suite);
       ("engine", Test_engine.suite);
       ("parallel", Test_parallel.suite);
+      ("golden", Test_golden.suite);
       ("coverage", Test_coverage.suite);
       ("core-extra", Test_core_extra.suite);
       ("pushpop-delay", Test_pushpop.suite);

@@ -130,7 +130,7 @@ let test_delay_strategy_deterministic () =
   in
   let drive s =
     List.init 50 (fun step ->
-        s.Psharp.Strategy.next_schedule ~enabled:[| 0; 1; 2 |] ~step)
+        s.Psharp.Strategy.next_schedule ~enabled:[| 0; 1; 2 |] ~n:3 ~step)
   in
   Alcotest.(check (list int)) "same iteration, same schedule"
     (drive (get ~iteration:0))
@@ -151,7 +151,7 @@ let test_delay_strategy_run_to_completion () =
   in
   let picks =
     List.init 20 (fun step ->
-        s.Psharp.Strategy.next_schedule ~enabled:[| 0; 1 |] ~step)
+        s.Psharp.Strategy.next_schedule ~enabled:[| 0; 1 |] ~n:2 ~step)
   in
   Alcotest.(check bool) "constant without delays" true
     (List.for_all (fun p -> p = List.hd picks) picks)

@@ -10,7 +10,7 @@ let get_fresh factory ~iteration =
 
 let drive strategy n =
   List.init n (fun step ->
-      strategy.S.next_schedule ~enabled:[| 0; 1; 2 |] ~step)
+      strategy.S.next_schedule ~enabled:[| 0; 1; 2 |] ~n:3 ~step)
 
 let test_random_deterministic_per_seed () =
   let f1 = Psharp.Random_strategy.factory ~seed:5L in
@@ -38,7 +38,7 @@ let test_random_covers_all_machines () =
 let test_random_respects_enabled () =
   let s = get_fresh (Psharp.Random_strategy.factory ~seed:9L) ~iteration:0 in
   for step = 0 to 100 do
-    let pick = s.S.next_schedule ~enabled:[| 4; 7 |] ~step in
+    let pick = s.S.next_schedule ~enabled:[| 4; 7 |] ~n:2 ~step in
     Alcotest.(check bool) "member of enabled" true (pick = 4 || pick = 7)
   done
 
@@ -79,7 +79,7 @@ let test_replay_feeds_back () =
   in
   let s = get_fresh (Psharp.Replay_strategy.factory trace) ~iteration:0 in
   Alcotest.(check int) "schedule" 2
-    (s.S.next_schedule ~enabled:[| 0; 1; 2 |] ~step:0);
+    (s.S.next_schedule ~enabled:[| 0; 1; 2 |] ~n:3 ~step:0);
   Alcotest.(check bool) "bool" true (s.S.next_bool ~step:1);
   Alcotest.(check int) "int" 5 (s.S.next_int ~bound:10 ~step:2)
 
@@ -95,7 +95,7 @@ let test_replay_divergence_raises () =
   let s = get_fresh (Psharp.Replay_strategy.factory trace) ~iteration:0 in
   Alcotest.(check bool) "divergence raises Bug" true
     (try
-       ignore (s.S.next_schedule ~enabled:[| 0; 1 |] ~step:0);
+       ignore (s.S.next_schedule ~enabled:[| 0; 1 |] ~n:2 ~step:0);
        false
      with Psharp.Error.Bug (Psharp.Error.Replay_divergence _) -> true)
 
@@ -126,8 +126,8 @@ let test_dfs_enumerates_schedules () =
     match f.S.fresh ~iteration with
     | None -> ()
     | Some s ->
-      let a = s.S.next_schedule ~enabled:[| 0; 1 |] ~step:0 in
-      let b = s.S.next_schedule ~enabled:[| 0; 1 |] ~step:1 in
+      let a = s.S.next_schedule ~enabled:[| 0; 1 |] ~n:2 ~step:0 in
+      let b = s.S.next_schedule ~enabled:[| 0; 1 |] ~n:2 ~step:1 in
       outcomes := (a, b) :: !outcomes;
       go (iteration + 1)
   in
