@@ -637,7 +637,8 @@ type throughput_point = {
   p_elapsed : float;
 }
 
-let measure_throughput ~budget ~collect_log ~coverage case =
+let measure_throughput ?(faults = Psharp.Fault.none) ~budget ~collect_log
+    ~coverage case =
   let factory = Psharp.Random_strategy.factory ~seed:base_seed in
   let acc = if coverage then Some (Coverage.create ()) else None in
   let total_steps = ref 0 in
@@ -654,6 +655,8 @@ let measure_throughput ~budget ~collect_log ~coverage case =
           deadlock_is_bug = true;
           collect_log;
           coverage = exec_cov;
+          faults;
+          deadline = None;
         }
       in
       let result =
@@ -753,6 +756,111 @@ let exec_throughput ~budget () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Fault-injection overhead                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The substrate's contract is that a disabled spec costs nothing: every
+   [send_faulty] degenerates to a plain [send] with zero strategy draws
+   (the golden-digest tests pin the schedules bit-for-bit), so throughput
+   with [Fault.none] must match the pre-substrate baseline. This section
+   quantifies that, plus the price actually paid when faults are armed. *)
+let fault_overhead ~budget () =
+  Printf.printf
+    "== Fault-injection overhead: random strategy, %d executions per spec \
+     (seed %Ld) ==\n"
+    budget base_seed;
+  let specs =
+    [
+      ("disabled", Psharp.Fault.none);
+      ( "msg-faults(b=2)",
+        Psharp.Fault.make ~budget:2
+          [ Psharp.Fault.Drop; Psharp.Fault.Duplicate; Psharp.Fault.Delay ] );
+      ( "all-faults(b=2)",
+        Psharp.Fault.make ~budget:2
+          [
+            Psharp.Fault.Drop; Psharp.Fault.Duplicate; Psharp.Fault.Delay;
+            Psharp.Fault.Crash;
+          ] );
+    ]
+  in
+  let rows =
+    List.map
+      (fun case ->
+        let points =
+          List.map
+            (fun (label, faults) ->
+              let p =
+                measure_throughput ~faults ~budget ~collect_log:false
+                  ~coverage:false case
+              in
+              (label, p))
+            specs
+        in
+        (case, points))
+      (throughput_cases ())
+  in
+  Printf.printf "%-11s %-16s %12s %14s %14s %12s\n" "harness" "faults"
+    "executions" "execs/sec" "steps/sec" "vs disabled";
+  print_endline (String.make 84 '-');
+  List.iter
+    (fun (case, points) ->
+      let base_eps =
+        match points with
+        | (_, p) :: _ when p.p_elapsed > 0. ->
+          float_of_int p.p_executions /. p.p_elapsed
+        | _ -> 0.
+      in
+      List.iter
+        (fun (label, p) ->
+          let eps =
+            if p.p_elapsed > 0. then float_of_int p.p_executions /. p.p_elapsed
+            else 0.
+          and sps =
+            if p.p_elapsed > 0. then float_of_int p.p_steps /. p.p_elapsed
+            else 0.
+          in
+          let rel =
+            if base_eps > 0. then
+              Printf.sprintf "%.1f%%" (100. *. eps /. base_eps)
+            else "-"
+          in
+          Printf.printf "%-11s %-16s %12d %14.1f %14.0f %12s\n" case.tname
+            label p.p_executions eps sps rel)
+        points)
+    rows;
+  let oc = open_out "BENCH_fault.json" in
+  output_string oc "{\n";
+  Printf.fprintf oc "  \"seed\": %Ld,\n" base_seed;
+  Printf.fprintf oc "  \"budget\": %d,\n" budget;
+  output_string oc "  \"harnesses\": [\n";
+  List.iteri
+    (fun i (case, points) ->
+      Printf.fprintf oc "    {\"name\": %S, \"specs\": [\n" case.tname;
+      List.iteri
+        (fun j (label, p) ->
+          let eps =
+            if p.p_elapsed > 0. then float_of_int p.p_executions /. p.p_elapsed
+            else 0.
+          and sps =
+            if p.p_elapsed > 0. then float_of_int p.p_steps /. p.p_elapsed
+            else 0.
+          in
+          Printf.fprintf oc
+            "      {\"faults\": %S, \"executions\": %d, \"total_steps\": %d, \
+             \"elapsed_s\": %.4f, \"execs_per_sec\": %.1f, \
+             \"steps_per_sec\": %.0f}%s\n"
+            label p.p_executions p.p_steps p.p_elapsed eps sps
+            (if j = List.length points - 1 then "" else ","))
+        points;
+      Printf.fprintf oc "    ]}%s\n"
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  print_endline "wrote BENCH_fault.json";
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Golden determinism digests                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -796,6 +904,8 @@ let golden_digests () =
             deadlock_is_bug = true;
             collect_log = false;
             coverage = None;
+            faults = Psharp.Fault.none;
+            deadline = None;
           }
         in
         let result =
@@ -809,6 +919,35 @@ let golden_digests () =
         "  %-11s sequential %s  workers2 %s  trace-md5 %s\n" case.tname
         (explore 1) (explore 2) trace_md5)
     (throughput_cases ());
+  print_newline ();
+  (* Fault-enabled hunts: the winning witness (lowest reporting iteration)
+     must carry byte-identical choice traces at every worker count. *)
+  print_endline "== Fault-hunt witness digests (seed 1, 50 executions) ==";
+  List.iter
+    (fun name ->
+      let entry = Catalog.Bug_catalog.find name in
+      let hunt workers =
+        let cfg =
+          {
+            E.default_config with
+            seed = base_seed;
+            max_executions = 50;
+            max_steps = entry.Catalog.Bug_catalog.max_steps;
+            workers;
+            faults = entry.Catalog.Bug_catalog.faults;
+          }
+        in
+        match
+          E.run ~monitors:entry.Catalog.Bug_catalog.monitors cfg
+            entry.Catalog.Bug_catalog.harness
+        with
+        | E.Bug_found (report, _) ->
+          Digest.to_hex
+            (Digest.string (Psharp.Trace.to_string report.Error.trace))
+        | E.No_bug _ -> "no-bug"
+      in
+      Printf.printf "  %-34s workers1 %s  workers2 %s\n" name (hunt 1) (hunt 2))
+    [ "ExtentNodeCrashLosesBinding"; "ChaintableDuplicateBackendRequest" ];
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
@@ -895,7 +1034,8 @@ let () =
     | [] ->
       [
         "table1"; "table2"; "vnext-fix"; "ablation"; "samples";
-        "parallel-scaling"; "coverage-growth"; "exec-throughput"; "micro";
+        "parallel-scaling"; "coverage-growth"; "exec-throughput";
+        "fault-overhead"; "micro";
       ]
     | picked -> picked
   in
@@ -919,6 +1059,7 @@ let () =
       | "parallel-scaling" -> parallel_scaling ~budget:scaling_budget ()
       | "coverage-growth" -> coverage_growth ~budgets:coverage_budgets ()
       | "exec-throughput" -> exec_throughput ~budget:throughput_budget ()
+      | "fault-overhead" -> fault_overhead ~budget:throughput_budget ()
       | "golden-digests" -> golden_digests ()
       | "micro" -> micro ()
       | other -> Printf.printf "unknown section %s\n" other)

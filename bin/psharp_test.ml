@@ -5,10 +5,14 @@
                         [--executions N] [--steps N] [--custom]
                         [--trace-out FILE] [--log] [--workers N]
                         [--coverage-report FILE] [--plateau N]
+                        [--faults drop,dup,delay,crash] [--fault-budget N]
    psharp_test replay BUG --trace FILE [--custom]
    psharp_test survey BUG [--executions N]     (all distinct violations)
    psharp_test check BUG [--executions N] [--coverage-report FILE]
-                         [--plateau N]         (fixed variant, expect clean) *)
+                         [--plateau N] [--faults ...] [--fault-budget N]
+                                               (fixed variant, expect clean)
+   psharp_test explore BUG [--executions N] [--faults ...] [...]
+                                               (coverage, no bug expectation) *)
 
 module E = Psharp.Engine
 module Error = Psharp.Error
@@ -100,6 +104,31 @@ let plateau_arg =
   in
   Arg.(value & opt (some int) None & info [ "plateau" ] ~docv:"N" ~doc)
 
+let faults_arg =
+  let doc =
+    "Comma-separated fault kinds to inject (drop, dup, delay, crash), \
+     e.g. --faults drop,crash. Defaults to the bug's own fault spec, so \
+     fault-only catalog bugs hunt correctly with no flags; pass --faults \
+     none to disable even those."
+  in
+  Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"KINDS" ~doc)
+
+let fault_budget_arg =
+  let doc = "Maximum faults injected per execution (with --faults)." in
+  Arg.(value & opt int 1 & info [ "fault-budget" ] ~docv:"N" ~doc)
+
+(* The bug's own spec is the default, so `hunt ExtentNodeCrashLosesBinding`
+   injects crashes out of the box; an explicit --faults overrides it. *)
+let fault_spec_of entry ~faults ~fault_budget =
+  match faults with
+  | None -> Ok entry.Bug_catalog.faults
+  | Some "none" -> Ok Psharp.Fault.none
+  | Some kinds -> begin
+    match Psharp.Fault.parse kinds with
+    | Ok spec -> Ok { spec with Psharp.Fault.budget = fault_budget }
+    | Error _ as e -> e
+  end
+
 let parse_strategy = function
   | "random" -> Ok E.Random
   | "pct" -> Ok (E.Pct { change_points = 2 })
@@ -109,8 +138,9 @@ let parse_strategy = function
   | "fuzz" -> Ok (E.Fuzz { corpus_cap = 32 })
   | other -> Error (Printf.sprintf "unknown strategy %s" other)
 
-let config_of ?(workers = 1) ?(coverage = false) ?plateau entry ~strategy ~seed
-    ~executions ~steps ~log =
+let config_of ?(workers = 1) ?(coverage = false) ?plateau
+    ?(faults = Psharp.Fault.none) entry ~strategy ~seed ~executions ~steps
+    ~log =
   {
     E.default_config with
     strategy;
@@ -121,6 +151,7 @@ let config_of ?(workers = 1) ?(coverage = false) ?plateau entry ~strategy ~seed
     workers;
     collect_coverage = coverage;
     coverage_plateau = plateau;
+    faults;
   }
 
 let harness_of entry ~custom =
@@ -167,7 +198,7 @@ let emit_coverage_report ~path (stats : E.stats) =
     Format.printf "coverage report written to %s@." path
 
 let hunt bug strategy seed executions steps custom trace_out log shrink
-    workers coverage_report plateau =
+    workers coverage_report plateau faults fault_budget =
   match parse_strategy strategy with
   | Error msg ->
     prerr_endline msg;
@@ -178,15 +209,19 @@ let hunt bug strategy seed executions steps custom trace_out log shrink
       prerr_endline msg;
       2
     | entry -> begin
-      match harness_of entry ~custom with
+      match
+        Result.bind (fault_spec_of entry ~faults ~fault_budget) (fun spec ->
+            Result.map (fun h -> (spec, h)) (harness_of entry ~custom))
+      with
       | Error msg ->
         prerr_endline msg;
         2
-      | Ok harness -> begin
+      | Ok (fault_spec, harness) -> begin
         let config =
           config_of ~workers
             ~coverage:(coverage_report <> None)
-            ?plateau entry ~strategy ~seed ~executions ~steps ~log
+            ?plateau ~faults:fault_spec entry ~strategy ~seed ~executions
+            ~steps ~log
         in
         let finish_coverage stats =
           match coverage_report with
@@ -222,10 +257,11 @@ let hunt bug strategy seed executions steps custom trace_out log shrink
           finish_coverage stats;
           0
         | E.No_bug stats ->
-          Format.printf "no bug found in %d execution(s) (%.2fs%s%s)@."
+          Format.printf "no bug found in %d execution(s) (%.2fs%s%s%s)@."
             stats.E.executions stats.E.elapsed
             (if stats.E.search_exhausted then ", search exhausted" else "")
-            (if stats.E.plateaued then ", coverage plateau" else "");
+            (if stats.E.plateaued then ", coverage plateau" else "")
+            (if stats.E.timed_out then ", stopped at the time budget" else "");
           if stats.E.elapsed > 0. then
             Format.printf "throughput: %.0f executions/sec, %.0f steps/sec@."
               (float_of_int stats.E.executions /. stats.E.elapsed)
@@ -242,7 +278,8 @@ let hunt_cmd =
     Term.(
       const hunt $ bug_arg $ strategy_arg $ seed_arg $ executions_arg
       $ steps_arg $ custom_arg $ trace_out_arg $ log_arg $ shrink_arg
-      $ workers_arg $ coverage_report_arg $ plateau_arg)
+      $ workers_arg $ coverage_report_arg $ plateau_arg $ faults_arg
+      $ fault_budget_arg)
 
 (* --- replay ------------------------------------------------------------- *)
 
@@ -258,9 +295,11 @@ let replay bug trace_file custom log =
       2
     | Ok harness ->
       let trace = Psharp.Trace.load ~path:trace_file in
+      (* The bug's own fault spec: a fault-found trace replays its recorded
+         injection draws only under the spec that produced them. *)
       let config =
-        config_of entry ~strategy:E.Random ~seed:0L ~executions:1 ~steps:0
-          ~log:true
+        config_of ~faults:entry.Bug_catalog.faults entry ~strategy:E.Random
+          ~seed:0L ~executions:1 ~steps:0 ~log:true
       in
       let result =
         E.replay ~monitors:entry.Bug_catalog.monitors config trace harness
@@ -286,7 +325,7 @@ let replay_cmd =
 
 (* --- survey --------------------------------------------------------------- *)
 
-let survey bug strategy seed executions custom workers =
+let survey bug strategy seed executions custom workers faults fault_budget =
   match parse_strategy strategy with
   | Error msg ->
     prerr_endline msg;
@@ -297,14 +336,17 @@ let survey bug strategy seed executions custom workers =
       prerr_endline msg;
       2
     | entry -> begin
-      match harness_of entry ~custom with
+      match
+        Result.bind (fault_spec_of entry ~faults ~fault_budget) (fun spec ->
+            Result.map (fun h -> (spec, h)) (harness_of entry ~custom))
+      with
       | Error msg ->
         prerr_endline msg;
         2
-      | Ok harness ->
+      | Ok (fault_spec, harness) ->
         let config =
-          config_of ~workers entry ~strategy ~seed ~executions ~steps:0
-            ~log:false
+          config_of ~workers ~faults:fault_spec entry ~strategy ~seed
+            ~executions ~steps:0 ~log:false
         in
         let found =
           E.survey ~monitors:entry.Bug_catalog.monitors config harness
@@ -335,20 +377,26 @@ let survey_cmd =
           violation with its frequency.")
     Term.(
       const survey $ bug_arg $ strategy_arg $ seed_arg $ executions_arg
-      $ custom_arg $ workers_arg)
+      $ custom_arg $ workers_arg $ faults_arg $ fault_budget_arg)
 
 (* --- check (fixed variant) ---------------------------------------------- *)
 
-let check bug seed executions coverage_report plateau =
+let check bug seed executions coverage_report plateau faults fault_budget =
   match Bug_catalog.find bug with
   | exception Invalid_argument msg ->
     prerr_endline msg;
     2
   | entry -> begin
+    match fault_spec_of entry ~faults ~fault_budget with
+    | Error msg ->
+      prerr_endline msg;
+      2
+    | Ok fault_spec -> begin
     let config =
       config_of
         ~coverage:(coverage_report <> None)
-        ?plateau entry ~strategy:E.Random ~seed ~executions ~steps:0 ~log:false
+        ?plateau ~faults:fault_spec entry ~strategy:E.Random ~seed ~executions
+        ~steps:0 ~log:false
     in
     let finish_coverage stats =
       match coverage_report with
@@ -370,6 +418,7 @@ let check bug seed executions coverage_report plateau =
         stats.E.executions Error.pp_report report;
       finish_coverage stats;
       1
+    end
   end
 
 let check_cmd =
@@ -378,7 +427,65 @@ let check_cmd =
        ~doc:"Run the bug's fixed variant and expect no violations.")
     Term.(
       const check $ bug_arg $ seed_arg $ executions_arg $ coverage_report_arg
-      $ plateau_arg)
+      $ plateau_arg $ faults_arg $ fault_budget_arg)
+
+(* --- explore (coverage, no bug expectation) ----------------------------- *)
+
+let explore bug strategy seed executions steps custom workers coverage_report
+    plateau faults fault_budget =
+  match parse_strategy strategy with
+  | Error msg ->
+    prerr_endline msg;
+    2
+  | Ok strategy -> begin
+    match Bug_catalog.find bug with
+    | exception Invalid_argument msg ->
+      prerr_endline msg;
+      2
+    | entry -> begin
+      match
+        Result.bind (fault_spec_of entry ~faults ~fault_budget) (fun spec ->
+            Result.map (fun h -> (spec, h)) (harness_of entry ~custom))
+      with
+      | Error msg ->
+        prerr_endline msg;
+        2
+      | Ok (fault_spec, harness) ->
+        let config =
+          config_of ~workers ~coverage:true ?plateau ~faults:fault_spec entry
+            ~strategy ~seed ~executions ~steps ~log:false
+        in
+        let stats = E.explore ~monitors:entry.Bug_catalog.monitors config harness in
+        (match stats.E.coverage with
+         | Some cov ->
+           Format.printf "%a@." Psharp.Coverage.pp_table cov;
+           (match coverage_report with
+            | Some path ->
+              let oc = open_out path in
+              Fun.protect
+                ~finally:(fun () -> close_out oc)
+                (fun () -> output_string oc (Psharp.Coverage.to_json cov));
+              Format.printf "coverage report written to %s@." path
+            | None -> ())
+         | None -> ());
+        Format.printf "explored %d execution(s) in %.2fs (%d total steps%s%s)@."
+          stats.E.executions stats.E.elapsed stats.E.total_steps
+          (if stats.E.plateaued then ", coverage plateau" else "")
+          (if stats.E.timed_out then ", stopped at the time budget" else "");
+        0
+    end
+  end
+
+let explore_cmd =
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Run the whole execution budget with coverage on, without \
+          stopping at bugs, and report the coverage reached.")
+    Term.(
+      const explore $ bug_arg $ strategy_arg $ seed_arg $ executions_arg
+      $ steps_arg $ custom_arg $ workers_arg $ coverage_report_arg
+      $ plateau_arg $ faults_arg $ fault_budget_arg)
 
 let () =
   let info =
@@ -387,4 +494,7 @@ let () =
         "Systematic concurrency testing of the distributed storage case \
          studies (FAST 2016 reproduction)."
   in
-  exit (Cmd.eval' (Cmd.group info [ list_cmd; hunt_cmd; replay_cmd; survey_cmd; check_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ list_cmd; hunt_cmd; replay_cmd; survey_cmd; check_cmd; explore_cmd ]))

@@ -23,6 +23,9 @@ type entry = {
   fixed_harness : Psharp.Runtime.ctx -> unit;
   monitors : unit -> Psharp.Monitor.t list;
   max_steps : int;
+  faults : Psharp.Fault.spec;
+      (* faults the hunt must inject for the bug to be reachable;
+         Fault.none for every schedule-only bug *)
 }
 
 let no_monitors () = []
@@ -43,6 +46,7 @@ let vnext_entry =
         ~scenario:Vnext.Testing_driver.Fail_and_repair ();
     monitors = (fun () -> Vnext.Testing_driver.monitors ());
     max_steps = 3_000;
+    faults = Psharp.Fault.none;
   }
 
 let migrating_table_entry name =
@@ -60,6 +64,7 @@ let migrating_table_entry name =
     fixed_harness = Chaintable.Harness.test ();
     monitors = no_monitors;
     max_steps = 4_000;
+    faults = Psharp.Fault.none;
   }
 
 let fabric_promotion_entry =
@@ -74,6 +79,7 @@ let fabric_promotion_entry =
     fixed_harness = Fabric.Harness.test ();
     monitors = (fun () -> Fabric.Harness.monitors ());
     max_steps = 3_000;
+    faults = Psharp.Fault.none;
   }
 
 let cscale_entry =
@@ -88,6 +94,7 @@ let cscale_entry =
     fixed_harness = Fabric.Chained.test ();
     monitors = no_monitors;
     max_steps = 2_000;
+    faults = Psharp.Fault.none;
   }
 
 let example_entry name bugs kind =
@@ -102,6 +109,61 @@ let example_entry name bugs kind =
     fixed_harness = Replication.Harness.test ~bugs:Replication.Bug_flags.none ();
     monitors = (fun () -> Replication.Harness.monitors ());
     max_steps = 2_000;
+    faults = Psharp.Fault.none;
+  }
+
+(* --- fault-only bugs (PR 4): reachable only when the engine injects
+   faults, so each entry carries the spec the hunt must run with. --- *)
+
+let vnext_crash_entry =
+  {
+    name = "ExtentNodeCrashLosesBinding";
+    case_study = Cs_vnext;
+    in_table2 = false;
+    needs_custom_case = false;
+    kind = `Liveness;
+    harness =
+      Vnext.Testing_driver.test ~bugs:Vnext.Bug_flags.crash_bug
+        ~scenario:Vnext.Testing_driver.Fail_and_repair ();
+    custom_harness = None;
+    fixed_harness =
+      Vnext.Testing_driver.test ~bugs:Vnext.Bug_flags.none
+        ~scenario:Vnext.Testing_driver.Fail_and_repair ();
+    monitors = (fun () -> Vnext.Testing_driver.monitors ());
+    max_steps = 3_000;
+    faults = Psharp.Fault.make [ Psharp.Fault.Crash ];
+  }
+
+let chaintable_dup_entry =
+  {
+    name = "ChaintableDuplicateBackendRequest";
+    case_study = Cs_migrating_table;
+    in_table2 = false;
+    needs_custom_case = false;
+    kind = `Safety;
+    harness = Chaintable.Harness.test ~bugs:Chaintable.Bug_flags.dup_bug ();
+    custom_harness = None;
+    fixed_harness = Chaintable.Harness.test ();
+    monitors = no_monitors;
+    max_steps = 4_000;
+    (* duplicate only: the backend RPC is a blocking round trip, so a
+       dropped request would read as a deadlock rather than this bug *)
+    faults = Psharp.Fault.make [ Psharp.Fault.Duplicate ];
+  }
+
+let fabric_crash_entry =
+  {
+    name = "FabricCrashSilentRestart";
+    case_study = Cs_fabric;
+    in_table2 = false;
+    needs_custom_case = false;
+    kind = `Liveness;
+    harness = Fabric.Harness.test ~bugs:Fabric.Bug_flags.restart_bug ();
+    custom_harness = None;
+    fixed_harness = Fabric.Harness.test ();
+    monitors = (fun () -> Fabric.Harness.monitors ());
+    max_steps = 3_000;
+    faults = Psharp.Fault.make [ Psharp.Fault.Crash ];
   }
 
 let sample_entry name ~harness ~fixed_harness ~monitors ~max_steps =
@@ -116,6 +178,7 @@ let sample_entry name ~harness ~fixed_harness ~monitors ~max_steps =
     fixed_harness;
     monitors;
     max_steps;
+    faults = Psharp.Fault.none;
   }
 
 let all =
@@ -124,6 +187,9 @@ let all =
   @ [
       fabric_promotion_entry;
       cscale_entry;
+      vnext_crash_entry;
+      chaintable_dup_entry;
+      fabric_crash_entry;
       example_entry "ExampleDuplicateReplicaAck" Replication.Bug_flags.bug1
         `Safety;
       example_entry "ExampleCounterNotReset" Replication.Bug_flags.bug2

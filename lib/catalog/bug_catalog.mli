@@ -28,6 +28,10 @@ type entry = {
       (** same harness with the bug fixed (for no-false-positive runs) *)
   monitors : unit -> Psharp.Monitor.t list;
   max_steps : int;  (** liveness bound suited to this harness *)
+  faults : Psharp.Fault.spec;
+      (** faults the hunt must inject for the bug to be reachable
+          ({!Psharp.Fault.none} for every schedule-only bug). The runner
+          uses this spec unless the user overrides it with [--faults]. *)
 }
 
 (** All catalog entries, Table 2 rows first, in the paper's order. *)

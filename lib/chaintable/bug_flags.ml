@@ -10,6 +10,7 @@ type t = {
   migrate_skip_prefer_old : bool;
   migrate_skip_use_new_with_tombstones : bool;
   insert_behind_migrator : bool;
+  backend_no_dedup : bool;
 }
 
 let none =
@@ -25,7 +26,12 @@ let none =
     migrate_skip_prefer_old = false;
     migrate_skip_use_new_with_tombstones = false;
     insert_behind_migrator = false;
+    backend_no_dedup = false;
   }
+
+(* Not part of Table 2 (hence absent from [names]): only observable when
+   the engine injects message faults. *)
+let dup_bug = { none with backend_no_dedup = true }
 
 let names =
   [

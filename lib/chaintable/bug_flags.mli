@@ -38,9 +38,19 @@ type t = {
   insert_behind_migrator : bool;
       (** ⊙ during PREFER_OLD, inserts go directly to the old table; a row
           inserted behind the migrator's copy cursor is never copied *)
+  backend_no_dedup : bool;
+      (** ChaintableDuplicateBackendRequest (not in Table 2, absent from
+          [names]): the Tables machine skips the per-client sequence-number
+          dedup, so a backend request duplicated by the fault substrate
+          executes twice and a linearized call trips the
+          double-linearization assert. Only findable with [dup] message
+          faults enabled. *)
 }
 
 val none : t
+
+(** [none] with [backend_no_dedup] armed. *)
+val dup_bug : t
 
 (** [with_bug name] returns [none] with the named flag set.
     @raise Invalid_argument on an unknown name. *)

@@ -8,11 +8,13 @@ type call =
 type Psharp.Event.t +=
   | Backend_request of {
       reply_to : Psharp.Id.t;
+      seq : int;  (** per-client sequence number, lets the server dedup *)
       table : Backend.table;
       call : call;
       lin : Backend.lin option;
     }
   | Backend_response of {
+      seq : int;  (** echoes the request's sequence number *)
       result : Backend.call_result;
       rt_outcome : Table_types.outcome option;
       at : int;
@@ -56,7 +58,7 @@ let printer = function
       (Printf.sprintf "BackendRequest(%s, %s)"
          (Backend.table_to_string table)
          (call_to_string call))
-  | Backend_response { result; rt_outcome; at } ->
+  | Backend_response { result; rt_outcome; at; _ } ->
     let result_str =
       match result with
       | Backend.Exec_result (Ok _) -> "ok"

@@ -13,11 +13,16 @@ type call =
 type Psharp.Event.t +=
   | Backend_request of {
       reply_to : Psharp.Id.t;
+      seq : int;
+          (** per-client sequence number; the Tables machine discards a
+              request it has already handled (a duplicate injected by the
+              fault substrate) *)
       table : Backend.table;
       call : call;
       lin : Backend.lin option;
     }
   | Backend_response of {
+      seq : int;  (** echoes the request's sequence number *)
       result : Backend.call_result;
       rt_outcome : Table_types.outcome option;
           (** present when this call was the linearization point *)

@@ -7,7 +7,7 @@ let test ?(bugs = Bug_flags.none)
   Psharp.Registry.register_machine ~machine:"MigrationHarness"
     ~kind:Psharp.Registry.Machine ~states:1 ~handlers:1;
   let tables =
-    R.create ctx ~name:"Tables" (Tables_machine.machine ~initial_rows)
+    R.create ctx ~name:"Tables" (Tables_machine.machine ~bugs ~initial_rows)
   in
   let root = R.self ctx in
   List.iteri

@@ -5,9 +5,11 @@ type stash = {
   mutable next_pending : Linearize.pending option;
   mutable rt_outcome : Table_types.outcome option;
   mutable last_at : int;
+  mutable next_seq : int;
 }
 
-let create_stash () = { next_pending = None; rt_outcome = None; last_at = 0 }
+let create_stash () =
+  { next_pending = None; rt_outcome = None; last_at = 0; next_seq = 0 }
 
 let take_rt_outcome stash =
   let o = stash.rt_outcome in
@@ -15,15 +17,22 @@ let take_rt_outcome stash =
   o
 
 let ops ctx ~tables ~stash : B.ops =
+  (* The backend RPC hop goes through [send_faulty]: with message faults
+     armed the request can be duplicated or delayed in flight (a plain send
+     otherwise). The sequence number lets the Tables machine discard a
+     duplicate, and the reply filter ignores any response that is not for
+     the outstanding call. *)
   let request table call lin =
-    R.send ctx tables
-      (Events.Backend_request { reply_to = R.self ctx; table; call; lin });
+    let seq = stash.next_seq in
+    stash.next_seq <- seq + 1;
+    R.send_faulty ctx tables
+      (Events.Backend_request { reply_to = R.self ctx; seq; table; call; lin });
     match
       R.receive_where ctx (function
-        | Events.Backend_response _ -> true
+        | Events.Backend_response { seq = s; _ } -> s = seq
         | _ -> false)
     with
-    | Events.Backend_response { result; rt_outcome; at } ->
+    | Events.Backend_response { result; rt_outcome; at; _ } ->
       stash.last_at <- at;
       (match rt_outcome with
        | Some o -> stash.rt_outcome <- Some o

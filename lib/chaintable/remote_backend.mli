@@ -11,6 +11,9 @@ type stash = {
   mutable rt_outcome : Table_types.outcome option;
       (** captured when a linearization fires *)
   mutable last_at : int;  (** Tables clock of the last response *)
+  mutable next_seq : int;
+      (** sequence number for the next backend request; the Tables machine
+          uses it to discard duplicates injected by the fault substrate *)
 }
 
 val create_stash : unit -> stash

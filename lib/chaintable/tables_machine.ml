@@ -12,6 +12,9 @@ type model = {
   pending : (int, Linearize.pending) Hashtbl.t;
   mutable queued_advance : (Psharp.Id.t * Phase.t) option;
   mutable deferred_begins : (Psharp.Id.t * Linearize.pending option) list;
+  (* highest backend-request sequence number handled per client, so a
+     request duplicated by the fault substrate is executed exactly once *)
+  last_seq : (int, int) Hashtbl.t;
 }
 
 let table_of m = function
@@ -29,7 +32,7 @@ let run_call m table call =
   | Events.C_peek_after (after, filter) ->
     B.Row_result (Reference_table.peek_after table after filter)
 
-let handle_backend_request ctx m ~reply_to ~table ~call ~lin =
+let handle_backend_request ctx m ~reply_to ~seq ~table ~call ~lin =
   m.vclock <- m.vclock + 1;
   let result = run_call m (table_of m table) call in
   let rt_outcome =
@@ -55,7 +58,7 @@ let handle_backend_request ctx m ~reply_to ~table ~call ~lin =
     | Some _ | None -> None
   in
   R.send ctx reply_to
-    (Events.Backend_response { result; rt_outcome; at = m.vclock })
+    (Events.Backend_response { seq; result; rt_outcome; at = m.vclock })
 
 let register_begin ctx m (requester, pending) =
   m.in_flight <- (requester, m.phase) :: m.in_flight;
@@ -120,7 +123,7 @@ let handle_validate ctx m ~reply_to ~started_at ~finished_at ~filter ~emissions 
   in
   R.send ctx reply_to (Events.Validate_reply { verdict })
 
-let machine ~initial_rows ctx =
+let machine ?(bugs = Bug_flags.none) ~initial_rows ctx =
   Events.install_printer ();
   Psharp.Registry.register_machine ~machine:"Tables"
     ~kind:Psharp.Registry.Machine ~states:1 ~handlers:7;
@@ -135,6 +138,7 @@ let machine ~initial_rows ctx =
       pending = Hashtbl.create 8;
       queued_advance = None;
       deferred_begins = [];
+      last_seq = Hashtbl.create 8;
     }
   in
   List.iter
@@ -148,8 +152,25 @@ let machine ~initial_rows ctx =
     initial_rows;
   let rec loop () =
     (match R.receive ctx with
-     | Events.Backend_request { reply_to; table; call; lin } ->
-       handle_backend_request ctx m ~reply_to ~table ~call ~lin
+     | Events.Backend_request { reply_to; seq; table; call; lin } ->
+       let duplicate =
+         (not bugs.Bug_flags.backend_no_dedup)
+         &&
+         match Hashtbl.find_opt m.last_seq (Psharp.Id.index reply_to) with
+         | Some s -> seq <= s
+         | None -> false
+       in
+       if duplicate then
+         (* ChaintableDuplicateBackendRequest: without this dedup a request
+            duplicated in flight executes twice — the second run of a
+            linearized call finds no pending logical operation and trips
+            the double-linearization assert. *)
+         R.log ctx
+           (Printf.sprintf "discarded duplicate backend request seq=%d" seq)
+       else begin
+         Hashtbl.replace m.last_seq (Psharp.Id.index reply_to) seq;
+         handle_backend_request ctx m ~reply_to ~seq ~table ~call ~lin
+       end
      | Events.Begin_op { reply_to; pending } ->
        handle_begin ctx m ~reply_to ~pending
      | Events.End_op { service } -> handle_end ctx m ~service

@@ -12,12 +12,16 @@
       drain) until incompatible operations complete;
     - validate completed streamed reads against the reference table's
       version history ({!Spec_check});
+    - discard backend requests whose per-client sequence number was
+      already handled — duplicates injected by the fault substrate —
+      unless [bugs.backend_no_dedup] re-introduces the double execution;
     - halt on [Tables_shutdown]. *)
 
 (** [machine ~initial_rows ctx] runs the Tables machine. [initial_rows]
     seeds the old table and the reference table identically (the
     pre-migration data set). *)
 val machine :
+  ?bugs:Bug_flags.t ->
   initial_rows:(Table_types.key * Table_types.props) list ->
   Psharp.Runtime.ctx ->
   unit

@@ -48,6 +48,7 @@ type t = {
   triples : (string * string * string * string) family;
       (* sender, event, receiver, receiver-state *)
   branches : branch_key family;
+  faults : (string * string) family;                    (* kind, target *)
   schedules : (int64, int) Hashtbl.t;
   mutable executions : int;
 }
@@ -58,6 +59,7 @@ let create () =
     events = family_create 64;
     triples = family_create 256;
     branches = family_create 64;
+    faults = family_create 16;
     schedules = Hashtbl.create 64;
     executions = 0;
   }
@@ -74,6 +76,8 @@ let branch_bool t ~machine b = family_bump t.branches (Branch_bool (machine, b))
 
 let branch_int t ~machine ~bound v =
   family_bump t.branches (Branch_int (machine, v, bound))
+
+let fault t ~kind ~target = family_bump t.faults (kind, target)
 
 (* FNV-1a over the choice sequence; tags keep [Schedule 1] and [Int 1]
    from colliding. *)
@@ -130,6 +134,7 @@ let absorb ~into src =
   merge src.events into.events;
   merge src.triples into.triples;
   merge src.branches into.branches;
+  merge src.faults into.faults;
   (* Schedule fingerprints merge like the rest but do not feed the novelty
      flag: almost every random schedule is unique. *)
   Hashtbl.iter
@@ -155,6 +160,8 @@ let render_branch = function
   | Branch_bool (machine, b) -> Printf.sprintf "%s ? %b" machine b
   | Branch_int (machine, v, bound) -> Printf.sprintf "%s ? %d/%d" machine v bound
 
+let render_fault (kind, target) = kind ^ " " ^ target
+
 let sorted_entries render fam =
   let acc = ref [] in
   for i = fam.n - 1 downto 0 do
@@ -166,6 +173,7 @@ let states t = sorted_entries render_state t.states
 let events t = sorted_entries Fun.id t.events
 let triples t = sorted_entries render_triple t.triples
 let branches t = sorted_entries render_branch t.branches
+let faults t = sorted_entries render_fault t.faults
 
 let schedules t =
   Hashtbl.fold (fun k n acc -> (k, n) :: acc) t.schedules []
@@ -174,6 +182,7 @@ let schedules t =
 let equal a b =
   states a = states b && events a = events b && triples a = triples b
   && branches a = branches b
+  && faults a = faults b
   && schedules a = schedules b
   && a.executions = b.executions
 
@@ -182,6 +191,7 @@ type totals = {
   event_types : int;
   transition_triples : int;
   branch_outcomes : int;
+  fault_points : int;
   unique_schedules : int;
   executions : int;
 }
@@ -192,6 +202,7 @@ let totals t =
     event_types = t.events.n;
     transition_triples = t.triples.n;
     branch_outcomes = t.branches.n;
+    fault_points = t.faults.n;
     unique_schedules = Hashtbl.length t.schedules;
     executions = t.executions;
   }
@@ -204,7 +215,10 @@ let pp_totals fmt t =
     "%d states, %d event types, %d triples, %d branch outcomes, %d/%d \
      unique schedules"
     s.machine_states s.event_types s.transition_triples s.branch_outcomes
-    s.unique_schedules s.executions
+    s.unique_schedules s.executions;
+  (* fault-free runs keep the historical one-liner byte-identical *)
+  if s.fault_points > 0 then
+    Format.fprintf fmt ", %d fault points" s.fault_points
 
 let pp_section fmt ~title ~cap entries =
   let by_count = List.sort (fun (_, a) (_, b) -> compare b a) entries in
@@ -222,6 +236,8 @@ let pp_table fmt t =
   pp_section fmt ~title:"event types" ~cap:20 (events t);
   pp_section fmt ~title:"transition triples" ~cap:20 (triples t);
   pp_section fmt ~title:"branch outcomes" ~cap:20 (branches t);
+  if t.faults.n > 0 then
+    pp_section fmt ~title:"fault points" ~cap:20 (faults t);
   Format.fprintf fmt "@]"
 
 let json_escape s =
@@ -247,9 +263,10 @@ let to_json t =
     (Printf.sprintf
        "  \"totals\": {\"machine_states\": %d, \"event_types\": %d, \
         \"transition_triples\": %d, \"branch_outcomes\": %d, \
-        \"unique_schedules\": %d, \"executions\": %d},\n"
+        \"fault_points\": %d, \"unique_schedules\": %d, \"executions\": \
+        %d},\n"
        s.machine_states s.event_types s.transition_triples s.branch_outcomes
-       s.unique_schedules s.executions);
+       s.fault_points s.unique_schedules s.executions);
   let family name entries ~last =
     Buffer.add_string buf (Printf.sprintf "  \"%s\": {" name);
     List.iteri
@@ -267,6 +284,7 @@ let to_json t =
   family "event_types" (events t) ~last:false;
   family "transition_triples" (triples t) ~last:false;
   family "branch_outcomes" (branches t) ~last:false;
+  family "fault_points" (faults t) ~last:false;
   family "schedule_fingerprints"
     (List.map (fun (fp, n) -> (Printf.sprintf "%Lx" fp, n)) (schedules t))
     ~last:true;

@@ -13,7 +13,9 @@
       delivery edges of the execution — who sent which event into which
       receiver state;
     - {b branch outcomes}: resolved [nondet] / [nondet_int] choices,
-      ["Machine ? value"].
+      ["Machine ? value"];
+    - {b fault points}: injected faults, ["kind Target"] (drop, dup, delay,
+      crash) — empty unless fault injection is enabled.
 
     In addition every execution contributes a 64-bit {e schedule
     fingerprint} (a hash of its full choice trace), so a map counts how
@@ -41,6 +43,11 @@ val deliver :
 
 val branch_bool : t -> machine:string -> bool -> unit
 val branch_int : t -> machine:string -> bound:int -> int -> unit
+
+(** [fault t ~kind ~target] records one injected fault point — [kind] is
+    the fault name (["drop"], ["dup"], ["delay"], ["crash"]) and [target]
+    the affected machine's name. *)
+val fault : t -> kind:string -> target:string -> unit
 
 (** [fingerprint trace] hashes the full choice sequence (FNV-1a, 64-bit).
     Purely a function of the trace: replaying a recorded schedule yields
@@ -79,6 +86,7 @@ type totals = {
   event_types : int;
   transition_triples : int;
   branch_outcomes : int;
+  fault_points : int;
   unique_schedules : int;
   executions : int;
 }
@@ -92,6 +100,9 @@ val states : t -> (string * int) list
 val events : t -> (string * int) list
 val triples : t -> (string * int) list
 val branches : t -> (string * int) list
+
+(** Injected fault points, rendered ["kind Target"]. *)
+val faults : t -> (string * int) list
 
 (** Schedule fingerprints with the number of executions that produced
     each. *)

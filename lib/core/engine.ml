@@ -19,6 +19,7 @@ type config = {
   workers : int;
   collect_coverage : bool;
   coverage_plateau : int option;
+  faults : Fault.spec;
 }
 
 let default_config =
@@ -34,6 +35,7 @@ let default_config =
     workers = 1;
     collect_coverage = false;
     coverage_plateau = None;
+    faults = Fault.none;
   }
 
 type stats = {
@@ -43,6 +45,7 @@ type stats = {
   search_exhausted : bool;
   coverage : Coverage.t option;
   plateaued : bool;
+  timed_out : bool;
 }
 
 type outcome =
@@ -63,13 +66,19 @@ let factory_of config =
   | Replay_trace t -> Replay_strategy.factory t
   | Fuzz { corpus_cap } -> Fuzz_strategy.factory ~seed:config.seed ~corpus_cap ()
 
-let runtime_config ?coverage config ~collect_log =
+(* [deadline] is the run's absolute wall-clock bound (started +
+   max_seconds); the runtime checks it inside the step loop, so a single
+   long execution cannot overshoot the budget (replay never gets one — a
+   recorded schedule must always re-execute in full). *)
+let runtime_config ?coverage ?deadline config ~collect_log =
   {
     Runtime.max_steps = config.max_steps;
     liveness_grace = config.liveness_grace;
     deadlock_is_bug = config.deadlock_is_bug;
     collect_log;
     coverage;
+    faults = config.faults;
+    deadline;
   }
 
 let no_monitors () = []
@@ -153,13 +162,15 @@ let run_sequential ~monitors config body =
   let factory = factory_of config in
   let collector = collector_of config factory in
   let started = Unix.gettimeofday () in
+  let deadline = Option.map (fun b -> started +. b) config.max_seconds in
   let total_steps = ref 0 in
   let out_of_time () =
-    match config.max_seconds with
-    | Some budget -> Unix.gettimeofday () -. started >= budget
+    match deadline with
+    | Some d -> Unix.gettimeofday () >= d
     | None -> false
   in
-  let stats_at ?(search_exhausted = false) ?(plateaued = false) i =
+  let stats_at ?(search_exhausted = false) ?(plateaued = false)
+      ?(timed_out = false) i =
     {
       executions = i;
       elapsed = Unix.gettimeofday () -. started;
@@ -167,10 +178,12 @@ let run_sequential ~monitors config body =
       search_exhausted;
       coverage = coverage_of collector;
       plateaued;
+      timed_out;
     }
   in
   let rec iterate i =
-    if i >= config.max_executions || out_of_time () then No_bug (stats_at i)
+    if i >= config.max_executions then No_bug (stats_at i)
+    else if out_of_time () then No_bug (stats_at ~timed_out:true i)
     else
       match factory.Strategy.fresh ~iteration:i with
       | None -> No_bug (stats_at ~search_exhausted:true i)
@@ -178,7 +191,8 @@ let run_sequential ~monitors config body =
         let exec_cov = exec_cov_of collector in
         let result =
           Runtime.execute
-            (runtime_config ?coverage:exec_cov config ~collect_log:false)
+            (runtime_config ?coverage:exec_cov ?deadline config
+               ~collect_log:false)
             strategy ~monitors:(monitors ()) ~name:"Harness" body
         in
         total_steps := !total_steps + result.Runtime.steps;
@@ -188,7 +202,9 @@ let run_sequential ~monitors config body =
            let report = finish_report ~monitors config ~kind result body in
            Bug_found (report, stats_at (i + 1))
          | None ->
-           if hit_plateau config collector then
+           if result.Runtime.timed_out then
+             No_bug (stats_at ~timed_out:true (i + 1))
+           else if hit_plateau config collector then
              No_bug (stats_at ~plateaued:true (i + 1))
            else iterate (i + 1))
   in
@@ -205,6 +221,10 @@ let run_parallel ~monitors ~workers config body =
   let collector =
     collector_of config { (factory_of config) with Strategy.feedback = None }
   in
+  let deadline =
+    Option.map (fun b -> Unix.gettimeofday () +. b) config.max_seconds
+  in
+  let exec_timed_out = Atomic.make false in
   let winner, pool_stats =
     Worker_pool.hunt ~workers ~max_iterations:config.max_executions
       ?max_seconds:config.max_seconds
@@ -216,10 +236,12 @@ let run_parallel ~monitors ~workers config body =
           let exec_cov = exec_cov_of collector in
           let result =
             Runtime.execute
-              (runtime_config ?coverage:exec_cov config ~collect_log:false)
+              (runtime_config ?coverage:exec_cov ?deadline config
+                 ~collect_log:false)
               strategy ~monitors:(monitors ()) ~name:"Harness" body
           in
           ignore (observe collector factory result exec_cov);
+          if result.Runtime.timed_out then Atomic.set exec_timed_out true;
           let payload =
             match result.Runtime.bug with
             | Some kind -> Some (`Bug (kind, result))
@@ -237,6 +259,8 @@ let run_parallel ~monitors ~workers config body =
       search_exhausted = false;
       coverage = coverage_of collector;
       plateaued;
+      timed_out =
+        pool_stats.Worker_pool.timed_out || Atomic.get exec_timed_out;
     }
   in
   match winner with
@@ -278,13 +302,15 @@ let explore_sequential ~monitors config body =
   let factory = factory_of config in
   let collector = collector_of config factory in
   let started = Unix.gettimeofday () in
+  let deadline = Option.map (fun b -> started +. b) config.max_seconds in
   let total_steps = ref 0 in
   let out_of_time () =
-    match config.max_seconds with
-    | Some budget -> Unix.gettimeofday () -. started >= budget
+    match deadline with
+    | Some d -> Unix.gettimeofday () >= d
     | None -> false
   in
-  let stats_at ?(search_exhausted = false) ?(plateaued = false) i =
+  let stats_at ?(search_exhausted = false) ?(plateaued = false)
+      ?(timed_out = false) i =
     {
       executions = i;
       elapsed = Unix.gettimeofday () -. started;
@@ -292,10 +318,12 @@ let explore_sequential ~monitors config body =
       search_exhausted;
       coverage = coverage_of collector;
       plateaued;
+      timed_out;
     }
   in
   let rec iterate i =
-    if i >= config.max_executions || out_of_time () then stats_at i
+    if i >= config.max_executions then stats_at i
+    else if out_of_time () then stats_at ~timed_out:true i
     else
       match factory.Strategy.fresh ~iteration:i with
       | None -> stats_at ~search_exhausted:true i
@@ -303,12 +331,15 @@ let explore_sequential ~monitors config body =
         let exec_cov = exec_cov_of collector in
         let result =
           Runtime.execute
-            (runtime_config ?coverage:exec_cov config ~collect_log:false)
+            (runtime_config ?coverage:exec_cov ?deadline config
+               ~collect_log:false)
             strategy ~monitors:(monitors ()) ~name:"Harness" body
         in
         total_steps := !total_steps + result.Runtime.steps;
         ignore (observe collector factory result exec_cov);
-        if hit_plateau config collector then stats_at ~plateaued:true (i + 1)
+        if result.Runtime.timed_out then stats_at ~timed_out:true (i + 1)
+        else if hit_plateau config collector then
+          stats_at ~plateaued:true (i + 1)
         else iterate (i + 1)
   in
   iterate 0
@@ -317,6 +348,10 @@ let explore_parallel ~monitors ~workers config body =
   let collector =
     collector_of config { (factory_of config) with Strategy.feedback = None }
   in
+  let deadline =
+    Option.map (fun b -> Unix.gettimeofday () +. b) config.max_seconds
+  in
+  let exec_timed_out = Atomic.make false in
   let winner, pool_stats =
     Worker_pool.hunt ~workers ~max_iterations:config.max_executions
       ?max_seconds:config.max_seconds
@@ -328,10 +363,12 @@ let explore_parallel ~monitors ~workers config body =
           let exec_cov = exec_cov_of collector in
           let result =
             Runtime.execute
-              (runtime_config ?coverage:exec_cov config ~collect_log:false)
+              (runtime_config ?coverage:exec_cov ?deadline config
+                 ~collect_log:false)
               strategy ~monitors:(monitors ()) ~name:"Harness" body
           in
           ignore (observe collector factory result exec_cov);
+          if result.Runtime.timed_out then Atomic.set exec_timed_out true;
           ( (if hit_plateau config collector then Some () else None),
             result.Runtime.steps ))
       ()
@@ -343,6 +380,7 @@ let explore_parallel ~monitors ~workers config body =
     search_exhausted = false;
     coverage = coverage_of collector;
     plateaued = winner <> None;
+    timed_out = pool_stats.Worker_pool.timed_out || Atomic.get exec_timed_out;
   }
 
 let explore ?(monitors = no_monitors) config body =
@@ -365,9 +403,10 @@ let report_of_result kind (result : Runtime.exec_result) =
 let survey_sequential ~monitors config body =
   let factory = factory_of config in
   let started = Unix.gettimeofday () in
+  let deadline = Option.map (fun b -> started +. b) config.max_seconds in
   let out_of_time () =
-    match config.max_seconds with
-    | Some budget -> Unix.gettimeofday () -. started >= budget
+    match deadline with
+    | Some d -> Unix.gettimeofday () >= d
     | None -> false
   in
   let found : (string, Error.report * int) Hashtbl.t = Hashtbl.create 8 in
@@ -382,7 +421,7 @@ let survey_sequential ~monitors config body =
       | Some strategy ->
         let result =
           Runtime.execute
-            (runtime_config config ~collect_log:false)
+            (runtime_config ?deadline config ~collect_log:false)
             strategy ~monitors:(monitors ()) ~name:"Harness" body
         in
         (match result.Runtime.bug with
@@ -408,6 +447,9 @@ let survey_parallel ~monitors ~workers config body =
   let found : (string, Error.report * int * int) Hashtbl.t =
     Hashtbl.create 8
   in
+  let deadline =
+    Option.map (fun b -> Unix.gettimeofday () +. b) config.max_seconds
+  in
   let (_ : (unit * int) list), (_ : Worker_pool.stats) =
     Worker_pool.sweep ~workers ~max_iterations:config.max_executions
       ?max_seconds:config.max_seconds
@@ -418,7 +460,7 @@ let survey_parallel ~monitors ~workers config body =
         | Some strategy ->
           let result =
             Runtime.execute
-              (runtime_config config ~collect_log:false)
+              (runtime_config ?deadline config ~collect_log:false)
               strategy ~monitors:(monitors ()) ~name:"Harness" body
           in
           (match result.Runtime.bug with
@@ -456,7 +498,9 @@ let pp_stats_extra fmt stats =
    | Some cov -> Format.fprintf fmt ", %a" Coverage.pp_totals cov
    | None -> ());
   if stats.plateaued then
-    Format.fprintf fmt ", stopped on coverage plateau"
+    Format.fprintf fmt ", stopped on coverage plateau";
+  if stats.timed_out then
+    Format.fprintf fmt ", stopped at the time budget"
 
 let pp_outcome fmt = function
   | Bug_found (report, stats) ->

@@ -64,10 +64,17 @@ type config = {
           coverage point (state, event type, triple or branch outcome);
           [stats.plateaued] reports the early stop. In parallel mode the
           consecutive count is a cross-worker approximation. *)
+  faults : Fault.spec;
+      (** fault-injection spec handed to every execution's runtime
+          ({!Fault.none} by default — zero draws, schedules untouched).
+          Because every injected fault is an ordinary recorded choice,
+          {!replay} of a fault-found trace — which receives the same spec
+          through this config — reproduces the identical faults, and the
+          shrinker minimizes fault schedules like any other. *)
 }
 
 (** Random strategy, seed 0, 10,000 executions, 5,000-step bound, one
-    worker, no coverage. *)
+    worker, no coverage, no faults. *)
 val default_config : config
 
 type stats = {
@@ -80,6 +87,11 @@ type stats = {
           the run collected coverage ([collect_coverage], a plateau bound,
           or a feedback-directed strategy) *)
   plateaued : bool;  (** run stopped early on the coverage plateau bound *)
+  timed_out : bool;
+      (** run stopped at [max_seconds] — between executions or {e inside}
+          one: the engine threads an absolute deadline into the runtime
+          step loop, so a single long execution aborts at the bound
+          instead of overshooting it arbitrarily *)
 }
 
 type outcome =

@@ -1,0 +1,84 @@
+type kind = Drop | Duplicate | Delay | Crash
+
+type spec = {
+  drop : bool;
+  duplicate : bool;
+  delay : bool;
+  crash : bool;
+  budget : int;
+  max_delay : int;
+}
+
+let none =
+  {
+    drop = false;
+    duplicate = false;
+    delay = false;
+    crash = false;
+    budget = 0;
+    max_delay = 3;
+  }
+
+let message_faults s = s.budget > 0 && (s.drop || s.duplicate || s.delay)
+let enabled s = message_faults s || (s.budget > 0 && s.crash)
+
+let kind_to_string = function
+  | Drop -> "drop"
+  | Duplicate -> "dup"
+  | Delay -> "delay"
+  | Crash -> "crash"
+
+let kind_of_string = function
+  | "drop" -> Some Drop
+  | "dup" | "duplicate" -> Some Duplicate
+  | "delay" -> Some Delay
+  | "crash" -> Some Crash
+  | _ -> None
+
+let make ?(budget = 1) ?(max_delay = 3) kinds =
+  if budget < 0 then invalid_arg "Fault.make: budget must be non-negative";
+  if max_delay <= 0 then invalid_arg "Fault.make: max_delay must be positive";
+  {
+    drop = List.mem Drop kinds;
+    duplicate = List.mem Duplicate kinds;
+    delay = List.mem Delay kinds;
+    crash = List.mem Crash kinds;
+    budget;
+    max_delay;
+  }
+
+let kinds s =
+  (if s.drop then [ Drop ] else [])
+  @ (if s.duplicate then [ Duplicate ] else [])
+  @ (if s.delay then [ Delay ] else [])
+  @ if s.crash then [ Crash ] else []
+
+let parse str =
+  let parts =
+    String.split_on_char ',' str
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  if parts = [] then Error "no fault kinds given (expected e.g. drop,crash)"
+  else
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | p :: rest ->
+        (match kind_of_string p with
+         | Some k -> go (k :: acc) rest
+         | None ->
+           Error
+             (Printf.sprintf
+                "unknown fault kind %S (expected drop, dup, delay or crash)" p))
+    in
+    (match go [] parts with
+     | Error _ as e -> e
+     | Ok ks -> Ok (make ks))
+
+let to_string s =
+  match kinds s with
+  | [] -> "none"
+  | ks ->
+    Printf.sprintf "%s(budget=%d)"
+      (String.concat "," (List.map kind_to_string ks))
+      s.budget

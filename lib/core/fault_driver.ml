@@ -1,0 +1,57 @@
+type Event.t += Fault_tick
+
+(* Modeled like Timer: a self-message loop whose every decision is a
+   recorded strategy draw, so crash schedules replay and shrink like any
+   other nondeterminism. The crash instant is drawn uniformly over the
+   driver's lifetime (a per-tick coin would concentrate every crash in the
+   first few turns, never reaching machines the harness creates later);
+   when the instant arrives, one crashable machine is chosen and crashed.
+   The driver retires once it has crashed [max_crashes] machines, spent
+   [max_ticks] turns, or the shared fault budget ran dry. *)
+let body ~max_crashes ~max_ticks ctx =
+  Registry.register_machine ~machine:"FaultDriver" ~kind:Registry.Machine
+    ~states:1 ~handlers:1;
+  Runtime.send ctx (Runtime.self ctx) Fault_tick;
+  let crashes = ref 0 in
+  let ticks = ref 0 in
+  let crash_at = ref (1 + Runtime.nondet_int ctx max_ticks) in
+  let rec loop () =
+    match Runtime.receive ctx with
+    | Fault_tick ->
+      incr ticks;
+      if
+        !crashes >= max_crashes || !ticks > max_ticks
+        || Runtime.fault_budget_left ctx <= 0
+      then Runtime.halt ctx
+      else begin
+        (if !ticks >= !crash_at then
+           match Runtime.crashable_machines ctx with
+           | [] -> ()  (* no victim yet: strike at the next tick instead *)
+           | victims ->
+             Runtime.crash ctx (Runtime.choose ctx victims);
+             incr crashes;
+             crash_at := !ticks + 1 + Runtime.nondet_int ctx max_ticks);
+        Runtime.send ctx (Runtime.self ctx) Fault_tick;
+        loop ()
+      end
+    | e ->
+      raise
+        (Error.Bug
+           (Error.Unhandled_event
+              {
+                machine = Id.to_string (Runtime.self ctx);
+                state = "-";
+                event = Event.to_string e;
+              }))
+  in
+  loop ()
+
+let install ?(max_crashes = 1) ?(max_ticks = 40) ctx =
+  if max_crashes <= 0 then
+    invalid_arg "Fault_driver.install: max_crashes must be positive";
+  if max_ticks <= 0 then
+    invalid_arg "Fault_driver.install: max_ticks must be positive";
+  let spec = Runtime.fault_spec ctx in
+  if spec.Fault.crash && spec.Fault.budget > 0 then
+    ignore
+      (Runtime.create ctx ~name:"FaultDriver" (body ~max_crashes ~max_ticks))

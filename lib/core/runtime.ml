@@ -4,6 +4,8 @@ type config = {
   deadlock_is_bug : bool;
   collect_log : bool;
   coverage : Coverage.t option;
+  faults : Fault.spec;
+  deadline : float option;
 }
 
 let default_config =
@@ -13,6 +15,8 @@ let default_config =
     deadlock_is_bug = true;
     collect_log = false;
     coverage = None;
+    faults = Fault.none;
+    deadline = None;
   }
 
 (* A machine blocked on [receive] is a captured continuation expecting the
@@ -40,11 +44,30 @@ and machine = {
          dirty — which is what keeps filtered receives ([Waiting (Some
          pred, _)]) from re-running [Inbox.exists pred] every step. *)
   mutable dirty : bool;
+  persistent : (unit -> ctx -> unit) option;
+      (* restart hook: a machine created with one survives [crash] — the
+         hook builds the body the machine re-runs from its durable state *)
+}
+
+(* A delayed in-flight message: delivered once [d_countdown] later
+   deliveries have happened (or immediately if the system would otherwise
+   be quiescent — a delayed message must not manufacture a deadlock). *)
+and delayed = {
+  d_target : int;
+  d_sender : int;
+  d_event : Event.t;
+  mutable d_countdown : int;
 }
 
 and t = {
   config : config;
   log_on : bool;  (* config.collect_log, hoisted for the hot path *)
+  msg_faults_on : bool;
+      (* Fault.message_faults config.faults, hoisted: with faults disabled
+         [send_faulty] is one boolean load away from plain [send] and makes
+         zero strategy draws (same zero-cost contract as logging) *)
+  deadline_at : float;  (* config.deadline, hoisted; infinity when unset *)
+  check_deadline : bool;
   strategy : Strategy.t;
   monitors : Monitor.t list;
   mutable machines : machine array;
@@ -57,6 +80,10 @@ and t = {
   mutable log_rev : string list;
   mutable bug : Error.kind option;
   mutable bug_step : int;
+  mutable faults_remaining : int;
+  mutable faults_injected : int;
+  mutable delayed : delayed list;  (* oldest first *)
+  mutable timed_out : bool;
 }
 
 and ctx = { rt : t; me : machine }
@@ -67,6 +94,8 @@ type exec_result = {
   steps : int;
   choices : Trace.t;
   log : string list;
+  timed_out : bool;
+  faults_injected : int;
 }
 
 exception Halt_exn
@@ -90,7 +119,7 @@ let set_bug (rt : t) kind =
 
 let mark_dirty m = m.dirty <- true
 
-let add_machine rt ~name body =
+let add_machine ?persistent rt ~name body =
   if rt.n_machines = Array.length rt.machines then begin
     let bigger =
       Array.make (max 8 (2 * rt.n_machines))
@@ -99,7 +128,8 @@ let add_machine rt ~name body =
           status = Halted;
           state_name = "-";
           enabled_cache = false;
-          dirty = false }
+          dirty = false;
+          persistent = None }
     in
     Array.blit rt.machines 0 bigger 0 rt.n_machines;
     rt.machines <- bigger;
@@ -108,7 +138,7 @@ let add_machine rt ~name body =
   let id = Id.make ~index:rt.n_machines ~name in
   let m =
     { id; inbox = Inbox.create (); status = Not_started body; state_name = "-";
-      enabled_cache = true; dirty = false }
+      enabled_cache = true; dirty = false; persistent }
   in
   rt.machines.(rt.n_machines) <- m;
   rt.n_machines <- rt.n_machines + 1;
@@ -128,8 +158,8 @@ let name_of ctx id =
     Id.name ctx.rt.machines.(Id.index id).id
   else "<unknown>"
 
-let create ctx ~name body =
-  let m = add_machine ctx.rt ~name body in
+let create ?persistent ctx ~name body =
+  let m = add_machine ?persistent ctx.rt ~name body in
   if ctx.rt.log_on then
     logf ctx.rt "[%d] %s creates %s" ctx.rt.steps (Id.to_string ctx.me.id)
       (Id.to_string m.id);
@@ -211,6 +241,129 @@ let choose ctx xs =
 
 let halt _ctx = raise Halt_exn
 
+(* --- Fault injection --- *)
+
+let record_fault rt ~kind ~target =
+  rt.faults_remaining <- rt.faults_remaining - 1;
+  rt.faults_injected <- rt.faults_injected + 1;
+  match rt.config.coverage with
+  | Some cov -> Coverage.fault cov ~kind ~target:(Id.name target)
+  | None -> ()
+
+(* Interposition point for harness protocol messages. With message faults
+   disabled this is a plain [send] after one boolean load — no strategy
+   draw, so traces and golden digests are untouched. With them enabled it
+   draws [nondet] (inject here?) and, when injecting, picks among the armed
+   kinds / a delay distance with [nondet_int]; every decision is an
+   ordinary recorded choice, so replay and shrinking see faults as just
+   more schedule. *)
+let send_faulty ctx target e =
+  let rt = ctx.rt in
+  if not rt.msg_faults_on || rt.faults_remaining <= 0 then send ctx target e
+  else begin
+    if Id.index target < 0 || Id.index target >= rt.n_machines then
+      invalid_arg "Runtime.send_faulty: unknown target machine";
+    let m = rt.machines.(Id.index target) in
+    let halted = match m.status with Halted -> true | _ -> false in
+    if halted then send ctx target e (* dropped anyway; no draw *)
+    else if not (nondet ctx) then send ctx target e
+    else begin
+      let spec = rt.config.faults in
+      let kinds =
+        (if spec.drop then [ Fault.Drop ] else [])
+        @ (if spec.duplicate then [ Fault.Duplicate ] else [])
+        @ if spec.delay then [ Fault.Delay ] else []
+      in
+      let kind =
+        match kinds with
+        | [ k ] -> k
+        | ks -> List.nth ks (nondet_int ctx (List.length ks))
+      in
+      match kind with
+      | Fault.Drop ->
+        record_fault rt ~kind:"drop" ~target:m.id;
+        if rt.log_on then
+          logf rt "[%d] FAULT drop %s -> %s: %s" rt.steps
+            (Id.to_string ctx.me.id) (Id.to_string target) (Event.to_string e)
+      | Fault.Duplicate ->
+        record_fault rt ~kind:"dup" ~target:m.id;
+        if rt.log_on then
+          logf rt "[%d] FAULT dup %s -> %s: %s" rt.steps
+            (Id.to_string ctx.me.id) (Id.to_string target) (Event.to_string e);
+        send ctx target e;
+        send ctx target e
+      | Fault.Delay ->
+        let k = 1 + nondet_int ctx spec.max_delay in
+        record_fault rt ~kind:"delay" ~target:m.id;
+        if rt.log_on then
+          logf rt "[%d] FAULT delay(%d) %s -> %s: %s" rt.steps k
+            (Id.to_string ctx.me.id) (Id.to_string target) (Event.to_string e);
+        rt.delayed <-
+          rt.delayed
+          @ [ { d_target = Id.index target; d_sender = Id.index ctx.me.id;
+                d_event = e; d_countdown = k } ]
+      | Fault.Crash -> assert false (* not a message-fault kind *)
+    end
+  end
+
+(* Crash a persistent machine: its inbox and volatile state (the captured
+   continuation) are discarded and it restarts as [Not_started] on the body
+   its restart hook builds from durable state. The dropped continuation is
+   never resumed nor discontinued — its fiber is simply abandoned to the
+   GC, which is safe because crashed machines hold no external resources.
+   Crashing an already-halted machine is a no-op (it "crashed" after
+   finishing — nothing to lose), which keeps fault drivers from
+   resurrecting machines that failed or completed gracefully. *)
+let crash ctx target =
+  let rt = ctx.rt in
+  if Id.index target < 0 || Id.index target >= rt.n_machines then
+    invalid_arg "Runtime.crash: unknown target machine";
+  if Id.index target = Id.index ctx.me.id then
+    invalid_arg "Runtime.crash: a machine cannot crash itself";
+  let m = rt.machines.(Id.index target) in
+  match m.status with
+  | Halted -> ()
+  | Running -> assert false (* only one machine runs at a time: the caller *)
+  | Not_started _ | Waiting _ ->
+    (match m.persistent with
+     | None -> invalid_arg "Runtime.crash: target has no restart hook"
+     | Some restart ->
+       Inbox.clear m.inbox;
+       rt.delayed <-
+         List.filter (fun d -> d.d_target <> Id.index target) rt.delayed;
+       m.status <- Not_started (restart ());
+       m.state_name <- "-";
+       mark_dirty m;
+       record_fault rt ~kind:"crash" ~target:m.id;
+       if rt.log_on then
+         logf rt "[%d] FAULT crash %s (will restart)" rt.steps
+           (Id.to_string m.id))
+
+let fault_spec ctx = ctx.rt.config.faults
+let fault_budget_left ctx = ctx.rt.faults_remaining
+
+(* Draw-free observation: restarted machines use it to tell a live peer
+   from a torn-down one (e.g. a cluster whose manager already halted). *)
+let alive ctx id =
+  let rt = ctx.rt in
+  let i = Id.index id in
+  i >= 0 && i < rt.n_machines
+  && (match rt.machines.(i).status with Halted -> false | _ -> true)
+
+(* Machines that [crash] may currently strike: created with a restart hook
+   and not halted. Creation order, so a strategy's [nondet_int] pick over
+   this list is stable under replay. *)
+let crashable_machines ctx =
+  let rt = ctx.rt in
+  let acc = ref [] in
+  for i = rt.n_machines - 1 downto 0 do
+    let m = rt.machines.(i) in
+    let alive = match m.status with Halted -> false | _ -> true in
+    if Option.is_some m.persistent && alive && i <> Id.index ctx.me.id then
+      acc := m.id :: !acc
+  done;
+  !acc
+
 let update_monitor_temperature (rt : t) mon =
   if Monitor.is_hot mon then begin
     if Monitor.hot_since mon = None then
@@ -253,6 +406,42 @@ let log ctx s =
 let step_count ctx = ctx.rt.steps
 
 (* --- Scheduler --- *)
+
+(* Hand a delayed message to its target's inbox (or drop it if the target
+   halted in the meantime, matching [send]). *)
+let deliver_delayed rt d =
+  let m = rt.machines.(d.d_target) in
+  match m.status with
+  | Halted ->
+    if rt.log_on then
+      logf rt "[%d] delayed -> %s: %s (dropped: target halted)" rt.steps
+        (Id.to_string m.id) (Event.to_string d.d_event)
+  | Not_started _ | Waiting _ | Running ->
+    Inbox.push ~sender:d.d_sender m.inbox d.d_event;
+    mark_dirty m;
+    if rt.log_on then
+      logf rt "[%d] delayed -> %s: %s (delivered)" rt.steps (Id.to_string m.id)
+        (Event.to_string d.d_event)
+
+(* Called on every event delivery: age the delayed messages one delivery
+   and release the due ones. *)
+let tick_delayed rt =
+  match rt.delayed with
+  | [] -> ()
+  | ds ->
+    let due, still = List.partition (fun d -> d.d_countdown <= 1) ds in
+    List.iter (fun d -> d.d_countdown <- d.d_countdown - 1) still;
+    rt.delayed <- still;
+    List.iter (deliver_delayed rt) due
+
+(* When no machine is enabled but messages are still in flight, release
+   them all: a delayed message models network latency, and latency cannot
+   hold back a message forever once the system is otherwise quiescent —
+   without this, every delay fault would read as a spurious deadlock. *)
+let flush_delayed rt =
+  let ds = rt.delayed in
+  rt.delayed <- [];
+  List.iter (deliver_delayed rt) ds
 
 let machine_enabled m =
   match m.status with
@@ -356,6 +545,7 @@ let resume_machine rt m =
        if rt.log_on then
          logf rt "[%d] %s dequeues %s" rt.steps (Id.to_string m.id)
            (Event.to_string e);
+       tick_delayed rt;
        Effect.Deep.continue k e)
   | Not_started _ -> start_machine rt m
   | Running | Halted -> assert false
@@ -406,6 +596,9 @@ let execute config strategy ~monitors ~name body =
     {
       config;
       log_on = config.collect_log;
+      msg_faults_on = Fault.message_faults config.faults;
+      deadline_at = Option.value config.deadline ~default:infinity;
+      check_deadline = Option.is_some config.deadline;
       strategy;
       monitors;
       machines = [||];
@@ -416,14 +609,34 @@ let execute config strategy ~monitors ~name body =
       log_rev = [];
       bug = None;
       bug_step = 0;
+      faults_remaining = config.faults.Fault.budget;
+      faults_injected = 0;
+      delayed = [];
+      timed_out = false;
     }
   in
   ignore (add_machine rt ~name body);
   let rec loop () =
     if rt.bug <> None then ()
+    else if
+      (* Deadline check every 64 steps (one land+compare per step when no
+         deadline is set): a run over its time budget aborts the current
+         execution cleanly instead of overshooting arbitrarily. *)
+      rt.check_deadline
+      && rt.steps land 63 = 0
+      && Unix.gettimeofday () > rt.deadline_at
+    then rt.timed_out <- true
     else if rt.steps >= config.max_steps then check_end_of_execution rt ~at_bound:true
     else begin
       let n = compute_enabled rt in
+      let n =
+        (* quiescent but messages still in flight: release the delays *)
+        if n = 0 && rt.delayed <> [] then begin
+          flush_delayed rt;
+          compute_enabled rt
+        end
+        else n
+      in
       if n = 0 then check_end_of_execution rt ~at_bound:false
       else begin
         (match
@@ -446,4 +659,6 @@ let execute config strategy ~monitors ~name body =
     steps = rt.steps;
     choices = Trace.Builder.finish rt.trace;
     log = List.rev rt.log_rev;
+    timed_out = rt.timed_out;
+    faults_injected = rt.faults_injected;
   }

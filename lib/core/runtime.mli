@@ -32,6 +32,18 @@ type config = {
           state visits, delivered event types, [(sender, event,
           receiver@state)] transition triples and nondet branch outcomes —
           into this per-execution map *)
+  faults : Fault.spec;
+      (** fault-injection spec. The contract mirrors [collect_log]: with
+          {!Fault.none} (the default) [send_faulty] degenerates to [send]
+          behind a single boolean load and makes {e zero} strategy draws,
+          so schedules and golden digests are byte-identical to a build
+          without fault support (pinned by [test/test_golden.ml] and
+          [bench fault-overhead]) *)
+  deadline : float option;
+      (** absolute [Unix.gettimeofday] bound; when set the step loop
+          checks it every 64 steps and aborts the current execution
+          cleanly ([exec_result.timed_out]) instead of overshooting the
+          run's time budget by a whole execution *)
 }
 
 val default_config : config
@@ -42,6 +54,8 @@ type exec_result = {
   steps : int;  (** scheduling steps taken *)
   choices : Trace.t;  (** all nondeterministic choices, in order *)
   log : string list;  (** oldest first; empty unless [collect_log] *)
+  timed_out : bool;  (** the execution was aborted at [config.deadline] *)
+  faults_injected : int;  (** faults actually injected this execution *)
 }
 
 (** [execute config strategy ~monitors ~name body] runs one execution from
@@ -65,12 +79,34 @@ val execute :
 val self : ctx -> Id.t
 
 (** [create ctx ~name body] creates a new machine and returns its id. The
-    machine starts when the scheduler first picks it. *)
-val create : ctx -> name:string -> (ctx -> unit) -> Id.t
+    machine starts when the scheduler first picks it.
+
+    [?persistent] makes the machine {e crashable}: {!crash} discards its
+    inbox and volatile state (the running body) and restarts it on the body
+    [persistent ()] builds — typically a closure over a harness-owned
+    "disk" record holding whatever state survives the crash. Machines
+    created without it cannot be crashed. Registration is draw-free: a
+    [persistent] hook alone never perturbs the schedule. *)
+val create :
+  ?persistent:(unit -> ctx -> unit) -> ctx -> name:string -> (ctx -> unit) ->
+  Id.t
 
 (** [send ctx target e] enqueues [e] in [target]'s inbox (non-blocking).
     Sends to halted machines are dropped, as in P#. *)
 val send : ctx -> Id.t -> Event.t -> unit
+
+(** [send_faulty ctx target e] is the fault-injection interposition point
+    for harness protocol messages (§2.3: failures as controlled
+    nondeterminism). With message faults disabled — [config.faults] =
+    {!Fault.none}, budget exhausted, or only [crash] armed — it is exactly
+    [send] and draws nothing. Otherwise it draws [nondet] to decide whether
+    to inject here and, if so, drops, duplicates, or delays the message
+    (re-enqueued behind [1 + nondet_int max_delay] later deliveries); each
+    injection consumes one unit of the shared fault budget and is recorded
+    in the trace, the execution log, and the coverage [fault] family.
+    Delayed messages still in flight when the system quiesces are released
+    rather than counted as a deadlock. *)
+val send_faulty : ctx -> Id.t -> Event.t -> unit
 
 (** Like [send], but coalesces: if the target's inbox already holds a
     duplicate (same constructor by default; [same] overrides the test), the
@@ -100,6 +136,31 @@ val choose : ctx -> 'a list -> 'a
 
 (** Terminate this machine. Remaining queued events are dropped. *)
 val halt : ctx -> 'a
+
+(** [crash ctx target] crash-restarts a machine created with [~persistent]:
+    its inbox, in-flight delayed messages, and volatile state are
+    discarded, and it will re-run the body its restart hook builds when the
+    scheduler next picks it. Consumes one unit of the fault budget and is
+    recorded in coverage/log. No-op when [target] already halted (a crash
+    cannot resurrect a finished machine).
+    @raise Invalid_argument on self-crash or a non-persistent target. *)
+val crash : ctx -> Id.t -> unit
+
+(** [alive ctx id] is whether [id] names a machine that has not halted.
+    A draw-free observation: restarted machines use it to tell a live
+    peer from a torn-down one before announcing themselves. *)
+val alive : ctx -> Id.t -> bool
+
+(** The execution's fault spec (so helper machines like {!Fault_driver}
+    can see which kinds are armed). *)
+val fault_spec : ctx -> Fault.spec
+
+(** Remaining shared fault budget for this execution. *)
+val fault_budget_left : ctx -> int
+
+(** Currently crashable machines — created with [~persistent], not halted,
+    excluding the caller — in creation order (stable under replay). *)
+val crashable_machines : ctx -> Id.t list
 
 (** [notify ctx monitor_name e] synchronously notifies the named monitor.
     Unknown monitor names are ignored (harnesses may run without their

@@ -58,6 +58,10 @@ let runtime_config (config : Engine.config) =
     deadlock_is_bug = config.Engine.deadlock_is_bug;
     collect_log = false;
     coverage = None;
+    (* fault draws are ordinary recorded choices: shrinking a fault-found
+       trace needs the same spec so lenient replay interprets them *)
+    faults = config.Engine.faults;
+    deadline = None;
   }
 
 (* Execute once under lenient replay of [candidate]; if the same bug kind

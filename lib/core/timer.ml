@@ -16,7 +16,18 @@ let body ~target ~tick ctx =
       if Runtime.nondet ctx then Runtime.send_unless_pending ctx target (tick ());
       Runtime.send ctx (Runtime.self ctx) Timer_repeat;
       loop ()
-    | _ -> loop ()
+    | e ->
+      (* A timer only understands its own protocol; anything else is a
+         harness wiring bug, reported like any other unhandled event
+         rather than silently swallowed. *)
+      raise
+        (Error.Bug
+           (Error.Unhandled_event
+              {
+                machine = Id.to_string (Runtime.self ctx);
+                state = "-";
+                event = Event.to_string e;
+              }))
   in
   loop ()
 

@@ -2,6 +2,7 @@ type stats = {
   executions : int;
   total_steps : int;
   elapsed : float;
+  timed_out : bool;
 }
 
 let resolve n =
@@ -13,7 +14,17 @@ let drive ~workers ~max_iterations ?max_seconds ~stop_on_result ~init ~body ()
     =
   let workers = max 1 (min (resolve workers) (max 1 max_iterations)) in
   let started = Unix.gettimeofday () in
-  let stop = Atomic.make false in
+  (* Early-stop bound: workers keep running iterations strictly below it.
+     A plain boolean stop flag is not enough for a deterministic winner —
+     when worker A reports at global iteration 7, worker B may not yet
+     have {e started} iteration 3, and a boolean would make B exit without
+     running it, crowning 7 as a non-minimal "first" bug that varies with
+     the worker count and thread timing. Min-updating the bound instead
+     lets every iteration below the best known result complete (and
+     possibly lower the bound further), so the winner is the lowest
+     reporting iteration at every worker count. *)
+  let stop_before = Atomic.make max_int in
+  let timed_out = Atomic.make false in
   let executions = Atomic.make 0 in
   let total_steps = Atomic.make 0 in
   let mu = Mutex.create () in
@@ -24,21 +35,33 @@ let drive ~workers ~max_iterations ?max_seconds ~stop_on_result ~init ~body ()
     | Some budget -> Unix.gettimeofday () -. started >= budget
     | None -> false
   in
+  let rec lower_stop_before v =
+    let cur = Atomic.get stop_before in
+    if v < cur && not (Atomic.compare_and_set stop_before cur v) then
+      lower_stop_before v
+  in
   let worker_loop w =
     let state = init ~worker:w in
     let g = ref w in
-    while
-      !g < max_iterations && (not (Atomic.get stop)) && not (out_of_time ())
-    do
-      let r, steps = body state ~iteration:!g in
-      ignore (Atomic.fetch_and_add executions 1);
-      ignore (Atomic.fetch_and_add total_steps steps);
-      (match r with
-       | None -> ()
-       | Some v ->
-         Mutex.protect mu (fun () -> results := (v, !g) :: !results);
-         if stop_on_result then Atomic.set stop true);
-      g := !g + workers
+    let running = ref true in
+    while !running do
+      if !g >= max_iterations || !g >= Atomic.get stop_before then
+        running := false
+      else if out_of_time () then begin
+        Atomic.set timed_out true;
+        running := false
+      end
+      else begin
+        let r, steps = body state ~iteration:!g in
+        ignore (Atomic.fetch_and_add executions 1);
+        ignore (Atomic.fetch_and_add total_steps steps);
+        (match r with
+         | None -> ()
+         | Some v ->
+           Mutex.protect mu (fun () -> results := (v, !g) :: !results);
+           if stop_on_result then lower_stop_before !g);
+        g := !g + workers
+      end
     done
   in
   let guarded w () =
@@ -47,7 +70,7 @@ let drive ~workers ~max_iterations ?max_seconds ~stop_on_result ~init ~body ()
       let bt = Printexc.get_raw_backtrace () in
       Mutex.protect mu (fun () ->
           if !failure = None then failure := Some (e, bt));
-      Atomic.set stop true
+      Atomic.set stop_before 0
   in
   let domains =
     List.init (workers - 1) (fun i -> Domain.spawn (guarded (i + 1)))
@@ -63,6 +86,7 @@ let drive ~workers ~max_iterations ?max_seconds ~stop_on_result ~init ~body ()
       executions = Atomic.get executions;
       total_steps = Atomic.get total_steps;
       elapsed = Unix.gettimeofday () -. started;
+      timed_out = Atomic.get timed_out;
     } )
 
 let hunt ~workers ~max_iterations ?max_seconds ~init ~body () =

@@ -17,6 +17,9 @@ type stats = {
   executions : int;  (** iterations completed across all workers *)
   total_steps : int;  (** sum of per-iteration step counts *)
   elapsed : float;  (** wall-clock seconds for the whole fan-out *)
+  timed_out : bool;
+      (** some worker stopped because [max_seconds] ran out (the iteration
+          budget was not exhausted) *)
 }
 
 (** [resolve n] is the effective worker count: [n] itself when positive,
@@ -26,16 +29,17 @@ type stats = {
 val resolve : int -> int
 
 (** [hunt ~workers ~max_iterations ?max_seconds ~init ~body ()] drives
-    [body] over iterations [0 .. max_iterations - 1] and stops early at
-    the first [Some] result: an atomic stop flag is raised and every
-    in-flight worker exits at its next iteration boundary. [body] returns
-    the optional result of one iteration plus the number of scheduler
-    steps it took. Returns the winning result tagged with its global
-    iteration index — when several workers report before observing the
-    stop flag, the result with the {e lowest} iteration index wins, so the
-    outcome is deterministic whenever the racing iterations are. A worker
-    exception is re-raised in the calling domain after all workers have
-    been joined. *)
+    [body] over iterations [0 .. max_iterations - 1] and stops early once
+    a [Some] result is found: the first report min-updates an atomic
+    iteration bound, and workers keep completing iterations {e below} the
+    best known result (possibly lowering the bound further) while skipping
+    those above it. [body] returns the optional result of one iteration
+    plus the number of scheduler steps it took. Returns the winning result
+    tagged with its global iteration index — always the {e lowest}
+    reporting iteration, so for deterministic iterations the winner is
+    identical at every worker count (only the number of higher iterations
+    additionally explored varies with timing). A worker exception is
+    re-raised in the calling domain after all workers have been joined. *)
 val hunt :
   workers:int ->
   max_iterations:int ->

@@ -1,8 +1,16 @@
 type t = {
   promote_during_copy : bool;
   null_deref : bool;
+  silent_restart : bool;
 }
 
-let none = { promote_during_copy = false; null_deref = false }
+let none =
+  { promote_during_copy = false; null_deref = false; silent_restart = false }
+
 let promotion_bug = { none with promote_during_copy = true }
 let cscale_bug = { none with null_deref = true }
+
+(* FabricCrashSilentRestart: a crashed replica restarts without announcing
+   itself to the failover manager, which keeps routing to the stale role.
+   Only findable with crash faults enabled. *)
+let restart_bug = { none with silent_restart = true }

@@ -13,8 +13,17 @@ type t = {
       (** the CScale-like NullReferenceException: the aggregation stage
           dereferences its current-batch field without checking when a
           flush overtakes the data it flushes *)
+  silent_restart : bool;
+      (** FabricCrashSilentRestart: a crashed replica restarts as an idle
+          secondary without announcing itself to the failover manager. The
+          manager keeps routing primary traffic to the stale role, the idle
+          replica drops it, and the client liveness monitor stays hot
+          forever. Only findable with crash faults enabled. *)
 }
 
 val none : t
 val promotion_bug : t
 val cscale_bug : t
+
+(** [silent_restart] armed. *)
+val restart_bug : t

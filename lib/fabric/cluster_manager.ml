@@ -41,11 +41,16 @@ let send_view ctx m =
 let launch_replica ctx m ~initial_role =
   let rid = m.next_rid in
   m.next_rid <- rid + 1;
+  let manager = R.self ctx in
   let machine_id =
     R.create ctx
       ~name:(Printf.sprintf "Replica%d" rid)
-      (Replica.machine ~rid ~manager:(R.self ctx)
-         ~make_service:m.make_service ~initial_role)
+      ~persistent:(fun () ->
+        Replica.machine ~restarted:true
+          ~silent_restart:m.bugs.Bug_flags.silent_restart ~rid ~manager
+          ~make_service:m.make_service ~initial_role:`Idle)
+      (Replica.machine ~rid ~manager ~make_service:m.make_service
+         ~initial_role)
   in
   let role =
     match initial_role with
@@ -128,11 +133,38 @@ let on_copy_done ctx m e =
         if r.role = Idle then begin
           r.role <- Active;
           R.send ctx r.machine_id Events.Promote_to_active;
-          send_view ctx m
+          send_view ctx m;
+          (* A crash can leave the cluster with no primary while every
+             survivor was still building; the first completed build makes a
+             candidate, so elect it now. Draw-free while a primary lives. *)
+          match primary m with
+          | None -> elect ctx m
+          | Some _ -> ()
         end;
         Sm.Stay
       end
   end
+  | _ -> Sm.Unhandled
+
+(* A crashed replica announcing itself after restart: demote it, elect a
+   replacement primary if it held that role, and rebuild it from the (new)
+   primary. Unlike [Replica_failed] the machine is still alive, so it stays
+   in the replica set. *)
+let on_replica_crashed ctx m e =
+  match e with
+  | Events.Replica_crashed { rid } ->
+    (match find_replica m rid with
+     | None -> ()
+     | Some r ->
+       let was_primary = r.role = Primary in
+       r.role <- Idle;
+       if was_primary then begin
+         R.notify ctx Monitors.primary_name (Events.M_primary_down rid);
+         elect ctx m
+       end;
+       send_view ctx m;
+       start_build ctx m r);
+    Sm.Stay
   | _ -> Sm.Unhandled
 
 let on_client_request ctx m e =
@@ -191,6 +223,7 @@ let machine ~bugs ~make_service ~n_replicas ctx =
     Sm.state "Running"
       [
         ("Replica_failed", on_replica_failed);
+        ("Replica_crashed", on_replica_crashed);
         ("Copy_done", on_copy_done);
         ("Client_request", on_client_request);
         ("Request_served", on_request_served);

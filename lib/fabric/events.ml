@@ -16,6 +16,8 @@ type Psharp.Event.t +=
   | Client_response of { req_id : int; response : Service.response }
   | Fail_replica
   | Replica_failed of { rid : int }
+  | Replica_crashed of { rid : int }
+      (** a crashed replica announcing itself to the manager after restart *)
   | Inject_failure
   | Shutdown_cluster
   | Client_done
@@ -54,6 +56,7 @@ let printer = function
       (Printf.sprintf "ClientResponse(#%d, %s)" req_id
          (Service.response_to_string response))
   | Replica_failed { rid } -> Some (Printf.sprintf "ReplicaFailed(rid=%d)" rid)
+  | Replica_crashed { rid } -> Some (Printf.sprintf "ReplicaCrashed(rid=%d)" rid)
   | M_became_primary rid -> Some (Printf.sprintf "M_became_primary(%d)" rid)
   | M_primary_down rid -> Some (Printf.sprintf "M_primary_down(%d)" rid)
   | M_request id -> Some (Printf.sprintf "M_request(%d)" id)

@@ -22,6 +22,9 @@ type Psharp.Event.t +=
   (* failures *)
   | Fail_replica
   | Replica_failed of { rid : int }
+  | Replica_crashed of { rid : int }
+      (** a crashed replica announcing itself to the manager after restart
+          (crash faults); under [Bug_flags.silent_restart] it never does *)
   (* harness control *)
   | Inject_failure
   | Shutdown_cluster

@@ -12,16 +12,24 @@ let test ?(bugs = Bug_flags.none) ?(n_replicas = 3) ?(n_requests = 3)
   ignore
     (R.create ctx ~name:"Client"
        (Client.machine ~manager ~report_to:(R.self ctx) ~n_requests));
+  (* No-op unless the engine runs with crash faults armed. *)
+  Psharp.Fault_driver.install ctx;
   let timer =
     Psharp.Timer.create ctx ~target:(R.self ctx)
       ~tick:(fun () -> Events.Fab_driver_tick)
       ~name:"DriverTimer" ()
   in
+  (* When the engine injects crash faults itself, the scenario's scripted
+     Fail_replica would stack a second failure on top of them and can
+     destroy every caught-up copy — a genuine unavailability that would
+     read as a bug in the fixed code. Draw-free gate: fault-free runs keep
+     the exact same draw sequence. *)
+  let crash_armed = (R.fault_spec ctx).Psharp.Fault.crash in
   let injected = ref false in
   let rec loop () =
     match R.receive ctx with
     | Events.Fab_driver_tick ->
-      if (not !injected) && R.nondet ctx then begin
+      if (not crash_armed) && (not !injected) && R.nondet ctx then begin
         injected := true;
         R.send ctx manager Events.Inject_failure
       end;

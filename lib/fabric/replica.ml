@@ -75,9 +75,22 @@ let on_build ctx m e =
     Sm.Stay
   | _ -> Sm.Unhandled
 
-let machine ~rid ~manager ~make_service ~initial_role ctx =
+let machine ?(restarted = false) ?(silent_restart = false) ~rid ~manager
+    ~make_service ~initial_role ctx =
   Events.install_printer ();
   let m = { rid; manager; service = make_service (); seq = 0; actives = [] } in
+  (* A replica coming back from a crash (Runtime.crash + [~persistent]) has
+     lost its service state and restarts as an idle secondary. The correct
+     replica announces the crash so the manager demotes it, elects a new
+     primary if needed, and rebuilds it; under [silent_restart] it stays
+     quiet and the manager keeps routing to the stale role. *)
+  if restarted && not silent_restart then begin
+    (* A crash can strike after the cluster tore itself down; with the
+       manager gone there is nothing to rejoin, so exit instead of
+       blocking forever (which would read as a deadlock). *)
+    if R.alive ctx manager then R.send ctx manager (Events.Replica_crashed { rid })
+    else R.halt ctx
+  end;
   let common =
     [
       ("Fail_replica", on_fail);
@@ -86,7 +99,11 @@ let machine ~rid ~manager ~make_service ~initial_role ctx =
     ]
   in
   let idle =
+    (* Primary-targeted traffic can reach an idle replica only when it
+       crashed out of that role and the manager does not know yet; a real
+       restarted process would drop it on the floor. *)
     Sm.state "IdleSecondary"
+      ~ignore_:[ "Forward_request"; "Build_replica"; "Update_view" ]
       (( "Promote_to_active", fun _ _ _ -> Sm.Goto "ActiveSecondary" )
        :: ("Replicate", on_replicate) :: common)
   in

@@ -5,9 +5,16 @@
 
     The lifecycle states are P# states of the machine; the failover manager
     drives transitions with [Promote_to_active] and [Become_primary]. On
-    [Fail_replica] the replica notifies the manager and halts. *)
+    [Fail_replica] the replica notifies the manager and halts.
 
+    [?restarted] marks a post-crash boot (the manager's [~persistent] hook
+    passes it): the replica has lost its service state and comes back as an
+    idle secondary, sending [Replica_crashed] to the manager — unless
+    [?silent_restart] re-introduces FabricCrashSilentRestart, in which case
+    it stays quiet and the manager keeps routing to its stale role. *)
 val machine :
+  ?restarted:bool ->
+  ?silent_restart:bool ->
   rid:int ->
   manager:Psharp.Id.t ->
   make_service:(unit -> Service.t) ->

@@ -66,10 +66,10 @@ let acceptor ~bugs ~aid ctx =
        in
        if higher then begin
          promised := Some ballot;
-         R.send ctx proposer
+         R.send_faulty ctx proposer
            (Promise { acceptor = aid; ballot; accepted = !accepted })
        end
-       else R.send ctx proposer (Rejected { ballot })
+       else R.send_faulty ctx proposer (Rejected { ballot })
      | Accept { ballot; value; proposer } ->
        let ok =
          if bugs.forget_promise then
@@ -85,9 +85,9 @@ let acceptor ~bugs ~aid ctx =
        in
        if ok then begin
          accepted := Some (ballot, value);
-         R.send ctx proposer (Accepted { acceptor = aid; ballot })
+         R.send_faulty ctx proposer (Accepted { acceptor = aid; ballot })
        end
-       else R.send ctx proposer (Rejected { ballot })
+       else R.send_faulty ctx proposer (Rejected { ballot })
      | Psharp.Event.Halt_event -> R.halt ctx
      | _ -> ());
     loop ()
@@ -106,7 +106,7 @@ let proposer ~bugs ~pid ~acceptors ~my_value ~max_ballots ~report_to ctx =
     else begin
       let ballot = (round, pid) in
       List.iter
-        (fun a -> R.send ctx a (Prepare { ballot; proposer = R.self ctx }))
+        (fun a -> R.send_faulty ctx a (Prepare { ballot; proposer = R.self ctx }))
         acceptors;
       (* Phase 1: gather promises (or give up on enough rejections). *)
       let promises = ref [] in
@@ -156,7 +156,7 @@ let proposer ~bugs ~pid ~acceptors ~my_value ~max_ballots ~report_to ctx =
         in
         List.iter
           (fun a ->
-            R.send ctx a (Accept { ballot; value; proposer = R.self ctx }))
+            R.send_faulty ctx a (Accept { ballot; value; proposer = R.self ctx }))
           acceptors;
         (* Phase 2: gather accepts. *)
         let accepts = ref 0 in

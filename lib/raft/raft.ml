@@ -126,7 +126,7 @@ let start_election ctx s =
   let last_log_index, last_log_term = last_log_info s in
   List.iter
     (fun (_, peer) ->
-      R.send ctx peer
+      R.send_faulty ctx peer
         (Request_vote
            {
              term = s.term;
@@ -140,7 +140,7 @@ let start_election ctx s =
 let broadcast_append ctx s =
   List.iter
     (fun (_, peer) ->
-      R.send ctx peer
+      R.send_faulty ctx peer
         (Append_entries
            { term = s.term; leader = s.sid; log = s.log;
              leader_commit = s.commit_len }))
@@ -201,7 +201,7 @@ let handle_request_vote ctx s ~term ~candidate ~candidate_id ~last_log_index
     s.voted_for <- Some candidate;
     s.heard_from_leader <- true
   end;
-  R.send ctx candidate_id (Vote { term; granted })
+  R.send_faulty ctx candidate_id (Vote { term; granted })
 
 let handle_append ctx s ~term ~leader ~log ~leader_commit ~leader_id =
   if term > s.term then become_follower s ~term;
@@ -220,7 +220,7 @@ let handle_append ctx s ~term ~leader ~log ~leader_commit ~leader_id =
           notify_committed ctx s ~from_len ~to_len:new_commit
         end
       end;
-      R.send ctx leader_id
+      R.send_faulty ctx leader_id
         (Append_ok
            { term = s.term; follower = s.sid;
              match_len = List.length s.log })

@@ -1,4 +1,8 @@
-type t = { sync_after_expiry : bool }
+type t = {
+  sync_after_expiry : bool;
+  crash_loses_directory : bool;
+}
 
-let none = { sync_after_expiry = false }
-let liveness_bug = { sync_after_expiry = true }
+let none = { sync_after_expiry = false; crash_loses_directory = false }
+let liveness_bug = { none with sync_after_expiry = true }
+let crash_bug = { none with crash_loses_directory = true }

@@ -7,7 +7,18 @@ type t = {
           resurrects the node's extent records in the extent center. The
           replica count then looks healthy while a true replica is missing,
           so the repair loop never schedules the repair. *)
+  crash_loses_directory : bool;
+      (** ExtentNodeCrashLosesBinding: an extent node fails to persist its
+          directory binding, so after a crash/restart it comes back in
+          [Init] with an empty directory and defers every repair request
+          forever — repair stalls and the repair monitor stays hot. Only
+          findable with crash faults enabled. *)
 }
 
 val none : t
+
+(** [sync_after_expiry] armed. *)
 val liveness_bug : t
+
+(** [crash_loses_directory] armed. *)
+val crash_bug : t

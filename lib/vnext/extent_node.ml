@@ -1,11 +1,24 @@
 module Sm = Psharp.Statemachine
 module R = Psharp.Runtime
 
+(* Harness-owned "disk": the state an EN keeps across a crash/restart
+   (Runtime.crash + [~persistent]). Written draw-free, so attaching a disk
+   never perturbs a fault-free schedule. *)
+type disk = {
+  mutable d_directory : (int * Psharp.Id.t) list;
+  mutable d_extents : int list;
+  mutable d_timers_created : bool;
+}
+
+let fresh_disk () =
+  { d_directory = []; d_extents = []; d_timers_created = false }
+
 type model = {
   en : int;
   mgr : Psharp.Id.t;
   relay : Psharp.Id.t;
   center : Extent_center.t;  (* real vNext data structure, re-used (§3.2) *)
+  disk : disk;
   mutable directory : (int * Psharp.Id.t) list;
 }
 
@@ -44,6 +57,10 @@ let on_copy_response ctx m e =
   | Events.Copy_response { extent; ok } ->
     if ok && not (holds m extent) then begin
       Extent_center.add m.center ~en:m.en ~extent;
+      (* acquired extent data reaches the disk before the ack, so a later
+         crash/restart keeps it *)
+      if not (List.mem extent m.disk.d_extents) then
+        m.disk.d_extents <- m.disk.d_extents @ [ extent ];
       R.notify ctx Repair_monitor.name
         (Events.M_extent_repaired { en = m.en; extent })
     end;
@@ -67,19 +84,44 @@ let on_repair_request ctx m e =
     Sm.Stay
   | _ -> Sm.Unhandled
 
-let machine ~en ~mgr ~relay ~initial_extents ctx =
+let machine ?(bugs = Bug_flags.none) ?disk ?(restarted = false) ~en ~mgr
+    ~relay ~initial_extents ctx =
   Events.install_printer ();
-  let m = { en; mgr; relay; center = Extent_center.create (); directory = [] } in
+  let disk = match disk with Some d -> d | None -> fresh_disk () in
+  let m =
+    { en; mgr; relay; center = Extent_center.create (); disk; directory = [] }
+  in
+  (* A restarted node boots from its disk; a fresh node formats the disk
+     with its initial extents so a future restart sees them. *)
+  let boot_extents = if restarted then disk.d_extents else initial_extents in
   List.iter (fun extent -> Extent_center.add m.center ~en ~extent)
-    initial_extents;
-  ignore
-    (Psharp.Timer.create ctx ~target:(R.self ctx)
-       ~tick:(fun () -> Events.Heartbeat_tick)
-       ~name:(Printf.sprintf "HbTimer%d" en) ());
-  ignore
-    (Psharp.Timer.create ctx ~target:(R.self ctx)
-       ~tick:(fun () -> Events.Sync_tick)
-       ~name:(Printf.sprintf "SyncTimer%d" en) ());
+    boot_extents;
+  if not restarted then disk.d_extents <- boot_extents;
+  (* The timers are separate machines and survive the node's crash; they
+     keep ticking at this machine id, so a restart must not create a
+     second pair. *)
+  if not disk.d_timers_created then begin
+    disk.d_timers_created <- true;
+    ignore
+      (Psharp.Timer.create ctx ~target:(R.self ctx)
+         ~tick:(fun () -> Events.Heartbeat_tick)
+         ~name:(Printf.sprintf "HbTimer%d" en) ());
+    ignore
+      (Psharp.Timer.create ctx ~target:(R.self ctx)
+         ~tick:(fun () -> Events.Sync_tick)
+         ~name:(Printf.sprintf "SyncTimer%d" en) ())
+  end;
+  (* The correct node also persisted its directory binding, so after a
+     restart it resumes serving directly. Under [crash_loses_directory] the
+     binding never made it to disk: the node comes back in [Init] with an
+     empty directory and defers every repair request until a rebind that
+     nobody will send — the stall ExtentNodeCrashLosesBinding exposes. *)
+  let recovered =
+    restarted
+    && (not bugs.Bug_flags.crash_loses_directory)
+    && disk.d_directory <> []
+  in
+  if recovered then m.directory <- disk.d_directory;
   let common =
     [
       ("Heartbeat_tick", on_heartbeat_tick);
@@ -112,4 +154,6 @@ let machine ~en ~mgr ~relay ~initial_extents ctx =
       (("Repair_request", on_repair_request)
        :: ("Bind_directory", rebind) :: common)
   in
-  Sm.run ctx ~machine:"ExtentNode" ~states:[ init; active ] ~init:"Init" m
+  Sm.run ctx ~machine:"ExtentNode" ~states:[ init; active ]
+    ~init:(if recovered then "Active" else "Init")
+    m

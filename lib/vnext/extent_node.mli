@@ -6,9 +6,34 @@
     failure handling. Re-uses the real {!Extent_center} data structure for
     bookkeeping, as the paper's harness does. *)
 
+(** Harness-owned persistent state: what an EN keeps across a
+    {!Psharp.Runtime.crash}/restart. The testing driver allocates one disk
+    per node and passes the same record to the initial body and to the
+    [~persistent] restart closure. All writes are draw-free. *)
+type disk = {
+  mutable d_directory : (int * Psharp.Id.t) list;
+      (** durable directory binding (written by the driver at bind time) *)
+  mutable d_extents : int list;  (** extents whose data reached the disk *)
+  mutable d_timers_created : bool;
+      (** the node's timer machines survive its crash, so only the first
+          boot creates them *)
+}
+
+val fresh_disk : unit -> disk
+
 (** [machine ~en ~mgr ~relay ~initial_extents ctx] runs an EN with logical
-    id [en]. The node awaits [Bind_directory] before serving repairs. *)
+    id [en]. The node awaits [Bind_directory] before serving repairs.
+
+    [?disk] attaches persistent state (default: a private fresh disk).
+    [?restarted] marks a post-crash boot: the node loads its extents from
+    the disk, skips timer creation if the timers already exist, and — when
+    the disk holds a directory binding — resumes directly in [Active].
+    Under [bugs.crash_loses_directory] the binding is ignored on restart,
+    so the node stalls in [Init] deferring repair requests forever. *)
 val machine :
+  ?bugs:Bug_flags.t ->
+  ?disk:disk ->
+  ?restarted:bool ->
   en:int ->
   mgr:Psharp.Id.t ->
   relay:Psharp.Id.t ->

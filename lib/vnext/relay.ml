@@ -7,7 +7,7 @@ let machine ~lossy ctx =
   let rec loop () =
     (match R.receive ctx with
      | Events.Net_deliver { target; event } ->
-       if (not lossy) || R.nondet ctx then R.send ctx target event
+       if (not lossy) || R.nondet ctx then R.send_faulty ctx target event
        else R.log ctx (Printf.sprintf "dropped %s" (Psharp.Event.to_string event))
      | _ -> ());
     loop ()

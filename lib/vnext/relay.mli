@@ -4,7 +4,13 @@
     the relay's inbox until the scheduler runs the relay, so the engine can
     interleave deliveries arbitrarily with other events — this is how
     "messages delayed in the network" (§3.6) are explored systematically.
-    Optionally the relay drops messages nondeterministically. *)
+    Optionally the relay drops messages nondeterministically.
+
+    Delivery goes through {!Psharp.Runtime.send_faulty}, so when the
+    engine runs with message faults armed ([--faults drop,dup,delay])
+    the final relay-to-target hop is also subject to budgeted drop,
+    duplicate, and delay injection — with faults disabled it is a plain
+    send and draws nothing. *)
 
 (** [machine ~lossy ctx] forwards every [Net_deliver] envelope to its
     target; when [lossy], each message is dropped or delivered by a

@@ -25,21 +25,37 @@ let test ?(bugs = Bug_flags.none) ?(n_nodes = 3) ?(replica_target = 3)
       List.filter (fun extent -> extent mod n_nodes = en) extents
     | Fail_and_repair -> extents
   in
+  (* One disk per node (including the fresh node Fail_and_repair adds), so
+     crash faults can restart an EN from its persistent state. *)
+  let disks = Array.init (n_nodes + 1) (fun _ -> Extent_node.fresh_disk ()) in
+  let make_node en ~initial_extents =
+    R.create ctx
+      ~name:(Printf.sprintf "EN%d" en)
+      ~persistent:(fun () ->
+        Extent_node.machine ~bugs ~disk:disks.(en) ~restarted:true ~en ~mgr
+          ~relay ~initial_extents:[])
+      (Extent_node.machine ~bugs ~disk:disks.(en) ~en ~mgr ~relay
+         ~initial_extents)
+  in
   let nodes =
     List.init n_nodes (fun en ->
-        ( en,
-          R.create ctx
-            ~name:(Printf.sprintf "EN%d" en)
-            (Extent_node.machine ~en ~mgr ~relay
-               ~initial_extents:(initial_extents en)) ))
+        (en, make_node en ~initial_extents:(initial_extents en)))
   in
   let bind directory =
+    (* The binding is durable: it reaches every node's disk before the
+       Bind_directory events go out, mirroring a config store written ahead
+       of the notification fan-out. Disk writes draw nothing. *)
+    List.iter
+      (fun (en, _) -> disks.(en).Extent_node.d_directory <- directory)
+      directory;
     R.send ctx mgr (Events.Bind_directory directory);
     List.iter
       (fun (_, node) -> R.send ctx node (Events.Bind_directory directory))
       directory
   in
   bind nodes;
+  (* No-op unless the engine runs with crash faults armed. *)
+  Psharp.Fault_driver.install ctx;
   let layout =
     List.map
       (fun extent ->
@@ -77,12 +93,7 @@ let test ?(bugs = Bug_flags.none) ?(n_nodes = 3) ?(replica_target = 3)
           R.send ctx victim Events.Fail_en;
           R.log ctx (Printf.sprintf "injected failure into EN%d" victim_en);
           let fresh_en = n_nodes in
-          let fresh =
-            R.create ctx
-              ~name:(Printf.sprintf "EN%d" fresh_en)
-              (Extent_node.machine ~en:fresh_en ~mgr ~relay
-                 ~initial_extents:[])
-          in
+          let fresh = make_node fresh_en ~initial_extents:[] in
           bind (nodes @ [ (fresh_en, fresh) ]);
           R.send ctx timer Psharp.Timer.Timer_stop;
           R.set_state_name ctx "Repairing"

@@ -1,0 +1,361 @@
+(* The fault-injection substrate: specs, the message-fault interposition
+   point (drop / duplicate / delay), crash/restart, trace recording and
+   replay, and the three fault-only catalog bugs. *)
+
+module E = Psharp.Engine
+module R = Psharp.Runtime
+module Fault = Psharp.Fault
+module Error = Psharp.Error
+module Trace = Psharp.Trace
+module Event = Psharp.Event
+
+type Event.t += Token | Hello
+
+(* --- Fault.spec ---------------------------------------------------------- *)
+
+let test_spec_basics () =
+  Alcotest.(check bool) "none disabled" false (Fault.enabled Fault.none);
+  let s = Fault.make [ Fault.Drop; Fault.Crash ] in
+  Alcotest.(check bool) "made spec enabled" true (Fault.enabled s);
+  Alcotest.(check bool) "message faults armed" true (Fault.message_faults s);
+  let crash_only = Fault.make [ Fault.Crash ] in
+  Alcotest.(check bool) "crash-only has no message faults" false
+    (Fault.message_faults crash_only);
+  Alcotest.(check bool) "crash-only still enabled" true
+    (Fault.enabled crash_only);
+  let dry = Fault.make ~budget:0 [ Fault.Drop ] in
+  Alcotest.(check bool) "zero budget disables" false (Fault.enabled dry);
+  Alcotest.check_raises "negative budget rejected"
+    (Invalid_argument "Fault.make: budget must be non-negative") (fun () ->
+      ignore (Fault.make ~budget:(-1) [ Fault.Drop ]))
+
+let test_spec_parse () =
+  (match Fault.parse "drop,dup,delay,crash" with
+   | Ok s ->
+     Alcotest.(check (list string))
+       "all kinds, canonical order"
+       [ "drop"; "dup"; "delay"; "crash" ]
+       (List.map Fault.kind_to_string (Fault.kinds s))
+   | Error e -> Alcotest.failf "parse failed: %s" e);
+  (match Fault.parse " crash " with
+   | Ok s ->
+     Alcotest.(check bool) "whitespace tolerated" true s.Fault.crash;
+     Alcotest.(check int) "budget defaults to 1" 1 s.Fault.budget
+   | Error e -> Alcotest.failf "parse failed: %s" e);
+  (match Fault.parse "duplicate" with
+   | Ok s -> Alcotest.(check bool) "long form accepted" true s.Fault.duplicate
+   | Error e -> Alcotest.failf "parse failed: %s" e);
+  (match Fault.parse "lightning" with
+   | Ok _ -> Alcotest.fail "unknown kind accepted"
+   | Error _ -> ());
+  match Fault.parse "" with
+  | Ok _ -> Alcotest.fail "empty spec accepted"
+  | Error _ -> ()
+
+(* --- The interposition point --------------------------------------------- *)
+
+(* One token sent via [send_faulty]; the receiver flags its arrival with
+   an assertion failure, so "delivered" and "dropped" are distinguishable
+   bug kinds (assertion vs. deadlock). *)
+let one_shot_harness ctx =
+  let receiver =
+    R.create ctx ~name:"Receiver" (fun rctx ->
+        ignore (R.receive rctx);
+        R.assert_here rctx false "delivered")
+  in
+  ignore
+    (R.create ctx ~name:"Sender" (fun sctx ->
+         R.send_faulty sctx receiver Token))
+
+let kind_tag = function
+  | Error.Assertion_failure _ -> "assertion"
+  | Error.Deadlock _ -> "deadlock"
+  | Error.Safety_violation _ -> "safety"
+  | Error.Liveness_violation _ -> "liveness"
+  | Error.Unhandled_event _ -> "unhandled"
+  | Error.Machine_exception _ -> "exception"
+  | Error.Replay_divergence _ -> "divergence"
+
+let kinds_of_survey found =
+  List.map (fun (r, _) -> kind_tag r.Error.kind) found |> List.sort_uniq compare
+
+let base_config =
+  { E.default_config with max_executions = 300; max_steps = 200; seed = 11L }
+
+let test_disabled_is_plain_send () =
+  (* With Fault.none, send_faulty must be a plain send: the only recorded
+     choices are schedule picks (zero fault draws), and the message always
+     arrives. *)
+  match E.run { base_config with E.max_executions = 20 } one_shot_harness with
+  | E.Bug_found (report, _) ->
+    (match report.Error.kind with
+     | Error.Assertion_failure _ -> ()
+     | k -> Alcotest.failf "wrong kind: %s" (Error.kind_to_string k));
+    List.iter
+      (function
+        | Trace.Schedule _ -> ()
+        | c ->
+          Alcotest.failf "non-schedule choice recorded with faults off: %s"
+            (match c with
+             | Trace.Bool b -> Printf.sprintf "b:%b" b
+             | Trace.Int i -> Printf.sprintf "i:%d" i
+             | Trace.Schedule _ -> assert false))
+      (Trace.to_list report.Error.trace)
+  | E.No_bug _ -> Alcotest.fail "message did not arrive with faults off"
+
+let test_drop_loses_the_message () =
+  let faults = Fault.make [ Fault.Drop ] in
+  let found =
+    E.survey { base_config with E.faults } one_shot_harness |> kinds_of_survey
+  in
+  Alcotest.(check bool) "some schedule still delivers" true
+    (List.exists (fun k -> k = "assertion") found);
+  Alcotest.(check bool) "some schedule drops (receiver deadlocks)" true
+    (List.exists (fun k -> k = "deadlock") found)
+
+let test_duplicate_delivers_twice () =
+  (* The receiver only trips the assertion on a second delivery of the
+     single message sent, which requires an injected duplicate. *)
+  let harness ctx =
+    let receiver =
+      R.create ctx ~name:"Receiver" (fun rctx ->
+          ignore (R.receive rctx);
+          ignore (R.receive rctx);
+          R.assert_here rctx false "double delivery")
+    in
+    ignore
+      (R.create ctx ~name:"Sender" (fun sctx ->
+           R.send_faulty sctx receiver Token))
+  in
+  (match E.run { base_config with E.deadlock_is_bug = false } harness with
+   | E.No_bug _ -> ()
+   | E.Bug_found (r, _) ->
+     Alcotest.failf "second delivery without faults: %s"
+       (Error.kind_to_string r.Error.kind));
+  let faults = Fault.make [ Fault.Duplicate ] in
+  match
+    E.run { base_config with E.faults; deadlock_is_bug = false } harness
+  with
+  | E.Bug_found ({ Error.kind = Error.Assertion_failure _; _ }, _) -> ()
+  | E.Bug_found (r, _) ->
+    Alcotest.failf "wrong kind: %s" (Error.kind_to_string r.Error.kind)
+  | E.No_bug _ -> Alcotest.fail "duplicate never injected"
+
+let test_delay_reorders_same_sender () =
+  (* FIFO per sender pair means the receiver always sees Token before
+     Hello — unless an injected delay holds Token back behind a later
+     delivery. *)
+  let harness ctx =
+    let receiver =
+      R.create ctx ~name:"Receiver" (fun rctx ->
+          match R.receive rctx with
+          | Hello -> R.assert_here rctx false "B overtook A"
+          | _ -> ())
+    in
+    ignore
+      (R.create ctx ~name:"Sender" (fun sctx ->
+           R.send_faulty sctx receiver Token;
+           R.send_faulty sctx receiver Hello))
+  in
+  (match E.run { base_config with E.deadlock_is_bug = false } harness with
+   | E.No_bug _ -> ()
+   | E.Bug_found _ -> Alcotest.fail "FIFO broken without faults");
+  let faults = Fault.make [ Fault.Delay ] in
+  match
+    E.run { base_config with E.faults; deadlock_is_bug = false } harness
+  with
+  | E.Bug_found ({ Error.kind = Error.Assertion_failure _; _ }, _) -> ()
+  | E.Bug_found (r, _) ->
+    Alcotest.failf "wrong kind: %s" (Error.kind_to_string r.Error.kind)
+  | E.No_bug _ -> Alcotest.fail "delay never reordered the pair"
+
+let test_crash_restarts_persistent_machine () =
+  (* The greeter announces itself on every (re)start; a second Hello can
+     only come from a crash/restart injected by the Fault_driver. *)
+  let harness ctx =
+    let me = R.self ctx in
+    (* Announce, then stay alive (blocked) so the Fault_driver can strike:
+       a machine whose body returned is halted and no longer crashable. *)
+    let greeter gctx =
+      R.send gctx me Hello;
+      ignore (R.receive gctx)
+    in
+    ignore
+      (R.create ctx ~name:"Greeter" ~persistent:(fun () -> greeter) greeter);
+    Psharp.Fault_driver.install ctx;
+    (match R.receive ctx with
+     | Hello -> ()
+     | _ -> ());
+    match R.receive ctx with
+    | Hello -> R.assert_here ctx false "greeter restarted"
+    | _ -> ()
+  in
+  (match E.run { base_config with E.deadlock_is_bug = false } harness with
+   | E.No_bug _ -> ()
+   | E.Bug_found _ -> Alcotest.fail "phantom restart without faults");
+  let faults = Fault.make [ Fault.Crash ] in
+  match
+    E.run { base_config with E.faults; deadlock_is_bug = false } harness
+  with
+  | E.Bug_found ({ Error.kind = Error.Assertion_failure _; _ }, _) -> ()
+  | E.Bug_found (r, _) ->
+    Alcotest.failf "wrong kind: %s" (Error.kind_to_string r.Error.kind)
+  | E.No_bug _ -> Alcotest.fail "crash never injected"
+
+let test_fault_trace_replays () =
+  (* Every injected fault is a recorded choice: replaying a fault-found
+     witness under the same spec reproduces the identical error. *)
+  let faults = Fault.make [ Fault.Drop ] in
+  let cfg = { base_config with E.faults } in
+  let deadlocks =
+    E.survey cfg one_shot_harness
+    |> List.filter (fun (r, _) -> kind_tag r.Error.kind = "deadlock")
+  in
+  match deadlocks with
+  | [] -> Alcotest.fail "no dropped-message witness found"
+  | (report, _) :: _ ->
+    let result = E.replay cfg report.Error.trace one_shot_harness in
+    (match result.R.bug with
+     | Some (Error.Deadlock _) -> ()
+     | Some k ->
+       Alcotest.failf "replayed to a different bug: %s"
+         (Error.kind_to_string k)
+     | None -> Alcotest.fail "fault witness did not replay")
+
+(* --- The fault-only catalog bugs ----------------------------------------- *)
+
+let entry_config ?(max_executions = 300) entry ~faults =
+  {
+    E.default_config with
+    max_executions;
+    max_steps = entry.Catalog.Bug_catalog.max_steps;
+    seed = 1L;
+    faults;
+  }
+
+let hunt_entry ?max_executions ?(fixed = false) entry ~faults =
+  let harness =
+    if fixed then entry.Catalog.Bug_catalog.fixed_harness
+    else entry.Catalog.Bug_catalog.harness
+  in
+  E.run ~monitors:entry.Catalog.Bug_catalog.monitors
+    (entry_config ?max_executions entry ~faults)
+    harness
+
+let check_fault_bug ~name ~expect =
+  let entry = Catalog.Bug_catalog.find name in
+  Alcotest.(check bool)
+    "entry carries a fault spec" true
+    (Fault.enabled entry.Catalog.Bug_catalog.faults);
+  (* 1. Reachable under the entry's own fault spec... *)
+  (match hunt_entry entry ~faults:entry.Catalog.Bug_catalog.faults with
+   | E.Bug_found (report, _) ->
+     expect report.Error.kind;
+     (* ...and the witness replays to the identical error under the same
+        spec. *)
+     let result =
+       E.replay
+         ~monitors:entry.Catalog.Bug_catalog.monitors
+         (entry_config entry ~faults:entry.Catalog.Bug_catalog.faults)
+         report.Error.trace entry.Catalog.Bug_catalog.harness
+     in
+     (match result.R.bug with
+      | Some kind ->
+        Alcotest.(check string)
+          "replay reproduces the identical error"
+          (Error.kind_to_string report.Error.kind)
+          (Error.kind_to_string kind)
+      | None -> Alcotest.fail "fault witness did not replay")
+   | E.No_bug _ -> Alcotest.failf "%s not found with its fault spec" name);
+  (* 2. Unreachable without faults: these bugs need injection. *)
+  (match
+     hunt_entry entry ~max_executions:150 ~faults:Fault.none
+   with
+   | E.No_bug _ -> ()
+   | E.Bug_found (r, _) ->
+     Alcotest.failf "%s found without faults: %s" name
+       (Error.kind_to_string r.Error.kind));
+  (* 3. No false positive: the fixed harness survives the same faults. *)
+  match
+    hunt_entry entry ~max_executions:150 ~fixed:true
+      ~faults:entry.Catalog.Bug_catalog.faults
+  with
+  | E.No_bug _ -> ()
+  | E.Bug_found (r, _) ->
+    Alcotest.failf "fixed %s still fails: %s" name
+      (Error.kind_to_string r.Error.kind)
+
+let test_vnext_crash_bug () =
+  check_fault_bug ~name:"ExtentNodeCrashLosesBinding" ~expect:(function
+    | Error.Liveness_violation { monitor; _ } ->
+      Alcotest.(check string) "repair monitor" "RepairMonitor" monitor
+    | k -> Alcotest.failf "wrong kind: %s" (Error.kind_to_string k))
+
+let test_chaintable_dup_bug () =
+  check_fault_bug ~name:"ChaintableDuplicateBackendRequest" ~expect:(function
+    | Error.Assertion_failure _ -> ()
+    | k -> Alcotest.failf "wrong kind: %s" (Error.kind_to_string k))
+
+let test_fabric_crash_bug () =
+  check_fault_bug ~name:"FabricCrashSilentRestart" ~expect:(function
+    | Error.Liveness_violation { monitor; _ } ->
+      Alcotest.(check string) "client liveness monitor" "FabricClientLiveness"
+        monitor
+    | k -> Alcotest.failf "wrong kind: %s" (Error.kind_to_string k))
+
+let test_shrink_fault_trace () =
+  (* The shrinker minimizes a fault schedule like any other: the minimized
+     vnext crash witness is shorter and still violates the same monitor. *)
+  let entry = Catalog.Bug_catalog.find "ExtentNodeCrashLosesBinding" in
+  let cfg = entry_config entry ~faults:entry.Catalog.Bug_catalog.faults in
+  match
+    E.run ~monitors:entry.Catalog.Bug_catalog.monitors cfg
+      entry.Catalog.Bug_catalog.harness
+  with
+  | E.No_bug _ -> Alcotest.fail "crash bug not found"
+  | E.Bug_found (report, _) ->
+    (* One delta-debugging round keeps the test affordable: every shrink
+       candidate of a liveness witness replays to the full step bound. *)
+    let shrunk =
+      Psharp.Shrinker.shrink ~rounds:1
+        ~monitors:entry.Catalog.Bug_catalog.monitors cfg report
+        entry.Catalog.Bug_catalog.harness
+    in
+    Alcotest.(check bool) "not longer" true
+      (Trace.length shrunk.Error.trace <= Trace.length report.Error.trace);
+    (match shrunk.Error.kind with
+     | Error.Liveness_violation { monitor; _ } ->
+       Alcotest.(check string) "same monitor" "RepairMonitor" monitor
+     | k -> Alcotest.failf "kind changed: %s" (Error.kind_to_string k));
+    let result =
+      E.replay ~monitors:entry.Catalog.Bug_catalog.monitors cfg
+        shrunk.Error.trace entry.Catalog.Bug_catalog.harness
+    in
+    (match result.R.bug with
+     | Some (Error.Liveness_violation _) -> ()
+     | _ -> Alcotest.fail "shrunk fault trace does not replay")
+
+let suite =
+  [
+    Alcotest.test_case "spec: basics" `Quick test_spec_basics;
+    Alcotest.test_case "spec: parse" `Quick test_spec_parse;
+    Alcotest.test_case "disabled faults = plain send, zero draws" `Quick
+      test_disabled_is_plain_send;
+    Alcotest.test_case "drop loses the message" `Quick
+      test_drop_loses_the_message;
+    Alcotest.test_case "duplicate delivers twice" `Quick
+      test_duplicate_delivers_twice;
+    Alcotest.test_case "delay reorders a same-sender pair" `Quick
+      test_delay_reorders_same_sender;
+    Alcotest.test_case "crash restarts a persistent machine" `Quick
+      test_crash_restarts_persistent_machine;
+    Alcotest.test_case "fault witnesses replay" `Quick test_fault_trace_replays;
+    Alcotest.test_case "catalog: vnext crash loses binding" `Slow
+      test_vnext_crash_bug;
+    Alcotest.test_case "catalog: chaintable duplicate backend request" `Slow
+      test_chaintable_dup_bug;
+    Alcotest.test_case "catalog: fabric crash silent restart" `Slow
+      test_fabric_crash_bug;
+    Alcotest.test_case "shrinker minimizes a fault trace" `Slow
+      test_shrink_fault_trace;
+  ]

@@ -22,5 +22,6 @@ let () =
       ("fabric", Test_fabric.suite);
       ("consensus", Test_consensus.suite);
       ("shrinker", Test_shrinker.suite);
+      ("fault", Test_fault.suite);
       ("substrate-extra", Test_substrate_extra.suite);
     ]

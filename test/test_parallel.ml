@@ -74,6 +74,29 @@ let test_pool_hunt_stops_early () =
   Alcotest.(check bool) "stopped far short of the budget" true
     (stats.W.executions < 1_000)
 
+let test_pool_hunt_lowest_iteration_wins () =
+  (* Regression: a later iteration reporting first must not beat an
+     earlier one still in flight. Iteration 3 sleeps long enough for
+     iteration 7 to report; the min-updating stop bound must still let 3
+     finish and crown it, at every worker count and thread timing. *)
+  let winner, _ =
+    W.hunt ~workers:3 ~max_iterations:100
+      ~init:(fun ~worker:_ -> ())
+      ~body:(fun () ~iteration ->
+        if iteration = 3 then begin
+          Unix.sleepf 0.05;
+          (Some iteration, 1)
+        end
+        else if iteration = 7 then (Some iteration, 1)
+        else (None, 1))
+      ()
+  in
+  match winner with
+  | Some (value, iteration) ->
+    Alcotest.(check int) "lowest reporting iteration wins" 3 iteration;
+    Alcotest.(check int) "value comes from that iteration" 3 value
+  | None -> Alcotest.fail "expected a winner"
+
 let test_pool_empty_budget () =
   let winner, stats =
     W.hunt ~workers:4 ~max_iterations:0
@@ -192,6 +215,37 @@ let test_survey_honors_max_seconds () =
   Alcotest.(check (list (pair reject int))) "no violations" [] found;
   Alcotest.(check bool) "returned at the deadline" true (elapsed < 5.0)
 
+let test_deadline_aborts_inside_an_execution () =
+  (* Regression: max_seconds used to be checked only *between* executions,
+     so one long execution overshot the budget arbitrarily. The deadline
+     is now threaded into the runtime step loop: a single execution that
+     would run for ~half a minute aborts at the bound, and stats report
+     the timeout. *)
+  let spinner ctx =
+    let rec loop () =
+      R.send ctx (R.self ctx) Token;
+      ignore (R.receive ctx);
+      loop ()
+    in
+    loop ()
+  in
+  let cfg =
+    {
+      E.default_config with
+      max_executions = 1;
+      max_steps = 50_000_000;
+      max_seconds = Some 0.2;
+    }
+  in
+  let started = Unix.gettimeofday () in
+  (match E.run cfg spinner with
+   | E.No_bug stats ->
+     Alcotest.(check bool) "stats report the timeout" true stats.E.timed_out
+   | E.Bug_found (r, _) ->
+     Alcotest.failf "unexpected bug: %s" (Error.kind_to_string r.Error.kind));
+  Alcotest.(check bool) "aborted mid-execution at the bound" true
+    (Unix.gettimeofday () -. started < 5.0)
+
 let test_survey_partial_results_at_deadline () =
   let cfg =
     {
@@ -273,6 +327,8 @@ let suite =
       test_pool_sweep_collects_everything;
     Alcotest.test_case "pool: hunt stops early" `Quick
       test_pool_hunt_stops_early;
+    Alcotest.test_case "pool: lowest iteration wins the hunt" `Quick
+      test_pool_hunt_lowest_iteration_wins;
     Alcotest.test_case "pool: empty budget" `Quick test_pool_empty_budget;
     Alcotest.test_case "pool: exceptions propagate" `Quick
       test_pool_propagates_exceptions;
@@ -286,6 +342,8 @@ let suite =
       test_dfs_falls_back_to_sequential;
     Alcotest.test_case "survey: honors max_seconds" `Quick
       test_survey_honors_max_seconds;
+    Alcotest.test_case "deadline aborts inside an execution" `Quick
+      test_deadline_aborts_inside_an_execution;
     Alcotest.test_case "survey: partial results at deadline" `Quick
       test_survey_partial_results_at_deadline;
     Alcotest.test_case "survey: parallel matches sequential kinds" `Quick

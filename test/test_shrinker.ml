@@ -57,9 +57,31 @@ let test_shrink_assertion_bug () =
      | Some (Error.Assertion_failure _) -> ()
      | _ -> Alcotest.fail "shrunk trace does not replay")
 
+let test_lenient_divergence_abandons_stale_tape () =
+  (* Regression: once the lenient replay strategy diverges it must abandon
+     the rest of the recorded tape entirely. If a stale tape were still
+     consulted, the recorded [Int 5] (valid for bound 6) would leak into
+     the diverged run at step 1 for every seed; at least one seed drawing
+     something else proves the tape was dropped. *)
+  let recorded = Trace.of_list [ Trace.Int 20; Trace.Int 5 ] in
+  let differs seed =
+    let s = Psharp.Shrinker.lenient_strategy recorded ~seed in
+    let v0 = s.Psharp.Strategy.next_int ~bound:10 ~step:0 in
+    Alcotest.(check bool) "diverged draw in range" true (v0 >= 0 && v0 < 10);
+    let v1 = s.Psharp.Strategy.next_int ~bound:6 ~step:1 in
+    Alcotest.(check bool) "post-divergence draw in range" true
+      (v1 >= 0 && v1 < 6);
+    v1 <> 5
+  in
+  let seeds = List.init 10 (fun i -> Int64.of_int (100 + i)) in
+  Alcotest.(check bool) "stale tape abandoned after divergence" true
+    (List.exists differs seeds)
+
 let suite =
   [
     Alcotest.test_case "shrinks and replays" `Slow test_shrinks_and_replays;
+    Alcotest.test_case "lenient divergence abandons the stale tape" `Quick
+      test_lenient_divergence_abandons_stale_tape;
     Alcotest.test_case "actually reduces" `Slow test_shrink_actually_reduces;
     Alcotest.test_case "shrinks an assertion bug" `Slow
       test_shrink_assertion_bug;
