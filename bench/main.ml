@@ -655,6 +655,7 @@ let measure_throughput ?(faults = Psharp.Fault.none) ~budget ~collect_log
           deadlock_is_bug = true;
           collect_log;
           coverage = exec_cov;
+          hb = None;
           faults;
           deadline = None;
         }
@@ -904,6 +905,7 @@ let golden_digests () =
             deadlock_is_bug = true;
             collect_log = false;
             coverage = None;
+            hb = None;
             faults = Psharp.Fault.none;
             deadline = None;
           }
@@ -1022,6 +1024,116 @@ let micro () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Happens-before reduction                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* ISSUE 5 acceptance benchmark. For each paper case study: hunt the
+   catalog bug with reduction off and with sleep sets (executions to
+   first bug at a fixed seed), and explore the no-bug fixed variant with
+   plain tracking vs sleep sets (distinct canonical partial orders per
+   1000 executions — how much of the budget lands on semantically new
+   interleavings). Results land in BENCH_dpor.json. *)
+
+let reduction_bugs =
+  [
+    ("vnext", "ExtentNodeLivenessViolation");
+    ("chaintable", "QueryAtomicFilterShadowing");
+    ("fabric", "FabricPromoteDuringCopy");
+  ]
+
+let reduction ~hunt_budget ~explore_budget () =
+  Printf.printf
+    "== Happens-before reduction: hunt %d / explore %d executions (seed \
+     %Ld) ==\n"
+    hunt_budget explore_budget base_seed;
+  let hunt_execs entry ~reduce =
+    let cfg =
+      {
+        E.default_config with
+        seed = base_seed;
+        max_executions = hunt_budget;
+        max_steps = entry.Bug_catalog.max_steps;
+        reduce;
+      }
+    in
+    match
+      E.run ~monitors:entry.Bug_catalog.monitors cfg
+        entry.Bug_catalog.harness
+    with
+    | E.Bug_found (_, stats) -> Some stats.E.executions
+    | E.No_bug _ -> None
+  in
+  let upo_per_1000 entry ~reduce =
+    let cfg =
+      {
+        E.default_config with
+        seed = base_seed;
+        max_executions = explore_budget;
+        max_steps = entry.Bug_catalog.max_steps;
+        collect_coverage = true;
+        reduce;
+      }
+    in
+    let stats =
+      E.explore ~monitors:entry.Bug_catalog.monitors cfg
+        entry.Bug_catalog.fixed_harness
+    in
+    match stats.E.coverage with
+    | Some cov when stats.E.executions > 0 ->
+      let t = Coverage.totals cov in
+      float_of_int t.Coverage.partial_orders
+      /. float_of_int stats.E.executions *. 1000.
+    | _ -> 0.
+  in
+  let rows =
+    List.map
+      (fun (harness, bug) ->
+        let entry = Bug_catalog.find bug in
+        let off = hunt_execs entry ~reduce:E.No_reduction in
+        let on_ = hunt_execs entry ~reduce:E.Sleep_sets in
+        let upo_track = upo_per_1000 entry ~reduce:E.Hb_track in
+        let upo_sleep = upo_per_1000 entry ~reduce:E.Sleep_sets in
+        (harness, bug, off, on_, upo_track, upo_sleep))
+      reduction_bugs
+  in
+  let pp_execs = function
+    | Some n -> string_of_int n
+    | None -> "not-found"
+  in
+  Printf.printf "%-11s %-36s %12s %12s %11s %11s\n" "harness" "bug"
+    "execs (off)" "execs (on)" "upo/1k trk" "upo/1k slp";
+  print_endline (String.make 98 '-');
+  List.iter
+    (fun (harness, bug, off, on_, ut, us) ->
+      Printf.printf "%-11s %-36s %12s %12s %11.1f %11.1f\n" harness bug
+        (pp_execs off) (pp_execs on_) ut us)
+    rows;
+  let oc = open_out "BENCH_dpor.json" in
+  output_string oc "{\n";
+  Printf.fprintf oc "  \"seed\": %Ld,\n" base_seed;
+  Printf.fprintf oc "  \"hunt_budget\": %d,\n" hunt_budget;
+  Printf.fprintf oc "  \"explore_budget\": %d,\n" explore_budget;
+  output_string oc "  \"harnesses\": [\n";
+  let json_execs = function
+    | Some n -> string_of_int n
+    | None -> "null"
+  in
+  List.iteri
+    (fun i (harness, bug, off, on_, ut, us) ->
+      Printf.fprintf oc
+        "    {\"name\": %S, \"bug\": %S, \
+         \"execs_to_first_bug_off\": %s, \"execs_to_first_bug_sleep\": \
+         %s, \"unique_partial_orders_per_1000_track\": %.1f, \
+         \"unique_partial_orders_per_1000_sleep\": %.1f}%s\n"
+        harness bug (json_execs off) (json_execs on_) ut us
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  print_endline "wrote BENCH_dpor.json";
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -1048,6 +1160,8 @@ let () =
     if full then [ 100; 250; 500; 1_000 ] else [ 25; 50; 100; 200 ]
   in
   let throughput_budget = if full then 2_000 else if smoke then 60 else 400 in
+  let reduction_hunt_budget = if full then 100_000 else if smoke then 2_000 else 20_000 in
+  let reduction_explore_budget = if full then 2_000 else if smoke then 100 else 500 in
   List.iter
     (fun section ->
       match section with
@@ -1061,6 +1175,9 @@ let () =
       | "exec-throughput" -> exec_throughput ~budget:throughput_budget ()
       | "fault-overhead" -> fault_overhead ~budget:throughput_budget ()
       | "golden-digests" -> golden_digests ()
+      | "reduction" ->
+        reduction ~hunt_budget:reduction_hunt_budget
+          ~explore_budget:reduction_explore_budget ()
       | "micro" -> micro ()
       | other -> Printf.printf "unknown section %s\n" other)
     sections

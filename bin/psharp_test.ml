@@ -113,6 +113,22 @@ let faults_arg =
   in
   Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"KINDS" ~doc)
 
+let reduce_arg =
+  let doc =
+    "Happens-before instrumentation: none (default), track (record each \
+     execution's canonical partial order into coverage without changing \
+     the schedule), or sleep (sleep-set partial-order reduction wrapped \
+     around the base strategy). Sequential-only; with --workers the run \
+     falls back to one worker."
+  in
+  Arg.(value & opt string "none" & info [ "reduce" ] ~docv:"MODE" ~doc)
+
+let parse_reduce = function
+  | "none" -> Ok E.No_reduction
+  | "track" -> Ok E.Hb_track
+  | "sleep" -> Ok E.Sleep_sets
+  | other -> Error (Printf.sprintf "unknown reduction mode %s" other)
+
 let fault_budget_arg =
   let doc = "Maximum faults injected per execution (with --faults)." in
   Arg.(value & opt int 1 & info [ "fault-budget" ] ~docv:"N" ~doc)
@@ -139,8 +155,8 @@ let parse_strategy = function
   | other -> Error (Printf.sprintf "unknown strategy %s" other)
 
 let config_of ?(workers = 1) ?(coverage = false) ?plateau
-    ?(faults = Psharp.Fault.none) entry ~strategy ~seed ~executions ~steps
-    ~log =
+    ?(faults = Psharp.Fault.none) ?(reduce = E.No_reduction) entry ~strategy
+    ~seed ~executions ~steps ~log =
   {
     E.default_config with
     strategy;
@@ -152,6 +168,7 @@ let config_of ?(workers = 1) ?(coverage = false) ?plateau
     collect_coverage = coverage;
     coverage_plateau = plateau;
     faults;
+    reduce;
   }
 
 let harness_of entry ~custom =
@@ -198,12 +215,15 @@ let emit_coverage_report ~path (stats : E.stats) =
     Format.printf "coverage report written to %s@." path
 
 let hunt bug strategy seed executions steps custom trace_out log shrink
-    workers coverage_report plateau faults fault_budget =
-  match parse_strategy strategy with
+    workers coverage_report plateau faults fault_budget reduce =
+  match
+    Result.bind (parse_strategy strategy) (fun s ->
+        Result.map (fun r -> (s, r)) (parse_reduce reduce))
+  with
   | Error msg ->
     prerr_endline msg;
     2
-  | Ok strategy -> begin
+  | Ok (strategy, reduce) -> begin
     match Bug_catalog.find bug with
     | exception Invalid_argument msg ->
       prerr_endline msg;
@@ -220,8 +240,8 @@ let hunt bug strategy seed executions steps custom trace_out log shrink
         let config =
           config_of ~workers
             ~coverage:(coverage_report <> None)
-            ?plateau ~faults:fault_spec entry ~strategy ~seed ~executions
-            ~steps ~log
+            ?plateau ~faults:fault_spec ~reduce entry ~strategy ~seed
+            ~executions ~steps ~log
         in
         let finish_coverage stats =
           match coverage_report with
@@ -279,7 +299,7 @@ let hunt_cmd =
       const hunt $ bug_arg $ strategy_arg $ seed_arg $ executions_arg
       $ steps_arg $ custom_arg $ trace_out_arg $ log_arg $ shrink_arg
       $ workers_arg $ coverage_report_arg $ plateau_arg $ faults_arg
-      $ fault_budget_arg)
+      $ fault_budget_arg $ reduce_arg)
 
 (* --- replay ------------------------------------------------------------- *)
 
@@ -381,8 +401,14 @@ let survey_cmd =
 
 (* --- check (fixed variant) ---------------------------------------------- *)
 
-let check bug seed executions coverage_report plateau faults fault_budget =
-  match Bug_catalog.find bug with
+let check bug seed executions coverage_report plateau faults fault_budget
+    reduce =
+  match parse_reduce reduce with
+  | Error msg ->
+    prerr_endline msg;
+    2
+  | Ok reduce -> begin
+    match Bug_catalog.find bug with
   | exception Invalid_argument msg ->
     prerr_endline msg;
     2
@@ -395,8 +421,8 @@ let check bug seed executions coverage_report plateau faults fault_budget =
     let config =
       config_of
         ~coverage:(coverage_report <> None)
-        ?plateau ~faults:fault_spec entry ~strategy:E.Random ~seed ~executions
-        ~steps:0 ~log:false
+        ?plateau ~faults:fault_spec ~reduce entry ~strategy:E.Random ~seed
+        ~executions ~steps:0 ~log:false
     in
     let finish_coverage stats =
       match coverage_report with
@@ -420,6 +446,7 @@ let check bug seed executions coverage_report plateau faults fault_budget =
       1
     end
   end
+  end
 
 let check_cmd =
   Cmd.v
@@ -427,17 +454,20 @@ let check_cmd =
        ~doc:"Run the bug's fixed variant and expect no violations.")
     Term.(
       const check $ bug_arg $ seed_arg $ executions_arg $ coverage_report_arg
-      $ plateau_arg $ faults_arg $ fault_budget_arg)
+      $ plateau_arg $ faults_arg $ fault_budget_arg $ reduce_arg)
 
 (* --- explore (coverage, no bug expectation) ----------------------------- *)
 
 let explore bug strategy seed executions steps custom workers coverage_report
-    plateau faults fault_budget =
-  match parse_strategy strategy with
+    plateau faults fault_budget reduce =
+  match
+    Result.bind (parse_strategy strategy) (fun s ->
+        Result.map (fun r -> (s, r)) (parse_reduce reduce))
+  with
   | Error msg ->
     prerr_endline msg;
     2
-  | Ok strategy -> begin
+  | Ok (strategy, reduce) -> begin
     match Bug_catalog.find bug with
     | exception Invalid_argument msg ->
       prerr_endline msg;
@@ -452,8 +482,8 @@ let explore bug strategy seed executions steps custom workers coverage_report
         2
       | Ok (fault_spec, harness) ->
         let config =
-          config_of ~workers ~coverage:true ?plateau ~faults:fault_spec entry
-            ~strategy ~seed ~executions ~steps ~log:false
+          config_of ~workers ~coverage:true ?plateau ~faults:fault_spec
+            ~reduce entry ~strategy ~seed ~executions ~steps ~log:false
         in
         let stats = E.explore ~monitors:entry.Bug_catalog.monitors config harness in
         (match stats.E.coverage with
@@ -485,7 +515,7 @@ let explore_cmd =
     Term.(
       const explore $ bug_arg $ strategy_arg $ seed_arg $ executions_arg
       $ steps_arg $ custom_arg $ workers_arg $ coverage_report_arg
-      $ plateau_arg $ faults_arg $ fault_budget_arg)
+      $ plateau_arg $ faults_arg $ fault_budget_arg $ reduce_arg)
 
 let () =
   let info =

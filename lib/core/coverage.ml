@@ -50,6 +50,9 @@ type t = {
   branches : branch_key family;
   faults : (string * string) family;                    (* kind, target *)
   schedules : (int64, int) Hashtbl.t;
+  hb : (int64, int) Hashtbl.t;
+      (* canonical partial-order fingerprints (Hb); empty unless
+         happens-before tracking is on *)
   mutable executions : int;
 }
 
@@ -61,6 +64,7 @@ let create () =
     branches = family_create 64;
     faults = family_create 16;
     schedules = Hashtbl.create 64;
+    hb = Hashtbl.create 64;
     executions = 0;
   }
 
@@ -114,6 +118,11 @@ let schedule_digest t =
   in
   Printf.sprintf "%016Lx" h
 
+let note_hb t ~fingerprint =
+  match Hashtbl.find_opt t.hb fingerprint with
+  | Some n -> Hashtbl.replace t.hb fingerprint (n + 1)
+  | None -> Hashtbl.replace t.hb fingerprint 1
+
 let note_execution t ~fingerprint =
   (match Hashtbl.find_opt t.schedules fingerprint with
    | Some n -> Hashtbl.replace t.schedules fingerprint (n + 1)
@@ -135,14 +144,18 @@ let absorb ~into src =
   merge src.triples into.triples;
   merge src.branches into.branches;
   merge src.faults into.faults;
-  (* Schedule fingerprints merge like the rest but do not feed the novelty
-     flag: almost every random schedule is unique. *)
-  Hashtbl.iter
-    (fun k n ->
-      match Hashtbl.find_opt into.schedules k with
-      | Some m -> Hashtbl.replace into.schedules k (m + n)
-      | None -> Hashtbl.replace into.schedules k n)
-    src.schedules;
+  (* Schedule and partial-order fingerprints merge like the rest but do
+     not feed the novelty flag: almost every random schedule is unique. *)
+  let merge_fp src dst =
+    Hashtbl.iter
+      (fun k n ->
+        match Hashtbl.find_opt dst k with
+        | Some m -> Hashtbl.replace dst k (m + n)
+        | None -> Hashtbl.replace dst k n)
+      src
+  in
+  merge_fp src.schedules into.schedules;
+  merge_fp src.hb into.hb;
   into.executions <- into.executions + src.executions;
   !novel
 
@@ -179,11 +192,16 @@ let schedules t =
   Hashtbl.fold (fun k n acc -> (k, n) :: acc) t.schedules []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
+let hb_fingerprints t =
+  Hashtbl.fold (fun k n acc -> (k, n) :: acc) t.hb []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
 let equal a b =
   states a = states b && events a = events b && triples a = triples b
   && branches a = branches b
   && faults a = faults b
   && schedules a = schedules b
+  && hb_fingerprints a = hb_fingerprints b
   && a.executions = b.executions
 
 type totals = {
@@ -193,6 +211,7 @@ type totals = {
   branch_outcomes : int;
   fault_points : int;
   unique_schedules : int;
+  partial_orders : int;
   executions : int;
 }
 
@@ -204,6 +223,7 @@ let totals t =
     branch_outcomes = t.branches.n;
     fault_points = t.faults.n;
     unique_schedules = Hashtbl.length t.schedules;
+    partial_orders = Hashtbl.length t.hb;
     executions = t.executions;
   }
 
@@ -218,7 +238,10 @@ let pp_totals fmt t =
     s.unique_schedules s.executions;
   (* fault-free runs keep the historical one-liner byte-identical *)
   if s.fault_points > 0 then
-    Format.fprintf fmt ", %d fault points" s.fault_points
+    Format.fprintf fmt ", %d fault points" s.fault_points;
+  (* likewise: only happens-before-tracked runs mention partial orders *)
+  if s.partial_orders > 0 then
+    Format.fprintf fmt ", %d partial orders" s.partial_orders
 
 let pp_section fmt ~title ~cap entries =
   let by_count = List.sort (fun (_, a) (_, b) -> compare b a) entries in
@@ -263,10 +286,10 @@ let to_json t =
     (Printf.sprintf
        "  \"totals\": {\"machine_states\": %d, \"event_types\": %d, \
         \"transition_triples\": %d, \"branch_outcomes\": %d, \
-        \"fault_points\": %d, \"unique_schedules\": %d, \"executions\": \
-        %d},\n"
+        \"fault_points\": %d, \"unique_schedules\": %d, \
+        \"partial_orders\": %d, \"executions\": %d},\n"
        s.machine_states s.event_types s.transition_triples s.branch_outcomes
-       s.fault_points s.unique_schedules s.executions);
+       s.fault_points s.unique_schedules s.partial_orders s.executions);
   let family name entries ~last =
     Buffer.add_string buf (Printf.sprintf "  \"%s\": {" name);
     List.iteri
@@ -285,6 +308,9 @@ let to_json t =
   family "transition_triples" (triples t) ~last:false;
   family "branch_outcomes" (branches t) ~last:false;
   family "fault_points" (faults t) ~last:false;
+  family "hb_fingerprints"
+    (List.map (fun (fp, n) -> (Printf.sprintf "%Lx" fp, n)) (hb_fingerprints t))
+    ~last:false;
   family "schedule_fingerprints"
     (List.map (fun (fp, n) -> (Printf.sprintf "%Lx" fp, n)) (schedules t))
     ~last:true;

@@ -58,6 +58,15 @@ val fingerprint : Trace.t -> int64
     files its schedule fingerprint. *)
 val note_execution : t -> fingerprint:int64 -> unit
 
+(** [note_hb t ~fingerprint] files one execution's canonical partial-order
+    fingerprint ({!Hb.canonical_fingerprint}) into the [hb] family. Two
+    executions that are linearizations of the same Mazurkiewicz trace file
+    the same fingerprint, so the family counts {e semantically distinct}
+    interleavings where [note_execution]'s raw schedule fingerprints count
+    syntactically distinct ones. Empty unless happens-before tracking is
+    enabled. *)
+val note_hb : t -> fingerprint:int64 -> unit
+
 (** [schedule_digest t] is a 16-hex-digit digest of the whole
     schedule-fingerprint multiset (FNV-1a over the sorted (fingerprint,
     count) pairs): equal digests mean the run explored exactly the same
@@ -88,6 +97,9 @@ type totals = {
   branch_outcomes : int;
   fault_points : int;
   unique_schedules : int;
+  partial_orders : int;
+      (** distinct canonical partial-order fingerprints ({!note_hb});
+          [0] unless happens-before tracking was enabled *)
   executions : int;
 }
 
@@ -107,6 +119,10 @@ val faults : t -> (string * int) list
 (** Schedule fingerprints with the number of executions that produced
     each. *)
 val schedules : t -> (int64 * int) list
+
+(** Canonical partial-order fingerprints with the number of executions
+    that produced each (empty unless happens-before tracking was on). *)
+val hb_fingerprints : t -> (int64 * int) list
 
 (** {1 Reporting} *)
 

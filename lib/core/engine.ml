@@ -7,6 +7,8 @@ type strategy_spec =
   | Replay_trace of Trace.t
   | Fuzz of { corpus_cap : int }
 
+type reduction = No_reduction | Hb_track | Sleep_sets
+
 type config = {
   strategy : strategy_spec;
   seed : int64;
@@ -20,6 +22,7 @@ type config = {
   collect_coverage : bool;
   coverage_plateau : int option;
   faults : Fault.spec;
+  reduce : reduction;
 }
 
 let default_config =
@@ -36,6 +39,7 @@ let default_config =
     collect_coverage = false;
     coverage_plateau = None;
     faults = Fault.none;
+    reduce = No_reduction;
   }
 
 type stats = {
@@ -70,16 +74,54 @@ let factory_of config =
    max_seconds); the runtime checks it inside the step loop, so a single
    long execution cannot overshoot the budget (replay never gets one — a
    recorded schedule must always re-execute in full). *)
-let runtime_config ?coverage ?deadline config ~collect_log =
+let runtime_config ?coverage ?hb ?deadline config ~collect_log =
   {
     Runtime.max_steps = config.max_steps;
     liveness_grace = config.liveness_grace;
     deadlock_is_bug = config.deadlock_is_bug;
     collect_log;
     coverage;
+    hb;
     faults = config.faults;
     deadline;
   }
+
+(* --- Happens-before reduction ------------------------------------------ *)
+
+(* Per-execution instrumentation: a fresh happens-before recorder
+   (threaded into the runtime config) and, under [Sleep_sets], the
+   sleep-set wrapper around the base strategy. *)
+let instrument config strategy =
+  match config.reduce with
+  | No_reduction -> (strategy, None)
+  | Hb_track -> (strategy, Some (Hb.create ()))
+  | Sleep_sets ->
+    let hb = Hb.create () in
+    (Sleep_strategy.wrap ~hb strategy, Some hb)
+
+(* When coverage is being collected, file the execution's canonical
+   partial-order fingerprint into its per-execution map (absorbed into
+   the run accumulator by [observe] right after). *)
+let note_hb hb exec_cov =
+  match (hb, exec_cov) with
+  | Some h, Some cov ->
+    Coverage.note_hb cov ~fingerprint:(Hb.canonical_fingerprint h)
+  | _ -> ()
+
+(* DFS enumerates its own tree and replay retraces exact recorded
+   choices; pruning their enabled sets would change what they mean. Keep
+   the recorder (partial orders still land in coverage) but drop the
+   pruning. *)
+let normalize_reduction config =
+  match (config.reduce, config.strategy) with
+  | Sleep_sets, (Dfs _ | Replay_trace _) ->
+    Printf.eprintf
+      "[engine] strategy %s is incompatible with sleep-set pruning; \
+       tracking happens-before without pruning\n\
+       %!"
+      (factory_of config).Strategy.factory_name;
+    { config with reduce = Hb_track }
+  | _ -> config
 
 let no_monitors () = []
 
@@ -188,14 +230,16 @@ let run_sequential ~monitors config body =
       match factory.Strategy.fresh ~iteration:i with
       | None -> No_bug (stats_at ~search_exhausted:true i)
       | Some strategy ->
+        let strategy, hb = instrument config strategy in
         let exec_cov = exec_cov_of collector in
         let result =
           Runtime.execute
-            (runtime_config ?coverage:exec_cov ?deadline config
+            (runtime_config ?coverage:exec_cov ?hb ?deadline config
                ~collect_log:false)
             strategy ~monitors:(monitors ()) ~name:"Harness" body
         in
         total_steps := !total_steps + result.Runtime.steps;
+        note_hb hb exec_cov;
         ignore (observe collector factory result exec_cov);
         (match result.Runtime.bug with
          | Some kind ->
@@ -274,6 +318,17 @@ let run_parallel ~monitors ~workers config body =
 let parallel_plan config =
   let workers = Worker_pool.resolve config.workers in
   if workers <= 1 || config.max_executions <= 1 then `Sequential
+  else if config.reduce <> No_reduction then begin
+    (* the recorder and sleep sets are per-execution, but the reduction's
+       value lies in the sequentially-shared coverage of partial orders;
+       like DFS, fall back with a notice *)
+    Printf.eprintf
+      "[engine] happens-before reduction is sequential-only; ignoring \
+       workers=%d and exploring sequentially\n\
+       %!"
+      workers;
+    `Sequential
+  end
   else begin
     let factory = factory_of config in
     if factory.Strategy.parallel_safe then `Parallel workers
@@ -288,6 +343,7 @@ let parallel_plan config =
   end
 
 let run ?(monitors = no_monitors) config body =
+  let config = normalize_reduction config in
   match parallel_plan config with
   | `Sequential -> run_sequential ~monitors config body
   | `Parallel workers -> run_parallel ~monitors ~workers config body
@@ -328,14 +384,16 @@ let explore_sequential ~monitors config body =
       match factory.Strategy.fresh ~iteration:i with
       | None -> stats_at ~search_exhausted:true i
       | Some strategy ->
+        let strategy, hb = instrument config strategy in
         let exec_cov = exec_cov_of collector in
         let result =
           Runtime.execute
-            (runtime_config ?coverage:exec_cov ?deadline config
+            (runtime_config ?coverage:exec_cov ?hb ?deadline config
                ~collect_log:false)
             strategy ~monitors:(monitors ()) ~name:"Harness" body
         in
         total_steps := !total_steps + result.Runtime.steps;
+        note_hb hb exec_cov;
         ignore (observe collector factory result exec_cov);
         if result.Runtime.timed_out then stats_at ~timed_out:true (i + 1)
         else if hit_plateau config collector then
@@ -384,7 +442,7 @@ let explore_parallel ~monitors ~workers config body =
   }
 
 let explore ?(monitors = no_monitors) config body =
-  let config = { config with collect_coverage = true } in
+  let config = normalize_reduction { config with collect_coverage = true } in
   match parallel_plan config with
   | `Sequential -> explore_sequential ~monitors config body
   | `Parallel workers -> explore_parallel ~monitors ~workers config body
@@ -419,9 +477,11 @@ let survey_sequential ~monitors config body =
       match factory.Strategy.fresh ~iteration:i with
       | None -> ()
       | Some strategy ->
+        let strategy, hb = instrument config strategy in
+        ignore hb;
         let result =
           Runtime.execute
-            (runtime_config ?deadline config ~collect_log:false)
+            (runtime_config ?hb ?deadline config ~collect_log:false)
             strategy ~monitors:(monitors ()) ~name:"Harness" body
         in
         (match result.Runtime.bug with
@@ -485,6 +545,7 @@ let survey_parallel ~monitors ~workers config body =
   |> List.map (fun (report, n, _) -> (report, n))
 
 let survey ?(monitors = no_monitors) config body =
+  let config = normalize_reduction config in
   match parallel_plan config with
   | `Sequential -> survey_sequential ~monitors config body
   | `Parallel workers -> survey_parallel ~monitors ~workers config body

@@ -29,6 +29,22 @@ type strategy_spec =
           new coverage and mutates them (splice / truncate / re-randomize
           suffix). Stateful, hence sequential-only. *)
 
+(** Happens-before instrumentation for an exploration run. *)
+type reduction =
+  | No_reduction  (** no tracking: the zero-cost default *)
+  | Hb_track
+      (** record each execution's happens-before relation ({!Hb}) and file
+          its canonical partial-order fingerprint into coverage's [hb]
+          family — measurement only, the schedule explored is untouched *)
+  | Sleep_sets
+      (** [Hb_track] plus sleep-set partial-order reduction: the sequential
+          base strategy is wrapped in {!Sleep_strategy}, which prunes
+          enabled machines whose next step provably commutes with a
+          just-skipped alternative, steering the budget toward distinct
+          Mazurkiewicz traces. Composes with any sequential strategy;
+          [Dfs] and [Replay_trace] keep their own schedule discipline and
+          are downgraded to [Hb_track] with a notice. *)
+
 type config = {
   strategy : strategy_spec;
   seed : int64;
@@ -71,6 +87,13 @@ type config = {
           {!replay} of a fault-found trace — which receives the same spec
           through this config — reproduces the identical faults, and the
           shrinker minimizes fault schedules like any other. *)
+  reduce : reduction;
+      (** happens-before tracking / sleep-set reduction
+          ([No_reduction] by default — strictly opt-in: the hot path makes
+          zero extra draws and golden digests are byte-identical, pinned
+          by [test/test_golden.ml]). Tracking is sequential-only: with
+          [workers <> 1] the engine logs a notice and explores
+          sequentially. *)
 }
 
 (** Random strategy, seed 0, 10,000 executions, 5,000-step bound, one

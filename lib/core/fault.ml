@@ -53,27 +53,63 @@ let kinds s =
   @ (if s.delay then [ Delay ] else [])
   @ if s.crash then [ Crash ] else []
 
+(* Accepts what {!to_string} produces — ["none"], or a comma-separated
+   kind list with an optional ["(budget=N)"] suffix — plus plain kind
+   lists with no suffix (budget 1), so CLI flags and serialized specs
+   share one strict grammar. *)
 let parse str =
-  let parts =
-    String.split_on_char ',' str
-    |> List.map String.trim
-    |> List.filter (fun s -> s <> "")
-  in
-  if parts = [] then Error "no fault kinds given (expected e.g. drop,crash)"
+  let str = String.trim str in
+  if str = "none" then Ok none
   else
-    let rec go acc = function
-      | [] -> Ok (List.rev acc)
-      | p :: rest ->
-        (match kind_of_string p with
-         | Some k -> go (k :: acc) rest
-         | None ->
-           Error
-             (Printf.sprintf
-                "unknown fault kind %S (expected drop, dup, delay or crash)" p))
+    let kinds_str, budget =
+      match String.index_opt str '(' with
+      | None -> (Ok str, Ok 1)
+      | Some i ->
+        let head = String.sub str 0 i in
+        let tail = String.sub str i (String.length str - i) in
+        let budget =
+          let l = String.length tail in
+          if l > 9 && String.sub tail 0 8 = "(budget=" && tail.[l - 1] = ')'
+          then (
+            match int_of_string_opt (String.sub tail 8 (l - 9)) with
+            | Some n when n >= 0 -> Ok n
+            | _ ->
+              Error
+                (Printf.sprintf
+                   "malformed fault budget %S (expected a non-negative \
+                    integer)" tail))
+          else
+            Error
+              (Printf.sprintf
+                 "malformed fault spec suffix %S (expected (budget=N))" tail)
+        in
+        (Ok head, budget)
     in
-    (match go [] parts with
-     | Error _ as e -> e
-     | Ok ks -> Ok (make ks))
+    match (kinds_str, budget) with
+    | Error e, _ | _, Error e -> Error e
+    | Ok kinds_str, Ok budget ->
+      let parts =
+        String.split_on_char ',' kinds_str
+        |> List.map String.trim
+        |> List.filter (fun s -> s <> "")
+      in
+      if parts = [] then
+        Error "no fault kinds given (expected e.g. drop,crash)"
+      else
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | p :: rest ->
+            (match kind_of_string p with
+             | Some k -> go (k :: acc) rest
+             | None ->
+               Error
+                 (Printf.sprintf
+                    "unknown fault kind %S (expected drop, dup, delay or \
+                     crash)" p))
+        in
+        (match go [] parts with
+         | Error _ as e -> e
+         | Ok ks -> Ok (make ~budget ks))
 
 let to_string s =
   match kinds s with

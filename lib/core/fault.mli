@@ -47,7 +47,14 @@ val kinds : spec -> kind list
 val kind_to_string : kind -> string
 
 (** Parse a CLI spec like ["drop,dup,delay,crash"] (budget defaults to 1;
-    override via record update). *)
+    override via record update), ["none"], or anything {!to_string}
+    produces — ["drop,crash(budget=2)"]. Strict: unknown kinds, an empty
+    list, or a malformed budget suffix are errors. [max_delay] is not part
+    of the grammar, so [parse] of [to_string s] round-trips every spec
+    with the default [max_delay]. *)
 val parse : string -> (spec, string) result
 
+(** Canonical rendering: ["none"] for a spec with no armed kinds,
+    otherwise the comma-separated kind list with a ["(budget=N)"]
+    suffix. A fixpoint of [parse]. *)
 val to_string : spec -> string

@@ -2,16 +2,18 @@
    reversed, [len] counts both so [length]/[is_empty] are O(1). Filtered
    removal rebuilds at most one of the lists. Each entry carries the
    creation index of the sending machine (-1 when unknown) so the coverage
-   layer can attribute deliveries without changing the event type. *)
+   layer can attribute deliveries, and the happens-before message stamp
+   (-1 when hb tracking is off) so the dequeue can merge the sender's
+   vector clock — neither tag changes the event type. *)
 
-type entry = Event.t * int
+type entry = Event.t * int * int
 
 type t = { mutable front : entry list; mutable back : entry list; mutable len : int }
 
 let create () = { front = []; back = []; len = 0 }
 
-let push ?(sender = -1) t e =
-  t.back <- (e, sender) :: t.back;
+let push ?(sender = -1) ?(stamp = -1) t e =
+  t.back <- (e, sender, stamp) :: t.back;
   t.len <- t.len + 1
 
 let normalize t =
@@ -24,13 +26,13 @@ let is_empty t = t.len = 0
 
 let length t = t.len
 
-let to_list t = List.map fst (t.front @ List.rev t.back)
+let to_list t = List.map (fun (e, _, _) -> e) (t.front @ List.rev t.back)
 
 let pop_entry t pred =
   normalize t;
   let rec remove acc = function
     | [] -> None
-    | ((e, _) as entry) :: rest ->
+    | ((e, _, _) as entry) :: rest ->
       if pred e then Some (entry, List.rev_append acc rest)
       else remove (entry :: acc) rest
   in
@@ -49,11 +51,12 @@ let pop_entry t pred =
        Some entry
      | None -> None)
 
-let pop_first t pred = Option.map fst (pop_entry t pred)
+let pop_first t pred =
+  Option.map (fun (e, _, _) -> e) (pop_entry t pred)
 
 let exists t pred =
-  List.exists (fun (e, _) -> pred e) t.front
-  || List.exists (fun (e, _) -> pred e) t.back
+  List.exists (fun (e, _, _) -> pred e) t.front
+  || List.exists (fun (e, _, _) -> pred e) t.back
 
 let clear t =
   t.front <- [];

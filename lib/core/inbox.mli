@@ -8,10 +8,12 @@ type t
 
 val create : unit -> t
 
-(** [push ?sender t e] enqueues [e]. [sender] is the creation index of the
-    sending machine (default [-1], unknown); it tags the entry for
-    coverage attribution and never affects delivery order or filtering. *)
-val push : ?sender:int -> t -> Event.t -> unit
+(** [push ?sender ?stamp t e] enqueues [e]. [sender] is the creation index
+    of the sending machine (default [-1], unknown); it tags the entry for
+    coverage attribution. [stamp] is the happens-before message stamp
+    ({!Hb.on_send}; default [-1], untracked). Neither tag affects delivery
+    order or filtering. *)
+val push : ?sender:int -> ?stamp:int -> t -> Event.t -> unit
 
 val is_empty : t -> bool
 
@@ -21,9 +23,9 @@ val length : t -> int
 (** First event satisfying [pred], removed from the inbox. *)
 val pop_first : t -> (Event.t -> bool) -> Event.t option
 
-(** Like {!pop_first} but also returns the sender tag the event was pushed
-    with. *)
-val pop_entry : t -> (Event.t -> bool) -> (Event.t * int) option
+(** Like {!pop_first} but also returns the sender and stamp tags the event
+    was pushed with. *)
+val pop_entry : t -> (Event.t -> bool) -> (Event.t * int * int) option
 
 (** Does any queued event satisfy [pred]? *)
 val exists : t -> (Event.t -> bool) -> bool

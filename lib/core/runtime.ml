@@ -4,6 +4,7 @@ type config = {
   deadlock_is_bug : bool;
   collect_log : bool;
   coverage : Coverage.t option;
+  hb : Hb.t option;
   faults : Fault.spec;
   deadline : float option;
 }
@@ -15,6 +16,7 @@ let default_config =
     deadlock_is_bug = true;
     collect_log = false;
     coverage = None;
+    hb = None;
     faults = Fault.none;
     deadline = None;
   }
@@ -55,6 +57,7 @@ and machine = {
 and delayed = {
   d_target : int;
   d_sender : int;
+  d_stamp : int;  (* hb message stamp, -1 when tracking is off *)
   d_event : Event.t;
   mutable d_countdown : int;
 }
@@ -160,6 +163,10 @@ let name_of ctx id =
 
 let create ?persistent ctx ~name body =
   let m = add_machine ?persistent ctx.rt ~name body in
+  (match ctx.rt.config.hb with
+   | Some h ->
+     Hb.on_create h ~parent:(Id.index ctx.me.id) ~child:(Id.index m.id)
+   | None -> ());
   if ctx.rt.log_on then
     logf ctx.rt "[%d] %s creates %s" ctx.rt.steps (Id.to_string ctx.me.id)
       (Id.to_string m.id);
@@ -176,7 +183,12 @@ let send ctx target e =
        logf rt "[%d] %s -> %s: %s (dropped: target halted)" rt.steps
          (Id.to_string ctx.me.id) (Id.to_string target) (Event.to_string e)
    | Not_started _ | Waiting _ | Running ->
-     Inbox.push ~sender:(Id.index ctx.me.id) m.inbox e;
+     (match rt.config.hb with
+      | Some h ->
+        Inbox.push ~sender:(Id.index ctx.me.id)
+          ~stamp:(Hb.on_send h ~target:(Id.index target))
+          m.inbox e
+      | None -> Inbox.push ~sender:(Id.index ctx.me.id) m.inbox e);
      mark_dirty m;
      if rt.log_on then
        logf rt "[%d] %s -> %s: %s" rt.steps (Id.to_string ctx.me.id)
@@ -195,6 +207,11 @@ let send_unless_pending ?same ctx target e =
       fun e' -> Event.name e' = name
   in
   if Inbox.exists m.inbox duplicate then begin
+    (* the coalesce decision read the target's inbox: conservatively
+       ordered against it even though nothing was enqueued *)
+    (match rt.config.hb with
+     | Some h -> Hb.on_touch h ~target:(Id.index target)
+     | None -> ());
     if rt.log_on then
       logf rt "[%d] %s -> %s: %s (coalesced)" rt.steps
         (Id.to_string ctx.me.id) (Id.to_string target) (Event.to_string e)
@@ -209,6 +226,7 @@ let nondet ctx =
   let rt = ctx.rt in
   let b = rt.strategy.next_bool ~step:rt.steps in
   Trace.Builder.add rt.trace (Trace.Bool b);
+  (match rt.config.hb with Some h -> Hb.on_bool h b | None -> ());
   (match rt.config.coverage with
    | Some cov -> Coverage.branch_bool cov ~machine:(Id.name ctx.me.id) b
    | None -> ());
@@ -221,6 +239,7 @@ let nondet_int ctx bound =
   let rt = ctx.rt in
   let i = rt.strategy.next_int ~bound ~step:rt.steps in
   Trace.Builder.add rt.trace (Trace.Int i);
+  (match rt.config.hb with Some h -> Hb.on_int h i | None -> ());
   (match rt.config.coverage with
    | Some cov -> Coverage.branch_int cov ~machine:(Id.name ctx.me.id) ~bound i
    | None -> ());
@@ -281,6 +300,12 @@ let send_faulty ctx target e =
       in
       match kind with
       | Fault.Drop ->
+        (* the dropped message never lands, but the injection point read
+           the target's liveness: keep fault schedules conservatively
+           ordered under reduction *)
+        (match rt.config.hb with
+         | Some h -> Hb.on_touch h ~target:(Id.index target)
+         | None -> ());
         record_fault rt ~kind:"drop" ~target:m.id;
         if rt.log_on then
           logf rt "[%d] FAULT drop %s -> %s: %s" rt.steps
@@ -298,10 +323,15 @@ let send_faulty ctx target e =
         if rt.log_on then
           logf rt "[%d] FAULT delay(%d) %s -> %s: %s" rt.steps k
             (Id.to_string ctx.me.id) (Id.to_string target) (Event.to_string e);
+        let stamp =
+          match rt.config.hb with
+          | Some h -> Hb.on_send_delayed h ~target:(Id.index target)
+          | None -> -1
+        in
         rt.delayed <-
           rt.delayed
           @ [ { d_target = Id.index target; d_sender = Id.index ctx.me.id;
-                d_event = e; d_countdown = k } ]
+                d_stamp = stamp; d_event = e; d_countdown = k } ]
       | Fault.Crash -> assert false (* not a message-fault kind *)
     end
   end
@@ -334,6 +364,9 @@ let crash ctx target =
        m.status <- Not_started (restart ());
        m.state_name <- "-";
        mark_dirty m;
+       (match rt.config.hb with
+        | Some h -> Hb.on_crash h ~target:(Id.index target)
+        | None -> ());
        record_fault rt ~kind:"crash" ~target:m.id;
        if rt.log_on then
          logf rt "[%d] FAULT crash %s (will restart)" rt.steps
@@ -376,6 +409,9 @@ let notify ctx monitor_name e =
   match List.find_opt (fun m -> Monitor.name m = monitor_name) rt.monitors with
   | None -> ()
   | Some mon ->
+    (match rt.config.hb with
+     | Some h -> Hb.on_notify h ~monitor:monitor_name
+     | None -> ());
     if rt.log_on then
       logf rt "[%d] %s notifies monitor %s: %s" rt.steps
         (Id.to_string ctx.me.id) monitor_name (Event.to_string e);
@@ -417,7 +453,11 @@ let deliver_delayed rt d =
       logf rt "[%d] delayed -> %s: %s (dropped: target halted)" rt.steps
         (Id.to_string m.id) (Event.to_string d.d_event)
   | Not_started _ | Waiting _ | Running ->
-    Inbox.push ~sender:d.d_sender m.inbox d.d_event;
+    (match rt.config.hb with
+     | Some h when d.d_stamp >= 0 ->
+       Hb.on_delayed_delivery h ~target:d.d_target ~msg:d.d_stamp
+     | _ -> ());
+    Inbox.push ~sender:d.d_sender ~stamp:d.d_stamp m.inbox d.d_event;
     mark_dirty m;
     if rt.log_on then
       logf rt "[%d] delayed -> %s: %s (delivered)" rt.steps (Id.to_string m.id)
@@ -520,6 +560,9 @@ let start_machine rt m =
   | Not_started body ->
     m.status <- Running;
     mark_dirty m;
+    (match rt.config.hb with
+     | Some h -> Hb.begin_step h ~machine:(Id.index m.id) ~msg:(-1)
+     | None -> ());
     Effect.Deep.match_with (fun () -> body ctx) () handler
   | Waiting _ | Running | Halted -> assert false
 
@@ -529,9 +572,12 @@ let resume_machine rt m =
     let matches = Option.value pred ~default:(fun _ -> true) in
     (match Inbox.pop_entry m.inbox matches with
      | None -> assert false (* scheduler only picks enabled machines *)
-     | Some (e, sender) ->
+     | Some (e, sender, stamp) ->
        m.status <- Running;
        mark_dirty m;
+       (match rt.config.hb with
+        | Some h -> Hb.begin_step h ~machine:(Id.index m.id) ~msg:stamp
+        | None -> ());
        (match rt.config.coverage with
         | Some cov ->
           let sender_name =
@@ -616,6 +662,9 @@ let execute config strategy ~monitors ~name body =
     }
   in
   ignore (add_machine rt ~name body);
+  (match config.hb with
+   | Some h -> Hb.on_create h ~parent:(-1) ~child:0
+   | None -> ());
   let rec loop () =
     if rt.bug <> None then ()
     else if

@@ -32,6 +32,14 @@ type config = {
           state visits, delivered event types, [(sender, event,
           receiver@state)] transition triples and nondet branch outcomes —
           into this per-execution map *)
+  hb : Hb.t option;
+      (** when set, the execution records its happens-before relation —
+          per-machine vector clocks merged on delivery, with
+          [send_faulty], [crash] and monitor notifications participating
+          — into this per-execution recorder ({!Hb}). Same contract as
+          [coverage]: recording draws nothing from the strategy and never
+          perturbs the schedule (pinned by [test/test_golden.ml]); [None]
+          costs one match per operation *)
   faults : Fault.spec;
       (** fault-injection spec. The contract mirrors [collect_log]: with
           {!Fault.none} (the default) [send_faulty] degenerates to [send]

@@ -57,6 +57,7 @@ let runtime_config (config : Engine.config) =
     liveness_grace = config.Engine.liveness_grace;
     deadlock_is_bug = config.Engine.deadlock_is_bug;
     collect_log = false;
+    hb = None;
     coverage = None;
     (* fault draws are ordinary recorded choices: shrinking a fault-found
        trace needs the same spec so lenient replay interprets them *)

@@ -1,0 +1,161 @@
+(* Sleep sets over the dynamic happens-before feed. All state is local to
+   the wrapped strategy value (one per execution). Machine indices are
+   creation indices, the same ints the runtime's enabled buffer holds. *)
+
+type state = {
+  mutable asleep : bool array;  (* machine -> sleeping?, grown on demand *)
+  mutable slept_at : int array;  (* machine -> step index it fell asleep *)
+  mutable n_asleep : int;
+  mutable sent_to : int list array;  (* machine -> targets it has sent to *)
+  mutable notified : int list array;  (* monitor id -> machines that notified *)
+  mutable cursor : int;  (* happenings consumed from the feed *)
+  mutable prev : int array;  (* candidates offered at the previous point *)
+  mutable prev_n : int;
+  mutable prev_choice : int;
+  mutable scratch : int array;  (* pruned enabled set handed to the base *)
+}
+
+let grow arr n fill =
+  if n < Array.length arr then arr
+  else begin
+    let bigger = Array.make (max 8 (2 * (n + 1))) fill in
+    Array.blit arr 0 bigger 0 (Array.length arr);
+    bigger
+  end
+
+let is_asleep st m = m < Array.length st.asleep && st.asleep.(m)
+
+(* Sleep entries expire: the happens-before feed only sees messages,
+   crashes and monitor notifications, so dependence through shared harness
+   state (a model's in-memory "disk" record, say) is invisible to the wake
+   rules. An unbounded sleep set could then park the one machine whose
+   step trips the bug for the rest of the execution. Bounding every nap
+   keeps the wrapper a pure exploration heuristic: any enabled machine
+   runs at most [sleep_ttl] scheduling points after it was skipped, so no
+   schedule is unreachable — merely deprioritized. *)
+let sleep_ttl = 12
+
+let sleep st m ~step =
+  st.asleep <- grow st.asleep m false;
+  st.slept_at <- grow st.slept_at m 0;
+  st.slept_at.(m) <- step;
+  if not st.asleep.(m) then begin
+    st.asleep.(m) <- true;
+    st.n_asleep <- st.n_asleep + 1
+  end
+
+let wake st m =
+  if is_asleep st m then begin
+    st.asleep.(m) <- false;
+    st.n_asleep <- st.n_asleep - 1
+  end
+
+let wake_all st =
+  if st.n_asleep > 0 then begin
+    Array.fill st.asleep 0 (Array.length st.asleep) false;
+    st.n_asleep <- 0
+  end
+
+let note_sent st ~actor ~target =
+  st.sent_to <- grow st.sent_to actor [];
+  if not (List.mem target st.sent_to.(actor)) then
+    st.sent_to.(actor) <- target :: st.sent_to.(actor)
+
+(* Waking rule for a touch of [target] by [actor]: the target itself (its
+   pending dequeue no longer commutes with the touching step), and every
+   sleeping machine that has previously sent to [target] (its pending
+   step plausibly enqueues there again — two enqueues into one inbox
+   conflict). *)
+let on_touch st ~target ~actor =
+  wake st target;
+  if st.n_asleep > 0 then begin
+    let n = Array.length st.asleep in
+    for m = 0 to n - 1 do
+      if
+        st.asleep.(m) && m <> actor
+        && m < Array.length st.sent_to
+        && List.mem target st.sent_to.(m)
+      then wake st m
+    done
+  end;
+  if actor >= 0 then note_sent st ~actor ~target
+
+let on_notify st ~actor ~monitor =
+  st.notified <- grow st.notified monitor [];
+  List.iter (fun m -> if m <> actor then wake st m) st.notified.(monitor);
+  if not (List.mem actor st.notified.(monitor)) then
+    st.notified.(monitor) <- actor :: st.notified.(monitor)
+
+let drain st hb =
+  let n = Hb.happenings hb in
+  while st.cursor < n do
+    (match Hb.happening hb st.cursor with
+     | Hb.Touch { target; actor } -> on_touch st ~target ~actor
+     | Hb.Notify { actor; monitor } -> on_notify st ~actor ~monitor);
+    st.cursor <- st.cursor + 1
+  done
+
+let wrap ~hb (base : Strategy.t) =
+  let st =
+    {
+      asleep = [||];
+      slept_at = [||];
+      n_asleep = 0;
+      sent_to = [||];
+      notified = [||];
+      cursor = 0;
+      prev = [||];
+      prev_n = 0;
+      prev_choice = -1;
+      scratch = [||];
+    }
+  in
+  let next_schedule ~enabled ~n ~step =
+    (* 1. the candidates skipped at the previous point go to sleep ... *)
+    for k = 0 to st.prev_n - 1 do
+      let e = st.prev.(k) in
+      if e <> st.prev_choice then sleep st e ~step
+    done;
+    (* 2. ... then the executed step's effects wake the dependent ones,
+       and naps older than the TTL expire *)
+    drain st hb;
+    if st.n_asleep > 0 then
+      for m = 0 to Array.length st.asleep - 1 do
+        if st.asleep.(m) && step - st.slept_at.(m) >= sleep_ttl then
+          wake st m
+      done;
+    (* 3. prune (into a private buffer — the runtime's scratch array must
+       not be retained, and the base gets the same contract) *)
+    st.scratch <- grow st.scratch n 0;
+    let n' = ref 0 in
+    for i = 0 to n - 1 do
+      let m = enabled.(i) in
+      if not (is_asleep st m) then begin
+        st.scratch.(!n') <- m;
+        incr n'
+      end
+    done;
+    let arr, nn =
+      if !n' = 0 then begin
+        (* everyone enabled is asleep: waking them all keeps the run going
+           (heuristic pruning must never manufacture a deadlock) *)
+        wake_all st;
+        Array.blit enabled 0 st.scratch 0 n;
+        (st.scratch, n)
+      end
+      else (st.scratch, !n')
+    in
+    let choice = base.Strategy.next_schedule ~enabled:arr ~n:nn ~step in
+    (* 4. remember the offered set for the next point's sleep rule *)
+    st.prev <- grow st.prev nn 0;
+    Array.blit arr 0 st.prev 0 nn;
+    st.prev_n <- nn;
+    st.prev_choice <- choice;
+    choice
+  in
+  {
+    Strategy.name = "sleep(" ^ base.Strategy.name ^ ")";
+    next_schedule;
+    next_bool = base.Strategy.next_bool;
+    next_int = base.Strategy.next_int;
+  }

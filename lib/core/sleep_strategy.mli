@@ -1,0 +1,38 @@
+(** Sleep-set partial-order reduction (Godefroid), as a strategy wrapper.
+
+    [wrap ~hb base] composes with any {e sequential} base strategy
+    (random, PCT, delay-bounded, fuzz, round-robin): at every scheduling
+    point the machines currently in the sleep set are pruned from the
+    enabled set before the base strategy picks, so budget is not spent
+    re-ordering steps the happens-before relation says commute.
+
+    The sleep discipline is the classic one, driven dynamically by the
+    {!Hb} recorder of the same execution:
+
+    - when the base strategy picks machine [m] at a point, every other
+      candidate it was offered goes to sleep — running it later, after
+      [m]'s step, explores the same Mazurkiewicz trace as running it now
+      unless the two steps are dependent;
+    - a sleeping machine wakes as soon as a dependent step executes: its
+      inbox is touched (send, crash, coalesce, delayed delivery), a
+      machine it previously sent to is touched by someone else, or a
+      monitor it previously notified is notified again;
+    - if every enabled machine is asleep the whole set wakes (the sleep
+      set is a heuristic pruner here, not an exhaustive-DPOR proof — the
+      execution must go on).
+
+    Because enabledness and wakes are derived deterministically from the
+    recorded execution, a wrapped strategy with a fixed seed is as
+    deterministic as its base: same seed, same schedule. Dependence is
+    inferred dynamically (a pending step's future sends are unknown), so
+    pruning is heuristic — the strategy-equivalence battery in
+    [test/test_reduction.ml] checks no catalog bug findable without
+    reduction is lost with it.
+
+    One wrapper instance serves one execution (it consumes the [hb]
+    happening feed); build a fresh one per iteration, as
+    {!Engine} does. *)
+
+(** [wrap ~hb base] is [base] with sleep-set pruning at schedule points;
+    [next_bool]/[next_int] pass through unchanged. *)
+val wrap : hb:Hb.t -> Strategy.t -> Strategy.t

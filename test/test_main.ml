@@ -24,4 +24,8 @@ let () =
       ("shrinker", Test_shrinker.suite);
       ("fault", Test_fault.suite);
       ("substrate-extra", Test_substrate_extra.suite);
+      ("hb", Test_hb.suite);
+      ("reduction", Test_reduction.suite);
+      ("witnesses", Test_witnesses.suite);
+      ("roundtrip", Test_roundtrip.suite);
     ]

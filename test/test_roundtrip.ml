@@ -1,0 +1,122 @@
+(* Serialization round-trips (ISSUE 5 satellite 3): fixed-seed randomized
+   batteries over [Trace.of_string]/[to_string] and
+   [Fault.parse]/[to_string], plus strict-parsing rejection cases. *)
+
+module Trace = Psharp.Trace
+module Fault = Psharp.Fault
+module Prng = Psharp.Prng
+
+(* --- Trace --------------------------------------------------------------- *)
+
+let random_trace prng =
+  let len = Prng.int prng 60 in
+  let choice () =
+    match Prng.int prng 3 with
+    | 0 -> Trace.Schedule (Prng.int prng 1_000)
+    | 1 -> Trace.Bool (Prng.bool prng)
+    | _ -> Trace.Int (Prng.int prng 1_000_000)
+  in
+  Trace.of_list (List.init len (fun _ -> choice ()))
+
+let test_trace_roundtrip () =
+  let prng = Prng.create ~seed:0x7e57L in
+  for i = 1 to 600 do
+    let t = random_trace prng in
+    let s = Trace.to_string t in
+    let t' = Trace.of_string s in
+    if not (Trace.equal t t') then
+      Alcotest.failf "trace round-trip %d failed for %S" i s;
+    (* to_string is canonical: a second trip is the identity on strings *)
+    if Trace.to_string t' <> s then
+      Alcotest.failf "trace to_string not canonical on case %d" i
+  done
+
+let test_trace_rejections () =
+  List.iter
+    (fun s ->
+      match Trace.of_string s with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.failf "malformed trace %S accepted" s)
+    [
+      "s:";            (* missing value *)
+      "s:x";           (* not an int *)
+      "b:2";           (* not a canonical bool *)
+      "b:true";        (* wrong bool spelling *)
+      "i:";            (* missing value *)
+      "q:1";           (* unknown tag *)
+      "s:1 s:2";       (* two choices on one line *)
+      "s:1\n\ns:2";    (* blank line inside *)
+      "s:1 ";          (* trailing junk *)
+      "s:+1";          (* non-canonical int *)
+    ]
+
+(* --- Fault --------------------------------------------------------------- *)
+
+let random_spec prng =
+  let kinds =
+    List.filter
+      (fun _ -> Prng.bool prng)
+      [ Fault.Drop; Fault.Duplicate; Fault.Delay; Fault.Crash ]
+  in
+  if kinds = [] then Fault.none
+  else Fault.make ~budget:(Prng.int prng 10) kinds
+
+let test_fault_roundtrip () =
+  let prng = Prng.create ~seed:0xfa17L in
+  for i = 1 to 600 do
+    let s = random_spec prng in
+    let str = Fault.to_string s in
+    match Fault.parse str with
+    | Error e -> Alcotest.failf "case %d: %S did not parse back: %s" i str e
+    | Ok s' ->
+      (* max_delay is not serialized; everything else must survive *)
+      if Fault.kinds s' <> Fault.kinds s then
+        Alcotest.failf "case %d: kinds changed through %S" i str;
+      let budget' = if Fault.kinds s = [] then 0 else s.Fault.budget in
+      if s'.Fault.budget <> budget' then
+        Alcotest.failf "case %d: budget changed through %S" i str;
+      (* and to_string is a fixpoint of the grammar *)
+      if Fault.to_string s' <> str then
+        Alcotest.failf "case %d: to_string not canonical on %S" i str
+  done
+
+let test_fault_parse_accepts () =
+  (match Fault.parse "none" with
+   | Ok s -> Alcotest.(check bool) "none parses" false (Fault.enabled s)
+   | Error e -> Alcotest.failf "none rejected: %s" e);
+  (match Fault.parse "drop,crash(budget=3)" with
+   | Ok s ->
+     Alcotest.(check int) "budget suffix parsed" 3 s.Fault.budget;
+     Alcotest.(check bool) "kinds parsed" true (s.Fault.drop && s.Fault.crash)
+   | Error e -> Alcotest.failf "budget suffix rejected: %s" e);
+  match Fault.parse "delay" with
+  | Ok s -> Alcotest.(check int) "no suffix: budget 1" 1 s.Fault.budget
+  | Error e -> Alcotest.failf "plain kind rejected: %s" e
+
+let test_fault_rejections () =
+  List.iter
+    (fun s ->
+      match Fault.parse s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "malformed fault spec %S accepted" s)
+    [
+      "";
+      "lightning";
+      "drop(budget=)";
+      "drop(budget=x)";
+      "drop(budget=-1)";
+      "drop(budget=1";      (* unclosed *)
+      "drop(limit=1)";
+      "(budget=1)";         (* no kinds *)
+      "none,drop";          (* none only stands alone *)
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "trace round-trip x600" `Quick test_trace_roundtrip;
+    Alcotest.test_case "trace strict rejections" `Quick test_trace_rejections;
+    Alcotest.test_case "fault round-trip x600" `Quick test_fault_roundtrip;
+    Alcotest.test_case "fault parse acceptances" `Quick
+      test_fault_parse_accepts;
+    Alcotest.test_case "fault strict rejections" `Quick test_fault_rejections;
+  ]

@@ -1,0 +1,94 @@
+(* Witness-corpus regression tests (ISSUE 5 satellite 2).
+
+   [test/witnesses/] holds shrunk schedule traces for a spread of catalog
+   bugs, checked in as a regression corpus: replaying each against today's
+   harness must reproduce exactly the recorded violation. A failure here
+   means a harness or runtime change silently altered scheduling semantics
+   — the witness either diverges or trips a different bug. Regenerate a
+   witness only for an *intentional* semantic change:
+
+     psharp_test hunt BUG --seed 1 --executions 20000 --shrink \
+       --trace-out test/witnesses/BUG.trace *)
+
+module E = Psharp.Engine
+module Error = Psharp.Error
+module Bug_catalog = Catalog.Bug_catalog
+
+(* bug name -> exact Error.kind_to_string of the recorded violation *)
+let corpus =
+  [
+    ( "ChaintableDuplicateBackendRequest",
+      "assertion failed in machine Tables(1): double linearization: \
+       Service1(3) linearized a call with no pending logical operation" );
+    ( "DeletePrimaryKey",
+      "assertion failed in machine Service1(3): outcome divergence on \
+       Delete(P1/r1, etag=9): migrating table returned \
+       Err(PreconditionFailed), reference table returned Ok(etag=-)" );
+    ( "ExampleDuplicateReplicaAck",
+      "safety violation in monitor ReplicationSafety: Ack for request 1 \
+       sent with only 2 of 3 true replicas" );
+    ( "ExtentNodeCrashLosesBinding",
+      "liveness violation: monitor RepairMonitor stuck in hot state \
+       Repairing since step 349" );
+    ( "FabricPromoteDuringCopy",
+      "assertion failed in machine FailoverManager(1): replica 2 was \
+       promoted to active secondary while being the primary" );
+    ( "PaxosForgetPromise",
+      "safety violation in monitor PaxosAgreement: agreement violated: 102 \
+       chosen after 101" );
+    ( "QueryAtomicFilterShadowing",
+      "assertion failed in machine Service0(2): query divergence on \
+       ((PartitionKey eq 'P0') and (not (v eq '2'))): migrating table \
+       Rows[{P0/r0 etag=7 v=3}; {P0/r1 etag=1 v=1}], reference table \
+       Rows[{P0/r1 etag=1 v=1}]" );
+    ( "RaftDoubleVote",
+      "safety violation in monitor RaftElectionSafety: two leaders in term \
+       1: servers 2 and 0" );
+  ]
+
+(* Resolve the corpus directory whether the binary runs from the dune
+   sandbox (cwd = test/) or from the workspace root. *)
+let witness_dir =
+  lazy
+    (if Sys.file_exists "witnesses" then "witnesses"
+     else Filename.concat "test" "witnesses")
+
+let replay_one (bug, expected) () =
+  let entry = Bug_catalog.find bug in
+  let trace =
+    Psharp.Trace.load
+      ~path:(Filename.concat (Lazy.force witness_dir) (bug ^ ".trace"))
+  in
+  let config =
+    {
+      E.default_config with
+      max_executions = 1;
+      max_steps = entry.Bug_catalog.max_steps;
+      faults = entry.Bug_catalog.faults;
+    }
+  in
+  let result =
+    E.replay ~monitors:entry.Bug_catalog.monitors config trace
+      entry.Bug_catalog.harness
+  in
+  match result.Psharp.Runtime.bug with
+  | Some kind ->
+    Alcotest.(check string)
+      (bug ^ " witness reproduces the recorded violation")
+      expected (Error.kind_to_string kind)
+  | None -> Alcotest.failf "%s witness replayed without a bug" bug
+
+let test_corpus_complete () =
+  (* every checked-in witness has a corpus entry, and vice versa *)
+  let on_disk = Sys.readdir (Lazy.force witness_dir) |> Array.to_list in
+  let expected = List.map (fun (b, _) -> b ^ ".trace") corpus in
+  Alcotest.(check (slist string String.compare))
+    "corpus matches the files on disk" expected
+    (List.filter (fun f -> Filename.check_suffix f ".trace") on_disk)
+
+let suite =
+  Alcotest.test_case "corpus complete" `Quick test_corpus_complete
+  :: List.map
+       (fun entry ->
+         Alcotest.test_case ("replay " ^ fst entry) `Quick (replay_one entry))
+       corpus
