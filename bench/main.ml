@@ -658,6 +658,7 @@ let measure_throughput ?(faults = Psharp.Fault.none) ~budget ~collect_log
           hb = None;
           faults;
           deadline = None;
+          clock = None;
         }
       in
       let result =
@@ -862,6 +863,145 @@ let fault_overhead ~budget () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Virtual-time overhead                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The clock's contract mirrors the fault substrate's: with
+   [config.clock = None] the whole virtual-time path is one option load
+   away from the pre-clock runtime — no draw, no extra allocation — so
+   the golden digests stay byte-identical and throughput must match the
+   baseline. This section quantifies that, plus the price actually paid
+   with the clock armed: on the three case-study harnesses (which never
+   arm an entry, so clock-on measures pure plumbing) and on the
+   chaintable RPC harness (whose timeouts and delay-latencies all ride
+   the clock). Results land in BENCH_time.json. *)
+let time_overhead ~budget () =
+  Printf.printf
+    "== Virtual-time overhead: random strategy, %d executions per mode \
+     (seed %Ld) ==\n"
+    budget base_seed;
+  let measure ~faults ~clock case =
+    let factory = Psharp.Random_strategy.factory ~seed:base_seed in
+    let total_steps = ref 0 and total_vtime = ref 0 in
+    let started = Unix.gettimeofday () in
+    for i = 0 to budget - 1 do
+      match factory.Psharp.Strategy.fresh ~iteration:i with
+      | None -> ()
+      | Some strategy ->
+        let cfg =
+          {
+            Runtime.max_steps = case.t_max_steps;
+            liveness_grace = None;
+            deadlock_is_bug = true;
+            collect_log = false;
+            coverage = None;
+            hb = None;
+            faults;
+            deadline = None;
+            clock;
+          }
+        in
+        let result =
+          Runtime.execute cfg strategy ~monitors:(case.t_monitors ())
+            ~name:"Harness" case.t_harness
+        in
+        total_steps := !total_steps + result.Runtime.steps;
+        total_vtime := !total_vtime + result.Runtime.final_time
+    done;
+    (!total_steps, !total_vtime, Unix.gettimeofday () -. started)
+  in
+  let cases =
+    List.map (fun c -> (c, Psharp.Fault.none)) (throughput_cases ())
+    @ [
+        ( {
+            tname = "chaintable-rpc";
+            t_harness =
+              Chaintable.Harness.test
+                ~workloads:Chaintable.Workload.retry_case ();
+            t_monitors = (fun () -> []);
+            t_max_steps = 4_000;
+          },
+          (* the catalog entry's spec: latency on the backend link drives
+             the RPC timeout/retry machinery *)
+          Psharp.Fault.make [ Psharp.Fault.Delay ] );
+      ]
+  in
+  let rows =
+    List.map
+      (fun (case, faults) ->
+        let modes =
+          [
+            ("off", measure ~faults ~clock:None case);
+            ( "on",
+              measure ~faults ~clock:(Some Psharp.Clock.default_config) case
+            );
+          ]
+        in
+        (case, faults, modes))
+      cases
+  in
+  Printf.printf "%-15s %-6s %12s %14s %14s %12s %12s\n" "harness" "clock"
+    "executions" "execs/sec" "steps/sec" "avg vtime" "vs off";
+  print_endline (String.make 92 '-');
+  List.iter
+    (fun (case, _, modes) ->
+      let base_eps =
+        match modes with
+        | (_, (_, _, elapsed)) :: _ when elapsed > 0. ->
+          float_of_int budget /. elapsed
+        | _ -> 0.
+      in
+      List.iter
+        (fun (label, (steps, vtime, elapsed)) ->
+          let eps = if elapsed > 0. then float_of_int budget /. elapsed else 0.
+          and sps =
+            if elapsed > 0. then float_of_int steps /. elapsed else 0.
+          in
+          let rel =
+            if base_eps > 0. then
+              Printf.sprintf "%.1f%%" (100. *. eps /. base_eps)
+            else "-"
+          in
+          Printf.printf "%-15s %-6s %12d %14.1f %14.0f %12.1f %12s\n"
+            case.tname label budget eps sps
+            (float_of_int vtime /. float_of_int (max 1 budget))
+            rel)
+        modes)
+    rows;
+  let oc = open_out "BENCH_time.json" in
+  output_string oc "{\n";
+  Printf.fprintf oc "  \"seed\": %Ld,\n" base_seed;
+  Printf.fprintf oc "  \"budget\": %d,\n" budget;
+  Printf.fprintf oc "  \"max_time\": %d,\n"
+    Psharp.Clock.default_config.Psharp.Clock.max_time;
+  output_string oc "  \"harnesses\": [\n";
+  List.iteri
+    (fun i (case, faults, modes) ->
+      Printf.fprintf oc "    {\"name\": %S, \"faults\": %S, \"modes\": [\n"
+        case.tname
+        (Psharp.Fault.to_string faults);
+      List.iteri
+        (fun j (label, (steps, vtime, elapsed)) ->
+          let eps = if elapsed > 0. then float_of_int budget /. elapsed else 0.
+          and sps =
+            if elapsed > 0. then float_of_int steps /. elapsed else 0.
+          in
+          Printf.fprintf oc
+            "      {\"clock\": %S, \"executions\": %d, \"total_steps\": %d, \
+             \"total_vtime\": %d, \"elapsed_s\": %.4f, \"execs_per_sec\": \
+             %.1f, \"steps_per_sec\": %.0f}%s\n"
+            label budget steps vtime elapsed eps sps
+            (if j = List.length modes - 1 then "" else ","))
+        modes;
+      Printf.fprintf oc "    ]}%s\n"
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  print_endline "wrote BENCH_time.json";
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Golden determinism digests                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -908,6 +1048,7 @@ let golden_digests () =
             hb = None;
             faults = Psharp.Fault.none;
             deadline = None;
+            clock = None;
           }
         in
         let result =
@@ -1147,7 +1288,7 @@ let () =
       [
         "table1"; "table2"; "vnext-fix"; "ablation"; "samples";
         "parallel-scaling"; "coverage-growth"; "exec-throughput";
-        "fault-overhead"; "micro";
+        "fault-overhead"; "time-overhead"; "micro";
       ]
     | picked -> picked
   in
@@ -1174,6 +1315,7 @@ let () =
       | "coverage-growth" -> coverage_growth ~budgets:coverage_budgets ()
       | "exec-throughput" -> exec_throughput ~budget:throughput_budget ()
       | "fault-overhead" -> fault_overhead ~budget:throughput_budget ()
+      | "time-overhead" -> time_overhead ~budget:throughput_budget ()
       | "golden-digests" -> golden_digests ()
       | "reduction" ->
         reduction ~hunt_budget:reduction_hunt_budget

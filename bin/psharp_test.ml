@@ -133,6 +133,29 @@ let fault_budget_arg =
   let doc = "Maximum faults injected per execution (with --faults)." in
   Arg.(value & opt int 1 & info [ "fault-budget" ] ~docv:"N" ~doc)
 
+let clock_arg =
+  let doc =
+    "Virtual-time mode: auto (the bug's own clock config — timeout/retry \
+     catalog bugs hunt under simulated time with no flags; default), on \
+     (enable with the default horizon), off (disable even for clock \
+     bugs), or a positive integer simulation horizon in virtual-time \
+     units."
+  in
+  Arg.(value & opt string "auto" & info [ "clock" ] ~docv:"MODE" ~doc)
+
+(* Mirrors [fault_spec_of]: the bug's own clock config is the default and
+   an explicit --clock overrides it. *)
+let clock_spec_of entry = function
+  | "auto" -> Ok entry.Bug_catalog.clock
+  | "on" -> Ok (Some Psharp.Clock.default_config)
+  | "off" -> Ok None
+  | s -> begin
+    match int_of_string_opt s with
+    | Some horizon when horizon > 0 -> Ok (Some { Psharp.Clock.max_time = horizon })
+    | Some _ -> Error "clock horizon must be positive"
+    | None -> Error (Printf.sprintf "unknown clock mode %s" s)
+  end
+
 (* The bug's own spec is the default, so `hunt ExtentNodeCrashLosesBinding`
    injects crashes out of the box; an explicit --faults overrides it. *)
 let fault_spec_of entry ~faults ~fault_budget =
@@ -155,8 +178,8 @@ let parse_strategy = function
   | other -> Error (Printf.sprintf "unknown strategy %s" other)
 
 let config_of ?(workers = 1) ?(coverage = false) ?plateau
-    ?(faults = Psharp.Fault.none) ?(reduce = E.No_reduction) entry ~strategy
-    ~seed ~executions ~steps ~log =
+    ?(faults = Psharp.Fault.none) ?(reduce = E.No_reduction) ?clock entry
+    ~strategy ~seed ~executions ~steps ~log =
   {
     E.default_config with
     strategy;
@@ -169,6 +192,7 @@ let config_of ?(workers = 1) ?(coverage = false) ?plateau
     coverage_plateau = plateau;
     faults;
     reduce;
+    clock = Option.join clock;
   }
 
 let harness_of entry ~custom =
@@ -215,7 +239,7 @@ let emit_coverage_report ~path (stats : E.stats) =
     Format.printf "coverage report written to %s@." path
 
 let hunt bug strategy seed executions steps custom trace_out log shrink
-    workers coverage_report plateau faults fault_budget reduce =
+    workers coverage_report plateau faults fault_budget reduce clock =
   match
     Result.bind (parse_strategy strategy) (fun s ->
         Result.map (fun r -> (s, r)) (parse_reduce reduce))
@@ -231,17 +255,18 @@ let hunt bug strategy seed executions steps custom trace_out log shrink
     | entry -> begin
       match
         Result.bind (fault_spec_of entry ~faults ~fault_budget) (fun spec ->
-            Result.map (fun h -> (spec, h)) (harness_of entry ~custom))
+            Result.bind (clock_spec_of entry clock) (fun ck ->
+                Result.map (fun h -> (spec, ck, h)) (harness_of entry ~custom)))
       with
       | Error msg ->
         prerr_endline msg;
         2
-      | Ok (fault_spec, harness) -> begin
+      | Ok (fault_spec, clock_spec, harness) -> begin
         let config =
           config_of ~workers
             ~coverage:(coverage_report <> None)
-            ?plateau ~faults:fault_spec ~reduce entry ~strategy ~seed
-            ~executions ~steps ~log
+            ?plateau ~faults:fault_spec ~reduce ~clock:clock_spec entry
+            ~strategy ~seed ~executions ~steps ~log
         in
         let finish_coverage stats =
           match coverage_report with
@@ -299,7 +324,7 @@ let hunt_cmd =
       const hunt $ bug_arg $ strategy_arg $ seed_arg $ executions_arg
       $ steps_arg $ custom_arg $ trace_out_arg $ log_arg $ shrink_arg
       $ workers_arg $ coverage_report_arg $ plateau_arg $ faults_arg
-      $ fault_budget_arg $ reduce_arg)
+      $ fault_budget_arg $ reduce_arg $ clock_arg)
 
 (* --- replay ------------------------------------------------------------- *)
 
@@ -315,11 +340,14 @@ let replay bug trace_file custom log =
       2
     | Ok harness ->
       let trace = Psharp.Trace.load ~path:trace_file in
-      (* The bug's own fault spec: a fault-found trace replays its recorded
-         injection draws only under the spec that produced them. *)
+      (* The bug's own fault spec and clock config: a fault-found trace
+         replays its recorded injection draws only under the spec that
+         produced them, and a clock-found trace only under the same time
+         model. *)
       let config =
-        config_of ~faults:entry.Bug_catalog.faults entry ~strategy:E.Random
-          ~seed:0L ~executions:1 ~steps:0 ~log:true
+        config_of ~faults:entry.Bug_catalog.faults
+          ~clock:entry.Bug_catalog.clock entry ~strategy:E.Random ~seed:0L
+          ~executions:1 ~steps:0 ~log:true
       in
       let result =
         E.replay ~monitors:entry.Bug_catalog.monitors config trace harness
@@ -345,7 +373,8 @@ let replay_cmd =
 
 (* --- survey --------------------------------------------------------------- *)
 
-let survey bug strategy seed executions custom workers faults fault_budget =
+let survey bug strategy seed executions custom workers faults fault_budget
+    clock =
   match parse_strategy strategy with
   | Error msg ->
     prerr_endline msg;
@@ -358,15 +387,16 @@ let survey bug strategy seed executions custom workers faults fault_budget =
     | entry -> begin
       match
         Result.bind (fault_spec_of entry ~faults ~fault_budget) (fun spec ->
-            Result.map (fun h -> (spec, h)) (harness_of entry ~custom))
+            Result.bind (clock_spec_of entry clock) (fun ck ->
+                Result.map (fun h -> (spec, ck, h)) (harness_of entry ~custom)))
       with
       | Error msg ->
         prerr_endline msg;
         2
-      | Ok (fault_spec, harness) ->
+      | Ok (fault_spec, clock_spec, harness) ->
         let config =
-          config_of ~workers ~faults:fault_spec entry ~strategy ~seed
-            ~executions ~steps:0 ~log:false
+          config_of ~workers ~faults:fault_spec ~clock:clock_spec entry
+            ~strategy ~seed ~executions ~steps:0 ~log:false
         in
         let found =
           E.survey ~monitors:entry.Bug_catalog.monitors config harness
@@ -397,12 +427,12 @@ let survey_cmd =
           violation with its frequency.")
     Term.(
       const survey $ bug_arg $ strategy_arg $ seed_arg $ executions_arg
-      $ custom_arg $ workers_arg $ faults_arg $ fault_budget_arg)
+      $ custom_arg $ workers_arg $ faults_arg $ fault_budget_arg $ clock_arg)
 
 (* --- check (fixed variant) ---------------------------------------------- *)
 
 let check bug seed executions coverage_report plateau faults fault_budget
-    reduce =
+    reduce clock =
   match parse_reduce reduce with
   | Error msg ->
     prerr_endline msg;
@@ -413,16 +443,19 @@ let check bug seed executions coverage_report plateau faults fault_budget
     prerr_endline msg;
     2
   | entry -> begin
-    match fault_spec_of entry ~faults ~fault_budget with
+    match
+      Result.bind (fault_spec_of entry ~faults ~fault_budget) (fun spec ->
+          Result.map (fun ck -> (spec, ck)) (clock_spec_of entry clock))
+    with
     | Error msg ->
       prerr_endline msg;
       2
-    | Ok fault_spec -> begin
+    | Ok (fault_spec, clock_spec) -> begin
     let config =
       config_of
         ~coverage:(coverage_report <> None)
-        ?plateau ~faults:fault_spec ~reduce entry ~strategy:E.Random ~seed
-        ~executions ~steps:0 ~log:false
+        ?plateau ~faults:fault_spec ~reduce ~clock:clock_spec entry
+        ~strategy:E.Random ~seed ~executions ~steps:0 ~log:true
     in
     let finish_coverage stats =
       match coverage_report with
@@ -442,6 +475,7 @@ let check bug seed executions coverage_report plateau faults fault_budget
     | E.Bug_found (report, stats) ->
       Format.printf "UNEXPECTED bug in fixed variant after %d execution(s):@.%a@."
         stats.E.executions Error.pp_report report;
+      List.iter (fun line -> Format.printf "%s@." line) report.Error.log;
       finish_coverage stats;
       1
     end
@@ -454,12 +488,12 @@ let check_cmd =
        ~doc:"Run the bug's fixed variant and expect no violations.")
     Term.(
       const check $ bug_arg $ seed_arg $ executions_arg $ coverage_report_arg
-      $ plateau_arg $ faults_arg $ fault_budget_arg $ reduce_arg)
+      $ plateau_arg $ faults_arg $ fault_budget_arg $ reduce_arg $ clock_arg)
 
 (* --- explore (coverage, no bug expectation) ----------------------------- *)
 
 let explore bug strategy seed executions steps custom workers coverage_report
-    plateau faults fault_budget reduce =
+    plateau faults fault_budget reduce clock =
   match
     Result.bind (parse_strategy strategy) (fun s ->
         Result.map (fun r -> (s, r)) (parse_reduce reduce))
@@ -475,15 +509,17 @@ let explore bug strategy seed executions steps custom workers coverage_report
     | entry -> begin
       match
         Result.bind (fault_spec_of entry ~faults ~fault_budget) (fun spec ->
-            Result.map (fun h -> (spec, h)) (harness_of entry ~custom))
+            Result.bind (clock_spec_of entry clock) (fun ck ->
+                Result.map (fun h -> (spec, ck, h)) (harness_of entry ~custom)))
       with
       | Error msg ->
         prerr_endline msg;
         2
-      | Ok (fault_spec, harness) ->
+      | Ok (fault_spec, clock_spec, harness) ->
         let config =
           config_of ~workers ~coverage:true ?plateau ~faults:fault_spec
-            ~reduce entry ~strategy ~seed ~executions ~steps ~log:false
+            ~reduce ~clock:clock_spec entry ~strategy ~seed ~executions ~steps
+            ~log:false
         in
         let stats = E.explore ~monitors:entry.Bug_catalog.monitors config harness in
         (match stats.E.coverage with
@@ -515,7 +551,7 @@ let explore_cmd =
     Term.(
       const explore $ bug_arg $ strategy_arg $ seed_arg $ executions_arg
       $ steps_arg $ custom_arg $ workers_arg $ coverage_report_arg
-      $ plateau_arg $ faults_arg $ fault_budget_arg $ reduce_arg)
+      $ plateau_arg $ faults_arg $ fault_budget_arg $ reduce_arg $ clock_arg)
 
 let () =
   let info =

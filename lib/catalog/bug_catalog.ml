@@ -26,6 +26,9 @@ type entry = {
   faults : Psharp.Fault.spec;
       (* faults the hunt must inject for the bug to be reachable;
          Fault.none for every schedule-only bug *)
+  clock : Psharp.Clock.config option;
+      (* virtual-time config the hunt must run with; None for every bug
+         reachable without simulated time *)
 }
 
 let no_monitors () = []
@@ -47,6 +50,7 @@ let vnext_entry =
     monitors = (fun () -> Vnext.Testing_driver.monitors ());
     max_steps = 3_000;
     faults = Psharp.Fault.none;
+    clock = None;
   }
 
 let migrating_table_entry name =
@@ -65,6 +69,7 @@ let migrating_table_entry name =
     monitors = no_monitors;
     max_steps = 4_000;
     faults = Psharp.Fault.none;
+    clock = None;
   }
 
 let fabric_promotion_entry =
@@ -80,6 +85,7 @@ let fabric_promotion_entry =
     monitors = (fun () -> Fabric.Harness.monitors ());
     max_steps = 3_000;
     faults = Psharp.Fault.none;
+    clock = None;
   }
 
 let cscale_entry =
@@ -95,6 +101,7 @@ let cscale_entry =
     monitors = no_monitors;
     max_steps = 2_000;
     faults = Psharp.Fault.none;
+    clock = None;
   }
 
 let example_entry name bugs kind =
@@ -110,6 +117,7 @@ let example_entry name bugs kind =
     monitors = (fun () -> Replication.Harness.monitors ());
     max_steps = 2_000;
     faults = Psharp.Fault.none;
+    clock = None;
   }
 
 (* --- fault-only bugs (PR 4): reachable only when the engine injects
@@ -132,6 +140,7 @@ let vnext_crash_entry =
     monitors = (fun () -> Vnext.Testing_driver.monitors ());
     max_steps = 3_000;
     faults = Psharp.Fault.make [ Psharp.Fault.Crash ];
+    clock = None;
   }
 
 let chaintable_dup_entry =
@@ -149,6 +158,35 @@ let chaintable_dup_entry =
     (* duplicate only: the backend RPC is a blocking round trip, so a
        dropped request would read as a deadlock rather than this bug *)
     faults = Psharp.Fault.make [ Psharp.Fault.Duplicate ];
+    clock = None;
+  }
+
+(* --- timeout/retry bug (virtual time): reachable only when the clock is
+   on (the RPC timeout exists) and delay faults give hops latency. --- *)
+
+let chaintable_retry_entry =
+  {
+    name = "ChaintableRetryFreshSeq";
+    case_study = Cs_migrating_table;
+    in_table2 = false;
+    needs_custom_case = false;
+    kind = `Safety;
+    harness =
+      Chaintable.Harness.test ~bugs:Chaintable.Bug_flags.retry_bug
+        ~workloads:Chaintable.Workload.retry_case ();
+    custom_harness = None;
+    (* stream-free workloads (see Workload.retry_case): a latency-delayed
+       stream read trips a separate pre-existing race that would drown
+       this entry's defect *)
+    fixed_harness =
+      Chaintable.Harness.test ~workloads:Chaintable.Workload.retry_case ();
+    monitors = no_monitors;
+    max_steps = 4_000;
+    (* delay only: a response held in flight past the RPC timeout is what
+       makes the client retransmit; rpc_timeout (2) < max_delay (3) keeps
+       the race reachable *)
+    faults = Psharp.Fault.make [ Psharp.Fault.Delay ];
+    clock = Some Psharp.Clock.default_config;
   }
 
 let fabric_crash_entry =
@@ -164,6 +202,7 @@ let fabric_crash_entry =
     monitors = (fun () -> Fabric.Harness.monitors ());
     max_steps = 3_000;
     faults = Psharp.Fault.make [ Psharp.Fault.Crash ];
+    clock = None;
   }
 
 let sample_entry name ~harness ~fixed_harness ~monitors ~max_steps =
@@ -179,6 +218,7 @@ let sample_entry name ~harness ~fixed_harness ~monitors ~max_steps =
     monitors;
     max_steps;
     faults = Psharp.Fault.none;
+    clock = None;
   }
 
 let all =
@@ -189,6 +229,7 @@ let all =
       cscale_entry;
       vnext_crash_entry;
       chaintable_dup_entry;
+      chaintable_retry_entry;
       fabric_crash_entry;
       example_entry "ExampleDuplicateReplicaAck" Replication.Bug_flags.bug1
         `Safety;

@@ -32,6 +32,10 @@ type entry = {
       (** faults the hunt must inject for the bug to be reachable
           ({!Psharp.Fault.none} for every schedule-only bug). The runner
           uses this spec unless the user overrides it with [--faults]. *)
+  clock : Psharp.Clock.config option;
+      (** virtual-time config the hunt must run with ([None] for every bug
+          reachable without simulated time). The runner uses it unless the
+          user overrides it with [--clock]. *)
 }
 
 (** All catalog entries, Table 2 rows first, in the paper's order. *)

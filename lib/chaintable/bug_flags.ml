@@ -11,6 +11,7 @@ type t = {
   migrate_skip_use_new_with_tombstones : bool;
   insert_behind_migrator : bool;
   backend_no_dedup : bool;
+  retry_fresh_seq : bool;
 }
 
 let none =
@@ -27,11 +28,16 @@ let none =
     migrate_skip_use_new_with_tombstones = false;
     insert_behind_migrator = false;
     backend_no_dedup = false;
+    retry_fresh_seq = false;
   }
 
 (* Not part of Table 2 (hence absent from [names]): only observable when
    the engine injects message faults. *)
 let dup_bug = { none with backend_no_dedup = true }
+
+(* Not part of Table 2 either: only observable under virtual time with
+   delay faults, where an RPC can outlive its timeout. *)
+let retry_bug = { none with retry_fresh_seq = true }
 
 let names =
   [

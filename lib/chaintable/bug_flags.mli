@@ -45,12 +45,26 @@ type t = {
           executes twice and a linearized call trips the
           double-linearization assert. Only findable with [dup] message
           faults enabled. *)
+  retry_fresh_seq : bool;
+      (** ChaintableRetryFreshSeq (not in Table 2, absent from [names]):
+          under virtual time {!Remote_backend} retries a backend RPC whose
+          response missed the timeout. The fixed protocol retransmits the
+          {e same} sequence number, so the server's dedup absorbs the
+          retry of an already-executed call; with this flag the retry
+          draws a {e fresh} sequence number — the classic
+          timeout-retry-as-new-request defect — so when the response (not
+          the request) was delayed, the already-linearized call executes a
+          second time and trips the double-linearization assert. Only
+          findable with the clock on and [delay] message faults. *)
 }
 
 val none : t
 
 (** [none] with [backend_no_dedup] armed. *)
 val dup_bug : t
+
+(** [none] with [retry_fresh_seq] armed. *)
+val retry_bug : t
 
 (** [with_bug name] returns [none] with the named flag set.
     @raise Invalid_argument on an unknown name. *)

@@ -37,6 +37,7 @@ type Psharp.Event.t +=
       emissions : Spec_check.emission list;
     }
   | Validate_reply of { verdict : (unit, string) result }
+  | Rpc_timeout of { token : int }
   | Participant_done
   | Tables_shutdown
 
@@ -89,6 +90,7 @@ let printer = function
     Some (Printf.sprintf "AdvanceRequest(%s)" (Phase.to_string target))
   | Validate_stream { emissions; _ } ->
     Some (Printf.sprintf "ValidateStream(%d emissions)" (List.length emissions))
+  | Rpc_timeout { token } -> Some (Printf.sprintf "RpcTimeout(%d)" token)
   | Validate_reply { verdict } ->
     Some
       (Printf.sprintf "ValidateReply(%s)"

@@ -46,6 +46,11 @@ type Psharp.Event.t +=
       emissions : Spec_check.emission list;
     }
   | Validate_reply of { verdict : (unit, string) result }
+  | Rpc_timeout of { token : int }
+      (** timed self-delivery armed by {!Remote_backend} alongside each
+          backend request under virtual time; the token identifies the
+          attempt, so a timeout that fires after its response arrived is
+          recognizably stale *)
   | Participant_done
   | Tables_shutdown
 

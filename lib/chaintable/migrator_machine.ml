@@ -5,7 +5,7 @@ let machine ~tables ~bugs ~report_to ctx =
   Psharp.Registry.register_machine ~machine:"Migrator"
     ~kind:Psharp.Registry.Machine ~states:1 ~handlers:2;
   let stash = Remote_backend.create_stash () in
-  let backend = Remote_backend.ops ctx ~tables ~stash in
+  let backend = Remote_backend.ops ~bugs ctx ~tables ~stash in
   let advance target =
     R.send ctx tables
       (Events.Advance_request { reply_to = R.self ctx; target });

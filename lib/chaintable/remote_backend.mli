@@ -14,13 +14,27 @@ type stash = {
   mutable next_seq : int;
       (** sequence number for the next backend request; the Tables machine
           uses it to discard duplicates injected by the fault substrate *)
+  mutable next_token : int;
+      (** token for the next RPC-timeout self-delivery (virtual time only);
+          distinguishes a live timeout from a stale one whose response
+          already arrived *)
 }
 
 val create_stash : unit -> stash
 
 (** [ops ctx ~tables ~stash] builds the backend interface for the machine
-    running in [ctx]. *)
-val ops : Psharp.Runtime.ctx -> tables:Psharp.Id.t -> stash:stash -> Backend.ops
+    running in [ctx]. Under virtual time ({!Psharp.Runtime.clock_on}) each
+    call carries a timeout and retransmits when the response misses it —
+    with the same sequence number, so the server's dedup keeps the call
+    exactly-once; [bugs.retry_fresh_seq] re-introduces the retry-as-new-
+    request defect (ChaintableRetryFreshSeq). With the clock off the RPC
+    path is byte-identical to the pre-clock protocol. *)
+val ops :
+  ?bugs:Bug_flags.t ->
+  Psharp.Runtime.ctx ->
+  tables:Psharp.Id.t ->
+  stash:stash ->
+  Backend.ops
 
 (** Take (and clear) the captured reference outcome. *)
 val take_rt_outcome : stash -> Table_types.outcome option

@@ -225,7 +225,7 @@ let machine ~tables ~bugs ~workload ~report_to ctx =
   Psharp.Registry.register_machine ~machine:"Service"
     ~kind:Psharp.Registry.Machine ~states:1 ~handlers:3;
   let stash = Remote_backend.create_stash () in
-  let backend = Remote_backend.ops ctx ~tables ~stash in
+  let backend = Remote_backend.ops ~bugs ctx ~tables ~stash in
   let s =
     { mt = Mt.create ~bugs backend; stash; tables; pairs = Key_map.empty }
   in

@@ -57,8 +57,16 @@ let handle_backend_request ctx m ~reply_to ~seq ~table ~call ~lin =
     end
     | Some _ | None -> None
   in
-  R.send ctx reply_to
-    (Events.Backend_response { seq; result; rt_outcome; at = m.vclock })
+  let response =
+    Events.Backend_response { seq; result; rt_outcome; at = m.vclock }
+  in
+  (* Under virtual time the response hop crosses the network too, so it is
+     equally exposed to the fault substrate — a delayed response is what
+     makes the client's RPC timeout fire after the call already executed
+     (the ChaintableRetryFreshSeq race). Clock off keeps the pre-clock
+     single-faulty-hop protocol byte-identical. *)
+  if R.clock_on ctx then R.send_faulty ctx reply_to response
+  else R.send ctx reply_to response
 
 let register_begin ctx m (requester, pending) =
   m.in_flight <- (requester, m.phase) :: m.in_flight;

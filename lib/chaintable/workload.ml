@@ -44,6 +44,35 @@ let initial_rows =
     (T.key "P1" "r1", [ ("v", "1") ]);
   ]
 
+(* Stream-free workloads for the virtual-time retry entry
+   (ChaintableRetryFreshSeq). Under the clock, a delay fault is a latency:
+   a stream whose first backend read is held in flight can execute after
+   the whole migration completed, tripping the (pre-existing,
+   schedule-reachable, astronomically unlikely under uniform random) race
+   where a stream keeps the phase mode it snapshotted at creation. That
+   separate defect would drown the retry bug this entry isolates, so its
+   workloads stick to mutations and atomic reads — plenty of linearized
+   RPCs for the timeout-retry race, no streams. *)
+let retry_case =
+  [
+    Scripted
+      [
+        S_upsert (T.key "P0" "r0", "1");
+        S_replace_current (T.key "P0" "r1", "2");
+        S_retrieve (T.key "P0" "r1");
+        S_delete_current (T.key "P0" "r2");
+        S_query Filter0.True;
+      ];
+    Scripted
+      [
+        S_insert (T.key "P1" "r0", "3");
+        S_query (v_eq "1");
+        S_upsert (T.key "P1" "r1", "0");
+        S_retrieve (T.key "P0" "r0");
+        S_delete_uncond (T.key "P1" "r0");
+      ];
+  ]
+
 let custom_case = function
   | "QueryStreamedFilterShadowing" ->
     (* A row whose current version does not match the filter but whose

@@ -32,6 +32,12 @@ val default : t
     @raise Invalid_argument for bugs with no custom case. *)
 val custom_case : string -> t list
 
+(** Stream-free mutation/atomic-read workloads for the virtual-time
+    timeout-retry entry (ChaintableRetryFreshSeq): plenty of linearized
+    RPCs for the retry race, no streams — a latency-delayed stream read
+    would instead trip the separate snapshot-phase stream race. *)
+val retry_case : t list
+
 (** Keys/values the random workload draws from. *)
 val key_space : Table_types.key list
 

@@ -1,0 +1,63 @@
+type config = { max_time : int }
+
+let default_config = { max_time = 10_000 }
+
+type entry = {
+  at : int;
+  seq : int;
+  target : int;
+  sender : int;
+  stamp : int;
+  event : Event.t;
+}
+
+(* Pending entries sorted by (at, seq): earliest deadline first, arming
+   order as the tie-break. Pending counts are tiny (a handful of timers
+   plus in-flight timed messages), so a sorted list beats a heap on both
+   simplicity and constant factors. *)
+type t = {
+  mutable now : int;
+  mutable next_seq : int;
+  mutable pending : entry list;
+}
+
+let create () = { now = 0; next_seq = 0; pending = [] }
+let now t = t.now
+let is_empty t = t.pending = []
+let pending t = List.length t.pending
+
+let arm t ~after ~target ~sender ~stamp event =
+  if after <= 0 then invalid_arg "Clock.arm: after must be positive";
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let e = { at = t.now + after; seq; target; sender; stamp; event } in
+  let rec insert = function
+    | [] -> [ e ]
+    | hd :: tl ->
+      if hd.at < e.at || (hd.at = e.at && hd.seq < e.seq) then hd :: insert tl
+      else e :: hd :: tl
+  in
+  t.pending <- insert t.pending;
+  seq
+
+let next_due t =
+  match t.pending with [] -> None | e :: _ -> Some e.at
+
+(* Advance virtual time to the earliest pending entry and hand it out —
+   unless that entry lies beyond [horizon], in which case time is never
+   advanced past the end of the simulation and [None] is returned with the
+   entry left in place (the caller distinguishes "idle" from "out of
+   simulated time" via {!is_empty}). *)
+let pop_due t ~horizon =
+  match t.pending with
+  | [] -> None
+  | e :: rest ->
+    if e.at > horizon then None
+    else begin
+      t.pending <- rest;
+      if e.at > t.now then t.now <- e.at;
+      Some e
+    end
+
+let cancel_target t target =
+  t.pending <- List.filter (fun e -> e.target <> target) t.pending

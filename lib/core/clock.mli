@@ -1,0 +1,60 @@
+(** Discrete-event virtual clock (FoundationDB-style simulated time).
+
+    The runtime owns one clock per execution when virtual time is enabled
+    ({!Runtime.config}[.clock]). Machines arm {e entries} — an event to be
+    delivered to a machine at an absolute virtual instant — and the
+    scheduler advances time {e only when no machine is enabled}: simulated
+    seconds cost nothing, so long-horizon timeout/retry/lease scenarios
+    explore as cheaply as message races. Advancing is deterministic (no
+    strategy draw): entries fire in (deadline, arming-order) order, so the
+    same schedule trace always reproduces the same timestamps. *)
+
+type config = {
+  max_time : int;
+      (** simulation horizon: virtual time never advances past this
+          instant, so an execution whose only remaining work is timed
+          entries beyond it ends (with liveness monitors judged) instead
+          of ticking forever *)
+}
+
+(** [{ max_time = 10_000 }]. *)
+val default_config : config
+
+type entry = {
+  at : int;  (** absolute virtual delivery instant *)
+  seq : int;  (** arming order; tie-break among same-instant entries *)
+  target : int;  (** machine creation index *)
+  sender : int;  (** sending machine's creation index, [-1] unknown *)
+  stamp : int;  (** happens-before message stamp, [-1] untracked *)
+  event : Event.t;
+}
+
+type t
+
+val create : unit -> t
+
+(** Current virtual time (starts at 0, monotone). *)
+val now : t -> int
+
+(** [arm t ~after ~target ~sender ~stamp e] schedules [e] for delivery to
+    [target] at [now t + after]; returns the entry's arming sequence number
+    (unique within the execution, usable as a wakeup token).
+    @raise Invalid_argument if [after <= 0]. *)
+val arm : t -> after:int -> target:int -> sender:int -> stamp:int -> Event.t -> int
+
+(** Instant of the earliest pending entry, if any. *)
+val next_due : t -> int option
+
+(** Advance [now] to the earliest pending entry and remove it — or return
+    [None] (leaving time and entries untouched) when there is no pending
+    entry at or before [horizon]. *)
+val pop_due : t -> horizon:int -> entry option
+
+(** Drop every pending entry addressed to [target] (crash semantics: a
+    crashed machine's in-flight timed messages die with its inbox). *)
+val cancel_target : t -> int -> unit
+
+val is_empty : t -> bool
+
+(** Number of pending entries (diagnostics). *)
+val pending : t -> int

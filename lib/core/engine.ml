@@ -23,6 +23,7 @@ type config = {
   coverage_plateau : int option;
   faults : Fault.spec;
   reduce : reduction;
+  clock : Clock.config option;
 }
 
 let default_config =
@@ -40,6 +41,7 @@ let default_config =
     coverage_plateau = None;
     faults = Fault.none;
     reduce = No_reduction;
+    clock = None;
   }
 
 type stats = {
@@ -84,6 +86,7 @@ let runtime_config ?coverage ?hb ?deadline config ~collect_log =
     hb;
     faults = config.faults;
     deadline;
+    clock = config.clock;
   }
 
 (* --- Happens-before reduction ------------------------------------------ *)

@@ -94,6 +94,12 @@ type config = {
           by [test/test_golden.ml]). Tracking is sequential-only: with
           [workers <> 1] the engine logs a notice and explores
           sequentially. *)
+  clock : Clock.config option;
+      (** virtual-time clock config handed to every execution's runtime
+          ([None] by default — zero draws, schedules untouched; see
+          {!Runtime.config}[.clock]). Clock advances are a deterministic
+          function of the schedule, so {!replay} and the shrinker — which
+          receive the same config — reproduce identical timestamps. *)
 }
 
 (** Random strategy, seed 0, 10,000 executions, 5,000-step bound, one

@@ -7,6 +7,7 @@ type config = {
   hb : Hb.t option;
   faults : Fault.spec;
   deadline : float option;
+  clock : Clock.config option;
 }
 
 let default_config =
@@ -19,6 +20,7 @@ let default_config =
     hb = None;
     faults = Fault.none;
     deadline = None;
+    clock = None;
   }
 
 (* A machine blocked on [receive] is a captured continuation expecting the
@@ -87,6 +89,16 @@ and t = {
   mutable faults_injected : int;
   mutable delayed : delayed list;  (* oldest first *)
   mutable timed_out : bool;
+  clock : Clock.t option;
+      (* the virtual clock, when [config.clock] enables simulated time;
+         advanced only at quiescence, never by a strategy draw *)
+  horizon : int;  (* config.clock.max_time; 0 when the clock is off *)
+  mutable step_limit : int;
+      (* the effective step bound: starts at [config.max_steps] and is
+         extended exactly once when cut-off delayed messages are flushed at
+         the bound, granting a bounded drain before the liveness verdict *)
+  mutable draining : bool;
+  mutable next_wakeup : int;  (* fresh tokens for [sleep] wakeup events *)
 }
 
 and ctx = { rt : t; me : machine }
@@ -99,18 +111,34 @@ type exec_result = {
   log : string list;
   timed_out : bool;
   faults_injected : int;
+  final_time : int;
 }
 
 exception Halt_exn
 
 type _ Effect.t += Receive_eff : (Event.t -> bool) option -> Event.t Effect.t
 
+(* Private wakeup event delivered by the clock to a sleeping machine; the
+   token is the arming sequence number, so concurrent sleeps on one machine
+   never cross wires. *)
+type Event.t += Clock_wakeup of int
+
 (* Zero-cost-when-disabled logging contract: [logf] itself always formats,
    so every call site is guarded by [rt.log_on] — with logging off the
    format arguments (Id.to_string, Event.to_string, ...) are never even
-   evaluated, and the hot path pays one boolean load. *)
+   evaluated, and the hot path pays one boolean load. With the clock on,
+   every line is prefixed with the virtual timestamp, giving a timestamped
+   global-order trace. *)
 let logf (rt : t) fmt =
-  Printf.ksprintf (fun s -> rt.log_rev <- s :: rt.log_rev) fmt
+  Printf.ksprintf
+    (fun s ->
+      let s =
+        match rt.clock with
+        | Some ck -> Printf.sprintf "[t=%d] %s" (Clock.now ck) s
+        | None -> s
+      in
+      rt.log_rev <- s :: rt.log_rev)
+    fmt
 
 let set_bug (rt : t) kind =
   if rt.bug = None then begin
@@ -318,6 +346,11 @@ let send_faulty ctx target e =
         send ctx target e;
         send ctx target e
       | Fault.Delay ->
+        (* One draw either way; its meaning depends on the time model.
+           Clock off: [k] counts later deliveries (queue-position delay).
+           Clock on: [k] is a latency duration — the message is armed on
+           the clock and lands at [now + k] virtual time, so it races
+           against timer deadlines rather than queue positions. *)
         let k = 1 + nondet_int ctx spec.max_delay in
         record_fault rt ~kind:"delay" ~target:m.id;
         if rt.log_on then
@@ -328,10 +361,16 @@ let send_faulty ctx target e =
           | Some h -> Hb.on_send_delayed h ~target:(Id.index target)
           | None -> -1
         in
-        rt.delayed <-
-          rt.delayed
-          @ [ { d_target = Id.index target; d_sender = Id.index ctx.me.id;
-                d_stamp = stamp; d_event = e; d_countdown = k } ]
+        (match rt.clock with
+         | Some ck ->
+           ignore
+             (Clock.arm ck ~after:k ~target:(Id.index target)
+                ~sender:(Id.index ctx.me.id) ~stamp e)
+         | None ->
+           rt.delayed <-
+             rt.delayed
+             @ [ { d_target = Id.index target; d_sender = Id.index ctx.me.id;
+                   d_stamp = stamp; d_event = e; d_countdown = k } ])
       | Fault.Crash -> assert false (* not a message-fault kind *)
     end
   end
@@ -361,6 +400,9 @@ let crash ctx target =
        Inbox.clear m.inbox;
        rt.delayed <-
          List.filter (fun d -> d.d_target <> Id.index target) rt.delayed;
+       (match rt.clock with
+        | Some ck -> Clock.cancel_target ck (Id.index target)
+        | None -> ());
        m.status <- Not_started (restart ());
        m.state_name <- "-";
        mark_dirty m;
@@ -374,6 +416,78 @@ let crash ctx target =
 
 let fault_spec ctx = ctx.rt.config.faults
 let fault_budget_left ctx = ctx.rt.faults_remaining
+
+(* --- Virtual time -------------------------------------------------------- *)
+
+let clock_on ctx = ctx.rt.clock <> None
+
+(* Draw-free observations: with the clock off, [now] degrades to the step
+   count (a logical clock), so time-annotated harness logs stay meaningful
+   in both modes. *)
+let now ctx =
+  match ctx.rt.clock with Some ck -> Clock.now ck | None -> ctx.rt.steps
+
+(* Arm a timed delivery. Draw-free: the deadline is part of the model, not
+   a scheduling choice — what the strategy controls is how the fired event
+   interleaves with everything else once delivered. With the clock off the
+   event is sent immediately (helpers stay usable, but gate new
+   timeout/retry protocol paths on [clock_on] if clock-off executions must
+   keep their exact pre-clock schedules). *)
+let send_after ctx target e ~after =
+  let rt = ctx.rt in
+  match rt.clock with
+  | None -> send ctx target e
+  | Some ck ->
+    if Id.index target < 0 || Id.index target >= rt.n_machines then
+      invalid_arg "Runtime.send_after: unknown target machine";
+    if after <= 0 then invalid_arg "Runtime.send_after: after must be positive";
+    let stamp =
+      match rt.config.hb with
+      | Some h -> Hb.on_send_delayed h ~target:(Id.index target)
+      | None -> -1
+    in
+    ignore
+      (Clock.arm ck ~after ~target:(Id.index target)
+         ~sender:(Id.index ctx.me.id) ~stamp e);
+    if rt.log_on then
+      logf rt "[%d] %s -> %s in %d: %s (armed)" rt.steps
+        (Id.to_string ctx.me.id) (Id.to_string target) after (Event.to_string e)
+
+(* Block this machine for [d] units of virtual time: arm a private wakeup
+   on the clock and wait for exactly it. Other events arriving in the
+   meantime stay queued (the filtered receive leaves them in order). While
+   asleep the machine is idle, not deadlocked: its pending clock entry is
+   what will make it progress. *)
+let sleep ctx d =
+  let rt = ctx.rt in
+  match rt.clock with
+  | None -> invalid_arg "Runtime.sleep: virtual time is off"
+  | Some ck ->
+    if d <= 0 then invalid_arg "Runtime.sleep: duration must be positive";
+    let stamp =
+      match rt.config.hb with
+      | Some h -> Hb.on_send_delayed h ~target:(Id.index ctx.me.id)
+      | None -> -1
+    in
+    let tok = rt.next_wakeup in
+    rt.next_wakeup <- tok + 1;
+    ignore
+      (Clock.arm ck ~after:d ~target:(Id.index ctx.me.id)
+         ~sender:(Id.index ctx.me.id) ~stamp (Clock_wakeup tok));
+    if rt.log_on then
+      logf rt "[%d] %s sleeps %d (until t=%d)" rt.steps
+        (Id.to_string ctx.me.id) d (Clock.now ck + d);
+    match
+      Effect.perform
+        (Receive_eff
+           (Some (function Clock_wakeup t -> t = tok | _ -> false)))
+    with
+    | Clock_wakeup _ -> ()
+    | _ -> assert false
+
+let sleep_until ctx t =
+  let n = now ctx in
+  if t > n then sleep ctx (t - n)
 
 (* Draw-free observation: restarted machines use it to tell a live peer
    from a torn-down one (e.g. a cluster whose manager already halted). *)
@@ -477,11 +591,39 @@ let tick_delayed rt =
 (* When no machine is enabled but messages are still in flight, release
    them all: a delayed message models network latency, and latency cannot
    hold back a message forever once the system is otherwise quiescent —
-   without this, every delay fault would read as a spurious deadlock. *)
+   without this, every delay fault would read as a spurious deadlock.
+   Release in remaining-countdown order (insertion order as the tie-break,
+   via the stable sort): a message 1 delivery from landing must not arrive
+   after one still 5 deliveries out just because it was delayed later. *)
 let flush_delayed rt =
-  let ds = rt.delayed in
+  let ds =
+    List.stable_sort
+      (fun a b -> compare a.d_countdown b.d_countdown)
+      rt.delayed
+  in
   rt.delayed <- [];
   List.iter (deliver_delayed rt) ds
+
+(* Hand a fired clock entry to its target's inbox; mirrors
+   [deliver_delayed], including the drop-on-halted rule. *)
+let deliver_clock rt (e : Clock.entry) =
+  let m = rt.machines.(e.Clock.target) in
+  match m.status with
+  | Halted ->
+    if rt.log_on then
+      logf rt "[%d] clock -> %s: %s (dropped: target halted)" rt.steps
+        (Id.to_string m.id) (Event.to_string e.Clock.event)
+  | Not_started _ | Waiting _ | Running ->
+    (match rt.config.hb with
+     | Some h when e.Clock.stamp >= 0 ->
+       Hb.on_delayed_delivery h ~target:e.Clock.target ~msg:e.Clock.stamp
+     | _ -> ());
+    Inbox.push ~sender:e.Clock.sender ~stamp:e.Clock.stamp m.inbox
+      e.Clock.event;
+    mark_dirty m;
+    if rt.log_on then
+      logf rt "[%d] clock -> %s: %s (fired)" rt.steps (Id.to_string m.id)
+        (Event.to_string e.Clock.event)
 
 let machine_enabled m =
   match m.status with
@@ -596,18 +738,35 @@ let resume_machine rt m =
   | Not_started _ -> start_machine rt m
   | Running | Halted -> assert false
 
-let check_end_of_execution (rt : t) ~at_bound =
+(* How an execution ran out of work, which decides how the end state is
+   judged:
+   - [Quiescent]: nothing can ever run again — deadlock detection applies
+     and a hot liveness monitor is immediately a violation.
+   - [Step_bound]: the step bound cut an "infinite" execution — no
+     deadlock (machines may merely not have been scheduled), and liveness
+     requires a grace period of continuous heat.
+   - [Time_bound]: the virtual-time horizon cut it (the only remaining
+     work was clock entries beyond [max_time]) — same bound-cut liveness
+     caution, but graced against the steps actually taken, since a
+     horizon-bound execution typically ends far below [max_steps]. *)
+type ending = Quiescent | Step_bound | Time_bound
+
+let check_end_of_execution (rt : t) ~ending =
   if rt.bug = None then begin
     (* A hot liveness monitor at the end of a bounded "infinite" execution,
        or when the system can make no further progress, is a liveness
        violation (§2.5). At the bound we additionally require the monitor to
        have been continuously hot for a grace period, so executions that the
        bound merely cut mid-progress do not count as violations. *)
+    let at_bound = ending <> Quiescent in
     let grace =
-      if at_bound then
+      match ending with
+      | Quiescent -> 0
+      | Step_bound ->
         Option.value rt.config.liveness_grace
           ~default:(rt.config.max_steps / 2)
-      else 0
+      | Time_bound ->
+        Option.value rt.config.liveness_grace ~default:(rt.steps / 2)
     in
     let stuck mon =
       Monitor.is_hot mon
@@ -637,6 +796,12 @@ let check_end_of_execution (rt : t) ~at_bound =
       end
   end
 
+(* Extra steps granted when delayed messages are flushed at the step
+   bound: enough for the cut-off messages (and their immediate
+   consequences) to be processed before the liveness verdict, while
+   keeping the overrun bounded for harnesses that never quiesce. *)
+let drain_budget (config : config) = max 64 (config.max_steps / 16)
+
 let execute config strategy ~monitors ~name body =
   let rt =
     {
@@ -659,6 +824,12 @@ let execute config strategy ~monitors ~name body =
       faults_injected = 0;
       delayed = [];
       timed_out = false;
+      clock = Option.map (fun (_ : Clock.config) -> Clock.create ()) config.clock;
+      horizon =
+        (match config.clock with Some c -> c.Clock.max_time | None -> 0);
+      step_limit = config.max_steps;
+      draining = false;
+      next_wakeup = 0;
     }
   in
   ignore (add_machine rt ~name body);
@@ -675,7 +846,22 @@ let execute config strategy ~monitors ~name body =
       && rt.steps land 63 = 0
       && Unix.gettimeofday () > rt.deadline_at
     then rt.timed_out <- true
-    else if rt.steps >= config.max_steps then check_end_of_execution rt ~at_bound:true
+    else if rt.steps >= rt.step_limit then begin
+      if (not rt.draining) && rt.delayed <> [] then begin
+        (* Messages still delayed in flight when the bound cuts the
+           execution must not decide the liveness verdict: flush them and
+           grant a bounded drain so their handlers run (a hot monitor one
+           in-flight message away from cooling is not a violation). Fault
+           injection stops — the execution is ending, and a fresh delay
+           injected mid-drain would chase its own tail. *)
+        rt.draining <- true;
+        rt.faults_remaining <- 0;
+        flush_delayed rt;
+        rt.step_limit <- rt.steps + drain_budget config;
+        loop ()
+      end
+      else check_end_of_execution rt ~ending:Step_bound
+    end
     else begin
       let n = compute_enabled rt in
       let n =
@@ -686,7 +872,27 @@ let execute config strategy ~monitors ~name body =
         end
         else n
       in
-      if n = 0 then check_end_of_execution rt ~at_bound:false
+      if n = 0 then begin
+        match rt.clock with
+        | None -> check_end_of_execution rt ~ending:Quiescent
+        | Some ck ->
+          (* Quiescent with a clock: advance virtual time to the next
+             armed entry and fire it — repeatedly, since an entry can land
+             on a halted machine and enable nothing. Advancing draws
+             nothing from the strategy, so timestamps are a deterministic
+             function of the schedule. *)
+          let rec advance () =
+            match Clock.pop_due ck ~horizon:rt.horizon with
+            | Some entry ->
+              deliver_clock rt entry;
+              if compute_enabled rt = 0 then advance () else `Work
+            | None -> if Clock.is_empty ck then `Idle else `Out_of_time
+          in
+          (match advance () with
+           | `Work -> loop ()
+           | `Idle -> check_end_of_execution rt ~ending:Quiescent
+           | `Out_of_time -> check_end_of_execution rt ~ending:Time_bound)
+      end
       else begin
         (match
            (try Ok (strategy.next_schedule ~enabled:rt.enabled_buf ~n ~step:rt.steps)
@@ -710,4 +916,5 @@ let execute config strategy ~monitors ~name body =
     log = List.rev rt.log_rev;
     timed_out = rt.timed_out;
     faults_injected = rt.faults_injected;
+    final_time = (match rt.clock with Some ck -> Clock.now ck | None -> 0);
   }

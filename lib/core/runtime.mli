@@ -52,6 +52,20 @@ type config = {
           checks it every 64 steps and aborts the current execution
           cleanly ([exec_result.timed_out]) instead of overshooting the
           run's time budget by a whole execution *)
+  clock : Clock.config option;
+      (** when set, the execution runs under {e virtual time}: a
+          discrete-event clock ({!Clock}) that machines arm timed
+          deliveries on ({!send_after}, {!sleep}, {!Timer} when built on
+          it) and that advances {e only at quiescence} — when no machine
+          is enabled, the earliest armed entry fires, so simulated seconds
+          cost nothing. Delay faults become per-link latency durations
+          (the drawn value is virtual time units instead of a delivery
+          countdown). Advancing draws nothing from the strategy —
+          timestamps are a deterministic function of the schedule. The
+          contract mirrors [faults]: with [None] (the default) no code
+          path draws or behaves differently from a build without clock
+          support, so all pre-clock golden digests are byte-identical
+          (pinned by [test/test_golden.ml]). *)
 }
 
 val default_config : config
@@ -64,6 +78,9 @@ type exec_result = {
   log : string list;  (** oldest first; empty unless [collect_log] *)
   timed_out : bool;  (** the execution was aborted at [config.deadline] *)
   faults_injected : int;  (** faults actually injected this execution *)
+  final_time : int;
+      (** virtual time when the execution ended; [0] when [config.clock]
+          is [None] *)
 }
 
 (** [execute config strategy ~monitors ~name body] runs one execution from
@@ -195,3 +212,38 @@ val set_state_name : ctx -> string -> unit
 
 (** Machine name for [id] in this execution. *)
 val name_of : ctx -> Id.t -> string
+
+(** {1 Virtual time}
+
+    Available when the execution runs with [config.clock = Some _];
+    see {!Clock}. *)
+
+(** Whether this execution runs under virtual time. Draw-free, so
+    harnesses can branch on it without perturbing clock-off schedules. *)
+val clock_on : ctx -> bool
+
+(** Current virtual time when the clock is on; falls back to
+    {!step_count} (a logical clock) when off, so [now] is always a
+    monotone per-execution timestamp. *)
+val now : ctx -> int
+
+(** [send_after ctx target e ~after] delivers [e] to [target] at virtual
+    instant [now + after]. With the clock off it degrades to an immediate
+    {!send} (the timed aspect is a refinement, not a semantic fork), so
+    harness code using it stays runnable — and draw-free — in both modes.
+    Sends to halted machines are dropped at fire time, and a {!crash} of
+    [target] cancels its in-flight timed deliveries.
+    @raise Invalid_argument if [after <= 0] while the clock is on. *)
+val send_after : ctx -> Id.t -> Event.t -> after:int -> unit
+
+(** [sleep ctx d] blocks this machine for [d] units of virtual time.
+    Implemented as a timed self-delivery plus a filtered receive, so other
+    events arriving during the sleep stay queued in order.
+    @raise Invalid_argument if the clock is off (a sleeping machine would
+    block forever) or [d <= 0]. *)
+val sleep : ctx -> int -> unit
+
+(** [sleep_until ctx t] is [sleep ctx (t - now ctx)] when [t] lies in the
+    future, and a draw-free no-op otherwise.
+    @raise Invalid_argument if the clock is off. *)
+val sleep_until : ctx -> int -> unit

@@ -63,6 +63,9 @@ let runtime_config (config : Engine.config) =
        trace needs the same spec so lenient replay interprets them *)
     faults = config.Engine.faults;
     deadline = None;
+    (* same reason as faults: a clock-found trace only replays under the
+       same time model *)
+    clock = config.Engine.clock;
   }
 
 (* Execute once under lenient replay of [candidate]; if the same bug kind

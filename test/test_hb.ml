@@ -131,6 +131,7 @@ let run_vnext ~seed =
       hb = Some h;
       faults = Psharp.Fault.none;
       deadline = None;
+      clock = None;
     }
   in
   let strategy =
@@ -231,6 +232,7 @@ let test_swap_invariance () =
         hb = Some h';
         faults = Psharp.Fault.none;
         deadline = None;
+        clock = None;
       }
     in
     let strategy =

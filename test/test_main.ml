@@ -23,6 +23,7 @@ let () =
       ("consensus", Test_consensus.suite);
       ("shrinker", Test_shrinker.suite);
       ("fault", Test_fault.suite);
+      ("clock", Test_clock.suite);
       ("substrate-extra", Test_substrate_extra.suite);
       ("hb", Test_hb.suite);
       ("reduction", Test_reduction.suite);

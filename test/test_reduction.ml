@@ -41,6 +41,7 @@ let hunt entry ~reduce ~harness =
       max_executions = budget;
       max_steps = entry.Bug_catalog.max_steps;
       faults = entry.Bug_catalog.faults;
+      clock = entry.Bug_catalog.clock;
       reduce;
     }
   in
@@ -89,6 +90,7 @@ let test_no_bug_lost () =
                     max_executions = 2_000;
                     max_steps = entry.Bug_catalog.max_steps;
                     faults = entry.Bug_catalog.faults;
+                    clock = entry.Bug_catalog.clock;
                     reduce = E.Sleep_sets;
                   }
                 in
@@ -127,6 +129,7 @@ let test_fixed_variant_triples_equal () =
             max_steps = entry.Bug_catalog.max_steps;
             collect_coverage = true;
             faults = entry.Bug_catalog.faults;
+            clock = entry.Bug_catalog.clock;
             reduce;
           }
         in
