@@ -1165,6 +1165,215 @@ let micro () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Linearizability-checker overhead                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* ISSUE 7 acceptance benchmark, two questions:
+
+   1. What does judging a harness by the generic checker cost end-to-end?
+      The chaintable harness runs under both oracles — the paper-style
+      per-operation divergence asserts ([`Legacy]) and history recording
+      plus the WGL check at the end of the execution ([`Lin]) — at the
+      same seed and budget, so the relative throughput is exactly the
+      price of the generic oracle. The shardkv harness (lin-only) is
+      reported as an absolute.
+
+   2. How does the checker itself scale? Synthetic concurrent KV
+      histories (every operation overlaps the next [window-1], so the
+      search has real reordering freedom) are checked with the per-key
+      partition on and off. Results land in BENCH_lin.json. *)
+
+module History = Psharp.History
+module Linearizability = Psharp.Linearizability
+
+(* A valid concurrent history of [ops] operations from [clients] clients
+   over [keys] keys: operations take effect in invocation order, but
+   responses lag by up to [window], so consecutive operations overlap. *)
+let synthetic_history ~keys ~clients ~window ~ops =
+  let h = History.create () in
+  let state = ref [] in
+  let pending = Queue.create () in
+  let respond () =
+    let id, res = Queue.pop pending in
+    History.respond h ~id ~at:0 ~repr:(Shardkv.Model.res_repr res) res
+  in
+  for i = 0 to ops - 1 do
+    let key = Printf.sprintf "k%d" (i mod keys) in
+    let op =
+      match i mod 3 with
+      | 0 -> Shardkv.Model.Put (key, i)
+      | 1 -> Shardkv.Model.Add (key, 1)
+      | _ -> Shardkv.Model.Get key
+    in
+    let id =
+      History.invoke h
+        ~client:(Printf.sprintf "C%d" (i mod clients))
+        ~at:0 ~repr:(Shardkv.Model.op_repr op) op
+    in
+    let next, res = Shardkv.Model.apply !state op in
+    state := next;
+    Queue.push (id, res) pending;
+    if Queue.length pending >= window then respond ()
+  done;
+  while not (Queue.is_empty pending) do
+    respond ()
+  done;
+  h
+
+let lin_overhead ~budget ~op_counts () =
+  Printf.printf
+    "== Linearizability overhead: random strategy, %d executions per oracle \
+     (seed %Ld) ==\n"
+    budget base_seed;
+  let oracle_cases =
+    [
+      ( "chaintable",
+        [
+          ("legacy", Chaintable.Harness.test ~oracle:`Legacy ());
+          ("lin", Chaintable.Harness.test ~oracle:`Lin ());
+        ],
+        4_000 );
+      ("shardkv", [ ("lin", Shardkv.Harness.test ()) ], 5_000);
+    ]
+  in
+  let measure harness max_steps =
+    let factory = Psharp.Random_strategy.factory ~seed:base_seed in
+    let total_steps = ref 0 in
+    let started = Unix.gettimeofday () in
+    for i = 0 to budget - 1 do
+      match factory.Psharp.Strategy.fresh ~iteration:i with
+      | None -> ()
+      | Some strategy ->
+        let cfg =
+          {
+            Runtime.max_steps;
+            liveness_grace = None;
+            deadlock_is_bug = true;
+            collect_log = false;
+            coverage = None;
+            hb = None;
+            faults = Psharp.Fault.none;
+            deadline = None;
+            clock = None;
+          }
+        in
+        let result =
+          Runtime.execute cfg strategy ~monitors:[] ~name:"Harness" harness
+        in
+        total_steps := !total_steps + result.Runtime.steps
+    done;
+    (!total_steps, Unix.gettimeofday () -. started)
+  in
+  let harness_rows =
+    List.map
+      (fun (name, oracles, max_steps) ->
+        (name, List.map
+           (fun (oracle, harness) -> (oracle, measure harness max_steps))
+           oracles))
+      oracle_cases
+  in
+  Printf.printf "%-11s %-8s %12s %14s %14s %12s\n" "harness" "oracle"
+    "executions" "execs/sec" "steps/sec" "vs first";
+  print_endline (String.make 78 '-');
+  List.iter
+    (fun (name, points) ->
+      let base_eps =
+        match points with
+        | (_, (_, elapsed)) :: _ when elapsed > 0. ->
+          float_of_int budget /. elapsed
+        | _ -> 0.
+      in
+      List.iter
+        (fun (oracle, (steps, elapsed)) ->
+          let eps = if elapsed > 0. then float_of_int budget /. elapsed else 0.
+          and sps =
+            if elapsed > 0. then float_of_int steps /. elapsed else 0.
+          in
+          let rel =
+            if base_eps > 0. then
+              Printf.sprintf "%.1f%%" (100. *. eps /. base_eps)
+            else "-"
+          in
+          Printf.printf "%-11s %-8s %12d %14.1f %14.0f %12s\n" name oracle
+            budget eps sps rel)
+        points)
+    harness_rows;
+  (* checker scaling: same history judged with the per-key partition on
+     (shardkv's model declares [key_of]) and off *)
+  let repeats = 20 in
+  let keys = 4 and clients = 3 and window = 4 in
+  let time_check model h =
+    let started = Unix.gettimeofday () in
+    for _ = 1 to repeats do
+      match Linearizability.check model h with
+      | Linearizability.Linearizable _ -> ()
+      | Linearizability.Illegal msg ->
+        failwith ("synthetic history rejected: " ^ msg)
+    done;
+    (Unix.gettimeofday () -. started) /. float_of_int repeats *. 1000.
+  in
+  let partitioned = Shardkv.Model.lin_model in
+  let unpartitioned =
+    { partitioned with Psharp.Linearizability.key_of = None }
+  in
+  Printf.printf
+    "\n-- checker cost (%d keys, %d clients, overlap window %d, mean of %d \
+     checks) --\n"
+    keys clients window repeats;
+  Printf.printf "%8s %16s %18s\n" "ops" "partitioned(ms)" "unpartitioned(ms)";
+  let checker_rows =
+    List.map
+      (fun ops ->
+        let h = synthetic_history ~keys ~clients ~window ~ops in
+        let p = time_check partitioned h in
+        let u = time_check unpartitioned h in
+        Printf.printf "%8d %16.3f %18.3f\n" ops p u;
+        (ops, p, u))
+      op_counts
+  in
+  let oc = open_out "BENCH_lin.json" in
+  output_string oc "{\n";
+  Printf.fprintf oc "  \"seed\": %Ld,\n" base_seed;
+  Printf.fprintf oc "  \"budget\": %d,\n" budget;
+  output_string oc "  \"harnesses\": [\n";
+  List.iteri
+    (fun i (name, points) ->
+      Printf.fprintf oc "    {\"name\": %S, \"oracles\": [\n" name;
+      List.iteri
+        (fun j (oracle, (steps, elapsed)) ->
+          let eps = if elapsed > 0. then float_of_int budget /. elapsed else 0.
+          and sps =
+            if elapsed > 0. then float_of_int steps /. elapsed else 0.
+          in
+          Printf.fprintf oc
+            "      {\"oracle\": %S, \"executions\": %d, \"total_steps\": %d, \
+             \"elapsed_s\": %.4f, \"execs_per_sec\": %.1f, \
+             \"steps_per_sec\": %.0f}%s\n"
+            oracle budget steps elapsed eps sps
+            (if j = List.length points - 1 then "" else ","))
+        points;
+      Printf.fprintf oc "    ]}%s\n"
+        (if i = List.length harness_rows - 1 then "" else ","))
+    harness_rows;
+  output_string oc "  ],\n";
+  Printf.fprintf oc
+    "  \"checker\": {\"keys\": %d, \"clients\": %d, \"window\": %d, \
+     \"repeats\": %d, \"points\": [\n"
+    keys clients window repeats;
+  List.iteri
+    (fun i (ops, p, u) ->
+      Printf.fprintf oc
+        "    {\"ops\": %d, \"partitioned_ms\": %.4f, \"unpartitioned_ms\": \
+         %.4f}%s\n"
+        ops p u
+        (if i = List.length checker_rows - 1 then "" else ","))
+    checker_rows;
+  output_string oc "  ]}\n}\n";
+  close_out oc;
+  print_endline "wrote BENCH_lin.json";
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Happens-before reduction                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1288,7 +1497,7 @@ let () =
       [
         "table1"; "table2"; "vnext-fix"; "ablation"; "samples";
         "parallel-scaling"; "coverage-growth"; "exec-throughput";
-        "fault-overhead"; "time-overhead"; "micro";
+        "fault-overhead"; "time-overhead"; "lin-overhead"; "micro";
       ]
     | picked -> picked
   in
@@ -1301,6 +1510,11 @@ let () =
     if full then [ 100; 250; 500; 1_000 ] else [ 25; 50; 100; 200 ]
   in
   let throughput_budget = if full then 2_000 else if smoke then 60 else 400 in
+  let lin_op_counts =
+    if full then [ 200; 400; 800 ]
+    else if smoke then [ 50; 100 ]
+    else [ 100; 200; 400 ]
+  in
   let reduction_hunt_budget = if full then 100_000 else if smoke then 2_000 else 20_000 in
   let reduction_explore_budget = if full then 2_000 else if smoke then 100 else 500 in
   List.iter
@@ -1316,6 +1530,8 @@ let () =
       | "exec-throughput" -> exec_throughput ~budget:throughput_budget ()
       | "fault-overhead" -> fault_overhead ~budget:throughput_budget ()
       | "time-overhead" -> time_overhead ~budget:throughput_budget ()
+      | "lin-overhead" ->
+        lin_overhead ~budget:throughput_budget ~op_counts:lin_op_counts ()
       | "golden-digests" -> golden_digests ()
       | "reduction" ->
         reduction ~hunt_budget:reduction_hunt_budget

@@ -6,7 +6,9 @@
                         [--trace-out FILE] [--log] [--workers N]
                         [--coverage-report FILE] [--plateau N]
                         [--faults drop,dup,delay,crash] [--fault-budget N]
-   psharp_test replay BUG --trace FILE [--custom]
+                        [--check-lin auto|on|off]
+   psharp_test replay BUG --trace FILE [--custom] [--check-lin MODE]
+                        [--history-out FILE]
    psharp_test survey BUG [--executions N]     (all distinct violations)
    psharp_test check BUG [--executions N] [--coverage-report FILE]
                          [--plateau N] [--faults ...] [--fault-budget N]
@@ -203,6 +205,54 @@ let harness_of entry ~custom =
       Error (Printf.sprintf "%s has no custom test case" entry.Bug_catalog.name)
   else Ok entry.Bug_catalog.harness
 
+let check_lin_arg =
+  let doc =
+    "Which oracle judges the run: auto (the bug's own — shardkv harnesses \
+     are judged by the generic linearizability checker natively, the rest \
+     by their legacy asserts; default), on (the generic checker over the \
+     recorded client history, for harnesses that record one), or off (the \
+     legacy oracle only; rejected for harnesses that have no other)."
+  in
+  Arg.(value & opt string "auto" & info [ "check-lin" ] ~docv:"MODE" ~doc)
+
+(* Mirrors [clock_spec_of]: the entry's own oracle is the default and an
+   explicit --check-lin overrides it. Draw-identical harnesses, so a mode
+   switch never changes the schedule space being searched. *)
+let lin_harness_of entry ~custom ~check_lin ~fixed =
+  let default () =
+    if fixed then Ok entry.Bug_catalog.fixed_harness
+    else harness_of entry ~custom
+  in
+  match check_lin with
+  | "auto" -> default ()
+  | "on" ->
+    if custom then Error "--check-lin on is not available with --custom"
+    else begin
+      match entry.Bug_catalog.lin with
+      | Some l ->
+        Ok
+          ((if fixed then l.Bug_catalog.lin_fixed
+            else l.Bug_catalog.lin_harness)
+             ~history_out:None)
+      | None ->
+        Error
+          (Printf.sprintf
+             "%s records no client history; the generic checker does not \
+              apply"
+             entry.Bug_catalog.name)
+    end
+  | "off" -> begin
+    match entry.Bug_catalog.lin with
+    | Some l when l.Bug_catalog.lin_default ->
+      Error
+        (Printf.sprintf
+           "%s is judged only by the generic linearizability oracle; \
+            --check-lin off is not available"
+           entry.Bug_catalog.name)
+    | _ -> default ()
+  end
+  | other -> Error (Printf.sprintf "unknown check-lin mode %s" other)
+
 (* --- list --------------------------------------------------------------- *)
 
 let list_cmd =
@@ -239,7 +289,8 @@ let emit_coverage_report ~path (stats : E.stats) =
     Format.printf "coverage report written to %s@." path
 
 let hunt bug strategy seed executions steps custom trace_out log shrink
-    workers coverage_report plateau faults fault_budget reduce clock =
+    workers coverage_report plateau faults fault_budget reduce clock check_lin
+    =
   match
     Result.bind (parse_strategy strategy) (fun s ->
         Result.map (fun r -> (s, r)) (parse_reduce reduce))
@@ -256,7 +307,9 @@ let hunt bug strategy seed executions steps custom trace_out log shrink
       match
         Result.bind (fault_spec_of entry ~faults ~fault_budget) (fun spec ->
             Result.bind (clock_spec_of entry clock) (fun ck ->
-                Result.map (fun h -> (spec, ck, h)) (harness_of entry ~custom)))
+                Result.map
+                  (fun h -> (spec, ck, h))
+                  (lin_harness_of entry ~custom ~check_lin ~fixed:false)))
       with
       | Error msg ->
         prerr_endline msg;
@@ -324,17 +377,44 @@ let hunt_cmd =
       const hunt $ bug_arg $ strategy_arg $ seed_arg $ executions_arg
       $ steps_arg $ custom_arg $ trace_out_arg $ log_arg $ shrink_arg
       $ workers_arg $ coverage_report_arg $ plateau_arg $ faults_arg
-      $ fault_budget_arg $ reduce_arg $ clock_arg)
+      $ fault_budget_arg $ reduce_arg $ clock_arg $ check_lin_arg)
 
 (* --- replay ------------------------------------------------------------- *)
 
-let replay bug trace_file custom log =
+let replay bug trace_file custom log check_lin history_out =
   match Bug_catalog.find bug with
   | exception Invalid_argument msg ->
     prerr_endline msg;
     2
   | entry -> begin
-    match harness_of entry ~custom with
+    let resolved =
+      match history_out with
+      | None -> lin_harness_of entry ~custom ~check_lin ~fixed:false
+      | Some path ->
+        (* dumping the recorded history requires the history-recording
+           harness; for entries whose default oracle doesn't record one,
+           the trace must have been hunted under --check-lin on, and the
+           replay must say so too (the two oracles draw identically, but
+           an abort at a mid-run legacy assert would leave no history
+           file to write) *)
+        if custom then Error "--history-out is not available with --custom"
+        else begin
+          match entry.Bug_catalog.lin with
+          | Some l when l.Bug_catalog.lin_default || check_lin = "on" ->
+            Ok (l.Bug_catalog.lin_harness ~history_out:(Some path))
+          | Some _ ->
+            Error
+              (Printf.sprintf
+                 "--history-out needs --check-lin on for %s (its default \
+                  oracle does not record histories)"
+                 entry.Bug_catalog.name)
+          | None ->
+            Error
+              (Printf.sprintf "%s records no client history"
+                 entry.Bug_catalog.name)
+        end
+    in
+    match resolved with
     | Error msg ->
       prerr_endline msg;
       2
@@ -352,6 +432,17 @@ let replay bug trace_file custom log =
       let result =
         E.replay ~monitors:entry.Bug_catalog.monitors config trace harness
       in
+      let note_history () =
+        match history_out with
+        | Some path when Sys.file_exists path ->
+          Format.printf "history written to %s@." path
+        | Some path ->
+          Format.printf
+            "no history written to %s (the replay aborted before the \
+             workload completed)@."
+            path
+        | None -> ()
+      in
       (match result.Psharp.Runtime.bug with
        | Some kind ->
          Format.printf "replay reproduced: %s at step %d@."
@@ -360,16 +451,29 @@ let replay bug trace_file custom log =
            List.iter
              (fun line -> Format.printf "%s@." line)
              result.Psharp.Runtime.log;
+         note_history ();
          0
        | None ->
          Format.printf "replay completed without a bug (stale trace?)@.";
+         note_history ();
          1)
   end
+
+let history_out_arg =
+  let doc =
+    "Write the client operation history recorded during the replay to \
+     $(docv) (harnesses with a generic-checker oracle only; implies the \
+     history-recording harness)."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "history-out" ] ~docv:"FILE" ~doc)
 
 let replay_cmd =
   Cmd.v
     (Cmd.info "replay" ~doc:"Replay a recorded buggy schedule.")
-    Term.(const replay $ bug_arg $ trace_in_arg $ custom_arg $ log_arg)
+    Term.(
+      const replay $ bug_arg $ trace_in_arg $ custom_arg $ log_arg
+      $ check_lin_arg $ history_out_arg)
 
 (* --- survey --------------------------------------------------------------- *)
 
@@ -432,7 +536,7 @@ let survey_cmd =
 (* --- check (fixed variant) ---------------------------------------------- *)
 
 let check bug seed executions coverage_report plateau faults fault_budget
-    reduce clock =
+    reduce clock check_lin =
   match parse_reduce reduce with
   | Error msg ->
     prerr_endline msg;
@@ -445,12 +549,15 @@ let check bug seed executions coverage_report plateau faults fault_budget
   | entry -> begin
     match
       Result.bind (fault_spec_of entry ~faults ~fault_budget) (fun spec ->
-          Result.map (fun ck -> (spec, ck)) (clock_spec_of entry clock))
+          Result.bind (clock_spec_of entry clock) (fun ck ->
+              Result.map
+                (fun h -> (spec, ck, h))
+                (lin_harness_of entry ~custom:false ~check_lin ~fixed:true)))
     with
     | Error msg ->
       prerr_endline msg;
       2
-    | Ok (fault_spec, clock_spec) -> begin
+    | Ok (fault_spec, clock_spec, fixed_harness) -> begin
     let config =
       config_of
         ~coverage:(coverage_report <> None)
@@ -462,10 +569,7 @@ let check bug seed executions coverage_report plateau faults fault_budget
       | Some path -> emit_coverage_report ~path stats
       | None -> ()
     in
-    match
-      E.run ~monitors:entry.Bug_catalog.monitors config
-        entry.Bug_catalog.fixed_harness
-    with
+    match E.run ~monitors:entry.Bug_catalog.monitors config fixed_harness with
     | E.No_bug stats ->
       Format.printf "fixed variant clean over %d execution(s) (%.2fs%s)@."
         stats.E.executions stats.E.elapsed
@@ -488,7 +592,8 @@ let check_cmd =
        ~doc:"Run the bug's fixed variant and expect no violations.")
     Term.(
       const check $ bug_arg $ seed_arg $ executions_arg $ coverage_report_arg
-      $ plateau_arg $ faults_arg $ fault_budget_arg $ reduce_arg $ clock_arg)
+      $ plateau_arg $ faults_arg $ fault_budget_arg $ reduce_arg $ clock_arg
+      $ check_lin_arg)
 
 (* --- explore (coverage, no bug expectation) ----------------------------- *)
 

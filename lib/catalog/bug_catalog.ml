@@ -4,6 +4,7 @@ type case_study =
   | Cs_fabric
   | Cs_example
   | Cs_sample
+  | Cs_shardkv
 
 let case_study_to_string = function
   | Cs_vnext -> "1"
@@ -11,6 +12,13 @@ let case_study_to_string = function
   | Cs_fabric -> "3"
   | Cs_example -> "ex"
   | Cs_sample -> "s"
+  | Cs_shardkv -> "kv"
+
+type lin_support = {
+  lin_default : bool;
+  lin_harness : history_out:string option -> Psharp.Runtime.ctx -> unit;
+  lin_fixed : history_out:string option -> Psharp.Runtime.ctx -> unit;
+}
 
 type entry = {
   name : string;
@@ -29,9 +37,27 @@ type entry = {
   clock : Psharp.Clock.config option;
       (* virtual-time config the hunt must run with; None for every bug
          reachable without simulated time *)
+  lin : lin_support option;
+      (* generic-linearizability-oracle variants of the harness, for
+         workloads that record client histories; None elsewhere *)
 }
 
 let no_monitors () = []
+
+(* Chaintable under the generic checker: same harness, oracle [`Lin] —
+   per-operation divergence asserts off, the recorded history judged by
+   {!Chaintable.Lin_oracle} at workload end. Draw-identical to the legacy
+   harness, so `--check-lin on` hunts the same schedule space. *)
+let chaintable_lin ?(bugs = Chaintable.Bug_flags.none) ?workloads () =
+  {
+    lin_default = false;
+    lin_harness =
+      (fun ~history_out ->
+        Chaintable.Harness.test ~bugs ?workloads ~oracle:`Lin ?history_out ());
+    lin_fixed =
+      (fun ~history_out ->
+        Chaintable.Harness.test ?workloads ~oracle:`Lin ?history_out ());
+  }
 
 let vnext_entry =
   {
@@ -51,6 +77,7 @@ let vnext_entry =
     max_steps = 3_000;
     faults = Psharp.Fault.none;
     clock = None;
+    lin = None;
   }
 
 let migrating_table_entry name =
@@ -70,6 +97,7 @@ let migrating_table_entry name =
     max_steps = 4_000;
     faults = Psharp.Fault.none;
     clock = None;
+    lin = Some (chaintable_lin ~bugs:(Chaintable.Bug_flags.with_bug name) ());
   }
 
 let fabric_promotion_entry =
@@ -86,6 +114,7 @@ let fabric_promotion_entry =
     max_steps = 3_000;
     faults = Psharp.Fault.none;
     clock = None;
+    lin = None;
   }
 
 let cscale_entry =
@@ -102,6 +131,7 @@ let cscale_entry =
     max_steps = 2_000;
     faults = Psharp.Fault.none;
     clock = None;
+    lin = None;
   }
 
 let example_entry name bugs kind =
@@ -118,6 +148,7 @@ let example_entry name bugs kind =
     max_steps = 2_000;
     faults = Psharp.Fault.none;
     clock = None;
+    lin = None;
   }
 
 (* --- fault-only bugs (PR 4): reachable only when the engine injects
@@ -141,6 +172,7 @@ let vnext_crash_entry =
     max_steps = 3_000;
     faults = Psharp.Fault.make [ Psharp.Fault.Crash ];
     clock = None;
+    lin = None;
   }
 
 let chaintable_dup_entry =
@@ -159,6 +191,7 @@ let chaintable_dup_entry =
        dropped request would read as a deadlock rather than this bug *)
     faults = Psharp.Fault.make [ Psharp.Fault.Duplicate ];
     clock = None;
+    lin = Some (chaintable_lin ~bugs:Chaintable.Bug_flags.dup_bug ());
   }
 
 (* --- timeout/retry bug (virtual time): reachable only when the clock is
@@ -187,6 +220,10 @@ let chaintable_retry_entry =
        the race reachable *)
     faults = Psharp.Fault.make [ Psharp.Fault.Delay ];
     clock = Some Psharp.Clock.default_config;
+    lin =
+      Some
+        (chaintable_lin ~bugs:Chaintable.Bug_flags.retry_bug
+           ~workloads:Chaintable.Workload.retry_case ());
   }
 
 let fabric_crash_entry =
@@ -203,6 +240,42 @@ let fabric_crash_entry =
     max_steps = 3_000;
     faults = Psharp.Fault.make [ Psharp.Fault.Crash ];
     clock = None;
+    lin = None;
+  }
+
+(* --- shardkv rebalance bugs (post-paper workload): every entry is
+   checked by the generic linearizability oracle over the recorded client
+   history, runs on the virtual clock (client retransmits and handoff
+   retries need timeouts), and hunts under crash+delay faults. --- *)
+
+let shardkv_entry name =
+  {
+    name;
+    case_study = Cs_shardkv;
+    in_table2 = false;
+    needs_custom_case = false;
+    kind = `Safety;
+    harness = Shardkv.Harness.test_for_bug name;
+    custom_harness = None;
+    fixed_harness = Shardkv.Harness.test ();
+    monitors = no_monitors;
+    max_steps = 5_000;
+    faults =
+      Psharp.Fault.make ~budget:2 [ Psharp.Fault.Delay; Psharp.Fault.Crash ];
+    clock = Some Psharp.Clock.default_config;
+    (* shardkv has no other oracle: the default harness IS the generic
+       checker, so `--check-lin off` is rejected for these entries *)
+    lin =
+      Some
+        {
+          lin_default = true;
+          lin_harness =
+            (fun ~history_out ->
+              Shardkv.Harness.test ~bugs:(Shardkv.Bug_flags.with_bug name)
+                ?history_out ());
+          lin_fixed =
+            (fun ~history_out -> Shardkv.Harness.test ?history_out ());
+        };
   }
 
 let sample_entry name ~harness ~fixed_harness ~monitors ~max_steps =
@@ -219,6 +292,7 @@ let sample_entry name ~harness ~fixed_harness ~monitors ~max_steps =
     max_steps;
     faults = Psharp.Fault.none;
     clock = None;
+    lin = None;
   }
 
 let all =
@@ -231,6 +305,9 @@ let all =
       chaintable_dup_entry;
       chaintable_retry_entry;
       fabric_crash_entry;
+    ]
+  @ List.map shardkv_entry Shardkv.Bug_flags.names
+  @ [
       example_entry "ExampleDuplicateReplicaAck" Replication.Bug_flags.bug1
         `Safety;
       example_entry "ExampleCounterNotReset" Replication.Bug_flags.bug2

@@ -12,8 +12,25 @@ type case_study =
   | Cs_fabric  (** Fabric model / CScale (not in the paper's Table 2) *)
   | Cs_example  (** the §2.2 running example *)
   | Cs_sample  (** P# sample protocols the paper points to: Paxos, Raft *)
+  | Cs_shardkv
+      (** sharded rebalancing KV — post-paper workload checked by the
+          generic linearizability oracle *)
 
 val case_study_to_string : case_study -> string
+
+(** Generic-linearizability-oracle variants of a harness (ISSUE 7):
+    available for workloads that record client {!Psharp.History}s and
+    carry a sequential model for the {!Psharp.Linearizability} checker.
+    [history_out], when [Some path], makes the harness save the recorded
+    history to [path] once the workload completes (used by
+    [replay --history-out]). *)
+type lin_support = {
+  lin_default : bool;
+      (** the entry's default [harness] already judges by the generic
+          checker (shardkv) — there is no legacy oracle to fall back to *)
+  lin_harness : history_out:string option -> Psharp.Runtime.ctx -> unit;
+  lin_fixed : history_out:string option -> Psharp.Runtime.ctx -> unit;
+}
 
 type entry = {
   name : string;  (** Table 2 "Bug Identifier" *)
@@ -36,6 +53,9 @@ type entry = {
       (** virtual-time config the hunt must run with ([None] for every bug
           reachable without simulated time). The runner uses it unless the
           user overrides it with [--clock]. *)
+  lin : lin_support option;
+      (** generic-checker harness variants ([--check-lin]); [None] for
+          harnesses that do not record client histories *)
 }
 
 (** All catalog entries, Table 2 rows first, in the paper's order. *)

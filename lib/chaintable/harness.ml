@@ -2,20 +2,36 @@ module R = Psharp.Runtime
 
 let test ?(bugs = Bug_flags.none)
     ?(workloads = [ Workload.default; Workload.default ])
-    ?(initial_rows = Workload.initial_rows) () ctx =
+    ?(initial_rows = Workload.initial_rows) ?(oracle = `Legacy) ?history
+    ?history_out () ctx =
   Events.install_printer ();
   Psharp.Registry.register_machine ~machine:"MigrationHarness"
     ~kind:Psharp.Registry.Machine ~states:1 ~handlers:1;
+  (* [`Lin] (or a [history_out] request) needs a history even if the
+     caller brought none; under plain [`Legacy] one is recorded only on
+     request (corpus-agreement tests). Either way recording is draw-free,
+     so schedules are unchanged. Completed operations double as [history]
+     coverage points whenever a history is armed. *)
+  let history =
+    match (history, oracle, history_out) with
+    | (Some _ as h), _, _ -> h
+    | None, `Lin, _ | None, `Legacy, Some _ ->
+      Some
+        (Psharp.History.create ~on_complete:(R.history_point ctx) ())
+    | None, `Legacy, None -> None
+  in
+  let check_outcomes = oracle = `Legacy in
   let tables =
     R.create ctx ~name:"Tables" (Tables_machine.machine ~bugs ~initial_rows)
   in
   let root = R.self ctx in
   List.iteri
     (fun i workload ->
+      let name = Printf.sprintf "Service%d" i in
       ignore
-        (R.create ctx
-           ~name:(Printf.sprintf "Service%d" i)
-           (Service_machine.machine ~tables ~bugs ~workload ~report_to:root)))
+        (R.create ctx ~name
+           (Service_machine.machine ?history ~check_outcomes ~tables ~bugs
+              ~workload ~name ~report_to:root)))
     workloads;
   ignore
     (R.create ctx ~name:"Migrator"
@@ -27,7 +43,19 @@ let test ?(bugs = Bug_flags.none)
         | Events.Participant_done -> true
         | _ -> false))
   done;
-  R.send ctx tables Events.Tables_shutdown
+  R.send ctx tables Events.Tables_shutdown;
+  (* saved before the verdict so a violating history is on disk too *)
+  (match (history, history_out) with
+   | Some h, Some path -> Psharp.History.save h ~path
+   | _ -> ());
+  match (oracle, history) with
+  | `Lin, Some h -> begin
+    match Psharp.Linearizability.check (Lin_oracle.model initial_rows) h with
+    | Psharp.Linearizability.Linearizable _ -> ()
+    | Psharp.Linearizability.Illegal msg ->
+      R.assert_here ctx false (Printf.sprintf "chaintable: %s" msg)
+  end
+  | _ -> ()
 
 let test_for_bug ?(custom = false) name ctx =
   let bugs = Bug_flags.with_bug name in

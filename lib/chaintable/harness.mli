@@ -7,11 +7,31 @@
 
 (** [test ~bugs ()] is a root machine body for {!Psharp.Engine.run}.
     [workloads] gives one workload per service (default: two services with
-    the default random workload). *)
+    the default random workload).
+
+    [oracle] selects the spec machinery judging point operations:
+    [`Legacy] (default) keeps the paper's per-operation divergence asserts
+    at the linearization point; [`Lin] records every point operation into
+    a {!Psharp.History} instead and runs the generic
+    {!Psharp.Linearizability} checker against {!Lin_oracle.model} when the
+    workload completes. Streamed reads are validated by {!Spec_check}
+    under both oracles. Both modes draw identically, so a witness trace
+    hunts/replays the same under either.
+
+    [history], when supplied, captures the operation history regardless
+    of oracle — the corpus-agreement tests replay legacy witnesses with a
+    history attached and re-judge the recorded prefix with the generic
+    checker. [history_out] saves the recorded history (arming one if
+    necessary) to that path when the workload completes, before the
+    [`Lin] verdict, so a witness replay leaves the violating history on
+    disk next to its trace. *)
 val test :
   ?bugs:Bug_flags.t ->
   ?workloads:Workload.t list ->
   ?initial_rows:(Table_types.key * Table_types.props) list ->
+  ?oracle:[ `Legacy | `Lin ] ->
+  ?history:(Linearize.pending, Table_types.outcome) Psharp.History.t ->
+  ?history_out:string ->
   unit ->
   Psharp.Runtime.ctx ->
   unit

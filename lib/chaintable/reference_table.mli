@@ -8,7 +8,19 @@
     per-key version history so streamed reads can be validated against the
     weak streaming specification. *)
 
+module Key_map : Map.S with type key = Table_types.key
+
 type t
+
+(** [plan rows op] validates [op] against a row snapshot and returns its
+    effect — [Some props] for a write, [None] for a delete — without
+    assigning an etag or touching any state. Exposed so the
+    {!Lin_oracle} replay model shares the exact conditional-mutation
+    semantics of the reference table instead of re-implementing them. *)
+val plan :
+  Table_types.row Key_map.t ->
+  Table_types.op ->
+  (Table_types.props option, Table_types.op_error) result
 
 (** [create ~first_etag ~etag_step ()]: etags are assigned from the
     arithmetic progression [first_etag, first_etag + etag_step, ...].

@@ -12,9 +12,37 @@ type state = {
   mt : Mt.t;
   stash : Remote_backend.stash;
   tables : Psharp.Id.t;
+  name : string;
+  history : (Linearize.pending, T.outcome) Psharp.History.t option;
+      (** when present, every point operation is recorded as an
+          invoke/response pair — the input of the generic
+          linearizability oracle (see {!Lin_oracle}) *)
+  check_outcomes : bool;
+      (** legacy oracle: assert MT/RT outcome equivalence per operation
+          at the linearization point *)
   mutable pairs : (int * int) list Key_map.t;
       (** observed (virtual etag, reference etag) pairs, newest first *)
 }
+
+(* History recording is draw-free, so arming it cannot perturb
+   schedules; the [at] stamps are the reference table's logical clock
+   (informational — precedence comes from recording order). *)
+let record_invoke s pending =
+  match s.history with
+  | None -> None
+  | Some h ->
+    Some
+      (Psharp.History.invoke h ~client:s.name
+         ~at:s.stash.Remote_backend.last_at
+         ~repr:(Linearize.pending_to_string pending)
+         pending)
+
+let record_respond s id outcome =
+  match (s.history, id) with
+  | Some h, Some id ->
+    Psharp.History.respond h ~id ~at:s.stash.Remote_backend.last_at
+      ~repr:(T.outcome_to_string outcome) outcome
+  | _ -> ()
 
 let observed s key = Option.value (Key_map.find_opt key s.pairs) ~default:[]
 
@@ -38,22 +66,25 @@ let record_rows s mt_rows rt_rows =
 (* Run one logical mutation through the MT and the RT, assert equivalent
    outcomes, update etag bookkeeping. *)
 let run_mutation ctx s ~mt_op ~rt_op =
+  let inv = record_invoke s (Linearize.Mutate rt_op) in
   s.stash.Remote_backend.next_pending <- Some (Linearize.Mutate rt_op);
   let mt_outcome = T.Mutated (Mt.mutate s.mt mt_op) in
+  record_respond s inv mt_outcome;
   match Remote_backend.take_rt_outcome s.stash with
   | None ->
     R.assert_here ctx false
       (Printf.sprintf "%s never reached a linearization point"
          (T.op_to_string mt_op))
   | Some rt_outcome ->
-    R.assert_here ctx
-      (T.outcome_equivalent mt_outcome rt_outcome)
-      (Printf.sprintf
-         "outcome divergence on %s: migrating table returned %s, reference \
-          table returned %s"
-         (T.op_to_string mt_op)
-         (T.outcome_to_string mt_outcome)
-         (T.outcome_to_string rt_outcome));
+    if s.check_outcomes then
+      R.assert_here ctx
+        (T.outcome_equivalent mt_outcome rt_outcome)
+        (Printf.sprintf
+           "outcome divergence on %s: migrating table returned %s, reference \
+            table returned %s"
+           (T.op_to_string mt_op)
+           (T.outcome_to_string mt_outcome)
+           (T.outcome_to_string rt_outcome));
     (match (mt_outcome, rt_outcome) with
      | ( T.Mutated (Ok { T.new_etag = Some m }),
          T.Mutated (Ok { T.new_etag = Some r }) ) ->
@@ -61,36 +92,42 @@ let run_mutation ctx s ~mt_op ~rt_op =
      | _ -> ())
 
 let run_retrieve ctx s key =
+  let inv = record_invoke s (Linearize.Read (T.Retrieve key)) in
   s.stash.Remote_backend.next_pending <- Some (Linearize.Read (T.Retrieve key));
   let mt_row = Mt.retrieve s.mt key in
+  record_respond s inv (T.Row mt_row);
   match Remote_backend.take_rt_outcome s.stash with
   | None -> R.assert_here ctx false "retrieve never linearized"
   | Some rt_outcome ->
-    R.assert_here ctx
-      (T.outcome_equivalent (T.Row mt_row) rt_outcome)
-      (Printf.sprintf
-         "retrieve divergence on %s: migrating table %s, reference table %s"
-         (T.key_to_string key)
-         (T.outcome_to_string (T.Row mt_row))
-         (T.outcome_to_string rt_outcome));
+    if s.check_outcomes then
+      R.assert_here ctx
+        (T.outcome_equivalent (T.Row mt_row) rt_outcome)
+        (Printf.sprintf
+           "retrieve divergence on %s: migrating table %s, reference table %s"
+           (T.key_to_string key)
+           (T.outcome_to_string (T.Row mt_row))
+           (T.outcome_to_string rt_outcome));
     (match (mt_row, rt_outcome) with
      | Some m, T.Row (Some r) -> record_pair s key (m.T.etag, r.T.etag)
      | _ -> ())
 
 let run_query ctx s filter =
+  let inv = record_invoke s (Linearize.Read (T.Query_atomic filter)) in
   s.stash.Remote_backend.next_pending <-
     Some (Linearize.Read (T.Query_atomic filter));
   let mt_rows = Mt.query_atomic s.mt filter in
+  record_respond s inv (T.Rows mt_rows);
   match Remote_backend.take_rt_outcome s.stash with
   | None -> R.assert_here ctx false "query never linearized"
   | Some rt_outcome ->
-    R.assert_here ctx
-      (T.outcome_equivalent (T.Rows mt_rows) rt_outcome)
-      (Printf.sprintf
-         "query divergence on %s: migrating table %s, reference table %s"
-         (Filter0.to_string filter)
-         (T.outcome_to_string (T.Rows mt_rows))
-         (T.outcome_to_string rt_outcome));
+    if s.check_outcomes then
+      R.assert_here ctx
+        (T.outcome_equivalent (T.Rows mt_rows) rt_outcome)
+        (Printf.sprintf
+           "query divergence on %s: migrating table %s, reference table %s"
+           (Filter0.to_string filter)
+           (T.outcome_to_string (T.Rows mt_rows))
+           (T.outcome_to_string rt_outcome));
     (match rt_outcome with
      | T.Rows rt_rows -> record_rows s mt_rows rt_rows
      | _ -> ())
@@ -220,14 +257,23 @@ let run_step ctx s (step : Workload.step) =
 
 (* --- Entry point -------------------------------------------------------- *)
 
-let machine ~tables ~bugs ~workload ~report_to ctx =
+let machine ?history ?(check_outcomes = true) ~tables ~bugs ~workload ~name
+    ~report_to ctx =
   Events.install_printer ();
   Psharp.Registry.register_machine ~machine:"Service"
     ~kind:Psharp.Registry.Machine ~states:1 ~handlers:3;
   let stash = Remote_backend.create_stash () in
   let backend = Remote_backend.ops ~bugs ctx ~tables ~stash in
   let s =
-    { mt = Mt.create ~bugs backend; stash; tables; pairs = Key_map.empty }
+    {
+      mt = Mt.create ~bugs backend;
+      stash;
+      tables;
+      name;
+      history;
+      check_outcomes;
+      pairs = Key_map.empty;
+    }
   in
   (match workload with
    | Workload.Random_ops { n_ops } -> run_random ctx s n_ops

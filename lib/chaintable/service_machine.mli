@@ -2,19 +2,32 @@
     issues a workload of logical operations through it. For every logical
     operation it registers the equivalent reference-table operation with
     the Tables machine, receives the reference outcome captured at the
-    linearization point, and asserts the two outcomes are equivalent.
-    Completed streamed reads are validated against the reference history
-    via the Tables machine.
+    linearization point, and (under the legacy oracle) asserts the two
+    outcomes are equivalent. Completed streamed reads are validated
+    against the reference history via the Tables machine.
 
     The service tracks, per key, the pairs of etags (migrating-table
     virtual etag, reference-table etag) it has observed, so conditional
     operations can be issued with semantically matched conditions — the
-    current pair for a valid condition, an older pair for a stale one. *)
+    current pair for a valid condition, an older pair for a stale one.
+
+    [history], when given, receives every point operation as an
+    invoke/response pair (the reference-table operation and the
+    migrating-table outcome) for the generic linearizability oracle;
+    recording is draw-free and never perturbs schedules. The response is
+    recorded {e before} the legacy assert fires, so a history captured
+    during a failing legacy run still contains the diverging outcome.
+    [check_outcomes] (default true) keeps the legacy per-operation
+    asserts; the [`Lin] harness oracle turns them off and judges the
+    recorded history instead. *)
 
 val machine :
+  ?history:(Linearize.pending, Table_types.outcome) Psharp.History.t ->
+  ?check_outcomes:bool ->
   tables:Psharp.Id.t ->
   bugs:Bug_flags.t ->
   workload:Workload.t ->
+  name:string ->
   report_to:Psharp.Id.t ->
   Psharp.Runtime.ctx ->
   unit

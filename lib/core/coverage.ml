@@ -49,6 +49,9 @@ type t = {
       (* sender, event, receiver, receiver-state *)
   branches : branch_key family;
   faults : (string * string) family;                    (* kind, target *)
+  histories : string family;
+      (* completed client operations ("client op -> res"); empty unless a
+         harness records a History *)
   schedules : (int64, int) Hashtbl.t;
   hb : (int64, int) Hashtbl.t;
       (* canonical partial-order fingerprints (Hb); empty unless
@@ -63,6 +66,7 @@ let create () =
     triples = family_create 256;
     branches = family_create 64;
     faults = family_create 16;
+    histories = family_create 16;
     schedules = Hashtbl.create 64;
     hb = Hashtbl.create 64;
     executions = 0;
@@ -82,6 +86,7 @@ let branch_int t ~machine ~bound v =
   family_bump t.branches (Branch_int (machine, v, bound))
 
 let fault t ~kind ~target = family_bump t.faults (kind, target)
+let history t ~point = family_bump t.histories point
 
 (* FNV-1a over the choice sequence; tags keep [Schedule 1] and [Int 1]
    from colliding. *)
@@ -144,6 +149,7 @@ let absorb ~into src =
   merge src.triples into.triples;
   merge src.branches into.branches;
   merge src.faults into.faults;
+  merge src.histories into.histories;
   (* Schedule and partial-order fingerprints merge like the rest but do
      not feed the novelty flag: almost every random schedule is unique. *)
   let merge_fp src dst =
@@ -187,6 +193,7 @@ let events t = sorted_entries Fun.id t.events
 let triples t = sorted_entries render_triple t.triples
 let branches t = sorted_entries render_branch t.branches
 let faults t = sorted_entries render_fault t.faults
+let histories t = sorted_entries Fun.id t.histories
 
 let schedules t =
   Hashtbl.fold (fun k n acc -> (k, n) :: acc) t.schedules []
@@ -200,6 +207,7 @@ let equal a b =
   states a = states b && events a = events b && triples a = triples b
   && branches a = branches b
   && faults a = faults b
+  && histories a = histories b
   && schedules a = schedules b
   && hb_fingerprints a = hb_fingerprints b
   && a.executions = b.executions
@@ -210,6 +218,7 @@ type totals = {
   transition_triples : int;
   branch_outcomes : int;
   fault_points : int;
+  history_points : int;
   unique_schedules : int;
   partial_orders : int;
   executions : int;
@@ -222,6 +231,7 @@ let totals t =
     transition_triples = t.triples.n;
     branch_outcomes = t.branches.n;
     fault_points = t.faults.n;
+    history_points = t.histories.n;
     unique_schedules = Hashtbl.length t.schedules;
     partial_orders = Hashtbl.length t.hb;
     executions = t.executions;
@@ -241,7 +251,10 @@ let pp_totals fmt t =
     Format.fprintf fmt ", %d fault points" s.fault_points;
   (* likewise: only happens-before-tracked runs mention partial orders *)
   if s.partial_orders > 0 then
-    Format.fprintf fmt ", %d partial orders" s.partial_orders
+    Format.fprintf fmt ", %d partial orders" s.partial_orders;
+  (* and only history-recording harnesses mention history points *)
+  if s.history_points > 0 then
+    Format.fprintf fmt ", %d history points" s.history_points
 
 let pp_section fmt ~title ~cap entries =
   let by_count = List.sort (fun (_, a) (_, b) -> compare b a) entries in
@@ -261,6 +274,8 @@ let pp_table fmt t =
   pp_section fmt ~title:"branch outcomes" ~cap:20 (branches t);
   if t.faults.n > 0 then
     pp_section fmt ~title:"fault points" ~cap:20 (faults t);
+  if t.histories.n > 0 then
+    pp_section fmt ~title:"history points" ~cap:20 (histories t);
   Format.fprintf fmt "@]"
 
 let json_escape s =
@@ -286,10 +301,12 @@ let to_json t =
     (Printf.sprintf
        "  \"totals\": {\"machine_states\": %d, \"event_types\": %d, \
         \"transition_triples\": %d, \"branch_outcomes\": %d, \
-        \"fault_points\": %d, \"unique_schedules\": %d, \
+        \"fault_points\": %d, \"history_points\": %d, \
+        \"unique_schedules\": %d, \
         \"partial_orders\": %d, \"executions\": %d},\n"
        s.machine_states s.event_types s.transition_triples s.branch_outcomes
-       s.fault_points s.unique_schedules s.partial_orders s.executions);
+       s.fault_points s.history_points s.unique_schedules s.partial_orders
+       s.executions);
   let family name entries ~last =
     Buffer.add_string buf (Printf.sprintf "  \"%s\": {" name);
     List.iteri
@@ -308,6 +325,7 @@ let to_json t =
   family "transition_triples" (triples t) ~last:false;
   family "branch_outcomes" (branches t) ~last:false;
   family "fault_points" (faults t) ~last:false;
+  family "history_points" (histories t) ~last:false;
   family "hb_fingerprints"
     (List.map (fun (fp, n) -> (Printf.sprintf "%Lx" fp, n)) (hb_fingerprints t))
     ~last:false;

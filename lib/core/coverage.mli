@@ -49,6 +49,11 @@ val branch_int : t -> machine:string -> bound:int -> int -> unit
     the affected machine's name. *)
 val fault : t -> kind:string -> target:string -> unit
 
+(** [history t ~point] records one completed client operation from a
+    recorded {!History} (rendered ["client op -> res"]). Empty unless a
+    harness records a history, so history-free runs are untouched. *)
+val history : t -> point:string -> unit
+
 (** [fingerprint trace] hashes the full choice sequence (FNV-1a, 64-bit).
     Purely a function of the trace: replaying a recorded schedule yields
     the identical fingerprint. *)
@@ -96,6 +101,9 @@ type totals = {
   transition_triples : int;
   branch_outcomes : int;
   fault_points : int;
+  history_points : int;
+      (** distinct completed client operations ({!history}); [0] unless a
+          harness recorded a history *)
   unique_schedules : int;
   partial_orders : int;
       (** distinct canonical partial-order fingerprints ({!note_hb});
@@ -115,6 +123,9 @@ val branches : t -> (string * int) list
 
 (** Injected fault points, rendered ["kind Target"]. *)
 val faults : t -> (string * int) list
+
+(** Completed client operations, rendered ["client op -> res"]. *)
+val histories : t -> (string * int) list
 
 (** Schedule fingerprints with the number of executions that produced
     each. *)

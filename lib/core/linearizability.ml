@@ -1,0 +1,171 @@
+type ('state, 'op, 'res) model = {
+  init : 'state;
+  apply : 'state -> 'op -> 'state * 'res;
+  match_res : 'res -> 'res -> bool;
+  repr_res : 'res -> string;
+  repr_state : 'state -> string;
+  key_of : ('op -> string) option;
+}
+
+type verdict = Linearizable of int list | Illegal of string
+
+let verdict_to_string = function
+  | Linearizable _ -> "linearizable"
+  | Illegal msg -> msg
+
+exception Found of int list
+
+type stuck = {
+  s_depth : int;  (* complete ops linearized when the search got stuck *)
+  s_client : string;
+  s_op : string;
+  s_recorded : string;
+  s_model : string;
+}
+
+(* Core WGL search on one (sub-)history. Returns a witness order or a
+   deterministic description of the deepest point no candidate could
+   pass. *)
+let search model (ops : (_, _) History.operation array) =
+  let n = Array.length ops in
+  let invoke_seq = Array.map (fun o -> o.History.invoke_seq) ops in
+  let respond_seq =
+    Array.map
+      (fun o ->
+        match o.History.result with
+        | Some (_, _, _, seq) -> seq
+        | None -> max_int)
+      ops
+  in
+  let complete = Array.map (fun o -> o.History.result <> None) ops in
+  let total_complete =
+    Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 complete
+  in
+  let in_rem = Array.make n true in
+  (* bitset mirror of in_rem, used as the memo key prefix *)
+  let bits = Bytes.make ((n + 8) / 8) '\000' in
+  let set_bit i =
+    Bytes.unsafe_set bits (i lsr 3)
+      (Char.chr (Char.code (Bytes.unsafe_get bits (i lsr 3)) lor (1 lsl (i land 7))))
+  in
+  let clear_bit i =
+    Bytes.unsafe_set bits (i lsr 3)
+      (Char.chr
+         (Char.code (Bytes.unsafe_get bits (i lsr 3)) land lnot (1 lsl (i land 7))))
+  in
+  for i = 0 to n - 1 do
+    set_bit i
+  done;
+  let memo = Hashtbl.create 64 in
+  let best : stuck option ref = ref None in
+  let record_stuck ~depth i model_repr =
+    let keep =
+      match !best with None -> true | Some s -> depth > s.s_depth
+    in
+    if keep then
+      let o = ops.(i) in
+      let recorded =
+        match o.History.result with
+        | Some (_, repr, _, _) -> repr
+        | None -> assert false
+      in
+      best :=
+        Some
+          {
+            s_depth = depth;
+            s_client = o.History.client;
+            s_op = o.History.op_repr;
+            s_recorded = recorded;
+            s_model = model_repr;
+          }
+  in
+  let rec dfs st done_complete acc =
+    if done_complete = total_complete then raise (Found (List.rev acc));
+    let key = Bytes.to_string bits ^ "\000" ^ model.repr_state st in
+    if not (Hashtbl.mem memo key) then begin
+      Hashtbl.add memo key ();
+      let min_resp = ref max_int in
+      for i = 0 to n - 1 do
+        if in_rem.(i) && respond_seq.(i) < !min_resp then
+          min_resp := respond_seq.(i)
+      done;
+      for i = 0 to n - 1 do
+        (* minimal ops only: an op already invoked before every remaining
+           response may linearize next *)
+        if in_rem.(i) && invoke_seq.(i) < !min_resp then begin
+          let st', r = model.apply st ops.(i).History.op in
+          if complete.(i) then begin
+            let recorded =
+              match ops.(i).History.result with
+              | Some (res, _, _, _) -> res
+              | None -> assert false
+            in
+            if model.match_res r recorded then begin
+              in_rem.(i) <- false;
+              clear_bit i;
+              dfs st' (done_complete + 1) (ops.(i).History.id :: acc);
+              in_rem.(i) <- true;
+              set_bit i
+            end
+            else record_stuck ~depth:done_complete i (model.repr_res r)
+          end
+          else begin
+            (* pending: may have taken effect (linearize it, any result)
+               or not (simply never pick it) *)
+            in_rem.(i) <- false;
+            clear_bit i;
+            dfs st' done_complete (ops.(i).History.id :: acc);
+            in_rem.(i) <- true;
+            set_bit i
+          end
+        end
+      done
+    end
+  in
+  match dfs model.init 0 [] with
+  | () ->
+      let msg =
+        match !best with
+        | Some s ->
+            Printf.sprintf
+              "history not linearizable: linearized %d/%d complete ops; no \
+               order explains %s %s -> %s (model would produce %s)"
+              s.s_depth total_complete s.s_client s.s_op s.s_recorded s.s_model
+        | None -> "history not linearizable"
+      in
+      Error msg
+  | exception Found witness -> Ok witness
+
+let by_id a b = compare a.History.id b.History.id
+
+let check_operations model operations =
+  let run ops_list =
+    search model (Array.of_list (List.sort by_id ops_list))
+  in
+  match model.key_of with
+  | None -> (
+      match run operations with
+      | Ok w -> Linearizable w
+      | Error msg -> Illegal msg)
+  | Some key_of ->
+      (* P-compositionality: per-key sub-histories check independently *)
+      let groups = Hashtbl.create 16 in
+      List.iter
+        (fun o ->
+          let k = key_of o.History.op in
+          Hashtbl.replace groups k
+            (o :: (try Hashtbl.find groups k with Not_found -> [])))
+        operations;
+      let keys =
+        List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) groups [])
+      in
+      let rec go acc = function
+        | [] -> Linearizable (List.concat (List.rev acc))
+        | k :: rest -> (
+            match run (Hashtbl.find groups k) with
+            | Ok w -> go (w :: acc) rest
+            | Error msg -> Illegal (Printf.sprintf "key %s: %s" k msg))
+      in
+      go [] keys
+
+let check model history = check_operations model (History.operations history)

@@ -288,6 +288,14 @@ let choose ctx xs =
 
 let halt _ctx = raise Halt_exn
 
+(* Draw-free, like all coverage recording: harnesses wire this into
+   [History.create ~on_complete] so completed client operations land in
+   the coverage [history] family. *)
+let history_point ctx point =
+  match ctx.rt.config.coverage with
+  | Some cov -> Coverage.history cov ~point
+  | None -> ()
+
 (* --- Fault injection --- *)
 
 let record_fault rt ~kind ~target =
@@ -346,12 +354,25 @@ let send_faulty ctx target e =
         send ctx target e;
         send ctx target e
       | Fault.Delay ->
-        (* One draw either way; its meaning depends on the time model.
-           Clock off: [k] counts later deliveries (queue-position delay).
-           Clock on: [k] is a latency duration — the message is armed on
-           the clock and lands at [now + k] virtual time, so it races
-           against timer deadlines rather than queue positions. *)
-        let k = 1 + nondet_int ctx spec.max_delay in
+        (* The latency's meaning depends on the time model. Clock off:
+           [k] counts later deliveries (queue-position delay). Clock on:
+           [k] is a latency duration — the message is armed on the clock
+           and lands at [now + k] virtual time, so it races against timer
+           deadlines rather than queue positions.
+
+           Uniform keeps the historical single draw over [1..max_delay]
+           (existing fault traces and golden digests depend on it).
+           Bimodal first draws the link's mode, then a latency within the
+           mode: fast links land in 1..2, slow ones in
+           [2*max_delay .. 3*max_delay - 1] — a long-tail far past any
+           uniform draw, so timeouts race both narrowly and hopelessly. *)
+        let k =
+          match spec.delay_dist with
+          | Fault.Uniform -> 1 + nondet_int ctx spec.max_delay
+          | Fault.Bimodal ->
+            if nondet ctx then 1 + nondet_int ctx 2
+            else (2 * spec.max_delay) + nondet_int ctx spec.max_delay
+        in
         record_fault rt ~kind:"delay" ~target:m.id;
         if rt.log_on then
           logf rt "[%d] FAULT delay(%d) %s -> %s: %s" rt.steps k

@@ -199,6 +199,12 @@ val assert_here : ctx -> bool -> string -> unit
 (** Append a line to the global-order log (no-op unless [collect_log]). *)
 val log : ctx -> string -> unit
 
+(** [history_point ctx point] files one completed client operation into
+    the coverage [history] family ({!Coverage.history}); no-op without a
+    coverage map. Draw-free, so recording a {!History} never perturbs the
+    schedule. Harnesses pass it to [History.create ~on_complete]. *)
+val history_point : ctx -> string -> unit
+
 (** Current scheduling step (useful as a logical clock in models). *)
 val step_count : ctx -> int
 

@@ -1,0 +1,37 @@
+(* Each flag re-introduces one real rebalancing defect; all default off,
+   so [none] is the correct protocol every fixed variant runs. *)
+type t = {
+  migrate_drops_dedup : bool;
+      (* ShardkvMigrationDoubleApply: the handoff snapshot omits the
+         shard's dedup cache, so a client retransmit that lands on the
+         new owner re-executes an already-applied operation *)
+  stale_serve : bool;
+      (* ShardkvStaleRingServe: a node serves any request for a shard
+         whose data it still holds, skipping the ownership check — writes
+         accepted during the migration window die with the stale copy *)
+  release_before_ack : bool;
+      (* ShardkvCrashLosesShard: the source deletes a shard the moment it
+         sends the handoff snapshot instead of waiting for the release;
+         if the receiver crashes before installing, the retried handoff
+         re-sends an empty shard *)
+}
+
+let none =
+  { migrate_drops_dedup = false; stale_serve = false; release_before_ack = false }
+
+let double_apply_bug = { none with migrate_drops_dedup = true }
+let stale_serve_bug = { none with stale_serve = true }
+let crash_loses_shard_bug = { none with release_before_ack = true }
+
+let names =
+  [
+    "ShardkvMigrationDoubleApply";
+    "ShardkvStaleRingServe";
+    "ShardkvCrashLosesShard";
+  ]
+
+let with_bug = function
+  | "ShardkvMigrationDoubleApply" -> double_apply_bug
+  | "ShardkvStaleRingServe" -> stale_serve_bug
+  | "ShardkvCrashLosesShard" -> crash_loses_shard_bug
+  | name -> invalid_arg (Printf.sprintf "Shardkv.Bug_flags.with_bug: %s" name)

@@ -1,0 +1,20 @@
+(** Seeded rebalancing defects of the sharded KV harness. Every flag off
+    ([none]) is the correct protocol; each named bug arms exactly one. *)
+
+type t = {
+  migrate_drops_dedup : bool;
+  stale_serve : bool;
+  release_before_ack : bool;
+}
+
+val none : t
+val double_apply_bug : t
+val stale_serve_bug : t
+val crash_loses_shard_bug : t
+
+(** Catalog bug names, in the order of the record fields. *)
+val names : string list
+
+(** Flags arming the named catalog bug.
+    @raise Invalid_argument on an unknown name. *)
+val with_bug : string -> t

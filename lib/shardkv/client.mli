@@ -1,0 +1,23 @@
+(** A KV client: runs a fixed operation list against the cluster,
+    recording every invocation and response in a shared
+    {!Psharp.History}.
+
+    Routing: cached ring → believed primary; [Wrong_owner] redirects
+    carrying a newer ring are adopted and re-driven immediately, stale
+    ones wait for the retransmission timeout. Under the clock every
+    attempt arms an [Rpc_timeout] and retransmits with the {e same}
+    sequence number, so the owner's (migrated) dedup cache — not the
+    client — is what keeps retried operations exactly-once. *)
+
+(** Retransmission timeout in virtual-time units. *)
+val rpc_timeout : int
+
+val machine :
+  name:string ->
+  directory:(string * Psharp.Id.t) list ->
+  ring:Ring.t ->
+  history:(Model.op, Model.res) Psharp.History.t ->
+  ops:Model.op list ->
+  report_to:Psharp.Id.t ->
+  Psharp.Runtime.ctx ->
+  unit

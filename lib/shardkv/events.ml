@@ -1,0 +1,67 @@
+type Psharp.Event.t +=
+  (* client <-> node *)
+  | Client_req of {
+      client : Psharp.Id.t;
+      client_name : string;
+      seq : int;
+      op : Model.op;
+    }
+  | Client_reply of { seq : int; res : Model.res }
+  | Wrong_owner of { seq : int; ring : Ring.t }
+  | Rpc_timeout of { token : int }
+  (* rebalance protocol *)
+  | Join of { node : string }
+  | Handoff_request of {
+      shard : int;
+      version : int;
+      dest : Psharp.Id.t;
+      ring : Ring.t;
+    }
+  | Shard_data of {
+      shard : int;
+      version : int;
+      ring : Ring.t;  (* the ring being migrated to *)
+      data : (string * int) list;
+      dedup : ((string * int) * Model.res) list;
+    }
+  | Handoff_ack of { shard : int; version : int }
+  | Release of { shard : int; version : int; ring : Ring.t }
+  | Ring_update of { ring : Ring.t }
+  | Retry_handoff of { shard : int; version : int }
+  (* harness plumbing *)
+  | Client_done
+  | Shutdown
+
+let printer = function
+  | Client_req { client_name; seq; op; _ } ->
+    Some (Printf.sprintf "Req(%s#%d %s)" client_name seq (Model.op_repr op))
+  | Client_reply { seq; res } ->
+    Some (Printf.sprintf "Reply(#%d %s)" seq (Model.res_repr res))
+  | Wrong_owner { seq; ring } ->
+    Some (Printf.sprintf "WrongOwner(#%d %s)" seq (Ring.to_string ring))
+  | Rpc_timeout { token } -> Some (Printf.sprintf "RpcTimeout(%d)" token)
+  | Join { node } -> Some (Printf.sprintf "Join(%s)" node)
+  | Handoff_request { shard; version; _ } ->
+    Some (Printf.sprintf "HandoffReq(shard=%d v%d)" shard version)
+  | Shard_data { shard; version; data; _ } ->
+    Some (Printf.sprintf "ShardData(shard=%d v%d |%d|)" shard version
+            (List.length data))
+  | Handoff_ack { shard; version } ->
+    Some (Printf.sprintf "HandoffAck(shard=%d v%d)" shard version)
+  | Release { shard; version; _ } ->
+    Some (Printf.sprintf "Release(shard=%d v%d)" shard version)
+  | Ring_update { ring } ->
+    Some (Printf.sprintf "RingUpdate(%s)" (Ring.to_string ring))
+  | Retry_handoff { shard; version } ->
+    Some (Printf.sprintf "RetryHandoff(shard=%d v%d)" shard version)
+  | Client_done -> Some "ClientDone"
+  | Shutdown -> Some "Shutdown"
+  | _ -> None
+
+(* First executions may race across domains: CAS so the printer is
+   registered exactly once. *)
+let installed = Atomic.make false
+
+let install_printer () =
+  if Atomic.compare_and_set installed false true then
+    Psharp.Event.register_printer printer

@@ -1,0 +1,42 @@
+(** Protocol events of the sharded KV harness.
+
+    Client traffic ([Client_req]/[Client_reply]/[Wrong_owner]) and the
+    router-orchestrated rebalance protocol: a [Join] makes the router
+    compute the next ring and drive, per moved shard, [Handoff_request]
+    (router→source) → [Shard_data] (source→dest) → [Handoff_ack]
+    (dest→router) → commit, then [Release] (router→source, carrying the
+    committed ring) and a [Ring_update] broadcast. [Retry_handoff] is the
+    router's clocked retransmission tick; [Rpc_timeout] the clients'. *)
+
+type Psharp.Event.t +=
+  | Client_req of {
+      client : Psharp.Id.t;
+      client_name : string;
+      seq : int;
+      op : Model.op;
+    }
+  | Client_reply of { seq : int; res : Model.res }
+  | Wrong_owner of { seq : int; ring : Ring.t }
+  | Rpc_timeout of { token : int }
+  | Join of { node : string }
+  | Handoff_request of {
+      shard : int;
+      version : int;
+      dest : Psharp.Id.t;
+      ring : Ring.t;
+    }
+  | Shard_data of {
+      shard : int;
+      version : int;
+      ring : Ring.t;  (** the ring being migrated to *)
+      data : (string * int) list;
+      dedup : ((string * int) * Model.res) list;
+    }
+  | Handoff_ack of { shard : int; version : int }
+  | Release of { shard : int; version : int; ring : Ring.t }
+  | Ring_update of { ring : Ring.t }
+  | Retry_handoff of { shard : int; version : int }
+  | Client_done
+  | Shutdown
+
+val install_printer : unit -> unit

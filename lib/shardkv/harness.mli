@@ -1,0 +1,37 @@
+(** The sharded KV test harness — the first post-paper workload.
+
+    A 2-node cluster (4 shards, replica factor 2) serves two concurrent
+    clients while a third node joins and the router rebalances; the
+    entire client-visible behavior is recorded as a {!Psharp.History} and
+    judged, at the end of the execution, by the generic
+    {!Psharp.Linearizability} checker against the sequential KV model —
+    no bespoke spec assertions anywhere in the protocol code. A
+    non-linearizable history raises an assertion failure carrying the
+    checker's violation string, so hunts, shrinking, and witness replay
+    treat oracle verdicts exactly like any other bug.
+
+    Designed to run under crash+delay faults on the virtual clock: nodes
+    are persistent machines with durable disks, clients retransmit on
+    timeout, the router re-drives unacked handoffs. *)
+
+(** Names of the workload's keys: [(moving, stable)] — a key whose shard
+    migrates when the third node joins, and one whose shard does not. *)
+val moving_and_stable_keys : unit -> string * string
+
+(** The harness body. Every completed operation is filed as a [history]
+    coverage point (rendered ["client op -> res"]); [on_history] receives
+    the same lines (capture them in tests). [history_out] saves the
+    recorded history to that path once the workload completes — written
+    before the verdict, so a witness replay leaves the violating history
+    on disk next to its trace. *)
+val test :
+  ?bugs:Bug_flags.t ->
+  ?on_history:(string -> unit) ->
+  ?history_out:string ->
+  unit ->
+  Psharp.Runtime.ctx ->
+  unit
+
+(** [test] with the named catalog bug's flags armed.
+    @raise Invalid_argument on an unknown name. *)
+val test_for_bug : string -> Psharp.Runtime.ctx -> unit

@@ -1,0 +1,28 @@
+(** The sharded KV store's client-visible operations and its sequential
+    specification — the model the {!Psharp.Linearizability} checker
+    judges recorded histories against. *)
+
+type op =
+  | Get of string
+  | Put of string * int
+  | Add of string * int
+      (** read-modify-write: add to the key (absent counts as 0) and
+          return the {e new} value — chosen precisely because a lost or
+          double-applied mutation shows up in the response, not just in
+          later reads *)
+
+type res = Got of int option | Put_ok | Added of int
+
+val key_of : op -> string
+val op_repr : op -> string
+val res_repr : res -> string
+
+(** The sequential step function; nodes reuse it verbatim on their
+    per-shard stores, so the implementation and the checker's model can
+    only disagree about {e distribution} (routing, migration, retries) —
+    exactly the surface under test. *)
+val apply : (string * int) list -> op -> (string * int) list * res
+
+(** Sequential spec over a sorted association list. [key_of] is declared,
+    so the checker partitions histories per key. *)
+val lin_model : ((string * int) list, op, res) Psharp.Linearizability.model

@@ -1,0 +1,32 @@
+(** A sharded KV storage node.
+
+    Serves client operations for shards its current ring copy says it
+    owns, with a durable per-shard dedup cache absorbing retransmits, and
+    participates in the router-driven handoff protocol: on
+    [Handoff_request] it snapshots the shard (data + dedup) to the
+    destination and {e stalls} further requests for that shard — no
+    committed ring names the new owner yet — until the [Release] (or the
+    committed [Ring_update], whichever survives) lets it re-route them.
+
+    Nodes are persistent machines: the [disk] record is everything that
+    survives a {!Psharp.Runtime.crash}. Every applied operation is on
+    disk before its reply is sent. *)
+
+type disk
+
+(** A freshly formatted disk holding the given initial ring. *)
+val fresh_disk : Ring.t -> disk
+
+(** The machine body; pass the same [disk] to the [~persistent] restart
+    hook so crashes keep acknowledged writes. *)
+val machine :
+  ?bugs:Bug_flags.t ->
+  name:string ->
+  router:Psharp.Id.t ->
+  disk:disk ->
+  Psharp.Runtime.ctx ->
+  unit
+
+(** Test-facing disk peek: the shard's current kv pairs (empty when the
+    node does not hold it). *)
+val peek_shard : disk -> int -> (string * int) list

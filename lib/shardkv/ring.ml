@@ -1,0 +1,81 @@
+type t = {
+  version : int;
+  n_shards : int;
+  replicas : int;
+  nodes : string list;
+}
+
+(* FNV-1a, 64-bit, then a murmur3-style avalanche, truncated positive:
+   placement must be a deterministic pure function of the membership so
+   every participant and every replay computes the same ring. The
+   finalizer matters — raw FNV of short strings that differ only in the
+   last character ("N1#0".."N1#7") clusters a node's vnodes into one
+   contiguous arc, collapsing the circle to a single owner. *)
+let fnv s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    s;
+  let mix h =
+    let h = Int64.logxor h (Int64.shift_right_logical h 33) in
+    let h = Int64.mul h 0xff51afd7ed558ccdL in
+    let h = Int64.logxor h (Int64.shift_right_logical h 33) in
+    let h = Int64.mul h 0xc4ceb9fe1a85ec53L in
+    Int64.logxor h (Int64.shift_right_logical h 33)
+  in
+  Int64.to_int (Int64.logand (mix !h) 0x3fffffffffffffffL)
+
+let create ~n_shards ~replicas nodes =
+  if nodes = [] then invalid_arg "Ring.create: no nodes";
+  if n_shards <= 0 then invalid_arg "Ring.create: n_shards must be positive";
+  if replicas <= 0 then invalid_arg "Ring.create: replicas must be positive";
+  { version = 0; n_shards; replicas; nodes }
+
+let add_node t name =
+  if List.mem name t.nodes then
+    invalid_arg (Printf.sprintf "Ring.add_node: %s already a member" name);
+  { t with version = t.version + 1; nodes = t.nodes @ [ name ] }
+
+let shard_of_key t key = fnv key mod t.n_shards
+
+let vnodes = 8
+
+(* The circle: every node's [vnodes] points, sorted by position. Rebuilt
+   on demand — rings are tiny and placement is queried rarely (route
+   computation, not per-message hot path). *)
+let circle t =
+  List.concat_map
+    (fun node ->
+      List.init vnodes (fun i ->
+          (fnv (Printf.sprintf "%s#%d" node i), node)))
+    t.nodes
+  |> List.sort compare
+
+let placement t shard =
+  let point = fnv (Printf.sprintf "shard%d" shard) in
+  let ring = circle t in
+  (* walk clockwise from the shard's point, wrapping once *)
+  let after, before = List.partition (fun (p, _) -> p > point) ring in
+  let walk = after @ before in
+  let want = min t.replicas (List.length t.nodes) in
+  let rec take acc = function
+    | [] -> List.rev acc
+    | (_, node) :: rest ->
+      if List.mem node acc then take acc rest
+      else if List.length acc + 1 = want then List.rev (node :: acc)
+      else take (node :: acc) rest
+  in
+  take [] walk
+
+let primary t shard = List.hd (placement t shard)
+
+let moved_shards ~before ~after =
+  List.init before.n_shards Fun.id
+  |> List.filter (fun s -> primary before s <> primary after s)
+
+let to_string t =
+  Printf.sprintf "v%d{%s}" t.version
+    (String.concat ","
+       (List.init t.n_shards (fun s ->
+            Printf.sprintf "%d->%s" s (primary t s))))

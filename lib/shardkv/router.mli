@@ -1,0 +1,18 @@
+(** The ring owner and rebalance orchestrator.
+
+    Holds the authoritative ring. On [Join] it computes the next ring,
+    sends each moved shard's current primary a [Handoff_request], and —
+    when every move is acked — commits: adopts the new ring, [Release]s
+    the sources, and broadcasts [Ring_update] to every node. Under the
+    clock each in-flight handoff is retransmitted every [retry_period]
+    until acked, so crashed receivers and delayed hops cannot wedge a
+    rebalance. The router itself is not crashable (it models the
+    control-plane service, not a storage node). *)
+
+val retry_period : int
+
+val machine :
+  ring:Ring.t ->
+  directory:(string * Psharp.Id.t) list ->
+  Psharp.Runtime.ctx ->
+  unit

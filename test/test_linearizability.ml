@@ -1,0 +1,356 @@
+(* The generic linearizability checker (ISSUE 7 tentpole): fixture
+   histories over a tiny sequential register, determinism, history
+   round-trips, partition equivalence, and the chaintable migration onto
+   the generic oracle — lin witnesses replay to exact violation strings
+   and the legacy per-operation asserts agree on the same schedules. *)
+
+module H = Psharp.History
+module L = Psharp.Linearizability
+module E = Psharp.Engine
+module Error = Psharp.Error
+
+(* --- a minimal sequential spec: one integer register ------------------- *)
+
+type rop = W of int | R
+type rres = Ok_w | Val of int
+
+let register : (int, rop, rres) L.model =
+  {
+    L.init = 0;
+    apply = (fun s -> function W v -> (v, Ok_w) | R -> (s, Val s));
+    match_res = ( = );
+    repr_res = (function Ok_w -> "ok" | Val v -> Printf.sprintf "val %d" v);
+    repr_state = string_of_int;
+    key_of = None;
+  }
+
+let rop_repr = function W v -> Printf.sprintf "w %d" v | R -> "r"
+let rres_repr = function Ok_w -> "ok" | Val v -> Printf.sprintf "val %d" v
+
+(* A history from a script of [`I (name, op)] / [`R (name, res)] events in
+   recording order; names identify operations, clients are [c]. *)
+let history_of script =
+  let h = H.create () in
+  let ids = Hashtbl.create 8 in
+  List.iter
+    (fun ev ->
+      match ev with
+      | `I (name, op) ->
+        Hashtbl.replace ids name
+          (H.invoke h ~client:"c" ~at:0 ~repr:(rop_repr op) op)
+      | `R (name, res) ->
+        H.respond h ~id:(Hashtbl.find ids name) ~at:0 ~repr:(rres_repr res)
+          res)
+    script;
+  h
+
+let expect_ok name h =
+  match L.check register h with
+  | L.Linearizable _ -> ()
+  | L.Illegal msg -> Alcotest.failf "%s rejected: %s" name msg
+
+let expect_illegal name h =
+  match L.check register h with
+  | L.Illegal _ -> ()
+  | L.Linearizable _ -> Alcotest.failf "%s accepted" name
+
+(* --- fixtures ----------------------------------------------------------- *)
+
+let test_sequential () =
+  expect_ok "write then read"
+    (history_of
+       [ `I ("w", W 1); `R ("w", Ok_w); `I ("r", R); `R ("r", Val 1) ])
+
+let test_concurrent_either_order () =
+  (* a read overlapping a write may see either value *)
+  List.iter
+    (fun seen ->
+      expect_ok "overlapping read"
+        (history_of
+           [
+             `I ("w", W 1);
+             `I ("r", R);
+             `R ("r", Val seen);
+             `R ("w", Ok_w);
+           ]))
+    [ 0; 1 ]
+
+let test_stale_read () =
+  (* the write completed before the read was invoked: 0 is gone *)
+  expect_illegal "stale read"
+    (history_of
+       [ `I ("w", W 1); `R ("w", Ok_w); `I ("r", R); `R ("r", Val 0) ])
+
+let test_concurrent_read_anomaly () =
+  (* Both reads individually overlap the write, but they are sequential
+     with each other: new-then-old has no explaining order, because the
+     first read pins the write before it and the second still sees the
+     old value. *)
+  expect_illegal "concurrent-read anomaly"
+    (history_of
+       [
+         `I ("w", W 1);
+         `I ("r1", R);
+         `R ("r1", Val 1);
+         `I ("r2", R);
+         `R ("r2", Val 0);
+         `R ("w", Ok_w);
+       ]);
+  (* the benign orientation — old then new — is fine *)
+  expect_ok "reads old then new"
+    (history_of
+       [
+         `I ("w", W 1);
+         `I ("r1", R);
+         `R ("r1", Val 0);
+         `I ("r2", R);
+         `R ("r2", Val 1);
+         `R ("w", Ok_w);
+       ])
+
+let test_pending_ops () =
+  (* a pending write may have taken effect... *)
+  expect_ok "pending write took effect"
+    (history_of [ `I ("w", W 1); `I ("r", R); `R ("r", Val 1) ]);
+  (* ...or not *)
+  expect_ok "pending write skipped"
+    (history_of [ `I ("w", W 1); `I ("r", R); `R ("r", Val 0) ]);
+  (* but it cannot half-apply: two sequential reads seeing new then old
+     are illegal even when the write never responded *)
+  expect_illegal "pending write half-applied"
+    (history_of
+       [
+         `I ("w", W 1);
+         `I ("r1", R);
+         `R ("r1", Val 1);
+         `I ("r2", R);
+         `R ("r2", Val 0);
+       ])
+
+let test_determinism () =
+  let script =
+    [ `I ("w", W 1); `R ("w", Ok_w); `I ("r", R); `R ("r", Val 0) ]
+  in
+  let v1 = L.check register (history_of script) in
+  let v2 = L.check register (history_of script) in
+  Alcotest.(check string)
+    "same history, same verdict" (L.verdict_to_string v1)
+    (L.verdict_to_string v2);
+  (match v1 with
+   | L.Illegal msg ->
+     let contains sub =
+       let n = String.length sub and m = String.length msg in
+       let rec go i = i + n <= m && (String.sub msg i n = sub || go (i + 1)) in
+       go 0
+     in
+     Alcotest.(check bool)
+       "violation names the unexplained op" true
+       (contains "no order explains" && contains "c r -> val 0")
+   | L.Linearizable _ -> Alcotest.fail "expected a violation")
+
+(* --- partition equivalence (P-compositionality) ------------------------- *)
+
+let kv_script =
+  (* two keys, interleaved; key b carries a stale read *)
+  [
+    `I ("wa", Shardkv.Model.Put ("a", 1));
+    `I ("wb", Shardkv.Model.Put ("b", 2));
+    `R ("wa", Shardkv.Model.Put_ok);
+    `R ("wb", Shardkv.Model.Put_ok);
+    `I ("ra", Shardkv.Model.Get "a");
+    `R ("ra", Shardkv.Model.Got (Some 1));
+    `I ("rb", Shardkv.Model.Get "b");
+    `R ("rb", Shardkv.Model.Got None);
+  ]
+
+let kv_history script =
+  let h = H.create () in
+  let ids = Hashtbl.create 8 in
+  List.iter
+    (fun ev ->
+      match ev with
+      | `I (name, op) ->
+        Hashtbl.replace ids name
+          (H.invoke h ~client:"c" ~at:0 ~repr:(Shardkv.Model.op_repr op) op)
+      | `R (name, res) ->
+        H.respond h ~id:(Hashtbl.find ids name) ~at:0
+          ~repr:(Shardkv.Model.res_repr res) res)
+    script;
+  h
+
+let test_partition_equivalence () =
+  let partitioned = Shardkv.Model.lin_model in
+  let unpartitioned = { partitioned with L.key_of = None } in
+  let h () = kv_history kv_script in
+  let p = L.check partitioned (h ()) in
+  let u = L.check unpartitioned (h ()) in
+  (match (p, u) with
+   | L.Illegal _, L.Illegal _ -> ()
+   | _ ->
+     Alcotest.failf "partitioned=%s unpartitioned=%s" (L.verdict_to_string p)
+       (L.verdict_to_string u));
+  (* and a clean history is accepted by both *)
+  let clean = List.filter (fun ev -> ev <> `R ("rb", Shardkv.Model.Got None)) kv_script
+              |> List.filter (fun ev -> ev <> `I ("rb", Shardkv.Model.Get "b")) in
+  (match (L.check partitioned (kv_history clean),
+          L.check unpartitioned (kv_history clean)) with
+   | L.Linearizable _, L.Linearizable _ -> ()
+   | p, u ->
+     Alcotest.failf "clean: partitioned=%s unpartitioned=%s"
+       (L.verdict_to_string p) (L.verdict_to_string u))
+
+(* --- history round-trip ------------------------------------------------- *)
+
+let test_history_roundtrip () =
+  let h = history_of
+      [ `I ("w", W 7); `I ("r", R); `R ("r", Val 0); `R ("w", Ok_w) ]
+  in
+  let s = H.to_string h in
+  let h' = H.of_string s in
+  Alcotest.(check string) "of_string . to_string is the identity" s
+    (H.to_string h');
+  Alcotest.(check int) "size survives" (H.size h) (H.size h');
+  Alcotest.(check int) "completed survives" (H.completed h) (H.completed h');
+  let path = Filename.temp_file "psharp_history" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      H.save h ~path;
+      Alcotest.(check string) "save/load round-trips" s
+        (H.to_string (H.load ~path)))
+
+let test_history_strictness () =
+  List.iter
+    (fun (label, text) ->
+      match H.of_string text with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "accepted %s" label)
+    [
+      ("blank line", "i 0 0 0 c r\n\nr 0 1 0 val 0\n");
+      ("bad tag", "x 0 0 0 c r\n");
+      ("sparse ids", "i 1 0 0 c r\n");
+      ("out-of-order seqs", "i 0 1 0 c r\ni 1 0 0 c w 1\n");
+      ("response before invoke", "r 0 0 0 val 0\n");
+      ("double response", "i 0 0 0 c r\nr 0 1 0 val 0\nr 0 2 0 val 0\n");
+      ("non-canonical int", "i 00 0 0 c r\n");
+    ]
+
+(* --- chaintable on the generic checker (ISSUE 7 satellite) -------------- *)
+
+let lin_witness_dir =
+  lazy
+    (let local = Filename.concat "witnesses" "lin" in
+     if Sys.file_exists local then local
+     else Filename.concat (Filename.concat "test" "witnesses") "lin")
+
+(* Shrunk witnesses hunted under `--check-lin on`: the generic checker
+   convicts these schedules with exactly these strings, and the legacy
+   per-operation divergence asserts convict the very same schedules —
+   the corpus-agreement half of migrating chaintable onto the generic
+   oracle. (Truncated legacy witnesses are not re-judged the other way:
+   a run aborted at its divergence assert leaves later constraining
+   operations unrecorded, and the weaker some-order criterion can
+   legitimately accept such a prefix.) *)
+let lin_corpus =
+  [
+    ( "DeletePrimaryKey",
+      "assertion failed in machine Harness(0): chaintable: history not \
+       linearizable: linearized 4/10 complete ops; no order explains \
+       Service1 Mutate(Delete(P1/r0, etag=*)) -> Ok(etag=-) (model would \
+       produce Err(NotFound))",
+      "assertion failed in machine Service1(3): outcome divergence on \
+       Delete(P1/r0, etag=*): migrating table returned Ok(etag=-), \
+       reference table returned Err(NotFound)" );
+    ( "QueryAtomicFilterShadowing",
+      "assertion failed in machine Harness(0): chaintable: history not \
+       linearizable: linearized 5/9 complete ops; no order explains \
+       Service0 QueryAtomic((v eq '1')) -> Rows[{P0/r1 etag=1 v=1}; \
+       {P1/r1 etag=5 v=1}] (model would produce Rows[])",
+      "assertion failed in machine Service0(2): query divergence on \
+       (v eq '1'): migrating table Rows[{P0/r1 etag=1 v=1}; {P1/r1 etag=5 \
+       v=1}], reference table Rows[{P0/r1 etag=1 v=1}]" );
+  ]
+
+let replay_chaintable ~oracle bug trace =
+  let config = { E.default_config with max_executions = 1; max_steps = 4_000 } in
+  let result =
+    E.replay config trace
+      (Chaintable.Harness.test ~bugs:(Chaintable.Bug_flags.with_bug bug)
+         ~oracle ())
+  in
+  match result.Psharp.Runtime.bug with
+  | Some kind -> Error.kind_to_string kind
+  | None -> "NO BUG"
+
+let chaintable_agreement (bug, lin_expected, legacy_expected) () =
+  let trace =
+    Psharp.Trace.load
+      ~path:
+        (Filename.concat (Lazy.force lin_witness_dir)
+           ("ChaintableLin_" ^ bug ^ ".trace"))
+  in
+  Alcotest.(check string)
+    (bug ^ " lin witness reproduces the checker verdict")
+    lin_expected
+    (replay_chaintable ~oracle:`Lin bug trace);
+  Alcotest.(check string)
+    (bug ^ " legacy oracle convicts the same schedule")
+    legacy_expected
+    (replay_chaintable ~oracle:`Legacy bug trace)
+
+let test_chaintable_lin_fixed_clean () =
+  let config =
+    { E.default_config with max_executions = 500; max_steps = 4_000 }
+  in
+  match E.run config (Chaintable.Harness.test ~oracle:`Lin ()) with
+  | E.No_bug _ -> ()
+  | E.Bug_found (report, stats) ->
+    Alcotest.failf "fixed chaintable under the lin oracle after %d execs: %s"
+      stats.E.executions
+      (Error.kind_to_string report.Error.kind)
+
+let test_chaintable_lin_hunts () =
+  (* the generic checker finds the divergence bugs on its own *)
+  List.iter
+    (fun (bug, budget) ->
+      let config =
+        { E.default_config with max_executions = budget; max_steps = 4_000 }
+      in
+      match
+        E.run config
+          (Chaintable.Harness.test ~bugs:(Chaintable.Bug_flags.with_bug bug)
+             ~oracle:`Lin ())
+      with
+      | E.Bug_found _ -> ()
+      | E.No_bug stats ->
+        Alcotest.failf "%s not found by the lin oracle in %d execs" bug
+          stats.E.executions)
+    [ ("DeletePrimaryKey", 2_000); ("QueryAtomicFilterShadowing", 2_000) ]
+
+let suite =
+  [
+    Alcotest.test_case "sequential accepted" `Quick test_sequential;
+    Alcotest.test_case "overlapping read, either order" `Quick
+      test_concurrent_either_order;
+    Alcotest.test_case "stale read rejected" `Quick test_stale_read;
+    Alcotest.test_case "concurrent-read anomaly" `Quick
+      test_concurrent_read_anomaly;
+    Alcotest.test_case "pending operations" `Quick test_pending_ops;
+    Alcotest.test_case "verdict determinism" `Quick test_determinism;
+    Alcotest.test_case "partition equivalence" `Quick
+      test_partition_equivalence;
+    Alcotest.test_case "history round-trip" `Quick test_history_roundtrip;
+    Alcotest.test_case "history parser strictness" `Quick
+      test_history_strictness;
+    Alcotest.test_case "chaintable fixed clean under lin oracle" `Slow
+      test_chaintable_lin_fixed_clean;
+    Alcotest.test_case "chaintable lin oracle hunts divergences" `Slow
+      test_chaintable_lin_hunts;
+  ]
+  @ List.map
+      (fun entry ->
+        let bug, _, _ = entry in
+        Alcotest.test_case
+          ("chaintable lin/legacy agreement on " ^ bug)
+          `Quick (chaintable_agreement entry))
+      lin_corpus

@@ -27,6 +27,8 @@ let () =
       ("substrate-extra", Test_substrate_extra.suite);
       ("hb", Test_hb.suite);
       ("reduction", Test_reduction.suite);
+      ("linearizability", Test_linearizability.suite);
+      ("shardkv", Test_shardkv.suite);
       ("witnesses", Test_witnesses.suite);
       ("roundtrip", Test_roundtrip.suite);
     ]

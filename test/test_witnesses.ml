@@ -44,6 +44,18 @@ let corpus =
     ( "RaftDoubleVote",
       "safety violation in monitor RaftElectionSafety: two leaders in term \
        1: servers 2 and 0" );
+    ( "ShardkvMigrationDoubleApply",
+      "assertion failed in machine Harness(0): shardkv: key k4: history \
+       not linearizable: linearized 0/4 complete ops; no order explains \
+       C1 add k4 4 -> added 5 (model would produce added 4)" );
+    ( "ShardkvStaleRingServe",
+      "assertion failed in machine Harness(0): shardkv: key k4: history \
+       not linearizable: linearized 2/4 complete ops; no order explains \
+       C0 add k4 2 -> added 3 (model would produce added 7)" );
+    ( "ShardkvCrashLosesShard",
+      "assertion failed in machine Harness(0): shardkv: key k4: history \
+       not linearizable: linearized 1/4 complete ops; no order explains \
+       C1 add k4 4 -> added 6 (model would produce added 5)" );
   ]
 
 (* Resolve the corpus directory whether the binary runs from the dune
@@ -65,6 +77,7 @@ let replay_one (bug, expected) () =
       max_executions = 1;
       max_steps = entry.Bug_catalog.max_steps;
       faults = entry.Bug_catalog.faults;
+      clock = entry.Bug_catalog.clock;
     }
   in
   let result =
