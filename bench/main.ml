@@ -340,8 +340,20 @@ let samples ~budget () =
 (* Throughput of the random-strategy vNext harness at increasing worker
    counts. The fixed (bug-free) variant is used so every execution runs to
    completion and the measurement is pure engine throughput, not
-   time-to-bug luck. Results land in BENCH_parallel.json. *)
-let parallel_scaling ~budget () =
+   time-to-bug luck. Results land in BENCH_parallel.json, alongside the
+   pre-sharding baseline (per-execution shared-mutex coverage merging and
+   domains spawned past the core count) for the before/after comparison.
+   With [gate] set, a 2-worker speedup below the graceful-oversubscription
+   floor fails the process — the CI regression gate. *)
+
+let speedup_floor = 0.8
+
+let scaling_baseline =
+  (* measured on this 1-core container before per-worker coverage sharding,
+     batched claiming and the domain-count clamp (see EXPERIMENTS.md) *)
+  [ (1, 1.000); (2, 0.230); (4, 0.126); (8, 0.088) ]
+
+let parallel_scaling ~budget ?(gate = false) () =
   Printf.printf
     "== Parallel scaling: random-strategy vNext harness, %d executions ==\n"
     budget;
@@ -408,9 +420,160 @@ let parallel_scaling ~budget () =
         (if base > 0. then t /. base else 0.)
         (if i = List.length rows - 1 then "" else ","))
     rows;
-  output_string oc "  ]\n}\n";
+  output_string oc "  ],\n";
+  output_string oc
+    "  \"baseline_pre_sharding\": {\"note\": \"per-execution shared-mutex \
+     coverage merge, no domain clamp, 1 core\", \"points\": [\n";
+  List.iteri
+    (fun i (w, s) ->
+      Printf.fprintf oc "    {\"workers\": %d, \"speedup\": %.3f}%s\n" w s
+        (if i = List.length scaling_baseline - 1 then "" else ","))
+    scaling_baseline;
+  output_string oc "  ]}\n}\n";
   close_out oc;
   print_endline "wrote BENCH_parallel.json";
+  let speedup_at w =
+    List.find_map
+      (fun (w', _, t) ->
+        if w' = w && base > 0. then Some (t /. base) else None)
+      rows
+  in
+  (match speedup_at 2 with
+   | Some s when gate && s < speedup_floor ->
+     Printf.printf
+       "FAIL: 2-worker speedup %.3f below the %.2f \
+        graceful-oversubscription floor\n"
+       s speedup_floor;
+     exit 1
+   | Some s when gate ->
+     Printf.printf "gate: 2-worker speedup %.3f >= %.2f floor\n" s
+       speedup_floor
+   | _ -> ());
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Persistent campaigns (warm-start bug finding)                       *)
+(* ------------------------------------------------------------------ *)
+
+(* ISSUE 8 acceptance benchmark: does resuming a campaign find the bug in
+   fewer executions than a cold start? For each bug, a cold uninterrupted
+   fuzz hunt is compared against a two-invocation campaign — a short warm
+   invocation whose coverage and corpus are carried into a resumed one
+   (exactly the state `psharp_test hunt --campaign` persists). The
+   resumed invocation starts with the corpus and the coverage history, so
+   its executions-to-first-bug should drop. Results land in
+   BENCH_campaign.json. *)
+
+module Fuzz_exchange = Psharp.Fuzz_strategy.Exchange
+
+(* (bug, warm-invocation budget): warm budgets sit below each bug's cold
+   executions-to-first-bug so the warm invocation ends bug-free and the
+   resumed one does the finding. *)
+let campaign_cases =
+  [
+    ("QueryAtomicFilterShadowing", 8);
+    ("DeleteNoLeaveTombstonesEtag", 16);
+    ("ChaintableRetryFreshSeq", 7);
+  ]
+
+let campaign_bench ~budget () =
+  Printf.printf
+    "== Persistent campaigns: cold vs resumed fuzz hunt, budget %d (seed \
+     %Ld) ==\n"
+    budget base_seed;
+  let hunt_execs entry cfg =
+    match
+      E.run ~monitors:entry.Bug_catalog.monitors cfg
+        entry.Bug_catalog.harness
+    with
+    | E.Bug_found (_, stats) -> (Some stats.E.executions, stats)
+    | E.No_bug stats -> (None, stats)
+  in
+  let rows =
+    List.map
+      (fun (name, warm_budget) ->
+        let entry = Bug_catalog.find name in
+        let base_cfg =
+          {
+            E.default_config with
+            strategy = E.Fuzz { corpus_cap = 32 };
+            seed = base_seed;
+            max_steps = entry.Bug_catalog.max_steps;
+            faults = entry.Bug_catalog.faults;
+            clock = entry.Bug_catalog.clock;
+          }
+        in
+        let cold, _ =
+          hunt_execs entry { base_cfg with max_executions = budget }
+        in
+        (* warm invocation: the campaign's first run, collecting corpus
+           (through the exchange hub) and coverage *)
+        let hub = Fuzz_exchange.create () in
+        let _, warm_stats =
+          hunt_execs entry
+            {
+              base_cfg with
+              max_executions = warm_budget;
+              collect_coverage = true;
+              fuzz_exchange = Some hub;
+            }
+        in
+        let corpus = Fuzz_exchange.snapshot hub in
+        (* resumed invocation: fresh iterations, prior coverage and corpus
+           — the state `hunt --campaign` reloads *)
+        let resumed, _ =
+          hunt_execs entry
+            {
+              base_cfg with
+              max_executions = budget;
+              start_iteration = warm_stats.E.executions;
+              prior_coverage = warm_stats.E.coverage;
+              collect_coverage = true;
+              fuzz_exchange = Some (Fuzz_exchange.of_traces corpus);
+            }
+        in
+        (name, warm_budget, List.length corpus, cold, resumed))
+      campaign_cases
+  in
+  let pp_execs = function Some n -> string_of_int n | None -> "not-found" in
+  Printf.printf "%-36s %9s %7s %12s %14s\n" "bug" "warm" "corpus"
+    "cold execs" "resumed execs";
+  print_endline (String.make 84 '-');
+  List.iter
+    (fun (name, warm, corpus, cold, resumed) ->
+      Printf.printf "%-36s %9d %7d %12s %14s\n" name warm corpus
+        (pp_execs cold) (pp_execs resumed))
+    rows;
+  let improved =
+    List.length
+      (List.filter
+         (fun (_, _, _, cold, resumed) ->
+           match (cold, resumed) with
+           | Some c, Some r -> r < c
+           | _ -> false)
+         rows)
+  in
+  Printf.printf
+    "resumed invocation beat the cold start on %d/%d bugs\n" improved
+    (List.length rows);
+  let oc = open_out "BENCH_campaign.json" in
+  output_string oc "{\n";
+  Printf.fprintf oc "  \"seed\": %Ld,\n" base_seed;
+  Printf.fprintf oc "  \"budget\": %d,\n" budget;
+  Printf.fprintf oc "  \"improved\": %d,\n" improved;
+  output_string oc "  \"bugs\": [\n";
+  let json_execs = function Some n -> string_of_int n | None -> "null" in
+  List.iteri
+    (fun i (name, warm, corpus, cold, resumed) ->
+      Printf.fprintf oc
+        "    {\"name\": %S, \"warm_budget\": %d, \"corpus\": %d, \
+         \"cold_execs_to_bug\": %s, \"resumed_execs_to_bug\": %s}%s\n"
+        name warm corpus (json_execs cold) (json_execs resumed)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  print_endline "wrote BENCH_campaign.json";
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
@@ -1496,8 +1659,9 @@ let () =
     | [] ->
       [
         "table1"; "table2"; "vnext-fix"; "ablation"; "samples";
-        "parallel-scaling"; "coverage-growth"; "exec-throughput";
-        "fault-overhead"; "time-overhead"; "lin-overhead"; "micro";
+        "parallel-scaling"; "campaign"; "coverage-growth";
+        "exec-throughput"; "fault-overhead"; "time-overhead";
+        "lin-overhead"; "micro";
       ]
     | picked -> picked
   in
@@ -1505,7 +1669,8 @@ let () =
   let fix_budget = if full then 100_000 else 2_000 in
   let ablation_budget = if full then 100_000 else 20_000 in
   let samples_budget = if full then 100_000 else 10_000 in
-  let scaling_budget = if full then 2_000 else 400 in
+  let scaling_budget = if full then 2_000 else if smoke then 150 else 400 in
+  let campaign_budget = if full then 10_000 else if smoke then 1_500 else 3_000 in
   let coverage_budgets =
     if full then [ 100; 250; 500; 1_000 ] else [ 25; 50; 100; 200 ]
   in
@@ -1525,7 +1690,9 @@ let () =
       | "vnext-fix" -> vnext_fix ~budget:fix_budget ()
       | "ablation" -> ablation ~budget:ablation_budget ()
       | "samples" -> samples ~budget:samples_budget ()
-      | "parallel-scaling" -> parallel_scaling ~budget:scaling_budget ()
+      | "parallel-scaling" ->
+        parallel_scaling ~budget:scaling_budget ~gate:smoke ()
+      | "campaign" -> campaign_bench ~budget:campaign_budget ()
       | "coverage-growth" -> coverage_growth ~budgets:coverage_budgets ()
       | "exec-throughput" -> exec_throughput ~budget:throughput_budget ()
       | "fault-overhead" -> fault_overhead ~budget:throughput_budget ()

@@ -6,7 +6,7 @@
                         [--trace-out FILE] [--log] [--workers N]
                         [--coverage-report FILE] [--plateau N]
                         [--faults drop,dup,delay,crash] [--fault-budget N]
-                        [--check-lin auto|on|off]
+                        [--check-lin auto|on|off] [--campaign DIR]
    psharp_test replay BUG --trace FILE [--custom] [--check-lin MODE]
                         [--history-out FILE]
    psharp_test survey BUG [--executions N]     (all distinct violations)
@@ -18,6 +18,7 @@
 
 module E = Psharp.Engine
 module Error = Psharp.Error
+module Campaign = Psharp.Campaign
 module Bug_catalog = Catalog.Bug_catalog
 
 open Cmdliner
@@ -134,6 +135,18 @@ let parse_reduce = function
 let fault_budget_arg =
   let doc = "Maximum faults injected per execution (with --faults)." in
   Arg.(value & opt int 1 & info [ "fault-budget" ] ~docv:"N" ~doc)
+
+let campaign_arg =
+  let doc =
+    "Persist hunt state across invocations in campaign directory $(docv): \
+     merged coverage, the fuzz corpus (with --sch fuzz) and one witness \
+     per bug kind found. A later hunt with the same $(docv) resumes where \
+     the previous one stopped — fresh iterations, novelty judged against \
+     everything already explored, corpus carried over — so \
+     executions-to-first-bug drops across invocations. The stored seed \
+     and harness bind the campaign; a mismatching harness is rejected."
+  in
+  Arg.(value & opt (some string) None & info [ "campaign" ] ~docv:"DIR" ~doc)
 
 let clock_arg =
   let doc =
@@ -288,9 +301,29 @@ let emit_coverage_report ~path (stats : E.stats) =
     Format.printf "%a@." Psharp.Coverage.pp_table cov;
     Format.printf "coverage report written to %s@." path
 
+(* Load (or initialize) the campaign bound to [dir], strictly: a
+   corrupted campaign or one belonging to a different harness is an
+   error, not a silent fresh start. *)
+let campaign_state_of ~dir ~bug ~seed =
+  match Campaign.load_opt ~dir with
+  | exception Failure msg -> Error msg
+  | None -> Ok (Campaign.create ~harness:bug ~seed)
+  | Some c ->
+    if c.Campaign.harness <> bug then
+      Error
+        (Printf.sprintf "campaign in %s hunts %s, not %s" dir
+           c.Campaign.harness bug)
+    else begin
+      if c.Campaign.seed <> seed then
+        Format.printf "campaign seed %Ld overrides --seed %Ld@."
+          c.Campaign.seed seed;
+      Format.printf "resuming %a@." Campaign.pp c;
+      Ok c
+    end
+
 let hunt bug strategy seed executions steps custom trace_out log shrink
     workers coverage_report plateau faults fault_budget reduce clock check_lin
-    =
+    campaign =
   match
     Result.bind (parse_strategy strategy) (fun s ->
         Result.map (fun r -> (s, r)) (parse_reduce reduce))
@@ -307,19 +340,76 @@ let hunt bug strategy seed executions steps custom trace_out log shrink
       match
         Result.bind (fault_spec_of entry ~faults ~fault_budget) (fun spec ->
             Result.bind (clock_spec_of entry clock) (fun ck ->
-                Result.map
-                  (fun h -> (spec, ck, h))
-                  (lin_harness_of entry ~custom ~check_lin ~fixed:false)))
+                Result.bind (lin_harness_of entry ~custom ~check_lin ~fixed:false)
+                  (fun h ->
+                    match campaign with
+                    | None -> Ok (spec, ck, h, None)
+                    | Some dir ->
+                      Result.map
+                        (fun c -> (spec, ck, h, Some (dir, c)))
+                        (campaign_state_of ~dir ~bug ~seed))))
       with
       | Error msg ->
         prerr_endline msg;
         2
-      | Ok (fault_spec, clock_spec, harness) -> begin
+      | Ok (fault_spec, clock_spec, harness, campaign_state) -> begin
         let config =
           config_of ~workers
             ~coverage:(coverage_report <> None)
             ?plateau ~faults:fault_spec ~reduce ~clock:clock_spec entry
             ~strategy ~seed ~executions ~steps ~log
+        in
+        (* With --sch fuzz the campaign's corpus flows through an Exchange
+           hub: the run's novel schedules collect there and the snapshot
+           below becomes the corpus of the next invocation. *)
+        let exchange =
+          match (campaign_state, strategy) with
+          | Some (_, c), E.Fuzz _ ->
+            Some (Psharp.Fuzz_strategy.Exchange.of_traces c.Campaign.corpus)
+          | _ -> None
+        in
+        let config =
+          match campaign_state with
+          | None -> config
+          | Some (_, c) ->
+            {
+              config with
+              E.seed = c.Campaign.seed;
+              start_iteration = c.Campaign.executions;
+              prior_coverage = Some c.Campaign.coverage;
+              collect_coverage = true;
+              (* the corpus reaches the workers through the hub when one
+                 exists; passing it twice would double-fill each corpus *)
+              fuzz_initial =
+                (if Option.is_none exchange then c.Campaign.corpus else []);
+              fuzz_exchange = exchange;
+            }
+        in
+        let finish_campaign ?witness (stats : E.stats) =
+          match campaign_state with
+          | None -> ()
+          | Some (dir, c) ->
+            let coverage =
+              match stats.E.coverage with
+              | Some cov -> cov
+              | None -> c.Campaign.coverage
+            in
+            let corpus =
+              match exchange with
+              | Some e -> Psharp.Fuzz_strategy.Exchange.snapshot e
+              | None -> c.Campaign.corpus
+            in
+            let c =
+              Campaign.advance c ~executions:stats.E.executions ~coverage
+                ~corpus
+            in
+            let c =
+              match witness with
+              | Some (kind, trace) -> Campaign.record_witness c ~kind ~trace
+              | None -> c
+            in
+            Campaign.save ~dir c;
+            Format.printf "%a@.campaign saved to %s@." Campaign.pp c dir
         in
         let finish_coverage stats =
           match coverage_report with
@@ -353,6 +443,9 @@ let hunt bug strategy seed executions steps custom trace_out log shrink
              Format.printf "trace written to %s@." path
            | None -> ());
           finish_coverage stats;
+          finish_campaign
+            ~witness:(Error.kind_to_string report.Error.kind, report.Error.trace)
+            stats;
           0
         | E.No_bug stats ->
           Format.printf "no bug found in %d execution(s) (%.2fs%s%s%s)@."
@@ -365,6 +458,7 @@ let hunt bug strategy seed executions steps custom trace_out log shrink
               (float_of_int stats.E.executions /. stats.E.elapsed)
               (float_of_int stats.E.total_steps /. stats.E.elapsed);
           finish_coverage stats;
+          finish_campaign stats;
           1
       end
     end
@@ -377,7 +471,8 @@ let hunt_cmd =
       const hunt $ bug_arg $ strategy_arg $ seed_arg $ executions_arg
       $ steps_arg $ custom_arg $ trace_out_arg $ log_arg $ shrink_arg
       $ workers_arg $ coverage_report_arg $ plateau_arg $ faults_arg
-      $ fault_budget_arg $ reduce_arg $ clock_arg $ check_lin_arg)
+      $ fault_budget_arg $ reduce_arg $ clock_arg $ check_lin_arg
+      $ campaign_arg)
 
 (* --- replay ------------------------------------------------------------- *)
 

@@ -1,0 +1,250 @@
+(* Persistent campaign state: what a hunt knows that outlives one
+   invocation. A campaign directory holds a strict, versioned metadata
+   file, the merged coverage of every execution so far, the fuzz corpus,
+   and the archive of found witnesses:
+
+     DIR/campaign.meta      version, harness, seed, spent budget, witness kinds
+     DIR/coverage           Coverage.to_save of the merged map
+     DIR/corpus/NNNNN.trace corpus entries (Trace.save format)
+     DIR/witnesses/NNNNN.trace  one witness per distinct bug kind
+
+   Every component parses strictly (Trace.of_string / Coverage.of_save
+   discipline): resuming from a corrupted campaign must fail loudly, not
+   silently hunt something different. *)
+
+type t = {
+  harness : string;
+  seed : int64;
+  executions : int;
+  coverage : Coverage.t;
+  corpus : Trace.t list;
+  witnesses : (string * Trace.t) list;
+}
+
+let create ~harness ~seed =
+  {
+    harness;
+    seed;
+    executions = 0;
+    coverage = Coverage.create ();
+    corpus = [];
+    witnesses = [];
+  }
+
+let advance t ~executions ~coverage ~corpus =
+  { t with executions = t.executions + executions; coverage; corpus }
+
+let record_witness t ~kind ~trace =
+  if List.mem_assoc kind t.witnesses then t
+  else { t with witnesses = t.witnesses @ [ (kind, trace) ] }
+
+(* --- Meta file escaping ------------------------------------------------- *)
+
+(* Harness names and bug-kind strings are free text; only backslash and
+   newline threaten the line format. *)
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then ()
+    else
+      match s.[i] with
+      | '\\' ->
+        if i + 1 >= n then failwith "Campaign.load: dangling escape"
+        else begin
+          (match s.[i + 1] with
+           | '\\' -> Buffer.add_char buf '\\'
+           | 'n' -> Buffer.add_char buf '\n'
+           | c ->
+             failwith (Printf.sprintf "Campaign.load: unknown escape \\%c" c));
+          go (i + 2)
+        end
+      | c ->
+        Buffer.add_char buf c;
+        go (i + 1)
+  in
+  go 0;
+  Buffer.contents buf
+
+(* --- Paths -------------------------------------------------------------- *)
+
+let meta_file dir = Filename.concat dir "campaign.meta"
+let coverage_file dir = Filename.concat dir "coverage"
+let corpus_dir dir = Filename.concat dir "corpus"
+let witness_dir dir = Filename.concat dir "witnesses"
+let numbered d i = Filename.concat d (Printf.sprintf "%05d.trace" i)
+
+let rec mkdir_p dir =
+  if dir = "" || dir = "." || dir = "/" || Sys.file_exists dir then ()
+  else begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* --- Save --------------------------------------------------------------- *)
+
+let meta_version = "psharp-campaign:1"
+
+let to_meta t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf meta_version;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Printf.sprintf "harness:%s\n" (escape t.harness));
+  Buffer.add_string buf (Printf.sprintf "seed:%Ld\n" t.seed);
+  Buffer.add_string buf (Printf.sprintf "executions:%d\n" t.executions);
+  Buffer.add_string buf
+    (Printf.sprintf "corpus:%d\n" (List.length t.corpus));
+  Buffer.add_string buf
+    (Printf.sprintf "witnesses:%d\n" (List.length t.witnesses));
+  List.iter
+    (fun (kind, _) ->
+      Buffer.add_string buf (Printf.sprintf "witness:%s\n" (escape kind)))
+    t.witnesses;
+  Buffer.add_string buf "end:campaign\n";
+  Buffer.contents buf
+
+let save ~dir t =
+  mkdir_p dir;
+  mkdir_p (corpus_dir dir);
+  mkdir_p (witness_dir dir);
+  Coverage.save ~path:(coverage_file dir) t.coverage;
+  List.iteri (fun i tr -> Trace.save ~path:(numbered (corpus_dir dir) i) tr)
+    t.corpus;
+  List.iteri
+    (fun i (_, tr) -> Trace.save ~path:(numbered (witness_dir dir) i) tr)
+    t.witnesses;
+  (* The meta file is written last: it is the load-bearing manifest, so an
+     interrupted save leaves the previous campaign intact rather than a
+     manifest pointing at half-written state. *)
+  let oc = open_out (meta_file dir) in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_meta t))
+
+(* --- Load --------------------------------------------------------------- *)
+
+let canonical_int s =
+  match int_of_string_opt s with
+  | Some n when string_of_int n = s -> Some n
+  | _ -> None
+
+let canonical_int64 s =
+  match Int64.of_string_opt s with
+  | Some n when Int64.to_string n = s -> Some n
+  | _ -> None
+
+let of_meta data =
+  let lines = String.split_on_char '\n' data in
+  let lines =
+    match List.rev lines with "" :: rest -> List.rev rest | _ -> lines
+  in
+  let field name = function
+    | line :: rest ->
+      let prefix = name ^ ":" in
+      let pl = String.length prefix in
+      if String.length line >= pl && String.sub line 0 pl = prefix then
+        (String.sub line pl (String.length line - pl), rest)
+      else
+        failwith
+          (Printf.sprintf "Campaign.load: expected %s line, got %S" name line)
+    | [] ->
+      failwith
+        (Printf.sprintf "Campaign.load: truncated meta (missing %s)" name)
+  in
+  (match lines with
+   | v :: _ when v <> meta_version ->
+     failwith (Printf.sprintf "Campaign.load: unsupported version line %S" v)
+   | [] -> failwith "Campaign.load: empty meta file"
+   | _ -> ());
+  let rest = List.tl lines in
+  let harness, rest = field "harness" rest in
+  let seed, rest = field "seed" rest in
+  let executions, rest = field "executions" rest in
+  let corpus_n, rest = field "corpus" rest in
+  let witness_n, rest = field "witnesses" rest in
+  let seed =
+    match canonical_int64 seed with
+    | Some s -> s
+    | None -> failwith "Campaign.load: bad seed"
+  in
+  let executions =
+    match canonical_int executions with
+    | Some n when n >= 0 -> n
+    | _ -> failwith "Campaign.load: bad executions count"
+  in
+  let ints name s =
+    match canonical_int s with
+    | Some n when n >= 0 -> n
+    | _ -> failwith (Printf.sprintf "Campaign.load: bad %s count" name)
+  in
+  let corpus_n = ints "corpus" corpus_n in
+  let witness_n = ints "witnesses" witness_n in
+  let rec take_witnesses n acc rest =
+    if n = 0 then (List.rev acc, rest)
+    else
+      let kind, rest = field "witness" rest in
+      take_witnesses (n - 1) (unescape kind :: acc) rest
+  in
+  let kinds, rest = take_witnesses witness_n [] rest in
+  (match rest with
+   | [ "end:campaign" ] -> ()
+   | [] -> failwith "Campaign.load: truncated meta (missing end line)"
+   | line :: _ ->
+     failwith (Printf.sprintf "Campaign.load: unexpected meta line %S" line));
+  (unescape harness, seed, executions, corpus_n, kinds)
+
+let read_file path =
+  let ic =
+    try open_in path
+    with Sys_error msg -> failwith (Printf.sprintf "Campaign.load: %s" msg)
+  in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      really_input_string ic len)
+
+let load_trace path =
+  try Trace.of_string (read_file path)
+  with Failure msg -> failwith (Printf.sprintf "%s (in %s)" msg path)
+
+let load ~dir =
+  let harness, seed, executions, corpus_n, kinds =
+    of_meta (read_file (meta_file dir))
+  in
+  let coverage =
+    try Coverage.of_save (read_file (coverage_file dir))
+    with Failure msg ->
+      failwith (Printf.sprintf "%s (in %s)" msg (coverage_file dir))
+  in
+  let corpus =
+    List.init corpus_n (fun i -> load_trace (numbered (corpus_dir dir) i))
+  in
+  let witnesses =
+    List.mapi (fun i kind -> (kind, load_trace (numbered (witness_dir dir) i)))
+      kinds
+  in
+  { harness; seed; executions; coverage; corpus; witnesses }
+
+let load_opt ~dir =
+  if Sys.file_exists (meta_file dir) then Some (load ~dir) else None
+
+let pp fmt t =
+  Format.fprintf fmt
+    "campaign: harness %s, seed %Ld, %d execution(s) spent, %d corpus \
+     entr%s, %d witness(es)"
+    t.harness t.seed t.executions (List.length t.corpus)
+    (if List.length t.corpus = 1 then "y" else "ies")
+    (List.length t.witnesses)

@@ -1,0 +1,65 @@
+(** Persistent campaign state.
+
+    A {e campaign} is a bug hunt that accumulates knowledge across process
+    invocations: the merged {!Coverage} of every execution spent so far,
+    the fuzz corpus of coverage-novel schedules, and an archive holding
+    one witness trace per distinct bug kind found. Saved as a directory:
+
+    {v
+    DIR/campaign.meta          strict versioned manifest
+    DIR/coverage               Coverage save format
+    DIR/corpus/NNNNN.trace     corpus entries (Trace save format)
+    DIR/witnesses/NNNNN.trace  one witness per distinct bug kind
+    v}
+
+    A resumed invocation seeds the engine with the stored state
+    ({!Engine.config}[.start_iteration], [.prior_coverage],
+    [.fuzz_initial]) so it explores {e new} iterations, judges novelty
+    against everything already seen, and mutates the corpus that got
+    there — which is what makes executions-to-first-bug drop across
+    invocations.
+
+    Loading is strict in the {!Trace.of_string} mold: version mismatches,
+    truncation, non-canonical numbers and missing component files are all
+    rejected with [Failure] — a corrupted campaign must fail loudly, not
+    resume as a subtly different hunt. *)
+
+type t = {
+  harness : string;  (** harness name the campaign belongs to *)
+  seed : int64;  (** base seed of the campaign *)
+  executions : int;  (** executions spent across all invocations so far *)
+  coverage : Coverage.t;  (** merged coverage of all those executions *)
+  corpus : Trace.t list;  (** fuzz corpus, in discovery order *)
+  witnesses : (string * Trace.t) list;
+      (** found bugs: [(kind, witness)] in discovery order, one entry per
+          distinct kind *)
+}
+
+(** A fresh campaign: zero executions, empty coverage/corpus/witnesses. *)
+val create : harness:string -> seed:int64 -> t
+
+(** [advance t ~executions ~coverage ~corpus] folds one finished
+    invocation in: adds [executions] to the spent total and replaces the
+    coverage map and corpus with the invocation's cumulative ones. *)
+val advance : t -> executions:int -> coverage:Coverage.t -> corpus:Trace.t list -> t
+
+(** Archives a witness for [kind]; a kind already archived is kept
+    unchanged (the first witness wins). *)
+val record_witness : t -> kind:string -> trace:Trace.t -> t
+
+(** [save ~dir t] writes the campaign directory (created if missing,
+    overwritten if present). The manifest is written last, so an
+    interrupted save leaves the previously saved campaign loadable. *)
+val save : dir:string -> t -> unit
+
+(** Strict inverse of {!save}.
+    @raise Failure on any malformed or missing component. *)
+val load : dir:string -> t
+
+(** [None] when [dir] holds no campaign (no manifest); otherwise
+    {!load}'s result, including its [Failure] on corruption. *)
+val load_opt : dir:string -> t option
+
+(** One-line summary (harness, seed, executions spent, corpus and witness
+    sizes). *)
+val pp : Format.formatter -> t -> unit

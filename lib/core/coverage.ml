@@ -237,6 +237,264 @@ let totals t =
     executions = t.executions;
   }
 
+(* --- Persistence (campaign save/load) ---------------------------------- *)
+
+(* Versioned, line-oriented, tab-separated dump of the full map — the
+   structured keys, not the rendered report strings, so a loaded map
+   merges and compares exactly like the original. The parse is strict in
+   the Trace.of_string mold: unknown tags, blank lines, non-canonical
+   numbers, dangling escapes, duplicate keys and a missing/short trailer
+   all fail loudly — a corrupted campaign must not resume as a subtly
+   different one. The trailing [end:<entries>] line catches whole-line
+   truncation that a line-wise parse would otherwise silently accept. *)
+
+let save_version = "psharp-coverage:1"
+
+let escape_field s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape_field s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then ()
+    else
+      match s.[i] with
+      | '\\' ->
+        if i + 1 >= n then failwith "Coverage.of_save: dangling escape"
+        else begin
+          (match s.[i + 1] with
+           | '\\' -> Buffer.add_char buf '\\'
+           | 't' -> Buffer.add_char buf '\t'
+           | 'n' -> Buffer.add_char buf '\n'
+           | c ->
+             failwith
+               (Printf.sprintf "Coverage.of_save: unknown escape \\%c" c));
+          go (i + 2)
+        end
+      | c ->
+        Buffer.add_char buf c;
+        go (i + 1)
+  in
+  go 0;
+  Buffer.contents buf
+
+let to_save (t : t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf save_version;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Printf.sprintf "executions:%d\n" t.executions);
+  let lines = ref [] in
+  let entry fields count =
+    lines :=
+      String.concat "\t" (fields @ [ string_of_int count ]) :: !lines
+  in
+  let each_family fam f =
+    for i = 0 to fam.n - 1 do
+      f fam.keys.(i) fam.counts.(i)
+    done
+  in
+  each_family t.states (fun (m, s) c ->
+      entry [ "state"; escape_field m; escape_field s ] c);
+  each_family t.events (fun e c -> entry [ "event"; escape_field e ] c);
+  each_family t.triples (fun (s, e, r, st) c ->
+      entry
+        [ "triple"; escape_field s; escape_field e; escape_field r;
+          escape_field st ]
+        c);
+  each_family t.branches (fun k c ->
+      match k with
+      | Branch_bool (m, b) ->
+        entry [ "bbool"; escape_field m; (if b then "1" else "0") ] c
+      | Branch_int (m, v, bound) ->
+        entry
+          [ "bint"; escape_field m; string_of_int v; string_of_int bound ]
+          c);
+  each_family t.faults (fun (k, tgt) c ->
+      entry [ "fault"; escape_field k; escape_field tgt ] c);
+  each_family t.histories (fun p c -> entry [ "hist"; escape_field p ] c);
+  Hashtbl.iter
+    (fun fp c -> entry [ "sched"; Printf.sprintf "%016Lx" fp ] c)
+    t.schedules;
+  Hashtbl.iter
+    (fun fp c -> entry [ "hb"; Printf.sprintf "%016Lx" fp ] c)
+    t.hb;
+  (* canonical order: equal maps save to identical bytes *)
+  let sorted = List.sort compare !lines in
+  List.iter
+    (fun line ->
+      Buffer.add_string buf line;
+      Buffer.add_char buf '\n')
+    sorted;
+  Buffer.add_string buf (Printf.sprintf "end:%d\n" (List.length sorted));
+  Buffer.contents buf
+
+let canonical_int s =
+  match int_of_string_opt s with
+  | Some n when string_of_int n = s -> Some n
+  | _ -> None
+
+let parse_count line s =
+  match canonical_int s with
+  | Some n when n > 0 -> n
+  | _ ->
+    failwith (Printf.sprintf "Coverage.of_save: bad count on line %d" line)
+
+let parse_fingerprint line s =
+  let hex c = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') in
+  if String.length s = 16 && String.for_all hex s then
+    Int64.of_string ("0x" ^ s)
+  else
+    failwith
+      (Printf.sprintf "Coverage.of_save: bad fingerprint on line %d" line)
+
+let of_save data =
+  let lines = String.split_on_char '\n' data in
+  let lines =
+    match List.rev lines with "" :: rest -> List.rev rest | _ -> lines
+  in
+  let t = create () in
+  let seen_schedules = Hashtbl.create 64 and seen_hb = Hashtbl.create 64 in
+  let entries = ref 0 in
+  let fresh line ok =
+    if not ok then
+      failwith (Printf.sprintf "Coverage.of_save: duplicate key on line %d" line)
+  in
+  let file_fp line table seen fp count =
+    if Hashtbl.mem seen fp then fresh line false;
+    Hashtbl.replace seen fp ();
+    Hashtbl.replace table fp count
+  in
+  let parse_entry line fields =
+    incr entries;
+    match fields with
+    | [ "state"; m; s; c ] ->
+      fresh line
+        (family_bump_n t.states (unescape_field m, unescape_field s)
+           (parse_count line c))
+    | [ "event"; e; c ] ->
+      fresh line (family_bump_n t.events (unescape_field e) (parse_count line c))
+    | [ "triple"; s; e; r; st; c ] ->
+      fresh line
+        (family_bump_n t.triples
+           ( unescape_field s, unescape_field e, unescape_field r,
+             unescape_field st )
+           (parse_count line c))
+    | [ "bbool"; m; b; c ] ->
+      let b =
+        match b with
+        | "0" -> false
+        | "1" -> true
+        | _ ->
+          failwith
+            (Printf.sprintf "Coverage.of_save: bad bool on line %d" line)
+      in
+      fresh line
+        (family_bump_n t.branches (Branch_bool (unescape_field m, b))
+           (parse_count line c))
+    | [ "bint"; m; v; bound; c ] ->
+      let int_of s =
+        match canonical_int s with
+        | Some n -> n
+        | None ->
+          failwith
+            (Printf.sprintf "Coverage.of_save: bad integer on line %d" line)
+      in
+      fresh line
+        (family_bump_n t.branches
+           (Branch_int (unescape_field m, int_of v, int_of bound))
+           (parse_count line c))
+    | [ "fault"; k; tgt; c ] ->
+      fresh line
+        (family_bump_n t.faults (unescape_field k, unescape_field tgt)
+           (parse_count line c))
+    | [ "hist"; p; c ] ->
+      fresh line
+        (family_bump_n t.histories (unescape_field p) (parse_count line c))
+    | [ "sched"; fp; c ] ->
+      file_fp line t.schedules seen_schedules (parse_fingerprint line fp)
+        (parse_count line c)
+    | [ "hb"; fp; c ] ->
+      file_fp line t.hb seen_hb (parse_fingerprint line fp)
+        (parse_count line c)
+    | [ "" ] -> failwith (Printf.sprintf "Coverage.of_save: blank line %d" line)
+    | tag :: _ ->
+      failwith
+        (Printf.sprintf "Coverage.of_save: malformed entry %S on line %d" tag
+           line)
+    | [] -> failwith (Printf.sprintf "Coverage.of_save: blank line %d" line)
+  in
+  let rec go lineno saw_end = function
+    | [] ->
+      if not saw_end then
+        failwith "Coverage.of_save: truncated (missing end line)"
+    | _ :: _ when saw_end ->
+      failwith
+        (Printf.sprintf "Coverage.of_save: content after end line %d"
+           (lineno - 1))
+    | line :: rest ->
+      (match String.index_opt line ':' with
+       | Some i when String.sub line 0 i = "end" ->
+         let n = String.sub line (i + 1) (String.length line - i - 1) in
+         (match canonical_int n with
+          | Some n when n = !entries -> ()
+          | Some _ ->
+            failwith
+              (Printf.sprintf
+                 "Coverage.of_save: entry count mismatch on line %d (file \
+                  truncated?)"
+                 lineno)
+          | None ->
+            failwith
+              (Printf.sprintf "Coverage.of_save: bad end line %d" lineno));
+         go (lineno + 1) true rest
+       | _ ->
+         parse_entry lineno (String.split_on_char '\t' line);
+         go (lineno + 1) saw_end rest)
+  in
+  (match lines with
+   | v :: rest when v = save_version -> begin
+     match rest with
+     | ex :: rest ->
+       (match String.index_opt ex ':' with
+        | Some i when String.sub ex 0 i = "executions" ->
+          let n = String.sub ex (i + 1) (String.length ex - i - 1) in
+          (match canonical_int n with
+           | Some n when n >= 0 -> t.executions <- n
+           | _ -> failwith "Coverage.of_save: bad executions line")
+        | _ -> failwith "Coverage.of_save: missing executions line");
+       go 3 false rest
+     | [] -> failwith "Coverage.of_save: truncated (missing executions line)"
+   end
+   | v :: _ ->
+     failwith
+       (Printf.sprintf "Coverage.of_save: unsupported version line %S" v)
+   | [] -> failwith "Coverage.of_save: empty input");
+  t
+
+let save ~path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_save t))
+
+let load ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      of_save (really_input_string ic len))
+
 (* --- Reporting --------------------------------------------------------- *)
 
 let pp_totals fmt t =

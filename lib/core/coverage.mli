@@ -93,6 +93,28 @@ val absorb : into:t -> t -> bool
 (** Structural equality over every counter, fingerprint multiset included. *)
 val equal : t -> t -> bool
 
+(** {1 Persistence}
+
+    Versioned, line-oriented dump of the full map — structured keys, not
+    the rendered report strings, so a loaded map merges ({!absorb}) and
+    compares ({!equal}) exactly like the original. Canonical: {!equal}
+    maps serialize to identical bytes. Used by {!Campaign} to carry
+    merged coverage across invocations. *)
+
+val to_save : t -> string
+
+(** Inverse of {!to_save}. The parse is strict in the {!Trace.of_string}
+    mold: an unsupported version line, unknown tags, blank lines,
+    non-canonical numbers, dangling escapes, duplicate keys, and a
+    missing or mismatching [end:] trailer (whole-line truncation) are all
+    rejected — a corrupted file must fail loudly rather than resume as a
+    subtly different map.
+    @raise Failure on malformed input. *)
+val of_save : string -> t
+
+val save : path:string -> t -> unit
+val load : path:string -> t
+
 (** {1 Reading} *)
 
 type totals = {

@@ -24,6 +24,10 @@ type config = {
   faults : Fault.spec;
   reduce : reduction;
   clock : Clock.config option;
+  start_iteration : int;
+  prior_coverage : Coverage.t option;
+  fuzz_initial : Trace.t list;
+  fuzz_exchange : Fuzz_strategy.Exchange.t option;
 }
 
 let default_config =
@@ -42,6 +46,10 @@ let default_config =
     faults = Fault.none;
     reduce = No_reduction;
     clock = None;
+    start_iteration = 0;
+    prior_coverage = None;
+    fuzz_initial = [];
+    fuzz_exchange = None;
   }
 
 type stats = {
@@ -70,7 +78,9 @@ let factory_of config =
     Delay_strategy.factory ~seed:config.seed ~delays
       ~max_steps:config.max_steps ()
   | Replay_trace t -> Replay_strategy.factory t
-  | Fuzz { corpus_cap } -> Fuzz_strategy.factory ~seed:config.seed ~corpus_cap ()
+  | Fuzz { corpus_cap } ->
+    Fuzz_strategy.factory ~seed:config.seed ~corpus_cap
+      ~initial:config.fuzz_initial ?exchange:config.fuzz_exchange ()
 
 (* [deadline] is the run's absolute wall-clock bound (started +
    max_seconds); the runtime checks it inside the step loop, so a single
@@ -155,23 +165,33 @@ let finish_report ~monitors config ~kind (result : Runtime.exec_result) body =
 
 (* --- Per-run coverage collection --------------------------------------- *)
 
-(* The accumulator a run merges every execution's map into. Coverage is
-   collected when explicitly requested, when a plateau bound needs it, or
-   when the strategy wants feedback (fuzz). [absorb] serializes merges so
-   the parallel paths can share one collector across worker domains. *)
+(* Coverage is collected when explicitly requested, when a plateau bound
+   needs it, when the strategy wants feedback (fuzz), or when a campaign
+   resume carries prior coverage (which seeds the accumulator so novelty
+   and the plateau are judged relative to history). *)
+let wants_coverage config (factory : Strategy.factory) =
+  config.collect_coverage
+  || config.coverage_plateau <> None
+  || config.prior_coverage <> None
+  || factory.Strategy.feedback <> None
+
+let seeded_acc config =
+  let acc = Coverage.create () in
+  (match config.prior_coverage with
+   | Some prior -> ignore (Coverage.absorb ~into:acc prior)
+   | None -> ());
+  acc
+
+(* The sequential accumulator: the run owns it exclusively, so merging an
+   execution's map is a plain call — no lock anywhere on the path. *)
 type collector = {
   acc : Coverage.t;
-  mu : Mutex.t;
-  no_gain : int Atomic.t;  (* consecutive executions with no new point *)
+  mutable no_gain : int;  (* consecutive executions with no new point *)
 }
 
 let collector_of config (factory : Strategy.factory) =
-  if
-    config.collect_coverage
-    || config.coverage_plateau <> None
-    || factory.Strategy.feedback <> None
-  then
-    Some { acc = Coverage.create (); mu = Mutex.create (); no_gain = Atomic.make 0 }
+  if wants_coverage config factory then
+    Some { acc = seeded_acc config; no_gain = 0 }
   else None
 
 (* One execution's worth of coverage bookkeeping: fingerprint the schedule,
@@ -183,9 +203,8 @@ let observe collector (factory : Strategy.factory) (result : Runtime.exec_result
   | Some c, Some exec ->
     Coverage.note_execution exec
       ~fingerprint:(Coverage.fingerprint result.Runtime.choices);
-    let novel = Mutex.protect c.mu (fun () -> Coverage.absorb ~into:c.acc exec) in
-    if novel then Atomic.set c.no_gain 0
-    else ignore (Atomic.fetch_and_add c.no_gain 1);
+    let novel = Coverage.absorb ~into:c.acc exec in
+    if novel then c.no_gain <- 0 else c.no_gain <- c.no_gain + 1;
     (match factory.Strategy.feedback with
      | Some f -> f ~trace:result.Runtime.choices ~novel
      | None -> ());
@@ -196,10 +215,105 @@ let exec_cov_of collector = Option.map (fun _ -> Coverage.create ()) collector
 
 let hit_plateau config collector =
   match (config.coverage_plateau, collector) with
-  | Some n, Some c -> Atomic.get c.no_gain >= n
+  | Some n, Some c -> c.no_gain >= n
   | _ -> false
 
 let coverage_of collector = Option.map (fun c -> c.acc) collector
+
+(* --- Parallel coverage: per-worker shards, batch-boundary merge -------- *)
+
+(* The parallel accumulator. Workers never touch it per execution: each
+   worker folds its executions into a private delta map and merges the
+   delta here only at Worker_pool batch boundaries (and once at exit), so
+   the per-execution hot path is mutex-free by construction. [absorb] is
+   commutative and associative, so the merged map is identical to the
+   sequential accumulator at the same budget regardless of merge order. *)
+type shared_collector = {
+  s_acc : Coverage.t;
+  s_mu : Mutex.t;
+  s_no_gain : int Atomic.t;
+      (* executions with no new point, sampled at merge epochs: a merge
+         that brings novelty resets it, one that brings none adds the
+         delta's execution count. Coarser than the sequential counter
+         (batch granularity) but the same user-visible semantics. *)
+}
+
+let shared_collector_of config factory =
+  if wants_coverage config factory then
+    Some
+      {
+        s_acc = seeded_acc config;
+        s_mu = Mutex.create ();
+        s_no_gain = Atomic.make 0;
+      }
+  else None
+
+(* Per-worker observation state, allocated in the worker's own domain.
+   [view] is a worker-cumulative map used only to answer per-execution
+   novelty for feedback strategies (fuzz) without consulting the shared
+   accumulator — a local approximation of the sequential novelty signal. *)
+type worker_obs = {
+  w_factory : Strategy.factory;
+  w_shared : shared_collector option;
+  mutable w_delta : Coverage.t;
+  mutable w_pending : int;  (* executions folded into [w_delta] *)
+  w_view : Coverage.t option;
+}
+
+let worker_obs_of config shared ~worker:_ =
+  let factory = factory_of config in
+  {
+    w_factory = factory;
+    w_shared = shared;
+    w_delta = Coverage.create ();
+    w_pending = 0;
+    w_view =
+      (if factory.Strategy.feedback <> None then Some (Coverage.create ())
+       else None);
+  }
+
+let obs_exec_cov obs =
+  if obs.w_shared <> None || obs.w_view <> None then Some (Coverage.create ())
+  else None
+
+(* Per-execution bookkeeping, all worker-local: no locks, no shared
+   writes. *)
+let observe_local obs (result : Runtime.exec_result) exec_cov =
+  match exec_cov with
+  | None -> ()
+  | Some exec ->
+    Coverage.note_execution exec
+      ~fingerprint:(Coverage.fingerprint result.Runtime.choices);
+    (match (obs.w_view, obs.w_factory.Strategy.feedback) with
+     | Some view, Some f ->
+       let novel = Coverage.absorb ~into:view exec in
+       f ~trace:result.Runtime.choices ~novel
+     | _ -> ());
+    (match obs.w_shared with
+     | Some _ ->
+       ignore (Coverage.absorb ~into:obs.w_delta exec);
+       obs.w_pending <- obs.w_pending + 1
+     | None -> ())
+
+(* Batch-boundary merge: the only place worker coverage meets the shared
+   accumulator (Worker_pool invokes it between batches and at exit). *)
+let flush_obs obs =
+  match obs.w_shared with
+  | Some s when obs.w_pending > 0 ->
+    let delta = obs.w_delta and pending = obs.w_pending in
+    obs.w_delta <- Coverage.create ();
+    obs.w_pending <- 0;
+    let novel = Mutex.protect s.s_mu (fun () -> Coverage.absorb ~into:s.s_acc delta) in
+    if novel then Atomic.set s.s_no_gain 0
+    else ignore (Atomic.fetch_and_add s.s_no_gain pending)
+  | _ -> ()
+
+let shared_hit_plateau config shared =
+  match (config.coverage_plateau, shared) with
+  | Some n, Some s -> Atomic.get s.s_no_gain >= n
+  | _ -> false
+
+let shared_coverage_of shared = Option.map (fun s -> s.s_acc) shared
 
 (* ----------------------------------------------------------------------- *)
 
@@ -230,7 +344,7 @@ let run_sequential ~monitors config body =
     if i >= config.max_executions then No_bug (stats_at i)
     else if out_of_time () then No_bug (stats_at ~timed_out:true i)
     else
-      match factory.Strategy.fresh ~iteration:i with
+      match factory.Strategy.fresh ~iteration:(config.start_iteration + i) with
       | None -> No_bug (stats_at ~search_exhausted:true i)
       | Some strategy ->
         let strategy, hb = instrument config strategy in
@@ -261,13 +375,13 @@ let run_sequential ~monitors config body =
    from the same config and explores the global iteration indices assigned
    to it by the pool, so the set of schedules explored is exactly the
    sequential set for every worker count (seeds derive from the global
-   iteration index, not from the worker). Coverage merges into one shared
-   collector under its mutex; merge order varies with scheduling but the
-   merged map does not (absorb is commutative). *)
+   iteration index, not from the worker). Each worker folds coverage into
+   a private shard and merges it into the shared accumulator only at batch
+   boundaries; merge order varies with scheduling but the merged map does
+   not (absorb is commutative). The per-execution hot path takes no lock
+   and writes no shared atomic. *)
 let run_parallel ~monitors ~workers config body =
-  let collector =
-    collector_of config { (factory_of config) with Strategy.feedback = None }
-  in
+  let shared = shared_collector_of config (factory_of config) in
   let deadline =
     Option.map (fun b -> Unix.gettimeofday () +. b) config.max_seconds
   in
@@ -275,25 +389,29 @@ let run_parallel ~monitors ~workers config body =
   let winner, pool_stats =
     Worker_pool.hunt ~workers ~max_iterations:config.max_executions
       ?max_seconds:config.max_seconds
-      ~init:(fun ~worker:_ -> factory_of config)
-      ~body:(fun factory ~iteration ->
-        match factory.Strategy.fresh ~iteration with
+      ~init:(worker_obs_of config shared)
+      ~on_batch:flush_obs
+      ~body:(fun obs ~iteration ->
+        match
+          obs.w_factory.Strategy.fresh
+            ~iteration:(config.start_iteration + iteration)
+        with
         | None -> (None, 0)
         | Some strategy ->
-          let exec_cov = exec_cov_of collector in
+          let exec_cov = obs_exec_cov obs in
           let result =
             Runtime.execute
               (runtime_config ?coverage:exec_cov ?deadline config
                  ~collect_log:false)
               strategy ~monitors:(monitors ()) ~name:"Harness" body
           in
-          ignore (observe collector factory result exec_cov);
+          observe_local obs result exec_cov;
           if result.Runtime.timed_out then Atomic.set exec_timed_out true;
           let payload =
             match result.Runtime.bug with
             | Some kind -> Some (`Bug (kind, result))
             | None ->
-              if hit_plateau config collector then Some `Plateau else None
+              if shared_hit_plateau config shared then Some `Plateau else None
           in
           (payload, result.Runtime.steps))
       ()
@@ -304,7 +422,7 @@ let run_parallel ~monitors ~workers config body =
       elapsed = pool_stats.Worker_pool.elapsed;
       total_steps = pool_stats.Worker_pool.total_steps;
       search_exhausted = false;
-      coverage = coverage_of collector;
+      coverage = shared_coverage_of shared;
       plateaued;
       timed_out =
         pool_stats.Worker_pool.timed_out || Atomic.get exec_timed_out;
@@ -384,7 +502,7 @@ let explore_sequential ~monitors config body =
     if i >= config.max_executions then stats_at i
     else if out_of_time () then stats_at ~timed_out:true i
     else
-      match factory.Strategy.fresh ~iteration:i with
+      match factory.Strategy.fresh ~iteration:(config.start_iteration + i) with
       | None -> stats_at ~search_exhausted:true i
       | Some strategy ->
         let strategy, hb = instrument config strategy in
@@ -406,9 +524,7 @@ let explore_sequential ~monitors config body =
   iterate 0
 
 let explore_parallel ~monitors ~workers config body =
-  let collector =
-    collector_of config { (factory_of config) with Strategy.feedback = None }
-  in
+  let shared = shared_collector_of config (factory_of config) in
   let deadline =
     Option.map (fun b -> Unix.gettimeofday () +. b) config.max_seconds
   in
@@ -416,21 +532,25 @@ let explore_parallel ~monitors ~workers config body =
   let winner, pool_stats =
     Worker_pool.hunt ~workers ~max_iterations:config.max_executions
       ?max_seconds:config.max_seconds
-      ~init:(fun ~worker:_ -> factory_of config)
-      ~body:(fun factory ~iteration ->
-        match factory.Strategy.fresh ~iteration with
+      ~init:(worker_obs_of config shared)
+      ~on_batch:flush_obs
+      ~body:(fun obs ~iteration ->
+        match
+          obs.w_factory.Strategy.fresh
+            ~iteration:(config.start_iteration + iteration)
+        with
         | None -> (None, 0)
         | Some strategy ->
-          let exec_cov = exec_cov_of collector in
+          let exec_cov = obs_exec_cov obs in
           let result =
             Runtime.execute
               (runtime_config ?coverage:exec_cov ?deadline config
                  ~collect_log:false)
               strategy ~monitors:(monitors ()) ~name:"Harness" body
           in
-          ignore (observe collector factory result exec_cov);
+          observe_local obs result exec_cov;
           if result.Runtime.timed_out then Atomic.set exec_timed_out true;
-          ( (if hit_plateau config collector then Some () else None),
+          ( (if shared_hit_plateau config shared then Some () else None),
             result.Runtime.steps ))
       ()
   in
@@ -439,7 +559,7 @@ let explore_parallel ~monitors ~workers config body =
     elapsed = pool_stats.Worker_pool.elapsed;
     total_steps = pool_stats.Worker_pool.total_steps;
     search_exhausted = false;
-    coverage = coverage_of collector;
+    coverage = shared_coverage_of shared;
     plateaued = winner <> None;
     timed_out = pool_stats.Worker_pool.timed_out || Atomic.get exec_timed_out;
   }
@@ -477,7 +597,7 @@ let survey_sequential ~monitors config body =
        return the violations collected so far. *)
     if i >= config.max_executions || out_of_time () then ()
     else
-      match factory.Strategy.fresh ~iteration:i with
+      match factory.Strategy.fresh ~iteration:(config.start_iteration + i) with
       | None -> ()
       | Some strategy ->
         let strategy, hb = instrument config strategy in
@@ -518,7 +638,9 @@ let survey_parallel ~monitors ~workers config body =
       ?max_seconds:config.max_seconds
       ~init:(fun ~worker:_ -> factory_of config)
       ~body:(fun factory ~iteration ->
-        match factory.Strategy.fresh ~iteration with
+        match
+          factory.Strategy.fresh ~iteration:(config.start_iteration + iteration)
+        with
         | None -> (None, 0)
         | Some strategy ->
           let result =

@@ -100,6 +100,33 @@ type config = {
           {!Runtime.config}[.clock]). Clock advances are a deterministic
           function of the schedule, so {!replay} and the shrinker — which
           receive the same config — reproduce identical timestamps. *)
+  start_iteration : int;
+      (** first global iteration index of the run ([0] by default). A
+          campaign resume sets it to the number of executions already
+          spent, so seeded strategies — whose execution seeds are a pure
+          function of the global iteration — explore {e new} schedules
+          instead of redoing the previous invocation's. The budget is
+          still [max_executions] executions: the run covers iterations
+          [start_iteration .. start_iteration + max_executions - 1]. *)
+  prior_coverage : Coverage.t option;
+      (** coverage carried over from previous invocations ([None] by
+          default). When set, it seeds the run's accumulator before the
+          first execution, so novelty feedback and the plateau bound are
+          judged relative to everything already explored, and
+          [stats.coverage] returns the {e cumulative} map (prior
+          executions included). Implies coverage collection. *)
+  fuzz_initial : Trace.t list;
+      (** pre-seeded corpus for the [Fuzz] strategy ([[]] by default);
+          a campaign resume passes the persisted corpus here. Ignored by
+          other strategies. *)
+  fuzz_exchange : Fuzz_strategy.Exchange.t option;
+      (** cross-worker novelty hub for the [Fuzz] strategy ([None] by
+          default). When set, fuzz becomes parallel-safe: each worker owns
+          a private corpus and publishes/pulls coverage-novel schedules
+          through the hub off the per-execution path. The caller keeps the
+          hub and may {!Fuzz_strategy.Exchange.snapshot} it after the run
+          (campaign persistence). Without a hub, fuzz keeps its historical
+          sequential-fallback behavior under [workers]. *)
 }
 
 (** Random strategy, seed 0, 10,000 executions, 5,000-step bound, one

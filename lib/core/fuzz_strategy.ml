@@ -36,7 +36,64 @@ let guided ~seed ~(prefix : Trace.choice array) : Strategy.t =
   in
   { Strategy.name = "fuzz"; next_schedule; next_bool; next_int }
 
-let factory ~seed ?(corpus_cap = 32) ?(random_bias = 4) () : Strategy.factory =
+(* Cross-worker novelty hub: an append-only, bounded pool of
+   coverage-novel schedules shared by the per-worker corpora of a
+   parallel fuzz run. Workers push the (rare) novel traces they find and
+   pull the entries they have not yet seen; a lock-free version read in
+   the common no-news case keeps the per-execution path free of the hub's
+   mutex. The hub doubles as the run's corpus collection point: a
+   campaign snapshots it after the run to persist the corpus. *)
+module Exchange = struct
+  type t = {
+    mu : Mutex.t;
+    mutable entries : Trace.choice array array;  (* append-only, first [len] valid *)
+    mutable len : int;
+    version : int Atomic.t;  (* = len; read without the lock *)
+    cap : int;
+  }
+
+  let create ?(cap = 256) () =
+    if cap <= 0 then
+      invalid_arg "Fuzz_strategy.Exchange.create: cap must be positive";
+    {
+      mu = Mutex.create ();
+      entries = [||];
+      len = 0;
+      version = Atomic.make 0;
+      cap;
+    }
+
+  (* Callers hold [mu]. Once full the hub stops accepting — append-only
+     storage keeps the pull cursors valid. *)
+  let push_locked t choices =
+    if t.len < t.cap then begin
+      if t.len = Array.length t.entries then begin
+        let cap = max 16 (2 * t.len) in
+        let bigger = Array.make cap choices in
+        Array.blit t.entries 0 bigger 0 t.len;
+        t.entries <- bigger
+      end;
+      t.entries.(t.len) <- choices;
+      t.len <- t.len + 1;
+      Atomic.set t.version t.len
+    end
+
+  let snapshot t =
+    Mutex.protect t.mu (fun () ->
+        List.init t.len (fun i -> Trace.of_list (Array.to_list t.entries.(i))))
+
+  let of_traces ?cap traces =
+    let t = create ?cap () in
+    List.iter
+      (fun trace ->
+        let choices = Array.of_list (Trace.to_list trace) in
+        if Array.length choices > 0 then push_locked t choices)
+      traces;
+    t
+end
+
+let factory ~seed ?(corpus_cap = 32) ?(random_bias = 4) ?(initial = [])
+    ?exchange () : Strategy.factory =
   if corpus_cap <= 0 then invalid_arg "Fuzz_strategy: corpus_cap must be positive";
   if random_bias <= 0 then invalid_arg "Fuzz_strategy: random_bias must be positive";
   (* Factory-level rng drives corpus selection and mutation; per-execution
@@ -45,12 +102,46 @@ let factory ~seed ?(corpus_cap = 32) ?(random_bias = 4) () : Strategy.factory =
      how many corpus decisions were made before it. *)
   let rng = Prng.create ~seed:(Int64.logxor seed 0x9e3779b97f4a7c15L) in
   let corpus : Trace.choice array array ref = ref [||] in
-  let add trace =
-    let choices = Array.of_list (Trace.to_list trace) in
+  let add_choices choices =
     if Array.length choices = 0 then ()
     else if Array.length !corpus < corpus_cap then
       corpus := Array.append !corpus [| choices |]
     else !corpus.(Prng.int rng corpus_cap) <- choices
+  in
+  let add trace = add_choices (Array.of_list (Trace.to_list trace)) in
+  (* A campaign resume re-seeds the corpus with the traces a previous
+     invocation found novel, so mutation starts warm instead of from
+     scratch. *)
+  List.iter add initial;
+  (* Exchange plumbing: [synced] counts the hub entries this factory has
+     already incorporated (its own pushes included, so a worker never
+     re-imports what it contributed). Pulls happen at execution
+     boundaries and only when the lock-free version read says there is
+     news — the per-execution fast path never touches the hub mutex. *)
+  let synced = ref 0 in
+  let pull_locked (ex : Exchange.t) =
+    for i = !synced to ex.Exchange.len - 1 do
+      add_choices ex.Exchange.entries.(i)
+    done;
+    synced := ex.Exchange.len
+  in
+  let pull_if_news () =
+    match exchange with
+    | Some ex when Atomic.get ex.Exchange.version > !synced ->
+      Mutex.protect ex.Exchange.mu (fun () -> pull_locked ex)
+    | _ -> ()
+  in
+  let publish trace =
+    match exchange with
+    | None -> ()
+    | Some ex ->
+      let choices = Array.of_list (Trace.to_list trace) in
+      if Array.length choices > 0 then
+        Mutex.protect ex.Exchange.mu (fun () ->
+            (* catch up before pushing so [synced] may skip our own entry *)
+            pull_locked ex;
+            Exchange.push_locked ex choices;
+            synced := ex.Exchange.len)
   in
   let pick () = !corpus.(Prng.int rng (Array.length !corpus)) in
   (* A cut point in [1, len]: mutants always keep a non-empty prefix. *)
@@ -74,10 +165,14 @@ let factory ~seed ?(corpus_cap = 32) ?(random_bias = 4) () : Strategy.factory =
   in
   {
     Strategy.factory_name = "fuzz";
-    (* The corpus is shared mutable state across iterations. *)
-    parallel_safe = false;
+    (* The corpus is mutable state across iterations: sequential-only,
+       unless an exchange hub links per-worker corpora — then every worker
+       builds its own factory (private corpus, private rng) and the hub
+       carries the rare novelty traffic between them. *)
+    parallel_safe = exchange <> None;
     fresh =
       (fun ~iteration ->
+        pull_if_news ();
         let exec_seed = Int64.add seed (Int64.of_int (iteration * 2 + 1)) in
         let prefix =
           if Array.length !corpus = 0 || Prng.int rng random_bias = 0 then [||]
@@ -85,5 +180,10 @@ let factory ~seed ?(corpus_cap = 32) ?(random_bias = 4) () : Strategy.factory =
         in
         Some (guided ~seed:exec_seed ~prefix));
     feedback =
-      Some (fun ~trace ~novel -> if novel then add trace);
+      Some
+        (fun ~trace ~novel ->
+          if novel then begin
+            add trace;
+            publish trace
+          end);
   }

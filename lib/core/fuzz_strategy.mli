@@ -18,11 +18,50 @@
     collapsing onto the corpus.
 
     The factory is stateful (the corpus persists across iterations), hence
-    not parallel-safe: the engine explores sequentially under it. With the
-    same seed the whole run is deterministic. *)
+    not parallel-safe by default: the engine explores sequentially under
+    it, and with the same seed the whole run is deterministic. Linking
+    per-worker factories through an {!Exchange} hub makes the factory
+    parallel-safe: each worker owns a private corpus and PRNG, pushes the
+    (rare) coverage-novel traces it finds to the hub, and pulls unseen
+    entries at execution boundaries — no shared lock on the per-execution
+    path. Exchange-linked search is {e not} schedule-reproducible across
+    worker timings (like any collaborative fuzzer); found witnesses still
+    replay deterministically. *)
 
-val factory : seed:int64 -> ?corpus_cap:int -> ?random_bias:int -> unit -> Strategy.factory
+(** Cross-worker novelty hub: a bounded, append-only pool of schedules
+    shared by the per-worker corpora of a parallel fuzz run. Also the
+    corpus collection point for persistent campaigns ({!Campaign}): after
+    a run, {!Exchange.snapshot} yields the corpus to save. *)
+module Exchange : sig
+  type t
+
+  (** [create ()] — [cap] bounds the pool (default 256); once full the hub
+      stops accepting (append-only storage keeps worker pull cursors
+      valid). *)
+  val create : ?cap:int -> unit -> t
+
+  (** The pooled traces, in push order. Safe to call concurrently with a
+      running exploration. *)
+  val snapshot : t -> Trace.t list
+
+  (** [of_traces traces] pre-fills a fresh hub (empty traces are skipped) —
+      the campaign-resume path, so every worker's corpus starts from the
+      persisted one. *)
+  val of_traces : ?cap:int -> Trace.t list -> t
+end
+
+val factory :
+  seed:int64 ->
+  ?corpus_cap:int ->
+  ?random_bias:int ->
+  ?initial:Trace.t list ->
+  ?exchange:Exchange.t ->
+  unit ->
+  Strategy.factory
 (** [factory ~seed ()] — [corpus_cap] bounds the corpus (default 32;
     once full, a random entry is evicted); [random_bias] is the
     denominator of the pure-random fraction (default 4: one execution in
-    four explores purely randomly). *)
+    four explores purely randomly); [initial] pre-seeds the corpus (a
+    campaign resume passes the persisted corpus); [exchange] links this
+    factory's corpus to other workers' through a shared novelty hub and
+    marks the factory parallel-safe. *)

@@ -1,3 +1,7 @@
+type claim = Batch of int | Stride
+
+let default_claim = Batch 16
+
 type stats = {
   executions : int;
   total_steps : int;
@@ -10,9 +14,48 @@ let resolve n =
   else if n = 0 then Domain.recommended_domain_count ()
   else n
 
-let drive ~workers ~max_iterations ?max_seconds ~stop_on_result ~init ~body ()
-    =
+(* Spawning more domains than cores is never faster here: the iterations
+   are independent, their set is worker-count-invariant, and OCaml 5 minor
+   collections are stop-the-world across domains, so oversubscription just
+   multiplies GC barriers. Clamp to the core count by default; the
+   environment escape hatch lets tests exercise the genuinely-concurrent
+   machinery on small machines. *)
+let oversubscribe_requested () =
+  match Sys.getenv_opt "PSHARP_OVERSUBSCRIBE" with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
+
+(* An [Atomic.t] is a one-word heap box; boxes allocated back to back end
+   up on the same cache line, so a hot store to one (the claim cursor)
+   would keep invalidating readers of its neighbour (the stop bound). A
+   dead spacer allocation between them is a best-effort separator — the
+   load-bearing fix is that the per-iteration counters live in
+   worker-local records, not in shared atomics at all. *)
+let spaced_atomic v =
+  let a = Atomic.make v in
+  ignore (Sys.opaque_identity (Array.make 15 0));
+  a
+
+(* Per-worker accumulator, allocated inside the worker's own domain (its
+   own minor heap), so the hot per-iteration bumps never touch a cache
+   line another domain writes. *)
+type 'r local = {
+  mutable results : ('r * int) list;
+  mutable execs : int;
+  mutable steps : int;
+}
+
+let drive ?(claim = default_claim) ~workers ~max_iterations ?max_seconds
+    ~stop_on_result ~init ?on_batch ~body () =
+  (match claim with
+   | Batch n when n <= 0 ->
+     invalid_arg "Worker_pool.drive: batch size must be positive"
+   | _ -> ());
   let workers = max 1 (min (resolve workers) (max 1 max_iterations)) in
+  let workers =
+    if oversubscribe_requested () then workers
+    else max 1 (min workers (Domain.recommended_domain_count ()))
+  in
   let started = Unix.gettimeofday () in
   (* Early-stop bound: workers keep running iterations strictly below it.
      A plain boolean stop flag is not enough for a deterministic winner —
@@ -22,18 +65,23 @@ let drive ~workers ~max_iterations ?max_seconds ~stop_on_result ~init ~body ()
      the worker count and thread timing. Min-updating the bound instead
      lets every iteration below the best known result complete (and
      possibly lower the bound further), so the winner is the lowest
-     reporting iteration at every worker count. *)
-  let stop_before = Atomic.make max_int in
+     reporting iteration at every worker count. Batch claims are monotone,
+     so every iteration below a reported one is already claimed by some
+     worker and will run to completion. *)
+  let stop_before = spaced_atomic max_int in
+  let next = spaced_atomic 0 in (* batch-claim cursor *)
   let timed_out = Atomic.make false in
-  let executions = Atomic.make 0 in
-  let total_steps = Atomic.make 0 in
   let mu = Mutex.create () in
-  let results = ref [] in
   let failure : (exn * Printexc.raw_backtrace) option ref = ref None in
-  let out_of_time () =
+  let locals : 'r local option array = Array.make workers None in
+  (* Hoisted deadline: with no [max_seconds] the poll is a constant, not a
+     [Unix.gettimeofday] syscall per check. *)
+  let past_deadline =
     match max_seconds with
-    | Some budget -> Unix.gettimeofday () -. started >= budget
-    | None -> false
+    | None -> fun () -> false
+    | Some budget ->
+      let deadline = started +. budget in
+      fun () -> Unix.gettimeofday () >= deadline
   in
   let rec lower_stop_before v =
     let cur = Atomic.get stop_before in
@@ -42,27 +90,64 @@ let drive ~workers ~max_iterations ?max_seconds ~stop_on_result ~init ~body ()
   in
   let worker_loop w =
     let state = init ~worker:w in
-    let g = ref w in
-    let running = ref true in
-    while !running do
-      if !g >= max_iterations || !g >= Atomic.get stop_before then
-        running := false
-      else if out_of_time () then begin
-        Atomic.set timed_out true;
-        running := false
+    let acc = { results = []; execs = 0; steps = 0 } in
+    locals.(w) <- Some acc;
+    let flush () = match on_batch with Some f -> f state | None -> () in
+    let run_one g =
+      (* Re-checked per iteration so a bound lowered mid-batch skips the
+         claimed iterations above it (they cannot win) while iterations
+         below it still run (they can). *)
+      if g < Atomic.get stop_before then begin
+        let r, steps = body state ~iteration:g in
+        acc.execs <- acc.execs + 1;
+        acc.steps <- acc.steps + steps;
+        match r with
+        | None -> ()
+        | Some v ->
+          acc.results <- (v, g) :: acc.results;
+          if stop_on_result then lower_stop_before g
       end
-      else begin
-        let r, steps = body state ~iteration:!g in
-        ignore (Atomic.fetch_and_add executions 1);
-        ignore (Atomic.fetch_and_add total_steps steps);
-        (match r with
-         | None -> ()
-         | Some v ->
-           Mutex.protect mu (fun () -> results := (v, !g) :: !results);
-           if stop_on_result then lower_stop_before !g);
-        g := !g + workers
-      end
-    done
+    in
+    (match claim with
+     | Batch size ->
+       (* Claim [size] consecutive global iterations per shared-counter
+          bump; the wall clock is polled once per claimed batch. *)
+       let running = ref true in
+       while !running do
+         let base = Atomic.fetch_and_add next size in
+         if base >= max_iterations || base >= Atomic.get stop_before then
+           running := false
+         else if past_deadline () then begin
+           Atomic.set timed_out true;
+           running := false
+         end
+         else begin
+           let stop = min (base + size) max_iterations in
+           for g = base to stop - 1 do
+             run_one g
+           done;
+           flush ()
+         end
+       done
+     | Stride ->
+       (* Legacy static assignment: worker [w] of [n] runs w, w+n, w+2n...
+          Kept for the merge-equivalence tests; the schedule {e set} is the
+          same as under batch claiming for every worker count. *)
+       let g = ref w in
+       let running = ref true in
+       while !running do
+         if !g >= max_iterations || !g >= Atomic.get stop_before then
+           running := false
+         else if past_deadline () then begin
+           Atomic.set timed_out true;
+           running := false
+         end
+         else begin
+           run_one !g;
+           g := !g + workers
+         end
+       done);
+    flush ()
   in
   let guarded w () =
     try worker_loop w
@@ -80,23 +165,33 @@ let drive ~workers ~max_iterations ?max_seconds ~stop_on_result ~init ~body ()
   (match !failure with
    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
    | None -> ());
-  let collected = List.sort (fun (_, g1) (_, g2) -> compare g1 g2) !results in
+  let results, execs, steps =
+    Array.fold_left
+      (fun (rs, e, s) local ->
+        match local with
+        | None -> (rs, e, s)
+        | Some l -> (List.rev_append l.results rs, e + l.execs, s + l.steps))
+      ([], 0, 0) locals
+  in
+  let collected = List.sort (fun (_, g1) (_, g2) -> compare g1 g2) results in
   ( collected,
     {
-      executions = Atomic.get executions;
-      total_steps = Atomic.get total_steps;
+      executions = execs;
+      total_steps = steps;
       elapsed = Unix.gettimeofday () -. started;
       timed_out = Atomic.get timed_out;
     } )
 
-let hunt ~workers ~max_iterations ?max_seconds ~init ~body () =
+let hunt ?claim ~workers ~max_iterations ?max_seconds ~init ?on_batch ~body ()
+    =
   let collected, stats =
-    drive ~workers ~max_iterations ?max_seconds ~stop_on_result:true ~init
-      ~body ()
+    drive ?claim ~workers ~max_iterations ?max_seconds ~stop_on_result:true
+      ~init ?on_batch ~body ()
   in
   let winner = match collected with [] -> None | best :: _ -> Some best in
   (winner, stats)
 
-let sweep ~workers ~max_iterations ?max_seconds ~init ~body () =
-  drive ~workers ~max_iterations ?max_seconds ~stop_on_result:false ~init
-    ~body ()
+let sweep ?claim ~workers ~max_iterations ?max_seconds ~init ?on_batch ~body
+    () =
+  drive ?claim ~workers ~max_iterations ?max_seconds ~stop_on_result:false
+    ~init ?on_batch ~body ()

@@ -1,17 +1,37 @@
 (** Domain-parallel iteration driver.
 
     Fans a budget of independent iterations (systematic-testing executions)
-    across OCaml 5 domains. Iterations are assigned statically: worker [w]
-    of [n] runs global iterations [w], [w + n], [w + 2n], ... — so the
-    {e set} of iterations explored (and hence, for seed-derived strategies,
-    the set of schedules explored) is identical for every worker count,
-    including the sequential [n = 1] case. Only the wall-clock order of
-    exploration, and therefore which of several buggy iterations is hit
-    first, can vary with [n].
+    across OCaml 5 domains. Work is handed out in {e batches}: a shared
+    atomic cursor claims [N] consecutive global iterations at a time
+    (see {!claim}), so the only shared-memory traffic on the per-iteration
+    hot path is one read of the early-stop bound — progress counters and
+    results accumulate in worker-local records and are folded after the
+    join. The {e set} of iterations explored (and hence, for seed-derived
+    strategies, the set of schedules explored) is identical for every
+    worker count and claim granularity, including the sequential case;
+    only the wall-clock order of exploration can vary.
 
     Each worker builds its own iteration state (strategy factory, PRNGs)
-    via [init], inside its own domain; nothing is shared between workers
-    except the atomic progress counters and the result accumulator. *)
+    via [init], inside its own domain. Requested worker counts beyond the
+    available cores are clamped to the core count: the iterations are
+    independent and minor collections are stop-the-world across domains,
+    so oversubscription only multiplies GC barriers without exploring
+    anything extra. Setting the environment variable
+    [PSHARP_OVERSUBSCRIBE=1] disables the clamp (used by tests to exercise
+    the multi-domain machinery on small machines). *)
+
+(** How workers claim global iterations. Both disciplines cover exactly
+    the iterations [0 .. max_iterations - 1]. *)
+type claim =
+  | Batch of int
+      (** claim this many consecutive iterations per atomic cursor bump;
+          the wall-clock deadline is polled once per claimed batch *)
+  | Stride
+      (** legacy static assignment — worker [w] of [n] runs [w], [w + n],
+          [w + 2n], ... Kept for equivalence testing. *)
+
+(** [Batch 16] — the default used when [?claim] is omitted. *)
+val default_claim : claim
 
 type stats = {
   executions : int;  (** iterations completed across all workers *)
@@ -33,18 +53,27 @@ val resolve : int -> int
     a [Some] result is found: the first report min-updates an atomic
     iteration bound, and workers keep completing iterations {e below} the
     best known result (possibly lowering the bound further) while skipping
-    those above it. [body] returns the optional result of one iteration
-    plus the number of scheduler steps it took. Returns the winning result
-    tagged with its global iteration index — always the {e lowest}
-    reporting iteration, so for deterministic iterations the winner is
-    identical at every worker count (only the number of higher iterations
+    those above it. Batch claims are monotone, so every iteration below a
+    reported one is guaranteed to have been claimed and run. [body]
+    returns the optional result of one iteration plus the number of
+    scheduler steps it took. Returns the winning result tagged with its
+    global iteration index — always the {e lowest} reporting iteration, so
+    for deterministic iterations the winner is identical at every worker
+    count and claim granularity (only the number of higher iterations
     additionally explored varies with timing). A worker exception is
-    re-raised in the calling domain after all workers have been joined. *)
+    re-raised in the calling domain after all workers have been joined.
+
+    [on_batch state] is called on the worker's own state after each
+    claimed batch completes and once more before the worker exits — the
+    engine merges per-worker coverage shards there, keeping the
+    per-iteration path free of shared mutexes. *)
 val hunt :
+  ?claim:claim ->
   workers:int ->
   max_iterations:int ->
   ?max_seconds:float ->
   init:(worker:int -> 'w) ->
+  ?on_batch:('w -> unit) ->
   body:('w -> iteration:int -> 'r option * int) ->
   unit ->
   ('r * int) option * stats
@@ -53,10 +82,12 @@ val hunt :
     budget runs (subject to [max_seconds]) and all [Some] results are
     collected, sorted by iteration index. *)
 val sweep :
+  ?claim:claim ->
   workers:int ->
   max_iterations:int ->
   ?max_seconds:float ->
   init:(worker:int -> 'w) ->
+  ?on_batch:('w -> unit) ->
   body:('w -> iteration:int -> 'r option * int) ->
   unit ->
   ('r * int) list * stats

@@ -1,0 +1,293 @@
+(* Campaign persistence (Campaign) and the Coverage save format it rides
+   on: canonical round-trips, the strict-parse rejection battery, and the
+   headline resume property — a saved-and-resumed run accumulates exactly
+   the coverage of an uninterrupted one. *)
+
+module E = Psharp.Engine
+module R = Psharp.Runtime
+module Coverage = Psharp.Coverage
+module Campaign = Psharp.Campaign
+module Trace = Psharp.Trace
+module Event = Psharp.Event
+
+type Event.t += Token
+
+let racy_harness ctx =
+  let first = ref None in
+  let referee =
+    R.create ctx ~name:"Referee" (fun rctx ->
+        ignore (R.receive rctx);
+        R.assert_here rctx (!first = Some "A") "B overtook A")
+  in
+  let writer name wctx =
+    if !first = None then first := Some name;
+    ignore (R.nondet ctx);
+    R.send wctx referee Token
+  in
+  ignore (R.create ctx ~name:"A" (writer "A"));
+  ignore (R.create ctx ~name:"B" (writer "B"))
+
+let explore_coverage ?(start_iteration = 0) ?prior_coverage ~executions () =
+  let stats =
+    E.explore
+      {
+        E.default_config with
+        max_executions = executions;
+        max_steps = 200;
+        seed = 11L;
+        start_iteration;
+        prior_coverage;
+      }
+      racy_harness
+  in
+  match stats.E.coverage with
+  | Some cov -> cov
+  | None -> Alcotest.fail "explore returned no coverage"
+
+(* --- Coverage save format ----------------------------------------------- *)
+
+let test_coverage_save_roundtrip () =
+  let cov = explore_coverage ~executions:50 () in
+  let s = Coverage.to_save cov in
+  let cov2 = Coverage.of_save s in
+  Alcotest.(check bool) "loaded map equals original" true
+    (Coverage.equal cov cov2);
+  Alcotest.(check string) "canonical: re-saving yields identical bytes" s
+    (Coverage.to_save cov2)
+
+let test_coverage_save_empty () =
+  let cov = Coverage.create () in
+  let cov2 = Coverage.of_save (Coverage.to_save cov) in
+  Alcotest.(check bool) "empty map round-trips" true (Coverage.equal cov cov2)
+
+let expect_save_failure label data =
+  match Coverage.of_save data with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.failf "%s: corrupted save accepted" label
+
+let test_coverage_save_rejects_corruption () =
+  let s = Coverage.to_save (explore_coverage ~executions:20 ()) in
+  let lines = String.split_on_char '\n' s in
+  let rejoin ls = String.concat "\n" ls in
+  expect_save_failure "wrong version"
+    (rejoin ("psharp-coverage:99" :: List.tl lines));
+  expect_save_failure "empty input" "";
+  (* drop the end trailer: whole-line truncation must not load *)
+  let no_trailer =
+    List.filteri (fun i _ -> i < List.length lines - 2) lines
+  in
+  expect_save_failure "missing end trailer" (rejoin no_trailer ^ "\n");
+  (* duplicate an entry line: duplicate keys must not double-count *)
+  (match
+     List.find_opt
+       (fun l ->
+         String.length l > 6
+         && List.exists
+              (fun p -> String.length l > String.length p
+                        && String.sub l 0 (String.length p) = p)
+              [ "state\t"; "event\t"; "triple\t" ])
+       lines
+   with
+   | Some entry ->
+     let dup =
+       List.concat_map (fun l -> if l = entry then [ l; l ] else [ l ]) lines
+     in
+     expect_save_failure "duplicate entry" (rejoin dup)
+   | None -> Alcotest.fail "expected at least one state/event/triple entry");
+  (* blank interior line *)
+  expect_save_failure "blank line"
+    (rejoin (List.hd lines :: "" :: List.tl lines));
+  (* content after the end trailer *)
+  expect_save_failure "content after end" (s ^ "state\tGhost.Init\t1\n");
+  (* non-canonical executions count *)
+  let non_canonical =
+    List.map
+      (fun l ->
+        if String.length l > 11 && String.sub l 0 11 = "executions:" then
+          "executions:0" ^ String.sub l 11 (String.length l - 11)
+        else l)
+      lines
+  in
+  expect_save_failure "non-canonical executions" (rejoin non_canonical)
+
+(* --- Campaign round-trip ------------------------------------------------ *)
+
+let tmp_dir name =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      ("psharp_test_campaign_" ^ name)
+  in
+  let rec rm_rf path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun f -> rm_rf (Filename.concat path f))
+          (Sys.readdir path);
+        Sys.rmdir path
+      end
+      else Sys.remove path
+  in
+  rm_rf dir;
+  dir
+
+let sample_trace choices = Trace.of_list choices
+
+let sample_campaign () =
+  let cov = explore_coverage ~executions:20 () in
+  let corpus =
+    [
+      sample_trace [ Trace.Schedule 0; Trace.Int 1; Trace.Bool true ];
+      sample_trace [ Trace.Schedule 1; Trace.Schedule 0 ];
+    ]
+  in
+  let witness = sample_trace [ Trace.Schedule 1; Trace.Bool false ] in
+  let c = Campaign.create ~harness:"RacyExample" ~seed:11L in
+  let c = Campaign.advance c ~executions:20 ~coverage:cov ~corpus in
+  let c = Campaign.record_witness c ~kind:"assertion failed" ~trace:witness in
+  (* a second witness of the same kind must not displace the first *)
+  Campaign.record_witness c ~kind:"assertion failed"
+    ~trace:(sample_trace [ Trace.Schedule 0 ])
+
+let traces_to_strings = List.map Trace.to_string
+
+let test_campaign_roundtrip () =
+  let dir = tmp_dir "roundtrip" in
+  let c = sample_campaign () in
+  Campaign.save ~dir c;
+  let l = Campaign.load ~dir in
+  Alcotest.(check string) "harness" c.Campaign.harness l.Campaign.harness;
+  Alcotest.(check int64) "seed" c.Campaign.seed l.Campaign.seed;
+  Alcotest.(check int) "executions" 20 l.Campaign.executions;
+  Alcotest.(check bool) "coverage" true
+    (Coverage.equal c.Campaign.coverage l.Campaign.coverage);
+  Alcotest.(check (list string))
+    "corpus"
+    (traces_to_strings c.Campaign.corpus)
+    (traces_to_strings l.Campaign.corpus);
+  Alcotest.(check (list (pair string string)))
+    "witnesses (first of each kind)"
+    (List.map (fun (k, t) -> (k, Trace.to_string t)) c.Campaign.witnesses)
+    (List.map (fun (k, t) -> (k, Trace.to_string t)) l.Campaign.witnesses);
+  Alcotest.(check int) "one witness per kind" 1
+    (List.length l.Campaign.witnesses)
+
+let test_campaign_fresh_roundtrip () =
+  let dir = tmp_dir "fresh" in
+  let c = Campaign.create ~harness:"Empty" ~seed:0L in
+  Campaign.save ~dir c;
+  let l = Campaign.load ~dir in
+  Alcotest.(check int) "zero executions" 0 l.Campaign.executions;
+  Alcotest.(check bool) "empty coverage" true
+    (Coverage.equal (Coverage.create ()) l.Campaign.coverage);
+  Alcotest.(check (list string)) "empty corpus" []
+    (traces_to_strings l.Campaign.corpus)
+
+let test_campaign_load_opt_missing () =
+  let dir = tmp_dir "missing" in
+  Alcotest.(check bool) "no campaign -> None" true
+    (Campaign.load_opt ~dir = None)
+
+(* --- Campaign corruption battery ---------------------------------------- *)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path data =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc data)
+
+let expect_load_failure label dir =
+  match Campaign.load ~dir with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.failf "%s: corrupted campaign loaded" label
+
+(* Each case re-saves a pristine campaign, applies one corruption, and
+   expects a loud [Failure]. *)
+let test_campaign_rejects_corruption () =
+  let dir = tmp_dir "corrupt" in
+  let c = sample_campaign () in
+  let meta = Filename.concat dir "campaign.meta" in
+  let fresh () = Campaign.save ~dir c in
+  let corrupt_meta label f =
+    fresh ();
+    write_file meta (f (read_file meta));
+    expect_load_failure label dir
+  in
+  corrupt_meta "wrong meta version" (fun s ->
+      "psharp-campaign:99" ^ String.sub s 17 (String.length s - 17));
+  corrupt_meta "truncated meta (no end line)" (fun s ->
+      (* drop the last (end) line *)
+      let lines = String.split_on_char '\n' s in
+      String.concat "\n"
+        (List.filteri (fun i _ -> i < List.length lines - 2) lines)
+      ^ "\n");
+  corrupt_meta "witness count mismatch" (fun s ->
+      let lines = String.split_on_char '\n' s in
+      String.concat "\n"
+        (List.map
+           (fun l -> if l = "witnesses:1" then "witnesses:2" else l)
+           lines));
+  corrupt_meta "non-canonical executions" (fun s ->
+      let lines = String.split_on_char '\n' s in
+      String.concat "\n"
+        (List.map
+           (fun l -> if l = "executions:20" then "executions:020" else l)
+           lines));
+  corrupt_meta "garbage after end" (fun s -> s ^ "extra:line\n");
+  fresh ();
+  Sys.remove (Filename.concat dir "coverage");
+  expect_load_failure "missing coverage file" dir;
+  fresh ();
+  Sys.remove (Filename.concat (Filename.concat dir "corpus") "00001.trace");
+  expect_load_failure "missing corpus entry" dir;
+  fresh ();
+  write_file
+    (Filename.concat (Filename.concat dir "corpus") "00000.trace")
+    "not a trace\n";
+  expect_load_failure "corrupted corpus entry" dir
+
+(* --- Resume equivalence ------------------------------------------------- *)
+
+let test_resume_equals_uninterrupted () =
+  (* For an iteration-seeded strategy, 20 executions + save + load + 20
+     resumed executions must accumulate exactly the coverage of one
+     uninterrupted 40-execution run: execution seeds are a pure function
+     of the global iteration, prior coverage seeds the accumulator, and
+     absorb is commutative. *)
+  let full = explore_coverage ~executions:40 () in
+  let first = explore_coverage ~executions:20 () in
+  let dir = tmp_dir "resume" in
+  let c = Campaign.create ~harness:"RacyExample" ~seed:11L in
+  let c = Campaign.advance c ~executions:20 ~coverage:first ~corpus:[] in
+  Campaign.save ~dir c;
+  let l = Campaign.load ~dir in
+  let resumed =
+    explore_coverage ~start_iteration:l.Campaign.executions
+      ~prior_coverage:l.Campaign.coverage ~executions:20 ()
+  in
+  Alcotest.(check bool)
+    "resumed cumulative coverage = uninterrupted run" true
+    (Coverage.equal full resumed)
+
+let suite =
+  [
+    Alcotest.test_case "coverage: save round-trips canonically" `Quick
+      test_coverage_save_roundtrip;
+    Alcotest.test_case "coverage: empty map round-trips" `Quick
+      test_coverage_save_empty;
+    Alcotest.test_case "coverage: corrupted saves rejected" `Quick
+      test_coverage_save_rejects_corruption;
+    Alcotest.test_case "campaign: directory round-trip" `Quick
+      test_campaign_roundtrip;
+    Alcotest.test_case "campaign: fresh campaign round-trips" `Quick
+      test_campaign_fresh_roundtrip;
+    Alcotest.test_case "campaign: load_opt on a missing dir" `Quick
+      test_campaign_load_opt_missing;
+    Alcotest.test_case "campaign: corrupted campaigns rejected" `Quick
+      test_campaign_rejects_corruption;
+    Alcotest.test_case "campaign: resume equals uninterrupted run" `Quick
+      test_resume_equals_uninterrupted;
+  ]

@@ -31,4 +31,5 @@ let () =
       ("shardkv", Test_shardkv.suite);
       ("witnesses", Test_witnesses.suite);
       ("roundtrip", Test_roundtrip.suite);
+      ("campaign", Test_campaign.suite);
     ]

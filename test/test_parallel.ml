@@ -320,6 +320,127 @@ let test_replay_rejects_negative_int () =
     Alcotest.failf "wrong kind: %s" (Error.kind_to_string k)
   | None -> Alcotest.fail "negative int choice replayed as if valid"
 
+(* --- Claim-discipline equivalence (batched vs legacy stride) ------------ *)
+
+(* The domain clamp would fold every worker onto this machine's cores;
+   lifting it exercises the real multi-domain machinery regardless of how
+   small the machine is. *)
+let with_oversubscribe f =
+  Unix.putenv "PSHARP_OVERSUBSCRIBE" "1";
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "PSHARP_OVERSUBSCRIBE" "0")
+    f
+
+let claim_modes =
+  [
+    ("batch1", W.Batch 1);
+    ("batch4", W.Batch 4);
+    ("batch16", W.Batch 16);
+    ("stride", W.Stride);
+  ]
+
+let test_sweep_equivalent_across_claims_and_workers () =
+  (* Every claim granularity and worker count must cover exactly the same
+     iteration set and fold the same stats — the invariant that lets the
+     engine swap claiming disciplines without moving any golden digest. *)
+  with_oversubscribe @@ fun () ->
+  let iterations = 60 in
+  let body () ~iteration =
+    ( (if iteration mod 3 = 0 then Some (iteration * iteration) else None),
+      1 + (iteration mod 5) )
+  in
+  let expected_results =
+    List.init iterations Fun.id
+    |> List.filter_map (fun i ->
+           if i mod 3 = 0 then Some (i * i, i) else None)
+  in
+  let expected_steps =
+    List.fold_left ( + ) 0 (List.init iterations (fun i -> 1 + (i mod 5)))
+  in
+  List.iter
+    (fun (label, claim) ->
+      List.iter
+        (fun workers ->
+          let results, stats =
+            W.sweep ~claim ~workers ~max_iterations:iterations
+              ~init:(fun ~worker:_ -> ())
+              ~body ()
+          in
+          let tag = Printf.sprintf "%s/%d-worker" label workers in
+          Alcotest.(check (list (pair int int)))
+            (tag ^ ": same results") expected_results results;
+          Alcotest.(check int)
+            (tag ^ ": all iterations ran") iterations stats.W.executions;
+          Alcotest.(check int)
+            (tag ^ ": same folded steps") expected_steps stats.W.total_steps)
+        [ 1; 2; 4 ])
+    claim_modes
+
+let test_hunt_winner_identical_across_claims_and_workers () =
+  (* Two iterations report (13 and 27); the lowest must win under every
+     claim discipline, batch size and worker count. *)
+  with_oversubscribe @@ fun () ->
+  let body () ~iteration =
+    ((if iteration = 13 || iteration = 27 then Some iteration else None), 1)
+  in
+  List.iter
+    (fun (label, claim) ->
+      List.iter
+        (fun workers ->
+          let winner, _ =
+            W.hunt ~claim ~workers ~max_iterations:100
+              ~init:(fun ~worker:_ -> ())
+              ~body ()
+          in
+          match winner with
+          | Some (value, iteration) ->
+            let tag = Printf.sprintf "%s/%d-worker" label workers in
+            Alcotest.(check int) (tag ^ ": lowest iteration wins") 13 iteration;
+            Alcotest.(check int) (tag ^ ": value from that iteration") 13 value
+          | None -> Alcotest.fail "expected a winner")
+        [ 1; 2; 4 ])
+    claim_modes
+
+let test_merged_coverage_identical_1_2_4_workers () =
+  (* Batch-boundary shard merging must produce the same merged map as the
+     sequential accumulator — absorb is commutative, the iteration set is
+     identical — at every worker count, on real domains. *)
+  with_oversubscribe @@ fun () ->
+  let explore workers =
+    let stats =
+      E.explore
+        {
+          config with
+          E.max_executions = 120;
+          collect_coverage = true;
+          workers;
+        }
+        racy_harness
+    in
+    Alcotest.(check int) "full budget explored" 120 stats.E.executions;
+    match stats.E.coverage with
+    | Some cov -> cov
+    | None -> Alcotest.fail "explore returned no coverage"
+  in
+  let seq = explore 1 in
+  Alcotest.(check bool)
+    "2-worker merged map = sequential" true
+    (Psharp.Coverage.equal seq (explore 2));
+  Alcotest.(check bool)
+    "4-worker merged map = sequential" true
+    (Psharp.Coverage.equal seq (explore 4))
+
+let test_hunt_witness_identical_1_2_4_workers () =
+  with_oversubscribe @@ fun () ->
+  let witness workers =
+    match E.run { config with E.workers; seed = 5L } racy_harness with
+    | E.Bug_found (report, _) -> Trace.to_string report.Error.trace
+    | E.No_bug _ -> Alcotest.failf "race not found with %d worker(s)" workers
+  in
+  let seq = witness 1 in
+  Alcotest.(check string) "2-worker witness = sequential" seq (witness 2);
+  Alcotest.(check string) "4-worker witness = sequential" seq (witness 4)
+
 let suite =
   [
     Alcotest.test_case "pool: resolve worker counts" `Quick test_resolve;
@@ -354,4 +475,12 @@ let suite =
       test_lenient_strategy_rejects_negative_int;
     Alcotest.test_case "replay: rejects negative int choices" `Quick
       test_replay_rejects_negative_int;
+    Alcotest.test_case "pool: sweep equivalent across claims and workers"
+      `Quick test_sweep_equivalent_across_claims_and_workers;
+    Alcotest.test_case "pool: hunt winner identical across claims and workers"
+      `Quick test_hunt_winner_identical_across_claims_and_workers;
+    Alcotest.test_case "engine: merged coverage identical at 1/2/4 workers"
+      `Quick test_merged_coverage_identical_1_2_4_workers;
+    Alcotest.test_case "engine: hunt witness identical at 1/2/4 workers"
+      `Quick test_hunt_witness_identical_1_2_4_workers;
   ]
