@@ -529,7 +529,7 @@ let campaign_bench ~budget () =
               start_iteration = warm_stats.E.executions;
               prior_coverage = warm_stats.E.coverage;
               collect_coverage = true;
-              fuzz_exchange = Some (Fuzz_exchange.of_traces corpus);
+              fuzz_exchange = Some (Fuzz_exchange.of_entries corpus);
             }
         in
         (name, warm_budget, List.length corpus, cold, resumed))
@@ -717,7 +717,85 @@ let coverage_fingerprint_replay oc entry =
       entry.Bug_catalog.name recorded replayed
       (Int64.equal recorded replayed)
 
-let coverage_growth ~budgets () =
+(* Fuzz v2 on the fault-only catalog bugs: executions-to-first-bug under
+   plain v1 fuzz vs the energy-scheduled fault-mutating v2, at the same
+   seed and budget. These bugs fire only under injected faults (each
+   entry's own spec), so the fault-tune operator has a real surface:
+   perturbing recorded crash instants and drop/dup draws around a
+   coverage-novel schedule. *)
+let fuzz_v2_fault_bugs =
+  [
+    "ExtentNodeCrashLosesBinding";
+    "ChaintableDuplicateBackendRequest";
+    "FabricCrashSilentRestart";
+  ]
+
+let fuzz_v2_fault_block oc ~hunt_budget =
+  Printf.printf
+    "-- fuzz v2 vs plain fuzz on the fault-only bugs, budget %d --\n"
+    hunt_budget;
+  let execs entry ~v2 =
+    let cfg =
+      {
+        E.default_config with
+        strategy = E.Fuzz { corpus_cap = 32 };
+        seed = base_seed;
+        max_executions = hunt_budget;
+        max_steps = entry.Bug_catalog.max_steps;
+        faults = entry.Bug_catalog.faults;
+        clock = entry.Bug_catalog.clock;
+        reduce = (if v2 then E.Hb_track else E.No_reduction);
+        fuzz_energy = v2;
+        fuzz_mutate_faults = v2;
+      }
+    in
+    match
+      E.run ~monitors:entry.Bug_catalog.monitors cfg
+        entry.Bug_catalog.harness
+    with
+    | E.Bug_found (_, stats) -> Some stats.E.executions
+    | E.No_bug _ -> None
+  in
+  let rows =
+    List.map
+      (fun name ->
+        let entry = Bug_catalog.find name in
+        (name, execs entry ~v2:false, execs entry ~v2:true))
+      fuzz_v2_fault_bugs
+  in
+  let pp_execs = function Some n -> string_of_int n | None -> "not-found" in
+  Printf.printf "%-36s %12s %12s\n" "bug" "execs fuzz" "execs fzv2";
+  print_endline (String.make 62 '-');
+  List.iter
+    (fun (name, fz, fz2) ->
+      Printf.printf "%-36s %12s %12s\n" name (pp_execs fz) (pp_execs fz2))
+    rows;
+  let improved =
+    List.length
+      (List.filter
+         (fun (_, fz, fz2) ->
+           match (fz, fz2) with
+           | Some a, Some b -> b <= a
+           | None, Some _ -> true
+           | _ -> false)
+         rows)
+  in
+  Printf.printf "fuzz v2 <= plain fuzz on %d/%d fault-only bugs\n" improved
+    (List.length rows);
+  let json_execs = function Some n -> string_of_int n | None -> "null" in
+  Printf.fprintf oc
+    "  \"fuzz_v2_fault_bugs\": {\"hunt_budget\": %d, \"bugs\": [\n" hunt_budget;
+  List.iteri
+    (fun i (name, fz, fz2) ->
+      Printf.fprintf oc
+        "    {\"name\": %S, \"execs_to_first_bug_fuzz\": %s, \
+         \"execs_to_first_bug_fuzz_v2\": %s}%s\n"
+        name (json_execs fz) (json_execs fz2)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "  ]},\n"
+
+let coverage_growth ~budgets ~fuzz_budget () =
   Printf.printf
     "== Coverage growth: random vs PCT vs fuzz, budgets %s (seed %Ld) ==\n"
     (String.concat "/" (List.map string_of_int budgets))
@@ -742,6 +820,7 @@ let coverage_growth ~budgets () =
       coverage_harness oc ~last:(i = List.length entries - 1) entry ~budgets)
     entries;
   output_string oc "  ],\n";
+  fuzz_v2_fault_block oc ~hunt_budget:fuzz_budget;
   coverage_fingerprint_replay oc (Bug_catalog.find "ExtentNodeLivenessViolation");
   output_string oc "}\n";
   close_out oc;
@@ -1540,12 +1619,15 @@ let lin_overhead ~budget ~op_counts () =
 (* Happens-before reduction                                            *)
 (* ------------------------------------------------------------------ *)
 
-(* ISSUE 5 acceptance benchmark. For each paper case study: hunt the
-   catalog bug with reduction off and with sleep sets (executions to
-   first bug at a fixed seed), and explore the no-bug fixed variant with
-   plain tracking vs sleep sets (distinct canonical partial orders per
-   1000 executions — how much of the budget lands on semantically new
-   interleavings). Results land in BENCH_dpor.json. *)
+(* ISSUE 5 acceptance benchmark, extended by ISSUE 9. For each paper case
+   study: hunt the catalog bug with reduction off and with sleep sets
+   (executions to first bug at a fixed seed), hunt it with plain v1 fuzz
+   and with fuzz v2 (energy schedule + fault mutation, hb tracking on so
+   partial-order novelty feeds the corpus), and explore the no-bug fixed
+   variant with plain tracking vs sleep sets (distinct canonical partial
+   orders per 1000 executions — how much of the budget lands on
+   semantically new interleavings). Results land in BENCH_dpor.json; the
+   pre-fuzz-v2 numbers are preserved as a baseline block. *)
 
 let reduction_bugs =
   [
@@ -1553,6 +1635,11 @@ let reduction_bugs =
     ("chaintable", "QueryAtomicFilterShadowing");
     ("fabric", "FabricPromoteDuringCopy");
   ]
+
+(* The ISSUE 5 numbers these extensions must not lose (seed 1, hunt
+   budget 20000): off/sleep executions-to-first-bug per harness. *)
+let reduction_baseline =
+  [ ("vnext", 1009, 840); ("chaintable", 16, 20); ("fabric", 36, 14) ]
 
 let reduction ~hunt_budget ~explore_budget () =
   Printf.printf
@@ -1598,47 +1685,101 @@ let reduction ~hunt_budget ~explore_budget () =
       /. float_of_int stats.E.executions *. 1000.
     | _ -> 0.
   in
+  (* v1 fuzz vs fuzz v2: same seed and budget; v2 turns on the energy
+     power-schedule and fault-tune mutation, with hb tracking so new
+     partial orders feed the corpus (tracking is draw-free, so the two
+     runs differ only in what the corpus does with novelty). *)
+  let fuzz_execs entry ~v2 =
+    let cfg =
+      {
+        E.default_config with
+        strategy = E.Fuzz { corpus_cap = 32 };
+        seed = base_seed;
+        max_executions = hunt_budget;
+        max_steps = entry.Bug_catalog.max_steps;
+        faults = entry.Bug_catalog.faults;
+        clock = entry.Bug_catalog.clock;
+        reduce = (if v2 then E.Hb_track else E.No_reduction);
+        fuzz_energy = v2;
+        fuzz_mutate_faults = v2;
+      }
+    in
+    match
+      E.run ~monitors:entry.Bug_catalog.monitors cfg
+        entry.Bug_catalog.harness
+    with
+    | E.Bug_found (_, stats) -> Some stats.E.executions
+    | E.No_bug _ -> None
+  in
   let rows =
     List.map
       (fun (harness, bug) ->
         let entry = Bug_catalog.find bug in
         let off = hunt_execs entry ~reduce:E.No_reduction in
         let on_ = hunt_execs entry ~reduce:E.Sleep_sets in
+        let fz = fuzz_execs entry ~v2:false in
+        let fz2 = fuzz_execs entry ~v2:true in
         let upo_track = upo_per_1000 entry ~reduce:E.Hb_track in
         let upo_sleep = upo_per_1000 entry ~reduce:E.Sleep_sets in
-        (harness, bug, off, on_, upo_track, upo_sleep))
+        (harness, bug, off, on_, fz, fz2, upo_track, upo_sleep))
       reduction_bugs
   in
   let pp_execs = function
     | Some n -> string_of_int n
     | None -> "not-found"
   in
-  Printf.printf "%-11s %-36s %12s %12s %11s %11s\n" "harness" "bug"
-    "execs (off)" "execs (on)" "upo/1k trk" "upo/1k slp";
-  print_endline (String.make 98 '-');
+  Printf.printf "%-11s %-36s %12s %12s %12s %12s %11s %11s\n" "harness" "bug"
+    "execs (off)" "execs (on)" "execs fuzz" "execs fzv2" "upo/1k trk"
+    "upo/1k slp";
+  print_endline (String.make 124 '-');
   List.iter
-    (fun (harness, bug, off, on_, ut, us) ->
-      Printf.printf "%-11s %-36s %12s %12s %11.1f %11.1f\n" harness bug
-        (pp_execs off) (pp_execs on_) ut us)
+    (fun (harness, bug, off, on_, fz, fz2, ut, us) ->
+      Printf.printf "%-11s %-36s %12s %12s %12s %12s %11.1f %11.1f\n" harness
+        bug (pp_execs off) (pp_execs on_) (pp_execs fz) (pp_execs fz2) ut us)
     rows;
+  let improved =
+    List.length
+      (List.filter
+         (fun (_, _, _, _, fz, fz2, _, _) ->
+           match (fz, fz2) with
+           | Some a, Some b -> b <= a
+           | None, Some _ -> true
+           | _ -> false)
+         rows)
+  in
+  Printf.printf "fuzz v2 <= plain fuzz on %d/%d paper bugs\n" improved
+    (List.length rows);
   let oc = open_out "BENCH_dpor.json" in
   output_string oc "{\n";
   Printf.fprintf oc "  \"seed\": %Ld,\n" base_seed;
   Printf.fprintf oc "  \"hunt_budget\": %d,\n" hunt_budget;
   Printf.fprintf oc "  \"explore_budget\": %d,\n" explore_budget;
+  output_string oc "  \"baseline_pre_fuzz_v2\": {\"seed\": 1, \"hunt_budget\": 20000, \"harnesses\": [\n";
+  List.iteri
+    (fun i (name, off, sleep) ->
+      Printf.fprintf oc
+        "    {\"name\": %S, \"execs_to_first_bug_off\": %d, \
+         \"execs_to_first_bug_sleep\": %d}%s\n"
+        name off sleep
+        (if i = List.length reduction_baseline - 1 then "" else ","))
+    reduction_baseline;
+  output_string oc "  ]},\n";
   output_string oc "  \"harnesses\": [\n";
   let json_execs = function
     | Some n -> string_of_int n
     | None -> "null"
   in
   List.iteri
-    (fun i (harness, bug, off, on_, ut, us) ->
+    (fun i (harness, bug, off, on_, fz, fz2, ut, us) ->
       Printf.fprintf oc
         "    {\"name\": %S, \"bug\": %S, \
          \"execs_to_first_bug_off\": %s, \"execs_to_first_bug_sleep\": \
-         %s, \"unique_partial_orders_per_1000_track\": %.1f, \
+         %s, \"execs_to_first_bug_fuzz\": %s, \
+         \"execs_to_first_bug_fuzz_v2\": %s, \
+         \"unique_partial_orders_per_1000_track\": %.1f, \
          \"unique_partial_orders_per_1000_sleep\": %.1f}%s\n"
-        harness bug (json_execs off) (json_execs on_) ut us
+        harness bug (json_execs off) (json_execs on_) (json_execs fz)
+        (json_execs fz2) ut us
         (if i = List.length rows - 1 then "" else ","))
     rows;
   output_string oc "  ]\n}\n";
@@ -1693,7 +1834,9 @@ let () =
       | "parallel-scaling" ->
         parallel_scaling ~budget:scaling_budget ~gate:smoke ()
       | "campaign" -> campaign_bench ~budget:campaign_budget ()
-      | "coverage-growth" -> coverage_growth ~budgets:coverage_budgets ()
+      | "coverage-growth" ->
+        coverage_growth ~budgets:coverage_budgets
+          ~fuzz_budget:reduction_hunt_budget ()
       | "exec-throughput" -> exec_throughput ~budget:throughput_budget ()
       | "fault-overhead" -> fault_overhead ~budget:throughput_budget ()
       | "time-overhead" -> time_overhead ~budget:throughput_budget ()

@@ -5,6 +5,8 @@
                         [--executions N] [--steps N] [--custom]
                         [--trace-out FILE] [--log] [--workers N]
                         [--coverage-report FILE] [--plateau N]
+                        [--plateau-family FAMILY]
+                        [--fuzz-energy] [--fuzz-mutate-faults]
                         [--faults drop,dup,delay,crash] [--fault-budget N]
                         [--check-lin auto|on|off] [--campaign DIR]
    psharp_test replay BUG --trace FILE [--custom] [--check-lin MODE]
@@ -103,9 +105,53 @@ let coverage_report_arg =
 let plateau_arg =
   let doc =
     "Stop after $(docv) consecutive executions that uncover no new \
-     coverage point (implies coverage collection)."
+     coverage point (implies coverage collection). Raw schedule and \
+     partial-order fingerprints never count as new points."
   in
   Arg.(value & opt (some int) None & info [ "plateau" ] ~docv:"N" ~doc)
+
+let plateau_family_arg =
+  let doc =
+    "Key the --plateau counter on a single coverage family (state, event, \
+     triple, branch, fault, history, or hb) instead of any-family gain: \
+     e.g. --plateau-family hb stops once no new canonical partial orders \
+     appear, even while coarser families still trickle in. Requires \
+     --plateau."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "plateau-family" ] ~docv:"FAMILY" ~doc)
+
+(* --plateau-family is a refinement of --plateau: alone it would silently
+   do nothing, so reject the combination loudly. *)
+let parse_plateau_family ~plateau = function
+  | None -> Ok None
+  | Some s ->
+    if plateau = None then Error "--plateau-family requires --plateau"
+    else begin
+      match Psharp.Coverage.family_kind_of_string s with
+      | fam -> Ok (Some fam)
+      | exception Failure _ ->
+        Error (Printf.sprintf "unknown coverage family %s" s)
+    end
+
+let fuzz_energy_arg =
+  let doc =
+    "With --sch fuzz: energy-scheduled corpus selection — entries that \
+     discovered new partial orders or fault points get proportionally \
+     more mutation attempts, and a new partial order alone admits a \
+     trace to the corpus."
+  in
+  Arg.(value & flag & info [ "fuzz-energy" ] ~doc)
+
+let fuzz_mutate_faults_arg =
+  let doc =
+    "With --sch fuzz: allow mutants to perturb recorded fault draws \
+     (crash instants, delay latencies, drop/dup booleans) while keeping \
+     the scheduling spine intact."
+  in
+  Arg.(value & flag & info [ "fuzz-mutate-faults" ] ~doc)
 
 let faults_arg =
   let doc =
@@ -192,9 +238,10 @@ let parse_strategy = function
   | "fuzz" -> Ok (E.Fuzz { corpus_cap = 32 })
   | other -> Error (Printf.sprintf "unknown strategy %s" other)
 
-let config_of ?(workers = 1) ?(coverage = false) ?plateau
-    ?(faults = Psharp.Fault.none) ?(reduce = E.No_reduction) ?clock entry
-    ~strategy ~seed ~executions ~steps ~log =
+let config_of ?(workers = 1) ?(coverage = false) ?plateau ?plateau_family
+    ?(faults = Psharp.Fault.none) ?(reduce = E.No_reduction) ?clock
+    ?(fuzz_energy = false) ?(fuzz_mutate_faults = false) entry ~strategy ~seed
+    ~executions ~steps ~log =
   {
     E.default_config with
     strategy;
@@ -205,9 +252,12 @@ let config_of ?(workers = 1) ?(coverage = false) ?plateau
     workers;
     collect_coverage = coverage;
     coverage_plateau = plateau;
+    plateau_family = Option.join plateau_family;
     faults;
     reduce;
     clock = Option.join clock;
+    fuzz_energy;
+    fuzz_mutate_faults;
   }
 
 let harness_of entry ~custom =
@@ -322,16 +372,19 @@ let campaign_state_of ~dir ~bug ~seed =
     end
 
 let hunt bug strategy seed executions steps custom trace_out log shrink
-    workers coverage_report plateau faults fault_budget reduce clock check_lin
-    campaign =
+    workers coverage_report plateau plateau_family faults fault_budget reduce
+    clock check_lin campaign fuzz_energy fuzz_mutate_faults =
   match
     Result.bind (parse_strategy strategy) (fun s ->
-        Result.map (fun r -> (s, r)) (parse_reduce reduce))
+        Result.bind (parse_reduce reduce) (fun r ->
+            Result.map
+              (fun pf -> (s, r, pf))
+              (parse_plateau_family ~plateau plateau_family)))
   with
   | Error msg ->
     prerr_endline msg;
     2
-  | Ok (strategy, reduce) -> begin
+  | Ok (strategy, reduce, plateau_family) -> begin
     match Bug_catalog.find bug with
     | exception Invalid_argument msg ->
       prerr_endline msg;
@@ -356,8 +409,9 @@ let hunt bug strategy seed executions steps custom trace_out log shrink
         let config =
           config_of ~workers
             ~coverage:(coverage_report <> None)
-            ?plateau ~faults:fault_spec ~reduce ~clock:clock_spec entry
-            ~strategy ~seed ~executions ~steps ~log
+            ?plateau ~plateau_family ~faults:fault_spec ~reduce
+            ~clock:clock_spec ~fuzz_energy ~fuzz_mutate_faults entry ~strategy
+            ~seed ~executions ~steps ~log
         in
         (* With --sch fuzz the campaign's corpus flows through an Exchange
            hub: the run's novel schedules collect there and the snapshot
@@ -365,7 +419,7 @@ let hunt bug strategy seed executions steps custom trace_out log shrink
         let exchange =
           match (campaign_state, strategy) with
           | Some (_, c), E.Fuzz _ ->
-            Some (Psharp.Fuzz_strategy.Exchange.of_traces c.Campaign.corpus)
+            Some (Psharp.Fuzz_strategy.Exchange.of_entries c.Campaign.corpus)
           | _ -> None
         in
         let config =
@@ -396,7 +450,18 @@ let hunt bug strategy seed executions steps custom trace_out log shrink
             in
             let corpus =
               match exchange with
-              | Some e -> Psharp.Fuzz_strategy.Exchange.snapshot e
+              | Some e ->
+                (* no silent caps: say what the hub accepted and dropped *)
+                let st = Psharp.Fuzz_strategy.Exchange.stats e in
+                Format.printf
+                  "exchange: %d corpus entr%s pooled, %d duplicate push(es) \
+                   dropped, %d push(es) dropped at cap@."
+                  st.Psharp.Fuzz_strategy.Exchange.accepted
+                  (if st.Psharp.Fuzz_strategy.Exchange.accepted = 1 then "y"
+                   else "ies")
+                  st.Psharp.Fuzz_strategy.Exchange.dropped_dup
+                  st.Psharp.Fuzz_strategy.Exchange.dropped_cap;
+                Psharp.Fuzz_strategy.Exchange.snapshot e
               | None -> c.Campaign.corpus
             in
             let c =
@@ -470,9 +535,9 @@ let hunt_cmd =
     Term.(
       const hunt $ bug_arg $ strategy_arg $ seed_arg $ executions_arg
       $ steps_arg $ custom_arg $ trace_out_arg $ log_arg $ shrink_arg
-      $ workers_arg $ coverage_report_arg $ plateau_arg $ faults_arg
-      $ fault_budget_arg $ reduce_arg $ clock_arg $ check_lin_arg
-      $ campaign_arg)
+      $ workers_arg $ coverage_report_arg $ plateau_arg $ plateau_family_arg
+      $ faults_arg $ fault_budget_arg $ reduce_arg $ clock_arg $ check_lin_arg
+      $ campaign_arg $ fuzz_energy_arg $ fuzz_mutate_faults_arg)
 
 (* --- replay ------------------------------------------------------------- *)
 
@@ -693,15 +758,19 @@ let check_cmd =
 (* --- explore (coverage, no bug expectation) ----------------------------- *)
 
 let explore bug strategy seed executions steps custom workers coverage_report
-    plateau faults fault_budget reduce clock =
+    plateau plateau_family faults fault_budget reduce clock fuzz_energy
+    fuzz_mutate_faults =
   match
     Result.bind (parse_strategy strategy) (fun s ->
-        Result.map (fun r -> (s, r)) (parse_reduce reduce))
+        Result.bind (parse_reduce reduce) (fun r ->
+            Result.map
+              (fun pf -> (s, r, pf))
+              (parse_plateau_family ~plateau plateau_family)))
   with
   | Error msg ->
     prerr_endline msg;
     2
-  | Ok (strategy, reduce) -> begin
+  | Ok (strategy, reduce, plateau_family) -> begin
     match Bug_catalog.find bug with
     | exception Invalid_argument msg ->
       prerr_endline msg;
@@ -717,8 +786,9 @@ let explore bug strategy seed executions steps custom workers coverage_report
         2
       | Ok (fault_spec, clock_spec, harness) ->
         let config =
-          config_of ~workers ~coverage:true ?plateau ~faults:fault_spec
-            ~reduce ~clock:clock_spec entry ~strategy ~seed ~executions ~steps
+          config_of ~workers ~coverage:true ?plateau ~plateau_family
+            ~faults:fault_spec ~reduce ~clock:clock_spec ~fuzz_energy
+            ~fuzz_mutate_faults entry ~strategy ~seed ~executions ~steps
             ~log:false
         in
         let stats = E.explore ~monitors:entry.Bug_catalog.monitors config harness in
@@ -751,7 +821,8 @@ let explore_cmd =
     Term.(
       const explore $ bug_arg $ strategy_arg $ seed_arg $ executions_arg
       $ steps_arg $ custom_arg $ workers_arg $ coverage_report_arg
-      $ plateau_arg $ faults_arg $ fault_budget_arg $ reduce_arg $ clock_arg)
+      $ plateau_arg $ plateau_family_arg $ faults_arg $ fault_budget_arg
+      $ reduce_arg $ clock_arg $ fuzz_energy_arg $ fuzz_mutate_faults_arg)
 
 let () =
   let info =

@@ -17,7 +17,7 @@ type t = {
   seed : int64;
   executions : int;
   coverage : Coverage.t;
-  corpus : Trace.t list;
+  corpus : Fuzz_strategy.corpus_entry list;
   witnesses : (string * Trace.t) list;
 }
 
@@ -95,7 +95,20 @@ let rec mkdir_p dir =
 
 (* --- Save --------------------------------------------------------------- *)
 
-let meta_version = "psharp-campaign:1"
+let meta_version = "psharp-campaign:2"
+
+(* Canonical corpus-entry metadata line: energy first, then the novelty
+   tags in [Coverage.all_family_kinds] order, comma-separated — e.g.
+   ["centry:13,fault,hb"]. Normalizing at render time makes the bytes
+   canonical whatever order the tags arrived in. *)
+let render_centry (e : Fuzz_strategy.corpus_entry) =
+  let tags =
+    List.filter (fun k -> List.mem k e.Fuzz_strategy.tags)
+      Coverage.all_family_kinds
+  in
+  String.concat ","
+    (string_of_int e.Fuzz_strategy.energy
+    :: List.map Coverage.family_kind_to_string tags)
 
 let to_meta t =
   let buf = Buffer.create 256 in
@@ -106,6 +119,10 @@ let to_meta t =
   Buffer.add_string buf (Printf.sprintf "executions:%d\n" t.executions);
   Buffer.add_string buf
     (Printf.sprintf "corpus:%d\n" (List.length t.corpus));
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (Printf.sprintf "centry:%s\n" (render_centry e)))
+    t.corpus;
   Buffer.add_string buf
     (Printf.sprintf "witnesses:%d\n" (List.length t.witnesses));
   List.iter
@@ -120,7 +137,9 @@ let save ~dir t =
   mkdir_p (corpus_dir dir);
   mkdir_p (witness_dir dir);
   Coverage.save ~path:(coverage_file dir) t.coverage;
-  List.iteri (fun i tr -> Trace.save ~path:(numbered (corpus_dir dir) i) tr)
+  List.iteri
+    (fun i e ->
+      Trace.save ~path:(numbered (corpus_dir dir) i) e.Fuzz_strategy.trace)
     t.corpus;
   List.iteri
     (fun i (_, tr) -> Trace.save ~path:(numbered (witness_dir dir) i) tr)
@@ -173,7 +192,6 @@ let of_meta data =
   let seed, rest = field "seed" rest in
   let executions, rest = field "executions" rest in
   let corpus_n, rest = field "corpus" rest in
-  let witness_n, rest = field "witnesses" rest in
   let seed =
     match canonical_int64 seed with
     | Some s -> s
@@ -190,6 +208,46 @@ let of_meta data =
     | _ -> failwith (Printf.sprintf "Campaign.load: bad %s count" name)
   in
   let corpus_n = ints "corpus" corpus_n in
+  (* Strict corpus-entry metadata: positive canonical energy, known tags,
+     canonical tag order, no duplicates — anything else is corruption. *)
+  let parse_centry s =
+    match String.split_on_char ',' s with
+    | [] -> failwith "Campaign.load: empty corpus entry"
+    | e :: tags ->
+      let energy =
+        match canonical_int e with
+        | Some n when n >= 1 -> n
+        | _ ->
+          failwith
+            (Printf.sprintf "Campaign.load: bad corpus entry energy %S" e)
+      in
+      let tags =
+        List.map
+          (fun tag ->
+            try Coverage.family_kind_of_string tag
+            with Failure _ ->
+              failwith
+                (Printf.sprintf "Campaign.load: unknown corpus entry tag %S"
+                   tag))
+          tags
+      in
+      let canonical =
+        List.filter (fun k -> List.mem k tags) Coverage.all_family_kinds
+      in
+      if canonical <> tags then
+        failwith
+          (Printf.sprintf "Campaign.load: non-canonical corpus entry tags %S"
+             s);
+      (energy, tags)
+  in
+  let rec take_centries n acc rest =
+    if n = 0 then (List.rev acc, rest)
+    else
+      let line, rest = field "centry" rest in
+      take_centries (n - 1) (parse_centry line :: acc) rest
+  in
+  let centries, rest = take_centries corpus_n [] rest in
+  let witness_n, rest = field "witnesses" rest in
   let witness_n = ints "witnesses" witness_n in
   let rec take_witnesses n acc rest =
     if n = 0 then (List.rev acc, rest)
@@ -203,7 +261,7 @@ let of_meta data =
    | [] -> failwith "Campaign.load: truncated meta (missing end line)"
    | line :: _ ->
      failwith (Printf.sprintf "Campaign.load: unexpected meta line %S" line));
-  (unescape harness, seed, executions, corpus_n, kinds)
+  (unescape harness, seed, executions, centries, kinds)
 
 let read_file path =
   let ic =
@@ -221,7 +279,7 @@ let load_trace path =
   with Failure msg -> failwith (Printf.sprintf "%s (in %s)" msg path)
 
 let load ~dir =
-  let harness, seed, executions, corpus_n, kinds =
+  let harness, seed, executions, centries, kinds =
     of_meta (read_file (meta_file dir))
   in
   let coverage =
@@ -230,7 +288,14 @@ let load ~dir =
       failwith (Printf.sprintf "%s (in %s)" msg (coverage_file dir))
   in
   let corpus =
-    List.init corpus_n (fun i -> load_trace (numbered (corpus_dir dir) i))
+    List.mapi
+      (fun i (energy, tags) ->
+        {
+          Fuzz_strategy.trace = load_trace (numbered (corpus_dir dir) i);
+          energy;
+          tags;
+        })
+      centries
   in
   let witnesses =
     List.mapi (fun i kind -> (kind, load_trace (numbered (witness_dir dir) i)))

@@ -29,7 +29,12 @@ type t = {
   seed : int64;  (** base seed of the campaign *)
   executions : int;  (** executions spent across all invocations so far *)
   coverage : Coverage.t;  (** merged coverage of all those executions *)
-  corpus : Trace.t list;  (** fuzz corpus, in discovery order *)
+  corpus : Fuzz_strategy.corpus_entry list;
+      (** fuzz corpus in discovery order, each entry carrying its
+          mutation energy and the typed novelty tags that admitted it.
+          The metadata persists as strict [centry:<energy>[,tag...]]
+          manifest lines (canonical tag order, canonical integers), so a
+          resume restarts the power schedule exactly where it stopped. *)
   witnesses : (string * Trace.t) list;
       (** found bugs: [(kind, witness)] in discovery order, one entry per
           distinct kind *)
@@ -41,7 +46,12 @@ val create : harness:string -> seed:int64 -> t
 (** [advance t ~executions ~coverage ~corpus] folds one finished
     invocation in: adds [executions] to the spent total and replaces the
     coverage map and corpus with the invocation's cumulative ones. *)
-val advance : t -> executions:int -> coverage:Coverage.t -> corpus:Trace.t list -> t
+val advance :
+  t ->
+  executions:int ->
+  coverage:Coverage.t ->
+  corpus:Fuzz_strategy.corpus_entry list ->
+  t
 
 (** Archives a witness for [kind]; a kind already archived is kept
     unchanged (the first witness wins). *)

@@ -136,34 +136,110 @@ let note_execution t ~fingerprint =
 
 (* --- Merging ----------------------------------------------------------- *)
 
-let absorb ~into src =
-  let novel = ref false in
+type family_kind = State | Event | Triple | Branch | Fault | History | Hb
+
+let all_family_kinds = [ State; Event; Triple; Branch; Fault; History; Hb ]
+
+let family_kind_to_string = function
+  | State -> "state"
+  | Event -> "event"
+  | Triple -> "triple"
+  | Branch -> "branch"
+  | Fault -> "fault"
+  | History -> "history"
+  | Hb -> "hb"
+
+let family_kind_of_string = function
+  | "state" -> State
+  | "event" -> Event
+  | "triple" -> Triple
+  | "branch" -> Branch
+  | "fault" -> Fault
+  | "history" -> History
+  | "hb" -> Hb
+  | s -> failwith (Printf.sprintf "Coverage: unknown coverage family %S" s)
+
+type novelty = {
+  new_states : int;
+  new_events : int;
+  new_triples : int;
+  new_branches : int;
+  new_faults : int;
+  new_histories : int;
+  new_hb : int;
+}
+
+let no_novelty =
+  {
+    new_states = 0;
+    new_events = 0;
+    new_triples = 0;
+    new_branches = 0;
+    new_faults = 0;
+    new_histories = 0;
+    new_hb = 0;
+  }
+
+let novel_core n =
+  n.new_states > 0 || n.new_events > 0 || n.new_triples > 0
+  || n.new_branches > 0 || n.new_faults > 0 || n.new_histories > 0
+
+let novel_in n = function
+  | State -> n.new_states > 0
+  | Event -> n.new_events > 0
+  | Triple -> n.new_triples > 0
+  | Branch -> n.new_branches > 0
+  | Fault -> n.new_faults > 0
+  | History -> n.new_histories > 0
+  | Hb -> n.new_hb > 0
+
+let novel_families n = List.filter (novel_in n) all_family_kinds
+
+let absorb_tagged ~into src =
   let merge src_fam dst_fam =
+    let fresh = ref 0 in
     for i = 0 to src_fam.n - 1 do
       if family_bump_n dst_fam src_fam.keys.(i) src_fam.counts.(i) then
-        novel := true
-    done
+        incr fresh
+    done;
+    !fresh
   in
-  merge src.states into.states;
-  merge src.events into.events;
-  merge src.triples into.triples;
-  merge src.branches into.branches;
-  merge src.faults into.faults;
-  merge src.histories into.histories;
-  (* Schedule and partial-order fingerprints merge like the rest but do
-     not feed the novelty flag: almost every random schedule is unique. *)
+  let new_states = merge src.states into.states in
+  let new_events = merge src.events into.events in
+  let new_triples = merge src.triples into.triples in
+  let new_branches = merge src.branches into.branches in
+  let new_faults = merge src.faults into.faults in
+  let new_histories = merge src.histories into.histories in
+  (* Fingerprint multisets merge like the rest. Raw schedule fingerprints
+     never count as novelty — almost every random schedule is unique —
+     but new hb fingerprints are reported per family: a semantically new
+     partial order is exactly the signal hb-guided fuzzing feeds on. *)
   let merge_fp src dst =
+    let fresh = ref 0 in
     Hashtbl.iter
       (fun k n ->
         match Hashtbl.find_opt dst k with
         | Some m -> Hashtbl.replace dst k (m + n)
-        | None -> Hashtbl.replace dst k n)
-      src
+        | None ->
+          incr fresh;
+          Hashtbl.replace dst k n)
+      src;
+    !fresh
   in
-  merge_fp src.schedules into.schedules;
-  merge_fp src.hb into.hb;
+  let (_ : int) = merge_fp src.schedules into.schedules in
+  let new_hb = merge_fp src.hb into.hb in
   into.executions <- into.executions + src.executions;
-  !novel
+  {
+    new_states;
+    new_events;
+    new_triples;
+    new_branches;
+    new_faults;
+    new_histories;
+    new_hb;
+  }
+
+let absorb ~into src = novel_core (absorb_tagged ~into src)
 
 (* --- Reading ----------------------------------------------------------- *)
 

@@ -81,13 +81,68 @@ val schedule_digest : t -> string
 
 (** {1 Merging} *)
 
-(** [absorb ~into src] adds every count of [src] into [into] (commutative
-    and associative up to {!equal}, so per-worker maps may be merged in any
-    order). Returns [true] when [src] contributed at least one {e new}
-    coverage point — a state, event type, triple or branch outcome [into]
-    had never seen. New schedule fingerprints alone do not count as novel
-    (random scheduling makes almost every schedule unique, which would
-    drown the signal feedback strategies rely on). *)
+(** The novelty-bearing families of a map, used to key plateau bounds and
+    typed corpus tags. [Hb] is the canonical partial-order family
+    ({!note_hb}); raw schedule fingerprints are deliberately not a family
+    here — they never count as novelty (see {!absorb}). *)
+type family_kind = State | Event | Triple | Branch | Fault | History | Hb
+
+(** Every family kind, in the canonical (persistence) order. *)
+val all_family_kinds : family_kind list
+
+(** Stable lowercase spelling: ["state"], ["event"], ["triple"],
+    ["branch"], ["fault"], ["history"], ["hb"] — the CLI
+    [--plateau-family] vocabulary and the campaign-save tag format. *)
+val family_kind_to_string : family_kind -> string
+
+(** Strict inverse of {!family_kind_to_string}.
+    @raise Failure on an unknown family name. *)
+val family_kind_of_string : string -> family_kind
+
+(** Per-family novelty breakdown of one {!absorb_tagged}: how many keys of
+    each family the absorbed map contributed that the accumulator had
+    never seen. Raw schedule fingerprints are excluded by design (almost
+    every random schedule is unique — counting them would drown the
+    feedback signal); new {e hb} fingerprints are reported in [new_hb]
+    but excluded from {!novel_core}, preserving the historical [absorb]
+    flag. *)
+type novelty = {
+  new_states : int;
+  new_events : int;
+  new_triples : int;
+  new_branches : int;
+  new_faults : int;
+  new_histories : int;
+  new_hb : int;
+}
+
+val no_novelty : novelty
+
+(** The historical {!absorb} flag: any new state, event type, triple,
+    branch outcome, fault point or history point. New [hb] fingerprints
+    alone do {e not} set it (they never did), so default-configured
+    feedback and plateau semantics are unchanged. *)
+val novel_core : novelty -> bool
+
+(** [novel_in n fam]: did the absorb contribute a new key of [fam]? *)
+val novel_in : novelty -> family_kind -> bool
+
+(** Families with at least one new key, in canonical order — the typed
+    novelty tags a fuzz corpus entry records. *)
+val novel_families : novelty -> family_kind list
+
+(** [absorb_tagged ~into src] adds every count of [src] into [into]
+    (commutative and associative up to {!equal}, so per-worker maps may be
+    merged in any order) and returns the per-family novelty breakdown. *)
+val absorb_tagged : into:t -> t -> novelty
+
+(** [absorb ~into src] = [novel_core (absorb_tagged ~into src)]: [true]
+    when [src] contributed at least one {e new} coverage point — a state,
+    event type, triple or branch outcome [into] had never seen. New
+    schedule fingerprints alone do not count as novel (random scheduling
+    makes almost every schedule unique, which would drown the signal
+    feedback strategies rely on), and neither do new hb fingerprints under
+    this boolean summary — use {!absorb_tagged} when hb novelty matters. *)
 val absorb : into:t -> t -> bool
 
 (** Structural equality over every counter, fingerprint multiset included. *)

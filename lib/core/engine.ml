@@ -21,13 +21,16 @@ type config = {
   workers : int;
   collect_coverage : bool;
   coverage_plateau : int option;
+  plateau_family : Coverage.family_kind option;
   faults : Fault.spec;
   reduce : reduction;
   clock : Clock.config option;
   start_iteration : int;
   prior_coverage : Coverage.t option;
-  fuzz_initial : Trace.t list;
+  fuzz_initial : Fuzz_strategy.corpus_entry list;
   fuzz_exchange : Fuzz_strategy.Exchange.t option;
+  fuzz_energy : bool;
+  fuzz_mutate_faults : bool;
 }
 
 let default_config =
@@ -43,6 +46,7 @@ let default_config =
     workers = 1;
     collect_coverage = false;
     coverage_plateau = None;
+    plateau_family = None;
     faults = Fault.none;
     reduce = No_reduction;
     clock = None;
@@ -50,6 +54,8 @@ let default_config =
     prior_coverage = None;
     fuzz_initial = [];
     fuzz_exchange = None;
+    fuzz_energy = false;
+    fuzz_mutate_faults = false;
   }
 
 type stats = {
@@ -80,7 +86,8 @@ let factory_of config =
   | Replay_trace t -> Replay_strategy.factory t
   | Fuzz { corpus_cap } ->
     Fuzz_strategy.factory ~seed:config.seed ~corpus_cap
-      ~initial:config.fuzz_initial ?exchange:config.fuzz_exchange ()
+      ~initial:config.fuzz_initial ?exchange:config.fuzz_exchange
+      ~energy:config.fuzz_energy ~mutate_faults:config.fuzz_mutate_faults ()
 
 (* [deadline] is the run's absolute wall-clock bound (started +
    max_seconds); the runtime checks it inside the step loop, so a single
@@ -182,33 +189,52 @@ let seeded_acc config =
    | None -> ());
   acc
 
+(* Did this absorb count as plateau gain? Unkeyed, any core-family novelty
+   does (the historical rule; schedule and hb fingerprints never count —
+   see coverage.mli). Keyed on a family, only that family's novelty resets
+   the counter, so e.g. [--plateau-family hb] stops a long fuzz campaign
+   once it stops finding new partial orders even while coarser families
+   still trickle in. *)
+let plateau_gain family novelty =
+  match family with
+  | None -> Coverage.novel_core novelty
+  | Some fam -> Coverage.novel_in novelty fam
+
 (* The sequential accumulator: the run owns it exclusively, so merging an
    execution's map is a plain call — no lock anywhere on the path. *)
 type collector = {
   acc : Coverage.t;
+  gain_family : Coverage.family_kind option;
   mutable no_gain : int;  (* consecutive executions with no new point *)
 }
 
 let collector_of config (factory : Strategy.factory) =
   if wants_coverage config factory then
-    Some { acc = seeded_acc config; no_gain = 0 }
+    Some
+      {
+        acc = seeded_acc config;
+        gain_family = config.plateau_family;
+        no_gain = 0;
+      }
   else None
 
 (* One execution's worth of coverage bookkeeping: fingerprint the schedule,
    merge into the run accumulator, update the plateau counter and feed the
-   strategy back. Returns whether the execution was novel. *)
+   strategy back with the per-family novelty breakdown. Returns whether
+   the execution was core-novel. *)
 let observe collector (factory : Strategy.factory) (result : Runtime.exec_result)
     exec_cov =
   match (collector, exec_cov) with
   | Some c, Some exec ->
     Coverage.note_execution exec
       ~fingerprint:(Coverage.fingerprint result.Runtime.choices);
-    let novel = Coverage.absorb ~into:c.acc exec in
-    if novel then c.no_gain <- 0 else c.no_gain <- c.no_gain + 1;
+    let novelty = Coverage.absorb_tagged ~into:c.acc exec in
+    if plateau_gain c.gain_family novelty then c.no_gain <- 0
+    else c.no_gain <- c.no_gain + 1;
     (match factory.Strategy.feedback with
-     | Some f -> f ~trace:result.Runtime.choices ~novel
+     | Some f -> f ~trace:result.Runtime.choices ~novelty
      | None -> ());
-    novel
+    Coverage.novel_core novelty
   | _ -> false
 
 let exec_cov_of collector = Option.map (fun _ -> Coverage.create ()) collector
@@ -231,6 +257,7 @@ let coverage_of collector = Option.map (fun c -> c.acc) collector
 type shared_collector = {
   s_acc : Coverage.t;
   s_mu : Mutex.t;
+  s_family : Coverage.family_kind option;
   s_no_gain : int Atomic.t;
       (* executions with no new point, sampled at merge epochs: a merge
          that brings novelty resets it, one that brings none adds the
@@ -244,6 +271,7 @@ let shared_collector_of config factory =
       {
         s_acc = seeded_acc config;
         s_mu = Mutex.create ();
+        s_family = config.plateau_family;
         s_no_gain = Atomic.make 0;
       }
   else None
@@ -286,8 +314,8 @@ let observe_local obs (result : Runtime.exec_result) exec_cov =
       ~fingerprint:(Coverage.fingerprint result.Runtime.choices);
     (match (obs.w_view, obs.w_factory.Strategy.feedback) with
      | Some view, Some f ->
-       let novel = Coverage.absorb ~into:view exec in
-       f ~trace:result.Runtime.choices ~novel
+       let novelty = Coverage.absorb_tagged ~into:view exec in
+       f ~trace:result.Runtime.choices ~novelty
      | _ -> ());
     (match obs.w_shared with
      | Some _ ->
@@ -303,8 +331,10 @@ let flush_obs obs =
     let delta = obs.w_delta and pending = obs.w_pending in
     obs.w_delta <- Coverage.create ();
     obs.w_pending <- 0;
-    let novel = Mutex.protect s.s_mu (fun () -> Coverage.absorb ~into:s.s_acc delta) in
-    if novel then Atomic.set s.s_no_gain 0
+    let novelty =
+      Mutex.protect s.s_mu (fun () -> Coverage.absorb_tagged ~into:s.s_acc delta)
+    in
+    if plateau_gain s.s_family novelty then Atomic.set s.s_no_gain 0
     else ignore (Atomic.fetch_and_add s.s_no_gain pending)
   | _ -> ()
 

@@ -77,9 +77,19 @@ type config = {
           (fuzz). *)
   coverage_plateau : int option;
       (** stop after this many consecutive executions that uncovered no new
-          coverage point (state, event type, triple or branch outcome);
-          [stats.plateaued] reports the early stop. In parallel mode the
-          consecutive count is a cross-worker approximation. *)
+          coverage point (state, event type, triple or branch outcome —
+          raw schedule and hb fingerprints never count, see
+          {!Coverage.absorb}); [stats.plateaued] reports the early stop.
+          In parallel mode the consecutive count is a cross-worker
+          approximation. *)
+  plateau_family : Coverage.family_kind option;
+      (** key the plateau counter on a single coverage family ([None] by
+          default: any core-family novelty counts as gain). With
+          [Some Hb], for instance, only new canonical partial orders reset
+          the counter — the right bound for long fuzz campaigns, which
+          keep trickling coarse novelty long after the interleaving
+          structure has been exhausted. Only meaningful together with
+          [coverage_plateau]. *)
   faults : Fault.spec;
       (** fault-injection spec handed to every execution's runtime
           ({!Fault.none} by default — zero draws, schedules untouched).
@@ -115,18 +125,31 @@ type config = {
           judged relative to everything already explored, and
           [stats.coverage] returns the {e cumulative} map (prior
           executions included). Implies coverage collection. *)
-  fuzz_initial : Trace.t list;
+  fuzz_initial : Fuzz_strategy.corpus_entry list;
       (** pre-seeded corpus for the [Fuzz] strategy ([[]] by default);
-          a campaign resume passes the persisted corpus here. Ignored by
-          other strategies. *)
+          a campaign resume passes the persisted corpus — energy and
+          novelty tags included — here. Ignored by other strategies. *)
   fuzz_exchange : Fuzz_strategy.Exchange.t option;
       (** cross-worker novelty hub for the [Fuzz] strategy ([None] by
           default). When set, fuzz becomes parallel-safe: each worker owns
           a private corpus and publishes/pulls coverage-novel schedules
           through the hub off the per-execution path. The caller keeps the
           hub and may {!Fuzz_strategy.Exchange.snapshot} it after the run
-          (campaign persistence). Without a hub, fuzz keeps its historical
-          sequential-fallback behavior under [workers]. *)
+          (campaign persistence) or read its push accounting with
+          {!Fuzz_strategy.Exchange.stats}. Without a hub, fuzz keeps its
+          historical sequential-fallback behavior under [workers]. *)
+  fuzz_energy : bool;
+      (** energy scheduling for the [Fuzz] strategy ([false] by default —
+          the v1 uniform corpus pick, draw-identical to before). When on,
+          corpus entries that discovered new partial orders or fault
+          points get proportionally more mutation attempts, and a new
+          canonical partial order alone admits a trace to the corpus
+          (see {!Fuzz_strategy.factory}). *)
+  fuzz_mutate_faults : bool;
+      (** fault-schedule mutation for the [Fuzz] strategy ([false] by
+          default). When on, mutants may perturb the recorded fault draws
+          (crash instants, delay latencies, drop/dup booleans) while
+          keeping the scheduling spine intact. *)
 }
 
 (** Random strategy, seed 0, 10,000 executions, 5,000-step bound, one

@@ -36,21 +36,142 @@ let guided ~seed ~(prefix : Trace.choice array) : Strategy.t =
   in
   { Strategy.name = "fuzz"; next_schedule; next_bool; next_int }
 
+(* Corpus entries carry the typed novelty that admitted them: which
+   coverage families the trace was the first to reach, and the mutation
+   energy derived from those tags. Partial-order ([Hb]) and fault-point
+   novelty weigh more than the coarse families — they are the signals the
+   search is actually steering on. *)
+type corpus_entry = {
+  trace : Trace.t;
+  energy : int;
+  tags : Coverage.family_kind list;
+}
+
+let tag_weight = function Coverage.Hb -> 8 | Coverage.Fault -> 4 | _ -> 1
+let energy_of_tags tags = 1 + List.fold_left (fun a t -> a + tag_weight t) 0 tags
+let entry_of_trace trace = { trace; energy = 1; tags = [] }
+
+(* Energy-proportional index selection over [energies]: draw a point in
+   [0, total) with [draw] and walk the prefix sums. Exposed so tests can
+   drive it with a counting draw and check the resulting distribution. *)
+let weighted_pick ~draw (energies : int array) =
+  let total = Array.fold_left (fun a e -> a + max 1 e) 0 energies in
+  if total <= 0 then invalid_arg "Fuzz_strategy.weighted_pick: empty corpus";
+  let r = draw total in
+  let rec go i acc =
+    let acc = acc + max 1 energies.(i) in
+    if r < acc || i = Array.length energies - 1 then i else go (i + 1) acc
+  in
+  go 0 0
+
+(* Mutation operators. [Truncate] and [Splice] are the original schedule
+   mutators; [Rewindow] re-draws a bounded window of choices in place
+   (keeping the suffix) — the repaired "re-randomize" operator, which
+   previously only kept a prefix and was indistinguishable from
+   [Truncate]; [Fault_tune] keeps the scheduling spine (every [Schedule]
+   choice) byte-identical and perturbs only the recorded value draws —
+   crash instants, delay latencies, drop/dup booleans — so a schedule
+   that found a new partial order is re-run under neighboring fault
+   timings. *)
+type op = Truncate | Rewindow | Splice | Fault_tune
+
+(* Schedule choices recorded in a trace are machine indices; when
+   re-drawing one we need a plausible bound. The largest index seen in
+   the entry (plus one) over-approximates the machine count without
+   peeking at the harness. *)
+let schedule_bound a =
+  Array.fold_left
+    (fun acc c -> match c with Trace.Schedule m -> max acc (m + 1) | _ -> acc)
+    1 a
+
+let apply_op rng ~pick op =
+  let a = pick () in
+  (* A cut point in [1, len]: mutants always keep a non-empty prefix. *)
+  let cut a = 1 + Prng.int rng (Array.length a) in
+  match op with
+  | Truncate ->
+    (* keep a uniformly short prefix, explore randomly after it *)
+    Array.sub a 0 (cut a)
+  | Rewindow ->
+    (* re-draw a bounded window in place; prefix and suffix survive *)
+    let len = Array.length a in
+    let start = Prng.int rng len in
+    let width = 1 + Prng.int rng (min 8 (len - start)) in
+    let smax = schedule_bound a in
+    let b = Array.copy a in
+    for i = start to start + width - 1 do
+      b.(i) <-
+        (match a.(i) with
+        | Trace.Schedule _ -> Trace.Schedule (Prng.int rng smax)
+        | Trace.Bool _ -> Trace.Bool (Prng.bool rng)
+        | Trace.Int v -> Trace.Int (Prng.int rng (v + 2)))
+    done;
+    b
+  | Splice ->
+    (* prefix of a continued by a suffix of b *)
+    let b = pick () in
+    let i = cut a and j = Prng.int rng (Array.length b) in
+    Array.append (Array.sub a 0 i) (Array.sub b j (Array.length b - j))
+  | Fault_tune ->
+    (* perturb value draws only; the Schedule spine is untouched *)
+    let b = Array.copy a in
+    Array.iteri
+      (fun i c ->
+        match c with
+        | Trace.Schedule _ -> ()
+        | Trace.Bool v -> if Prng.int rng 4 = 0 then b.(i) <- Trace.Bool (not v)
+        | Trace.Int v ->
+          if Prng.int rng 4 = 0 then b.(i) <- Trace.Int (Prng.int rng (v + 2)))
+      a;
+    b
+
+let mutate_for_test ~seed ~corpus op =
+  let arrs =
+    Array.of_list
+      (List.filter_map
+         (fun t ->
+           let a = Array.of_list (Trace.to_list t) in
+           if Array.length a = 0 then None else Some a)
+         corpus)
+  in
+  if Array.length arrs = 0 then
+    invalid_arg "Fuzz_strategy.mutate_for_test: empty corpus";
+  let rng = Prng.create ~seed in
+  let pick () = arrs.(Prng.int rng (Array.length arrs)) in
+  Trace.of_list (Array.to_list (apply_op rng ~pick op))
+
 (* Cross-worker novelty hub: an append-only, bounded pool of
    coverage-novel schedules shared by the per-worker corpora of a
    parallel fuzz run. Workers push the (rare) novel traces they find and
    pull the entries they have not yet seen; a lock-free version read in
    the common no-news case keeps the per-execution path free of the hub's
    mutex. The hub doubles as the run's corpus collection point: a
-   campaign snapshots it after the run to persist the corpus. *)
+   campaign snapshots it after the run to persist the corpus.
+
+   Pushes are deduplicated by schedule fingerprint — under parallel
+   per-worker novelty views several workers publish the same trace, and
+   without dedup duplicates would burn the cap. Nothing is dropped
+   silently: both duplicate and over-cap rejections are counted and
+   surfaced through {!stats}. *)
 module Exchange = struct
+  type slot = {
+    s_choices : Trace.choice array;
+    s_energy : int;
+    s_tags : Coverage.family_kind list;
+  }
+
   type t = {
     mu : Mutex.t;
-    mutable entries : Trace.choice array array;  (* append-only, first [len] valid *)
+    mutable entries : slot array;  (* append-only, first [len] valid *)
     mutable len : int;
     version : int Atomic.t;  (* = len; read without the lock *)
     cap : int;
+    seen : (int64, unit) Hashtbl.t;  (* fingerprints of accepted entries *)
+    mutable dropped_dup : int;
+    mutable dropped_cap : int;
   }
+
+  type stats = { accepted : int; dropped_dup : int; dropped_cap : int }
 
   let create ?(cap = 256) () =
     if cap <= 0 then
@@ -61,39 +182,64 @@ module Exchange = struct
       len = 0;
       version = Atomic.make 0;
       cap;
+      seen = Hashtbl.create 64;
+      dropped_dup = 0;
+      dropped_cap = 0;
     }
 
   (* Callers hold [mu]. Once full the hub stops accepting — append-only
-     storage keeps the pull cursors valid. *)
-  let push_locked t choices =
-    if t.len < t.cap then begin
+     storage keeps the pull cursors valid — but every rejection is
+     counted, never silent. *)
+  let push_locked t slot =
+    let fp =
+      Coverage.fingerprint (Trace.of_list (Array.to_list slot.s_choices))
+    in
+    if Hashtbl.mem t.seen fp then t.dropped_dup <- t.dropped_dup + 1
+    else if t.len >= t.cap then t.dropped_cap <- t.dropped_cap + 1
+    else begin
+      Hashtbl.replace t.seen fp ();
       if t.len = Array.length t.entries then begin
         let cap = max 16 (2 * t.len) in
-        let bigger = Array.make cap choices in
+        let bigger = Array.make cap slot in
         Array.blit t.entries 0 bigger 0 t.len;
         t.entries <- bigger
       end;
-      t.entries.(t.len) <- choices;
+      t.entries.(t.len) <- slot;
       t.len <- t.len + 1;
       Atomic.set t.version t.len
     end
 
   let snapshot t =
     Mutex.protect t.mu (fun () ->
-        List.init t.len (fun i -> Trace.of_list (Array.to_list t.entries.(i))))
+        List.init t.len (fun i ->
+            let s = t.entries.(i) in
+            {
+              trace = Trace.of_list (Array.to_list s.s_choices);
+              energy = s.s_energy;
+              tags = s.s_tags;
+            }))
 
-  let of_traces ?cap traces =
+  let stats t =
+    Mutex.protect t.mu (fun () ->
+        { accepted = t.len; dropped_dup = t.dropped_dup; dropped_cap = t.dropped_cap })
+
+  let of_entries ?cap entries =
     let t = create ?cap () in
     List.iter
-      (fun trace ->
-        let choices = Array.of_list (Trace.to_list trace) in
-        if Array.length choices > 0 then push_locked t choices)
-      traces;
+      (fun e ->
+        let choices = Array.of_list (Trace.to_list e.trace) in
+        if Array.length choices > 0 then
+          push_locked t
+            { s_choices = choices; s_energy = e.energy; s_tags = e.tags })
+      entries;
     t
+
+  let of_traces ?cap traces = of_entries ?cap (List.map entry_of_trace traces)
 end
 
 let factory ~seed ?(corpus_cap = 32) ?(random_bias = 4) ?(initial = [])
-    ?exchange () : Strategy.factory =
+    ?exchange ?(energy = false) ?(mutate_faults = false) () : Strategy.factory
+    =
   if corpus_cap <= 0 then invalid_arg "Fuzz_strategy: corpus_cap must be positive";
   if random_bias <= 0 then invalid_arg "Fuzz_strategy: random_bias must be positive";
   (* Factory-level rng drives corpus selection and mutation; per-execution
@@ -101,18 +247,22 @@ let factory ~seed ?(corpus_cap = 32) ?(random_bias = 4) ?(initial = [])
      strategies, so the random tail of each execution is independent of
      how many corpus decisions were made before it. *)
   let rng = Prng.create ~seed:(Int64.logxor seed 0x9e3779b97f4a7c15L) in
-  let corpus : Trace.choice array array ref = ref [||] in
-  let add_choices choices =
+  (* Corpus slots pair the choice array with the entry's mutation energy;
+     with [energy] off every slot holds 1 and selection stays uniform. *)
+  let corpus : (Trace.choice array * int) array ref = ref [||] in
+  let add_choices ?(entry_energy = 1) choices =
     if Array.length choices = 0 then ()
     else if Array.length !corpus < corpus_cap then
-      corpus := Array.append !corpus [| choices |]
-    else !corpus.(Prng.int rng corpus_cap) <- choices
+      corpus := Array.append !corpus [| (choices, entry_energy) |]
+    else !corpus.(Prng.int rng corpus_cap) <- (choices, entry_energy)
   in
-  let add trace = add_choices (Array.of_list (Trace.to_list trace)) in
-  (* A campaign resume re-seeds the corpus with the traces a previous
-     invocation found novel, so mutation starts warm instead of from
-     scratch. *)
-  List.iter add initial;
+  let add ?entry_energy trace =
+    add_choices ?entry_energy (Array.of_list (Trace.to_list trace))
+  in
+  (* A campaign resume re-seeds the corpus with the entries a previous
+     invocation found novel — energy metadata included — so mutation
+     starts warm instead of from scratch. *)
+  List.iter (fun e -> add ~entry_energy:e.energy e.trace) initial;
   (* Exchange plumbing: [synced] counts the hub entries this factory has
      already incorporated (its own pushes included, so a worker never
      re-imports what it contributed). Pulls happen at execution
@@ -121,7 +271,8 @@ let factory ~seed ?(corpus_cap = 32) ?(random_bias = 4) ?(initial = [])
   let synced = ref 0 in
   let pull_locked (ex : Exchange.t) =
     for i = !synced to ex.Exchange.len - 1 do
-      add_choices ex.Exchange.entries.(i)
+      let s = ex.Exchange.entries.(i) in
+      add_choices ~entry_energy:s.Exchange.s_energy s.Exchange.s_choices
     done;
     synced := ex.Exchange.len
   in
@@ -131,37 +282,46 @@ let factory ~seed ?(corpus_cap = 32) ?(random_bias = 4) ?(initial = [])
       Mutex.protect ex.Exchange.mu (fun () -> pull_locked ex)
     | _ -> ()
   in
-  let publish trace =
+  let publish entry =
     match exchange with
     | None -> ()
     | Some ex ->
-      let choices = Array.of_list (Trace.to_list trace) in
+      let choices = Array.of_list (Trace.to_list entry.trace) in
       if Array.length choices > 0 then
         Mutex.protect ex.Exchange.mu (fun () ->
             (* catch up before pushing so [synced] may skip our own entry *)
             pull_locked ex;
-            Exchange.push_locked ex choices;
+            Exchange.push_locked ex
+              {
+                Exchange.s_choices = choices;
+                s_energy = entry.energy;
+                s_tags = entry.tags;
+              };
             synced := ex.Exchange.len)
   in
-  let pick () = !corpus.(Prng.int rng (Array.length !corpus)) in
-  (* A cut point in [1, len]: mutants always keep a non-empty prefix. *)
-  let cut a = 1 + Prng.int rng (Array.length a) in
+  (* Uniform selection with [energy] off (the historical draw, one
+     [Prng.int] per pick); energy-proportional otherwise — entries that
+     discovered new partial orders or fault points get proportionally
+     more mutation attempts (AFL-style power schedule). *)
+  let pick () =
+    let n = Array.length !corpus in
+    if not energy then fst !corpus.(Prng.int rng n)
+    else begin
+      let energies = Array.map snd !corpus in
+      let i = weighted_pick ~draw:(fun total -> Prng.int rng total) energies in
+      fst !corpus.(i)
+    end
+  in
   let mutate () =
-    let a = pick () in
-    match Prng.int rng 3 with
-    | 0 ->
-      (* truncate: keep a uniformly short prefix *)
-      Array.sub a 0 (cut a)
-    | 1 ->
-      (* re-randomize suffix: keep at least half, redo the tail *)
-      let len = Array.length a in
-      let keep = max 1 (len / 2 + Prng.int rng (max 1 ((len + 1) / 2))) in
-      Array.sub a 0 (min len keep)
-    | _ ->
-      (* splice: prefix of a continued by a suffix of b *)
-      let b = pick () in
-      let i = cut a and j = Prng.int rng (Array.length b) in
-      Array.append (Array.sub a 0 i) (Array.sub b j (Array.length b - j))
+    let n_ops = if mutate_faults then 4 else 3 in
+    let op =
+      match Prng.int rng n_ops with
+      | 0 -> Truncate
+      | 1 -> Rewindow
+      | 2 -> Splice
+      | _ -> Fault_tune
+    in
+    apply_op rng ~pick op
   in
   {
     Strategy.factory_name = "fuzz";
@@ -181,9 +341,18 @@ let factory ~seed ?(corpus_cap = 32) ?(random_bias = 4) ?(initial = [])
         Some (guided ~seed:exec_seed ~prefix));
     feedback =
       Some
-        (fun ~trace ~novel ->
-          if novel then begin
-            add trace;
-            publish trace
+        (fun ~trace ~novelty ->
+          (* Core-family novelty always admits (the historical rule); with
+             energy scheduling on, a new canonical partial order admits
+             too — the finest interleaving signal we have. *)
+          let admit =
+            Coverage.novel_core novelty
+            || (energy && novelty.Coverage.new_hb > 0)
+          in
+          if admit then begin
+            let tags = if energy then Coverage.novel_families novelty else [] in
+            let entry = { trace; energy = energy_of_tags tags; tags } in
+            add ~entry_energy:entry.energy trace;
+            publish entry
           end);
   }

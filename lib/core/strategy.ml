@@ -9,7 +9,7 @@ type factory = {
   factory_name : string;
   parallel_safe : bool;
   fresh : iteration:int -> t option;
-  feedback : (trace:Trace.t -> novel:bool -> unit) option;
+  feedback : (trace:Trace.t -> novelty:Coverage.novelty -> unit) option;
 }
 
 let stateless ?(parallel_safe = true) ?feedback ~name make =

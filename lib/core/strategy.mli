@@ -28,12 +28,14 @@ type factory = {
   fresh : iteration:int -> t option;
       (** strategy for execution number [iteration] (0-based), or [None]
           when the strategy has exhausted its search space *)
-  feedback : (trace:Trace.t -> novel:bool -> unit) option;
+  feedback : (trace:Trace.t -> novelty:Coverage.novelty -> unit) option;
       (** coverage feedback channel: when present, the engine calls it
           after each execution with that execution's full choice trace and
-          whether the execution uncovered any new coverage point.
-          Feedback-directed strategies (fuzz) use it to grow their corpus;
-          [None] for everything else. *)
+          the per-family {!Coverage.novelty} breakdown of absorbing its
+          coverage — which families (states, triples, fault points, hb
+          partial orders, ...) the execution was the first to reach.
+          Feedback-directed strategies (fuzz) use it to grow their corpus
+          and assign mutation energy; [None] for everything else. *)
 }
 
 (** A factory that returns the same strategy forever (for stateless
@@ -41,7 +43,7 @@ type factory = {
     [parallel_safe] by default and take no [feedback]. *)
 val stateless :
   ?parallel_safe:bool ->
-  ?feedback:(trace:Trace.t -> novel:bool -> unit) ->
+  ?feedback:(trace:Trace.t -> novelty:Coverage.novelty -> unit) ->
   name:string ->
   (iteration:int -> t) ->
   factory

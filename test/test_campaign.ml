@@ -7,6 +7,7 @@ module E = Psharp.Engine
 module R = Psharp.Runtime
 module Coverage = Psharp.Coverage
 module Campaign = Psharp.Campaign
+module Fuzz = Psharp.Fuzz_strategy
 module Trace = Psharp.Trace
 module Event = Psharp.Event
 
@@ -135,8 +136,15 @@ let sample_campaign () =
   let cov = explore_coverage ~executions:20 () in
   let corpus =
     [
-      sample_trace [ Trace.Schedule 0; Trace.Int 1; Trace.Bool true ];
-      sample_trace [ Trace.Schedule 1; Trace.Schedule 0 ];
+      (* a v2 entry with energy and typed novelty tags... *)
+      {
+        Fuzz.trace =
+          sample_trace [ Trace.Schedule 0; Trace.Int 1; Trace.Bool true ];
+        energy = Fuzz.energy_of_tags [ Coverage.Fault; Coverage.Hb ];
+        tags = [ Coverage.Fault; Coverage.Hb ];
+      };
+      (* ...and a bare v1-shaped one (energy 1, no tags) *)
+      Fuzz.entry_of_trace (sample_trace [ Trace.Schedule 1; Trace.Schedule 0 ]);
     ]
   in
   let witness = sample_trace [ Trace.Schedule 1; Trace.Bool false ] in
@@ -147,7 +155,14 @@ let sample_campaign () =
   Campaign.record_witness c ~kind:"assertion failed"
     ~trace:(sample_trace [ Trace.Schedule 0 ])
 
-let traces_to_strings = List.map Trace.to_string
+(* Render a corpus entry fully — energy, tags and trace — so equality
+   checks cover the v2 metadata, not just the schedules. *)
+let corpus_to_strings =
+  List.map (fun (e : Fuzz.corpus_entry) ->
+      Printf.sprintf "%d|%s|%s" e.Fuzz.energy
+        (String.concat ","
+           (List.map Coverage.family_kind_to_string e.Fuzz.tags))
+        (Trace.to_string e.Fuzz.trace))
 
 let test_campaign_roundtrip () =
   let dir = tmp_dir "roundtrip" in
@@ -160,9 +175,9 @@ let test_campaign_roundtrip () =
   Alcotest.(check bool) "coverage" true
     (Coverage.equal c.Campaign.coverage l.Campaign.coverage);
   Alcotest.(check (list string))
-    "corpus"
-    (traces_to_strings c.Campaign.corpus)
-    (traces_to_strings l.Campaign.corpus);
+    "corpus (energy and tags included)"
+    (corpus_to_strings c.Campaign.corpus)
+    (corpus_to_strings l.Campaign.corpus);
   Alcotest.(check (list (pair string string)))
     "witnesses (first of each kind)"
     (List.map (fun (k, t) -> (k, Trace.to_string t)) c.Campaign.witnesses)
@@ -179,7 +194,7 @@ let test_campaign_fresh_roundtrip () =
   Alcotest.(check bool) "empty coverage" true
     (Coverage.equal (Coverage.create ()) l.Campaign.coverage);
   Alcotest.(check (list string)) "empty corpus" []
-    (traces_to_strings l.Campaign.corpus)
+    (corpus_to_strings l.Campaign.corpus)
 
 let test_campaign_load_opt_missing () =
   let dir = tmp_dir "missing" in
@@ -237,6 +252,26 @@ let test_campaign_rejects_corruption () =
            (fun l -> if l = "executions:20" then "executions:020" else l)
            lines));
   corrupt_meta "garbage after end" (fun s -> s ^ "extra:line\n");
+  (* the v2 corpus-entry metadata must be as strict as everything else *)
+  let corrupt_centry label ~from ~to_ =
+    corrupt_meta label (fun s ->
+        let lines = String.split_on_char '\n' s in
+        if not (List.mem from lines) then
+          Alcotest.failf "%s: expected meta line %S" label from;
+        String.concat "\n"
+          (List.map (fun l -> if l = from then to_ else l) lines))
+  in
+  let tagged = "centry:" ^ string_of_int (Fuzz.energy_of_tags [ Coverage.Fault; Coverage.Hb ]) ^ ",fault,hb" in
+  corrupt_centry "zero corpus energy" ~from:"centry:1" ~to_:"centry:0";
+  corrupt_centry "non-canonical corpus energy" ~from:"centry:1" ~to_:"centry:01";
+  corrupt_centry "unknown corpus tag" ~from:tagged
+    ~to_:"centry:13,fault,warp";
+  corrupt_centry "non-canonical corpus tag order" ~from:tagged
+    ~to_:"centry:13,hb,fault";
+  corrupt_centry "duplicate corpus tag" ~from:tagged
+    ~to_:"centry:13,fault,fault,hb";
+  corrupt_centry "corpus count vs centry lines" ~from:"corpus:2"
+    ~to_:"corpus:3";
   fresh ();
   Sys.remove (Filename.concat dir "coverage");
   expect_load_failure "missing coverage file" dir;
@@ -260,10 +295,25 @@ let test_resume_equals_uninterrupted () =
   let full = explore_coverage ~executions:40 () in
   let first = explore_coverage ~executions:20 () in
   let dir = tmp_dir "resume" in
+  let corpus =
+    [
+      {
+        Fuzz.trace = sample_trace [ Trace.Schedule 0; Trace.Bool true ];
+        energy = Fuzz.energy_of_tags [ Coverage.Hb ];
+        tags = [ Coverage.Hb ];
+      };
+    ]
+  in
   let c = Campaign.create ~harness:"RacyExample" ~seed:11L in
-  let c = Campaign.advance c ~executions:20 ~coverage:first ~corpus:[] in
+  let c = Campaign.advance c ~executions:20 ~coverage:first ~corpus in
   Campaign.save ~dir c;
   let l = Campaign.load ~dir in
+  (* the energy metadata rides along unchanged... *)
+  Alcotest.(check (list string))
+    "resumed corpus carries energy metadata" (corpus_to_strings corpus)
+    (corpus_to_strings l.Campaign.corpus);
+  (* ...and the resumed run still accumulates exactly the uninterrupted
+     run's coverage *)
   let resumed =
     explore_coverage ~start_iteration:l.Campaign.executions
       ~prior_coverage:l.Campaign.coverage ~executions:20 ()

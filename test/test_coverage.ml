@@ -7,6 +7,7 @@ module R = Psharp.Runtime
 module Error = Psharp.Error
 module Trace = Psharp.Trace
 module Event = Psharp.Event
+module Fuzz = Psharp.Fuzz_strategy
 
 type Event.t += Token
 
@@ -98,6 +99,55 @@ let test_absorb_novelty () =
   let t = Coverage.totals acc in
   Alcotest.(check int) "fingerprint still filed" 2 t.Coverage.unique_schedules;
   Alcotest.(check int) "executions counted" 3 t.Coverage.executions
+
+let test_absorb_tagged_families () =
+  let acc = Coverage.create () in
+  let a, _, _ = sample_maps () in
+  let n = Coverage.absorb_tagged ~into:acc a in
+  Alcotest.(check int) "one new state" 1 n.Coverage.new_states;
+  Alcotest.(check int) "one new event type" 1 n.Coverage.new_events;
+  Alcotest.(check int) "one new triple" 1 n.Coverage.new_triples;
+  Alcotest.(check int) "one new branch" 1 n.Coverage.new_branches;
+  Alcotest.(check int) "no fault points" 0 n.Coverage.new_faults;
+  Alcotest.(check bool) "core-novel" true (Coverage.novel_core n);
+  Alcotest.(check (list string))
+    "novel families in canonical order"
+    [ "state"; "event"; "triple"; "branch" ]
+    (List.map Coverage.family_kind_to_string (Coverage.novel_families n));
+  (* the identical map again: nothing novel anywhere *)
+  let a, _, _ = sample_maps () in
+  let n2 = Coverage.absorb_tagged ~into:acc a in
+  Alcotest.(check bool) "re-absorb not novel" false (Coverage.novel_core n2);
+  Alcotest.(check (list string)) "no novel families" []
+    (List.map Coverage.family_kind_to_string (Coverage.novel_families n2));
+  (* a new hb fingerprint is reported in new_hb but excluded from the
+     boolean core summary (the historical absorb semantics) *)
+  let hb_only = Coverage.create () in
+  Coverage.visit_state hb_only ~machine:"M" ~state:"Init";
+  Coverage.note_hb hb_only ~fingerprint:7L;
+  let n3 = Coverage.absorb_tagged ~into:acc hb_only in
+  Alcotest.(check int) "new hb counted" 1 n3.Coverage.new_hb;
+  Alcotest.(check bool) "hb alone is not core-novel" false
+    (Coverage.novel_core n3);
+  Alcotest.(check bool) "but novel_in Hb sees it" true
+    (Coverage.novel_in n3 Coverage.Hb);
+  Alcotest.(check bool) "absorb agrees with novel_core" false
+    (let acc2 = Coverage.create () in
+     ignore (Coverage.absorb ~into:acc2 hb_only);
+     let again = Coverage.create () in
+     Coverage.visit_state again ~machine:"M" ~state:"Init";
+     Coverage.note_hb again ~fingerprint:8L;
+     Coverage.absorb ~into:acc2 again)
+
+let test_family_kind_strings () =
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) "round-trips" true
+        (Coverage.family_kind_of_string (Coverage.family_kind_to_string k) = k))
+    Coverage.all_family_kinds;
+  match Coverage.family_kind_of_string "warp" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "unknown family name accepted"
 
 let test_fingerprint_pure () =
   let t1 = Trace.of_list [ Trace.Schedule 0; Trace.Bool true; Trace.Int 7 ] in
@@ -217,6 +267,206 @@ let test_fuzz_ignores_workers () =
   Alcotest.(check bool) "workers=4 matches sequential" true
     (Trace.equal (witness cfg) (witness { cfg with E.workers = 4 }))
 
+(* --- Fuzzing v2: mutation operators, power schedule, exchange, plateau -- *)
+
+let e1_choices =
+  [
+    Trace.Schedule 0;
+    Trace.Bool true;
+    Trace.Int 5;
+    Trace.Schedule 1;
+    Trace.Bool true;
+    Trace.Int 4;
+    Trace.Schedule 0;
+    Trace.Bool true;
+  ]
+
+let e2_choices =
+  [ Trace.Schedule 1; Trace.Int 3; Trace.Schedule 0; Trace.Bool false; Trace.Int 2 ]
+
+let mutation_corpus () = [ Trace.of_list e1_choices; Trace.of_list e2_choices ]
+
+let mutants op =
+  List.init 64 (fun s ->
+      Array.of_list
+        (Trace.to_list
+           (Fuzz.mutate_for_test ~seed:(Int64.of_int s)
+              ~corpus:(mutation_corpus ()) op)))
+
+let is_prefix_of m e =
+  Array.length m <= Array.length e
+  && Array.for_all (fun i -> m.(i) = e.(i))
+       (Array.init (Array.length m) Fun.id)
+
+let test_mutation_operators_distinguishable () =
+  let e1 = Array.of_list e1_choices and e2 = Array.of_list e2_choices in
+  let source m =
+    (* entry lengths differ, so a same-length mutant names its source *)
+    if Array.length m = Array.length e1 then Some e1
+    else if Array.length m = Array.length e2 then Some e2
+    else None
+  in
+  let tr = mutants Fuzz.Truncate
+  and rw = mutants Fuzz.Rewindow
+  and sp = mutants Fuzz.Splice
+  and ft = mutants Fuzz.Fault_tune in
+  (* Truncate: always a non-empty prefix of a corpus entry. *)
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) "truncate keeps a non-empty prefix" true
+        (Array.length m > 0 && (is_prefix_of m e1 || is_prefix_of m e2)))
+    tr;
+  (* Rewindow: same length as its source, and — the repaired behavior —
+     at least one mutant perturbs the interior while the final choice
+     (beyond the window) survives. The pre-fix operator could only
+     produce prefixes, indistinguishable from Truncate. *)
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) "rewindow preserves the length" true
+        (source m <> None))
+    rw;
+  Alcotest.(check bool) "rewindow perturbs the interior, keeps the suffix"
+    true
+    (List.exists
+       (fun m ->
+         match source m with
+         | Some e ->
+           let last = Array.length e - 1 in
+           m.(last) = e.(last)
+           && List.exists (fun i -> m.(i) <> e.(i))
+                (List.init last Fun.id)
+         | None -> false)
+       rw);
+  (* Splice: can cross entries, producing traces longer than either. *)
+  Alcotest.(check bool) "splice crosses entries" true
+    (List.exists (fun m -> Array.length m > Array.length e1) sp);
+  (* Fault_tune: the Schedule spine is byte-identical to the source; only
+     value draws move, and at least one actually does. *)
+  let tuned = ref false in
+  List.iter
+    (fun m ->
+      match source m with
+      | None -> Alcotest.fail "fault-tune changed the length"
+      | Some e ->
+        Array.iteri
+          (fun i c ->
+            match e.(i) with
+            | Trace.Schedule _ ->
+              Alcotest.(check bool) "schedule spine untouched" true (c = e.(i))
+            | Trace.Bool _ | Trace.Int _ -> if c <> e.(i) then tuned := true)
+          m)
+    ft;
+  Alcotest.(check bool) "fault-tune perturbed some value draw" true !tuned;
+  (* The three schedule operators yield pairwise different mutant streams
+     from the same corpus and seeds. *)
+  Alcotest.(check bool) "truncate <> rewindow" true (tr <> rw);
+  Alcotest.(check bool) "truncate <> splice" true (tr <> sp);
+  Alcotest.(check bool) "rewindow <> splice" true (rw <> sp)
+
+let test_weighted_pick_distribution () =
+  let energies = [| 1; 9; 2 |] in
+  let counts = Array.make 3 0 in
+  for r = 0 to 11 do
+    let i =
+      Fuzz.weighted_pick
+        ~draw:(fun total ->
+          Alcotest.(check int) "total is the energy sum" 12 total;
+          r)
+        energies
+    in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check (list int)) "hits proportional to energy" [ 1; 9; 2 ]
+    (Array.to_list counts);
+  (* Non-positive energies are clamped to 1, never starved. *)
+  Alcotest.(check int) "zero-energy entry still reachable" 0
+    (Fuzz.weighted_pick ~draw:(fun _ -> 0) [| 0; 1 |])
+
+let test_exchange_dedups_and_counts_drops () =
+  let t1 = Trace.of_list [ Trace.Schedule 0; Trace.Bool true ] in
+  let t2 = Trace.of_list [ Trace.Schedule 1 ] in
+  let t3 = Trace.of_list [ Trace.Int 2 ] in
+  let ex =
+    Fuzz.Exchange.of_entries ~cap:2
+      [
+        { Fuzz.trace = t1; energy = 13; tags = [ Coverage.Fault; Coverage.Hb ] };
+        Fuzz.entry_of_trace t1 (* same fingerprint: duplicate *);
+        Fuzz.entry_of_trace t2;
+        Fuzz.entry_of_trace t3 (* pool full: dropped at cap *);
+      ]
+  in
+  let st = Fuzz.Exchange.stats ex in
+  Alcotest.(check int) "accepted" 2 st.Fuzz.Exchange.accepted;
+  Alcotest.(check int) "duplicate counted" 1 st.Fuzz.Exchange.dropped_dup;
+  Alcotest.(check int) "cap drop counted" 1 st.Fuzz.Exchange.dropped_cap;
+  match Fuzz.Exchange.snapshot ex with
+  | [ a; b ] ->
+    Alcotest.(check bool) "first entry survives with trace" true
+      (Trace.equal a.Fuzz.trace t1);
+    Alcotest.(check int) "energy preserved" 13 a.Fuzz.energy;
+    Alcotest.(check (list string)) "tags preserved" [ "fault"; "hb" ]
+      (List.map Coverage.family_kind_to_string a.Fuzz.tags);
+    Alcotest.(check bool) "second entry is the non-duplicate" true
+      (Trace.equal b.Fuzz.trace t2)
+  | l -> Alcotest.fail (Printf.sprintf "expected 2 entries, got %d" (List.length l))
+
+let test_plateau_family_keys_the_bound () =
+  (* Keyed to hb with happens-before tracking off, no execution ever
+     contributes hb novelty — not even the first — so the hunt stops after
+     exactly the bound. *)
+  let cfg =
+    {
+      config with
+      E.max_executions = 5_000;
+      coverage_plateau = Some 10;
+      plateau_family = Some Coverage.Hb;
+    }
+  in
+  (match E.run cfg clean_harness with
+  | E.Bug_found _ -> Alcotest.fail "clean harness reported a bug"
+  | E.No_bug stats ->
+    Alcotest.(check bool) "plateaued" true stats.E.plateaued;
+    Alcotest.(check int) "no hb novelty from execution one" 10
+      stats.E.executions);
+  (* Keyed to the state family, the first execution's fresh states reset
+     the counter before the drought starts. *)
+  match E.run { cfg with E.plateau_family = Some Coverage.State } clean_harness with
+  | E.Bug_found _ -> Alcotest.fail "clean harness reported a bug"
+  | E.No_bug stats ->
+    Alcotest.(check bool) "plateaued" true stats.E.plateaued;
+    Alcotest.(check bool) "states reset the counter first" true
+      (stats.E.executions > 10 && stats.E.executions < 5_000)
+
+let test_fuzz_v2_deterministic () =
+  (* Energy scheduling + fault mutation on (with hb tracking feeding the
+     power schedule): still fully deterministic under a fixed seed, and
+     the witness still replays. *)
+  let cfg =
+    {
+      config with
+      E.strategy = E.Fuzz { corpus_cap = 8 };
+      seed = 11L;
+      fuzz_energy = true;
+      fuzz_mutate_faults = true;
+      reduce = E.Hb_track;
+    }
+  in
+  let run () =
+    match E.run cfg racy_harness with
+    | E.Bug_found (report, stats) -> (report, stats)
+    | E.No_bug _ -> Alcotest.fail "fuzz v2 did not find the race"
+  in
+  let r1, s1 = run () in
+  let r2, s2 = run () in
+  Alcotest.(check int) "same executions to bug" s1.E.executions
+    s2.E.executions;
+  Alcotest.(check bool) "same witness trace" true
+    (Trace.equal r1.Error.trace r2.Error.trace);
+  let result = E.replay cfg r1.Error.trace racy_harness in
+  match result.R.bug with
+  | Some (Error.Assertion_failure _) -> ()
+  | _ -> Alcotest.fail "fuzz v2 witness did not replay"
+
 (* --- Reporting ---------------------------------------------------------- *)
 
 let test_pp_outcome_shows_steps_and_coverage () =
@@ -243,6 +493,10 @@ let suite =
       test_absorb_order_independent;
     Alcotest.test_case "absorb novelty excludes fingerprints" `Quick
       test_absorb_novelty;
+    Alcotest.test_case "absorb_tagged reports per-family novelty" `Quick
+      test_absorb_tagged_families;
+    Alcotest.test_case "family kind strings round-trip" `Quick
+      test_family_kind_strings;
     Alcotest.test_case "fingerprint is pure" `Quick test_fingerprint_pure;
     Alcotest.test_case "run collects coverage, files bug fingerprint" `Quick
       test_run_collects_coverage_and_files_bug_fingerprint;
@@ -254,6 +508,16 @@ let suite =
     Alcotest.test_case "fuzz finds race deterministically" `Quick
       test_fuzz_finds_race_deterministically;
     Alcotest.test_case "fuzz ignores workers" `Quick test_fuzz_ignores_workers;
+    Alcotest.test_case "mutation operators are distinguishable" `Quick
+      test_mutation_operators_distinguishable;
+    Alcotest.test_case "weighted pick follows energies" `Quick
+      test_weighted_pick_distribution;
+    Alcotest.test_case "exchange dedups and counts drops" `Quick
+      test_exchange_dedups_and_counts_drops;
+    Alcotest.test_case "plateau family keys the bound" `Quick
+      test_plateau_family_keys_the_bound;
+    Alcotest.test_case "fuzz v2 is deterministic" `Quick
+      test_fuzz_v2_deterministic;
     Alcotest.test_case "pp_outcome shows steps and coverage" `Quick
       test_pp_outcome_shows_steps_and_coverage;
     Alcotest.test_case "to_json is well-formed" `Quick test_to_json_wellformed;
