@@ -15,6 +15,7 @@
 module E = Psharp.Engine
 module Bug_catalog = Catalog.Bug_catalog
 module Error = Psharp.Error
+module Scenario_catalog = Catalog.Scenario_catalog
 
 let base_seed = 1L
 
@@ -795,6 +796,104 @@ let fuzz_v2_fault_block oc ~hunt_budget =
     rows;
   output_string oc "  ]},\n"
 
+
+(* PR 9 noted one fuzz-v2 regression: on the fault-free vnext liveness
+   bug the energy schedule mutates long random tails (the liveness
+   witness is a whole bound-length execution, so truncated mutants
+   rarely stay hot) and v2 reached the bug later than v1 — the corpus
+   held nothing worth mutating. The fix is a scenario-warmed pipeline:
+   a cheap scenario-constrained random hunt (starve-network: pause the
+   relay mid-run so in-flight sync reports go stale — the resurrection
+   shape of this bug, and schedule-only, so the witness's draw
+   vocabulary matches Fault.none) finds a witness much earlier than
+   plain random, and a prefix of that witness seeds the fuzz-v2 corpus
+   with a structured, bug-adjacent opening. The seeded column charges
+   the seeding hunt's executions too, so the comparison stays honest. *)
+let scenario_seed_prefix entry ~scenario_name ~budget ~prefix_choices =
+  let scat = Scenario_catalog.find scenario_name in
+  let scen = scat.Scenario_catalog.scenario in
+  let cfg =
+    {
+      E.default_config with
+      strategy = E.Random;
+      seed = base_seed;
+      max_executions = budget;
+      max_steps = entry.Bug_catalog.max_steps;
+      faults = Psharp.Scenario.arm scen entry.Bug_catalog.faults;
+      clock = entry.Bug_catalog.clock;
+      scenario = Some scen;
+    }
+  in
+  match
+    E.run ~monitors:entry.Bug_catalog.monitors cfg entry.Bug_catalog.harness
+  with
+  | E.Bug_found (report, stats) ->
+    let prefix =
+      Psharp.Trace.of_list
+        (List.filteri
+           (fun j _ -> j < prefix_choices)
+           (Psharp.Trace.to_list report.Psharp.Error.trace))
+    in
+    (stats.E.executions, Some prefix)
+  | E.No_bug stats -> (stats.E.executions, None)
+
+let fuzz_v2_liveness_block oc ~hunt_budget =
+  let entry = Bug_catalog.find "ExtentNodeLivenessViolation" in
+  let seed_scenario = "starve-network" in
+  let seed_prefix = 2_000 in
+  Printf.printf
+    "-- fuzz v2 on the fault-free vnext liveness bug, budget %d --\n"
+    hunt_budget;
+  let execs ~v2 ~fuzz_initial =
+    let cfg =
+      {
+        E.default_config with
+        strategy = E.Fuzz { corpus_cap = 32 };
+        seed = base_seed;
+        max_executions = hunt_budget;
+        max_steps = entry.Bug_catalog.max_steps;
+        faults = entry.Bug_catalog.faults;
+        clock = entry.Bug_catalog.clock;
+        reduce = (if v2 then E.Hb_track else E.No_reduction);
+        fuzz_energy = v2;
+        fuzz_mutate_faults = v2;
+        fuzz_initial;
+      }
+    in
+    match
+      E.run ~monitors:entry.Bug_catalog.monitors cfg
+        entry.Bug_catalog.harness
+    with
+    | E.Bug_found (_, stats) -> Some stats.E.executions
+    | E.No_bug _ -> None
+  in
+  let v1 = execs ~v2:false ~fuzz_initial:[] in
+  let v2_cold = execs ~v2:true ~fuzz_initial:[] in
+  let seed_execs, prefix =
+    scenario_seed_prefix entry ~scenario_name:seed_scenario
+      ~budget:hunt_budget ~prefix_choices:seed_prefix
+  in
+  let v2_seeded =
+    match prefix with
+    | None -> None
+    | Some p ->
+      execs ~v2:true ~fuzz_initial:[ Psharp.Fuzz_strategy.entry_of_trace p ]
+  in
+  let total_seeded =
+    match v2_seeded with Some n -> Some (seed_execs + n) | None -> None
+  in
+  let pp = function Some n -> string_of_int n | None -> "not-found" in
+  Printf.printf "%-30s %10s %10s %10s %10s\n" "bug" "fuzz" "fzv2-cold"
+    "seed-hunt" "fzv2-total";
+  print_endline (String.make 76 '-');
+  Printf.printf "%-30s %10s %10s %10s %10s\n" entry.Bug_catalog.name (pp v1)
+    (pp v2_cold) (string_of_int seed_execs) (pp total_seeded);
+  let json = function Some n -> string_of_int n | None -> "null" in
+  Printf.fprintf oc
+    "  \"fuzz_v2_vnext_liveness\": {\"hunt_budget\": %d, \"bug\": %S,      \"seed_scenario\": %S, \"seed_prefix_choices\": %d,      \"execs_to_first_bug_fuzz\": %s, \"execs_to_first_bug_fuzz_v2\": %s,      \"seed_hunt_execs\": %d, \"execs_to_first_bug_fuzz_v2_seeded\": %s,      \"execs_to_first_bug_fuzz_v2_seeded_total\": %s},\n"
+    hunt_budget entry.Bug_catalog.name seed_scenario seed_prefix (json v1)
+    (json v2_cold) seed_execs (json v2_seeded) (json total_seeded)
+
 let coverage_growth ~budgets ~fuzz_budget () =
   Printf.printf
     "== Coverage growth: random vs PCT vs fuzz, budgets %s (seed %Ld) ==\n"
@@ -821,6 +920,7 @@ let coverage_growth ~budgets ~fuzz_budget () =
     entries;
   output_string oc "  ],\n";
   fuzz_v2_fault_block oc ~hunt_budget:fuzz_budget;
+  fuzz_v2_liveness_block oc ~hunt_budget:fuzz_budget;
   coverage_fingerprint_replay oc (Bug_catalog.find "ExtentNodeLivenessViolation");
   output_string oc "}\n";
   close_out oc;
@@ -901,6 +1001,7 @@ let measure_throughput ?(faults = Psharp.Fault.none) ~budget ~collect_log
           faults;
           deadline = None;
           clock = None;
+          scenario = None;
         }
       in
       let result =
@@ -1141,6 +1242,7 @@ let time_overhead ~budget () =
             faults;
             deadline = None;
             clock;
+            scenario = None;
           }
         in
         let result =
@@ -1291,6 +1393,7 @@ let golden_digests () =
             faults = Psharp.Fault.none;
             deadline = None;
             clock = None;
+            scenario = None;
           }
         in
         let result =
@@ -1497,6 +1600,7 @@ let lin_overhead ~budget ~op_counts () =
             faults = Psharp.Fault.none;
             deadline = None;
             clock = None;
+            scenario = None;
           }
         in
         let result =
@@ -1791,6 +1895,100 @@ let reduction ~hunt_budget ~explore_budget () =
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Scenario-constrained hunts                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Catalog scenarios paired with catalog bugs whose trigger shape they
+   encode: the bench compares executions-to-first-bug with the scenario
+   wrapper on against the plain fault hunt at the same seed and budget,
+   and BENCH_scenario.json pins that constraining never costs executions
+   on these pairs. *)
+let scenario_cases =
+  [
+    ("crash-early", "FabricCrashSilentRestart");
+    ("dup-backend", "ChaintableDuplicateBackendRequest");
+    ("slow-backend", "ChaintableRetryFreshSeq");
+    ("lossy-window", "PaxosForgetPromise");
+    ("lossy-window", "RaftDoubleVote");
+    ("isolate-joiner", "ShardkvStaleRingServe");
+    ("crash-mid-handoff", "ShardkvMigrationDoubleApply");
+  ]
+
+let scenario_bench ~budget () =
+  Printf.printf
+    "== Scenario-constrained hunts: random strategy, budget %d, seed 0 ==\n"
+    budget;
+  let hunt_with entry ~scenario =
+    let faults =
+      match scenario with
+      | None -> entry.Bug_catalog.faults
+      | Some s -> Psharp.Scenario.arm s entry.Bug_catalog.faults
+    in
+    let cfg =
+      {
+        E.default_config with
+        strategy = E.Random;
+        seed = 0L;
+        max_executions = budget;
+        max_steps = entry.Bug_catalog.max_steps;
+        faults;
+        clock = entry.Bug_catalog.clock;
+        scenario;
+      }
+    in
+    let started = Unix.gettimeofday () in
+    match
+      E.run ~monitors:entry.Bug_catalog.monitors cfg entry.Bug_catalog.harness
+    with
+    | E.Bug_found (_, stats) ->
+      (Some stats.E.executions, Unix.gettimeofday () -. started)
+    | E.No_bug _ -> (None, Unix.gettimeofday () -. started)
+  in
+  let rows =
+    List.map
+      (fun (sname, bug) ->
+        let entry = Bug_catalog.find bug in
+        let scen = (Scenario_catalog.find sname).Scenario_catalog.scenario in
+        let plain = hunt_with entry ~scenario:None in
+        let constrained = hunt_with entry ~scenario:(Some scen) in
+        (sname, bug, plain, constrained))
+      scenario_cases
+  in
+  let pp = function Some n -> string_of_int n | None -> "not-found" in
+  Printf.printf "%-18s %-34s %12s %12s\n" "scenario" "bug" "plain"
+    "scenario";
+  print_endline (String.make 80 '-');
+  List.iter
+    (fun (sname, bug, (p, _), (c, _)) ->
+      Printf.printf "%-18s %-34s %12s %12s\n" sname bug (pp p) (pp c))
+    rows;
+  let no_worse =
+    List.length
+      (List.filter
+         (fun (_, _, (p, _), (c, _)) ->
+           match (p, c) with
+           | Some a, Some b -> b <= a
+           | None, _ -> true
+           | Some _, None -> false)
+         rows)
+  in
+  Printf.printf "scenario <= plain on %d/%d pairs\n\n" no_worse
+    (List.length rows);
+  let oc = open_out "BENCH_scenario.json" in
+  let json = function Some n -> string_of_int n | None -> "null" in
+  Printf.fprintf oc "{\n  \"seed\": 0,\n  \"budget\": %d,\n  \"pairs\": [\n"
+    budget;
+  List.iteri
+    (fun i (sname, bug, (p, pt), (c, ct)) ->
+      Printf.fprintf oc
+        "    {\"scenario\": %S, \"bug\": %S, \"execs_to_first_bug_plain\": %s, \"elapsed_plain_s\": %.4f, \"execs_to_first_bug_scenario\": %s, \"elapsed_scenario_s\": %.4f}%s\n"
+        sname bug (json p) pt (json c) ct
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ],\n  \"scenario_no_worse_pairs\": %d\n}\n" no_worse;
+  close_out oc
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let full = List.mem "--full" args in
@@ -1802,7 +2000,7 @@ let () =
         "table1"; "table2"; "vnext-fix"; "ablation"; "samples";
         "parallel-scaling"; "campaign"; "coverage-growth";
         "exec-throughput"; "fault-overhead"; "time-overhead";
-        "lin-overhead"; "micro";
+        "lin-overhead"; "scenario"; "micro";
       ]
     | picked -> picked
   in
@@ -1846,6 +2044,8 @@ let () =
       | "reduction" ->
         reduction ~hunt_budget:reduction_hunt_budget
           ~explore_budget:reduction_explore_budget ()
+      | "scenario" ->
+        scenario_bench ~budget:(if full then 100_000 else 20_000) ()
       | "micro" -> micro ()
       | other -> Printf.printf "unknown section %s\n" other)
     sections

@@ -239,7 +239,7 @@ let parse_strategy = function
   | other -> Error (Printf.sprintf "unknown strategy %s" other)
 
 let config_of ?(workers = 1) ?(coverage = false) ?plateau ?plateau_family
-    ?(faults = Psharp.Fault.none) ?(reduce = E.No_reduction) ?clock
+    ?(faults = Psharp.Fault.none) ?(reduce = E.No_reduction) ?clock ?scenario
     ?(fuzz_energy = false) ?(fuzz_mutate_faults = false) entry ~strategy ~seed
     ~executions ~steps ~log =
   {
@@ -256,9 +256,33 @@ let config_of ?(workers = 1) ?(coverage = false) ?plateau ?plateau_family
     faults;
     reduce;
     clock = Option.join clock;
+    scenario;
     fuzz_energy;
     fuzz_mutate_faults;
   }
+
+let scenario_arg =
+  let doc =
+    "Constrain the run with catalog scenario $(docv) (see `scenario \
+     list'): the base strategy keeps driving the search, but the scenario \
+     wrapper prunes scheduling picks and forces fault draws so every \
+     admitted schedule satisfies the scenario's clauses. The bug's fault \
+     spec is armed with whatever the clauses need."
+  in
+  Arg.(value & opt (some string) None & info [ "scenario" ] ~docv:"NAME" ~doc)
+
+(* Resolve --scenario and arm the fault spec with what its clauses need
+   (kinds, budget, max latency). Arming happens exactly once, here. *)
+let scenario_spec_of name fault_spec =
+  match name with
+  | None -> Ok (None, fault_spec)
+  | Some n -> begin
+    match Catalog.Scenario_catalog.find n with
+    | exception Invalid_argument msg -> Error msg
+    | e ->
+      let s = e.Catalog.Scenario_catalog.scenario in
+      Ok (Some s, Psharp.Scenario.arm s fault_spec)
+  end
 
 let harness_of entry ~custom =
   if custom then
@@ -373,7 +397,7 @@ let campaign_state_of ~dir ~bug ~seed =
 
 let hunt bug strategy seed executions steps custom trace_out log shrink
     workers coverage_report plateau plateau_family faults fault_budget reduce
-    clock check_lin campaign fuzz_energy fuzz_mutate_faults =
+    clock check_lin campaign fuzz_energy fuzz_mutate_faults scenario_name =
   match
     Result.bind (parse_strategy strategy) (fun s ->
         Result.bind (parse_reduce reduce) (fun r ->
@@ -392,26 +416,29 @@ let hunt bug strategy seed executions steps custom trace_out log shrink
     | entry -> begin
       match
         Result.bind (fault_spec_of entry ~faults ~fault_budget) (fun spec ->
-            Result.bind (clock_spec_of entry clock) (fun ck ->
-                Result.bind (lin_harness_of entry ~custom ~check_lin ~fixed:false)
-                  (fun h ->
-                    match campaign with
-                    | None -> Ok (spec, ck, h, None)
-                    | Some dir ->
-                      Result.map
-                        (fun c -> (spec, ck, h, Some (dir, c)))
-                        (campaign_state_of ~dir ~bug ~seed))))
+            Result.bind (scenario_spec_of scenario_name spec)
+              (fun (scen, spec) ->
+                Result.bind (clock_spec_of entry clock) (fun ck ->
+                    Result.bind
+                      (lin_harness_of entry ~custom ~check_lin ~fixed:false)
+                      (fun h ->
+                        match campaign with
+                        | None -> Ok (scen, spec, ck, h, None)
+                        | Some dir ->
+                          Result.map
+                            (fun c -> (scen, spec, ck, h, Some (dir, c)))
+                            (campaign_state_of ~dir ~bug ~seed)))))
       with
       | Error msg ->
         prerr_endline msg;
         2
-      | Ok (fault_spec, clock_spec, harness, campaign_state) -> begin
+      | Ok (scenario, fault_spec, clock_spec, harness, campaign_state) -> begin
         let config =
           config_of ~workers
             ~coverage:(coverage_report <> None)
             ?plateau ~plateau_family ~faults:fault_spec ~reduce
-            ~clock:clock_spec ~fuzz_energy ~fuzz_mutate_faults entry ~strategy
-            ~seed ~executions ~steps ~log
+            ~clock:clock_spec ?scenario ~fuzz_energy ~fuzz_mutate_faults entry
+            ~strategy ~seed ~executions ~steps ~log
         in
         (* With --sch fuzz the campaign's corpus flows through an Exchange
            hub: the run's novel schedules collect there and the snapshot
@@ -537,11 +564,12 @@ let hunt_cmd =
       $ steps_arg $ custom_arg $ trace_out_arg $ log_arg $ shrink_arg
       $ workers_arg $ coverage_report_arg $ plateau_arg $ plateau_family_arg
       $ faults_arg $ fault_budget_arg $ reduce_arg $ clock_arg $ check_lin_arg
-      $ campaign_arg $ fuzz_energy_arg $ fuzz_mutate_faults_arg)
+      $ campaign_arg $ fuzz_energy_arg $ fuzz_mutate_faults_arg
+      $ scenario_arg)
 
 (* --- replay ------------------------------------------------------------- *)
 
-let replay bug trace_file custom log check_lin history_out =
+let replay bug trace_file custom log check_lin history_out scenario_name =
   match Bug_catalog.find bug with
   | exception Invalid_argument msg ->
     prerr_endline msg;
@@ -579,15 +607,21 @@ let replay bug trace_file custom log check_lin history_out =
       prerr_endline msg;
       2
     | Ok harness ->
+      match scenario_spec_of scenario_name entry.Bug_catalog.faults with
+      | Error msg ->
+        prerr_endline msg;
+        2
+      | Ok (scenario, fault_spec) ->
       let trace = Psharp.Trace.load ~path:trace_file in
       (* The bug's own fault spec and clock config: a fault-found trace
          replays its recorded injection draws only under the spec that
          produced them, and a clock-found trace only under the same time
-         model. *)
+         model. A scenario-found trace additionally needs the same
+         --scenario, so the fault driver takes its steered branch and the
+         armed spec matches the recorded draw vocabulary. *)
       let config =
-        config_of ~faults:entry.Bug_catalog.faults
-          ~clock:entry.Bug_catalog.clock entry ~strategy:E.Random ~seed:0L
-          ~executions:1 ~steps:0 ~log:true
+        config_of ~faults:fault_spec ~clock:entry.Bug_catalog.clock ?scenario
+          entry ~strategy:E.Random ~seed:0L ~executions:1 ~steps:0 ~log:true
       in
       let result =
         E.replay ~monitors:entry.Bug_catalog.monitors config trace harness
@@ -633,7 +667,7 @@ let replay_cmd =
     (Cmd.info "replay" ~doc:"Replay a recorded buggy schedule.")
     Term.(
       const replay $ bug_arg $ trace_in_arg $ custom_arg $ log_arg
-      $ check_lin_arg $ history_out_arg)
+      $ check_lin_arg $ history_out_arg $ scenario_arg)
 
 (* --- survey --------------------------------------------------------------- *)
 
@@ -824,6 +858,84 @@ let explore_cmd =
       $ plateau_arg $ plateau_family_arg $ faults_arg $ fault_budget_arg
       $ reduce_arg $ clock_arg $ fuzz_energy_arg $ fuzz_mutate_faults_arg)
 
+(* --- scenario (list / describe / run) ------------------------------------ *)
+
+module Scenario_catalog = Catalog.Scenario_catalog
+
+let scenario_list () =
+  Printf.printf "%-20s %-55s %s\n" "Scenario" "Summary" "Targets";
+  List.iter
+    (fun e ->
+      Printf.printf "%-20s %-55s %s\n" e.Scenario_catalog.name
+        e.Scenario_catalog.summary
+        (String.concat "," e.Scenario_catalog.targets))
+    Scenario_catalog.all;
+  0
+
+let scenario_describe name =
+  match Scenario_catalog.find name with
+  | exception Invalid_argument msg ->
+    prerr_endline msg;
+    2
+  | e ->
+    Printf.printf "%s — %s\n\n%stargets: %s\n" e.Scenario_catalog.name
+      e.Scenario_catalog.summary e.Scenario_catalog.text
+      (String.concat ", " e.Scenario_catalog.targets);
+    0
+
+(* Delegates to [hunt] with the scenario pinned; the target defaults to
+   the entry's first (most characteristic) catalog bug. *)
+let scenario_run name bug strategy seed executions steps trace_out log shrink
+    workers faults fault_budget clock =
+  match Scenario_catalog.find name with
+  | exception Invalid_argument msg ->
+    prerr_endline msg;
+    2
+  | e ->
+    let bug =
+      match bug with
+      | Some b -> b
+      | None -> List.hd e.Scenario_catalog.targets
+    in
+    hunt bug strategy seed executions steps false trace_out log shrink workers
+      None None None faults fault_budget "none" clock "auto" None false false
+      (Some name)
+
+let scenario_pos_arg =
+  let doc = "Scenario name (see `scenario list')." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SCENARIO" ~doc)
+
+let scenario_bug_arg =
+  let doc = "Target bug (defaults to the scenario's first target)." in
+  Arg.(value & pos 1 (some string) None & info [] ~docv:"BUG" ~doc)
+
+let scenario_cmd =
+  let list_c =
+    Cmd.v
+      (Cmd.info "list" ~doc:"List the scenario catalog.")
+      Term.(const scenario_list $ const ())
+  in
+  let describe_c =
+    Cmd.v
+      (Cmd.info "describe"
+         ~doc:"Print a scenario's canonical text and target bugs.")
+      Term.(const scenario_describe $ scenario_pos_arg)
+  in
+  let run_c =
+    Cmd.v
+      (Cmd.info "run"
+         ~doc:
+           "Hunt a target bug under a scenario (equivalent to `hunt BUG \
+            --scenario SCENARIO').")
+      Term.(
+        const scenario_run $ scenario_pos_arg $ scenario_bug_arg $ strategy_arg
+        $ seed_arg $ executions_arg $ steps_arg $ trace_out_arg $ log_arg
+        $ shrink_arg $ workers_arg $ faults_arg $ fault_budget_arg $ clock_arg)
+  in
+  Cmd.group
+    (Cmd.info "scenario" ~doc:"List, describe and run catalog scenarios.")
+    [ list_c; describe_c; run_c ]
+
 let () =
   let info =
     Cmd.info "psharp_test" ~version:"1.0"
@@ -834,4 +946,12 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ list_cmd; hunt_cmd; replay_cmd; survey_cmd; check_cmd; explore_cmd ]))
+          [
+            list_cmd;
+            hunt_cmd;
+            replay_cmd;
+            survey_cmd;
+            check_cmd;
+            explore_cmd;
+            scenario_cmd;
+          ]))

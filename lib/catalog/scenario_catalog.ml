@@ -1,0 +1,148 @@
+type entry = {
+  name : string;
+  summary : string;
+  text : string;
+  scenario : Psharp.Scenario.t;
+  targets : string list;
+}
+
+(* Parsed once at init; a text that fails the strict parser is a build-time
+   defect of this module, not a user error. *)
+let entry ~name ~summary ~targets text =
+  match Psharp.Scenario.of_string text with
+  | Ok scenario -> { name; summary; text; scenario; targets }
+  | Error e ->
+    invalid_arg
+      (Printf.sprintf "Scenario_catalog.%s: bad scenario text: %s" name e)
+
+let all =
+  [
+    (* --- crash placement ------------------------------------------------ *)
+    entry ~name:"crash-early"
+      ~summary:"crash one machine in the first few scheduling steps"
+      ~targets:
+        [
+          "ExtentNodeCrashLosesBinding";
+          "FabricCrashSilentRestart";
+          "ShardkvCrashLosesShard";
+        ]
+      "crash * after step(10)\n";
+    entry ~name:"crash-late"
+      ~summary:"crash one machine only after the system has warmed up"
+      ~targets:
+        [
+          "FabricCrashSilentRestart";
+          "ShardkvCrashLosesShard";
+          "ExtentNodeCrashLosesBinding";
+        ]
+      "crash * after step(150)\n";
+    entry ~name:"rolling-restart"
+      ~summary:"two staggered crashes, a rolling-restart shape"
+      ~targets:
+        [
+          "FabricCrashSilentRestart";
+          "ShardkvCrashLosesShard";
+          "ExtentNodeCrashLosesBinding";
+        ]
+      "crash * after step(30)\ncrash * after step(100)\n";
+    entry ~name:"crash-after-quiesce"
+      ~summary:"crash only once a client machine has gone quiescent"
+      ~targets:[ "FabricCrashSilentRestart"; "ShardkvCrashLosesShard" ]
+      "crash * after quiet(C*)\n";
+    entry ~name:"crash-mid-copy"
+      ~summary:"crash while a state/extent copy is in flight"
+      ~targets:[ "ExtentNodeCrashLosesBinding"; "FabricCrashSilentRestart" ]
+      "crash * after delivered(Copy*)\n";
+    entry ~name:"crash-mid-handoff"
+      ~summary:"crash once a shard handoff has been requested"
+      ~targets:
+        [
+          "ShardkvCrashLosesShard";
+          "ShardkvMigrationDoubleApply";
+          "FabricCrashSilentRestart";
+        ]
+      "crash * after delivered(Handoff_request)\n";
+    (* --- duplication ---------------------------------------------------- *)
+    entry ~name:"dup-storm"
+      ~summary:"duplicate every interposed message for the first 300 steps"
+      ~targets:
+        [
+          "ChaintableDuplicateBackendRequest";
+          "ExampleDuplicateReplicaAck";
+          "PaxosForgetPromise";
+          "RaftDoubleVote";
+        ]
+      "dup *->* from start until step(300)\n";
+    entry ~name:"dup-from-server"
+      ~summary:"duplicate everything servers and services send"
+      ~targets:
+        [ "ExampleDuplicateReplicaAck"; "ChaintableDuplicateBackendRequest" ]
+      "dup S*->* from start until step(400)\n";
+    entry ~name:"dup-backend"
+      ~summary:"duplicate every message into the Tables backend"
+      ~targets:
+        [ "ChaintableDuplicateBackendRequest"; "ExampleDuplicateReplicaAck" ]
+      "dup *->Tables from start until step(600)\n";
+    (* --- latency -------------------------------------------------------- *)
+    entry ~name:"slow-network"
+      ~summary:"every interposed message takes latency 2"
+      ~targets:
+        [
+          "ChaintableRetryFreshSeq";
+          "ShardkvMigrationDoubleApply";
+          "ShardkvStaleRingServe";
+        ]
+      "delay *->* lat=2 from start until step(400)\n";
+    entry ~name:"slow-backend"
+      ~summary:"backend responses held past the RPC timeout"
+      ~targets:[ "ChaintableRetryFreshSeq"; "ShardkvStaleRingServe" ]
+      "delay Tables->* lat=3 from start until step(600)\n";
+    (* --- loss and partitions -------------------------------------------- *)
+    entry ~name:"lossy-window"
+      ~summary:"drop every interposed message between steps 40 and 90"
+      ~targets:
+        [ "PaxosForgetPromise"; "RaftDoubleVote"; "RaftStaleLeaderElection" ]
+      "drop *->* from step(40) until step(90)\n";
+    entry ~name:"isolate-joiner"
+      ~summary:"partition the joining node N2 from everyone mid-run"
+      ~targets:
+        [
+          "ShardkvStaleRingServe";
+          "ShardkvCrashLosesShard";
+          "PaxosChooseOwnValue";
+        ]
+      "partition *|N2 from step(60) until step(260)\n";
+    (* --- scheduling shape ----------------------------------------------- *)
+    entry ~name:"hold-clients"
+      ~summary:"keep client machines paused while the cluster boots"
+      ~targets:[ "FabricPromoteDuringCopy"; "ExampleDuplicateReplicaAck" ]
+      "pause Client* from start until step(60)\n";
+    entry ~name:"focus-servers"
+      ~summary:"prefer server-side machines through the mid-game"
+      ~targets:[ "ExampleCounterNotReset"; "InsertBehindMigrator" ]
+      "focus S* from step(20) until step(200)\n";
+    entry ~name:"ordered-bind"
+      ~summary:"no repair request before the directory is bound"
+      ~targets:
+        [
+          "ExtentNodeLivenessViolation";
+          "ExtentNodeCrashLosesBinding";
+          "FabricCrashSilentRestart";
+        ]
+      "order Bind_directory before Repair_request\n";
+    entry ~name:"starve-network"
+      ~summary:"hold the network relay mid-run so in-flight reports go stale"
+      ~targets:[ "ExtentNodeLivenessViolation"; "FabricCrashSilentRestart" ]
+      "pause Network* from step(40) until step(600)\n";
+    entry ~name:"ordered-join"
+      ~summary:"no migration release before a ring update has landed"
+      ~targets:[ "ShardkvMigrationDoubleApply"; "ExampleDuplicateReplicaAck" ]
+      "order Ring_update before Release\n";
+  ]
+
+let find name =
+  match List.find_opt (fun e -> e.name = name) all with
+  | Some e -> e
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Scenario_catalog.find: unknown scenario %s" name)

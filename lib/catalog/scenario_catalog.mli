@@ -1,0 +1,33 @@
+(** The cross-harness scenario library (ISSUE 10).
+
+    Each entry pairs a named {!Psharp.Scenario} — written in the canonical
+    text form, parsed once at module init — with the {!Bug_catalog}
+    entries it is meant to run against. Scenarios constrain, not replace,
+    the search: a hunt under a scenario still explores freely inside the
+    clauses, so every entry lists {e several} targets (spanning at least
+    two harnesses) and the same text steers each of them.
+
+    Patterns bind per-harness: [Client*] is the fabric and replication
+    client, [S*] the replication server and storage nodes as well as the
+    chaintable services, [Copy*] both vNext copy messages and fabric state
+    copies. On a target where a pattern matches nothing the clause is
+    vacuous — the scenario still runs and conforms, it just does not bite
+    there (armed fault kinds then inject freely, unconstrained). *)
+
+type entry = {
+  name : string;  (** CLI handle, kebab-case *)
+  summary : string;  (** one line for [scenario list] *)
+  text : string;  (** canonical scenario text ({!Psharp.Scenario.to_string}) *)
+  scenario : Psharp.Scenario.t;
+  targets : string list;
+      (** {!Bug_catalog} entry names this scenario is tuned for; the first
+          target is the default for [scenario run] *)
+}
+
+(** All entries, stable order. Every [text] is a parse-and-render fixpoint
+    and every target names a {!Bug_catalog} entry (pinned by
+    [test/test_scenario.ml]). *)
+val all : entry list
+
+(** @raise Invalid_argument on an unknown name. *)
+val find : string -> entry

@@ -31,6 +31,8 @@ type config = {
   fuzz_exchange : Fuzz_strategy.Exchange.t option;
   fuzz_energy : bool;
   fuzz_mutate_faults : bool;
+  scenario : Scenario.t option;
+  scenario_audit : (Scenario.Obs.t -> unit) option;
 }
 
 let default_config =
@@ -56,6 +58,8 @@ let default_config =
     fuzz_exchange = None;
     fuzz_energy = false;
     fuzz_mutate_faults = false;
+    scenario = None;
+    scenario_audit = None;
   }
 
 type stats = {
@@ -93,7 +97,7 @@ let factory_of config =
    max_seconds); the runtime checks it inside the step loop, so a single
    long execution cannot overshoot the budget (replay never gets one — a
    recorded schedule must always re-execute in full). *)
-let runtime_config ?coverage ?hb ?deadline config ~collect_log =
+let runtime_config ?coverage ?hb ?deadline ?scenario config ~collect_log =
   {
     Runtime.max_steps = config.max_steps;
     liveness_grace = config.liveness_grace;
@@ -104,7 +108,57 @@ let runtime_config ?coverage ?hb ?deadline config ~collect_log =
     faults = config.faults;
     deadline;
     clock = config.clock;
+    scenario;
   }
+
+(* --- Scenario constraining ---------------------------------------------- *)
+
+(* Per-execution scenario observer: fresh mutable state (journal, trigger
+   latches, pending draw markers) for each execution, created from the
+   immutable compiled scenario. [Scenario.Obs.create] validates that
+   [config.faults] arms what the clauses need — callers go through
+   {!Scenario.arm} before building the config, so a raise here is a
+   programming error at the call site, not a user input error. *)
+let scenario_obs config =
+  Option.map
+    (fun s -> Scenario.Obs.create s ~faults:config.faults)
+    config.scenario
+
+(* DFS enumerates its own tree and replay retraces recorded choices;
+   forcing their draws would change what those strategies mean (and for
+   replay the forced draws are already in the trace). The observer is
+   still installed — deliveries/crashes land in the journal so conformance
+   can be checked on replayed traces — but the strategy is not wrapped. *)
+let scenario_steers config =
+  match (config.scenario, config.strategy) with
+  | None, _ -> false
+  | Some _, (Dfs _ | Replay_trace _) -> false
+  | Some _, _ -> true
+
+let normalize_scenario config =
+  (match (config.scenario, config.strategy) with
+   | Some _, (Dfs _ | Replay_trace _) ->
+     Printf.eprintf
+       "[engine] strategy %s retraces its own choices; the scenario is \
+        observed but does not steer\n\
+        %!"
+       (factory_of config).Strategy.factory_name
+   | _ -> ());
+  config
+
+let scenario_wrap ~steer sobs strategy =
+  match sobs with
+  | Some o when steer -> Scenario.wrap ~obs:o strategy
+  | _ -> strategy
+
+(* Invoked once per execution, after the runtime returns, with the
+   execution's fully-populated observer (journal, wedge count, violation
+   list). In parallel runs the callback fires on worker domains and must
+   be thread-safe. *)
+let audit_scenario config sobs =
+  match (config.scenario_audit, sobs) with
+  | Some f, Some o -> f o
+  | _ -> ()
 
 (* --- Happens-before reduction ------------------------------------------ *)
 
@@ -151,9 +205,14 @@ let replay ?(monitors = no_monitors) config trace body =
     | Some s -> s
     | None -> assert false
   in
-  Runtime.execute
-    (runtime_config config ~collect_log:true)
-    strategy ~monitors:(monitors ()) ~name:"Harness" body
+  let sobs = scenario_obs config in
+  let result =
+    Runtime.execute
+      (runtime_config ?scenario:sobs config ~collect_log:true)
+      strategy ~monitors:(monitors ()) ~name:"Harness" body
+  in
+  audit_scenario config sobs;
+  result
 
 (* Assemble the report of a buggy execution, optionally re-executing the
    schedule with logging on to capture a readable trace log. *)
@@ -350,6 +409,7 @@ let shared_coverage_of shared = Option.map (fun s -> s.s_acc) shared
 let run_sequential ~monitors config body =
   let factory = factory_of config in
   let collector = collector_of config factory in
+  let steer = scenario_steers config in
   let started = Unix.gettimeofday () in
   let deadline = Option.map (fun b -> started +. b) config.max_seconds in
   let total_steps = ref 0 in
@@ -378,16 +438,19 @@ let run_sequential ~monitors config body =
       | None -> No_bug (stats_at ~search_exhausted:true i)
       | Some strategy ->
         let strategy, hb = instrument config strategy in
+        let sobs = scenario_obs config in
+        let strategy = scenario_wrap ~steer sobs strategy in
         let exec_cov = exec_cov_of collector in
         let result =
           Runtime.execute
-            (runtime_config ?coverage:exec_cov ?hb ?deadline config
-               ~collect_log:false)
+            (runtime_config ?coverage:exec_cov ?hb ?deadline ?scenario:sobs
+               config ~collect_log:false)
             strategy ~monitors:(monitors ()) ~name:"Harness" body
         in
         total_steps := !total_steps + result.Runtime.steps;
         note_hb hb exec_cov;
         ignore (observe collector factory result exec_cov);
+        audit_scenario config sobs;
         (match result.Runtime.bug with
          | Some kind ->
            let report = finish_report ~monitors config ~kind result body in
@@ -412,6 +475,7 @@ let run_sequential ~monitors config body =
    and writes no shared atomic. *)
 let run_parallel ~monitors ~workers config body =
   let shared = shared_collector_of config (factory_of config) in
+  let steer = scenario_steers config in
   let deadline =
     Option.map (fun b -> Unix.gettimeofday () +. b) config.max_seconds
   in
@@ -428,14 +492,17 @@ let run_parallel ~monitors ~workers config body =
         with
         | None -> (None, 0)
         | Some strategy ->
+          let sobs = scenario_obs config in
+          let strategy = scenario_wrap ~steer sobs strategy in
           let exec_cov = obs_exec_cov obs in
           let result =
             Runtime.execute
-              (runtime_config ?coverage:exec_cov ?deadline config
-                 ~collect_log:false)
+              (runtime_config ?coverage:exec_cov ?deadline ?scenario:sobs
+                 config ~collect_log:false)
               strategy ~monitors:(monitors ()) ~name:"Harness" body
           in
           observe_local obs result exec_cov;
+          audit_scenario config sobs;
           if result.Runtime.timed_out then Atomic.set exec_timed_out true;
           let payload =
             match result.Runtime.bug with
@@ -494,7 +561,7 @@ let parallel_plan config =
   end
 
 let run ?(monitors = no_monitors) config body =
-  let config = normalize_reduction config in
+  let config = normalize_scenario (normalize_reduction config) in
   match parallel_plan config with
   | `Sequential -> run_sequential ~monitors config body
   | `Parallel workers -> run_parallel ~monitors ~workers config body
@@ -508,6 +575,7 @@ let run ?(monitors = no_monitors) config body =
 let explore_sequential ~monitors config body =
   let factory = factory_of config in
   let collector = collector_of config factory in
+  let steer = scenario_steers config in
   let started = Unix.gettimeofday () in
   let deadline = Option.map (fun b -> started +. b) config.max_seconds in
   let total_steps = ref 0 in
@@ -536,16 +604,19 @@ let explore_sequential ~monitors config body =
       | None -> stats_at ~search_exhausted:true i
       | Some strategy ->
         let strategy, hb = instrument config strategy in
+        let sobs = scenario_obs config in
+        let strategy = scenario_wrap ~steer sobs strategy in
         let exec_cov = exec_cov_of collector in
         let result =
           Runtime.execute
-            (runtime_config ?coverage:exec_cov ?hb ?deadline config
-               ~collect_log:false)
+            (runtime_config ?coverage:exec_cov ?hb ?deadline ?scenario:sobs
+               config ~collect_log:false)
             strategy ~monitors:(monitors ()) ~name:"Harness" body
         in
         total_steps := !total_steps + result.Runtime.steps;
         note_hb hb exec_cov;
         ignore (observe collector factory result exec_cov);
+        audit_scenario config sobs;
         if result.Runtime.timed_out then stats_at ~timed_out:true (i + 1)
         else if hit_plateau config collector then
           stats_at ~plateaued:true (i + 1)
@@ -555,6 +626,7 @@ let explore_sequential ~monitors config body =
 
 let explore_parallel ~monitors ~workers config body =
   let shared = shared_collector_of config (factory_of config) in
+  let steer = scenario_steers config in
   let deadline =
     Option.map (fun b -> Unix.gettimeofday () +. b) config.max_seconds
   in
@@ -571,14 +643,17 @@ let explore_parallel ~monitors ~workers config body =
         with
         | None -> (None, 0)
         | Some strategy ->
+          let sobs = scenario_obs config in
+          let strategy = scenario_wrap ~steer sobs strategy in
           let exec_cov = obs_exec_cov obs in
           let result =
             Runtime.execute
-              (runtime_config ?coverage:exec_cov ?deadline config
-                 ~collect_log:false)
+              (runtime_config ?coverage:exec_cov ?deadline ?scenario:sobs
+                 config ~collect_log:false)
               strategy ~monitors:(monitors ()) ~name:"Harness" body
           in
           observe_local obs result exec_cov;
+          audit_scenario config sobs;
           if result.Runtime.timed_out then Atomic.set exec_timed_out true;
           ( (if shared_hit_plateau config shared then Some () else None),
             result.Runtime.steps ))
@@ -595,7 +670,10 @@ let explore_parallel ~monitors ~workers config body =
   }
 
 let explore ?(monitors = no_monitors) config body =
-  let config = normalize_reduction { config with collect_coverage = true } in
+  let config =
+    normalize_scenario
+      (normalize_reduction { config with collect_coverage = true })
+  in
   match parallel_plan config with
   | `Sequential -> explore_sequential ~monitors config body
   | `Parallel workers -> explore_parallel ~monitors ~workers config body
@@ -613,6 +691,7 @@ let report_of_result kind (result : Runtime.exec_result) =
 
 let survey_sequential ~monitors config body =
   let factory = factory_of config in
+  let steer = scenario_steers config in
   let started = Unix.gettimeofday () in
   let deadline = Option.map (fun b -> started +. b) config.max_seconds in
   let out_of_time () =
@@ -632,11 +711,15 @@ let survey_sequential ~monitors config body =
       | Some strategy ->
         let strategy, hb = instrument config strategy in
         ignore hb;
+        let sobs = scenario_obs config in
+        let strategy = scenario_wrap ~steer sobs strategy in
         let result =
           Runtime.execute
-            (runtime_config ?hb ?deadline config ~collect_log:false)
+            (runtime_config ?hb ?deadline ?scenario:sobs config
+               ~collect_log:false)
             strategy ~monitors:(monitors ()) ~name:"Harness" body
         in
+        audit_scenario config sobs;
         (match result.Runtime.bug with
          | None -> ()
          | Some kind ->
@@ -657,6 +740,7 @@ let survey_sequential ~monitors config body =
    survey discovers them in. *)
 let survey_parallel ~monitors ~workers config body =
   let mu = Mutex.create () in
+  let steer = scenario_steers config in
   let found : (string, Error.report * int * int) Hashtbl.t =
     Hashtbl.create 8
   in
@@ -673,11 +757,15 @@ let survey_parallel ~monitors ~workers config body =
         with
         | None -> (None, 0)
         | Some strategy ->
+          let sobs = scenario_obs config in
+          let strategy = scenario_wrap ~steer sobs strategy in
           let result =
             Runtime.execute
-              (runtime_config ?deadline config ~collect_log:false)
+              (runtime_config ?deadline ?scenario:sobs config
+                 ~collect_log:false)
               strategy ~monitors:(monitors ()) ~name:"Harness" body
           in
+          audit_scenario config sobs;
           (match result.Runtime.bug with
            | None -> ()
            | Some kind ->
@@ -700,7 +788,7 @@ let survey_parallel ~monitors ~workers config body =
   |> List.map (fun (report, n, _) -> (report, n))
 
 let survey ?(monitors = no_monitors) config body =
-  let config = normalize_reduction config in
+  let config = normalize_scenario (normalize_reduction config) in
   match parallel_plan config with
   | `Sequential -> survey_sequential ~monitors config body
   | `Parallel workers -> survey_parallel ~monitors ~workers config body

@@ -150,6 +150,28 @@ type config = {
           default). When on, mutants may perturb the recorded fault draws
           (crash instants, delay latencies, drop/dup booleans) while
           keeping the scheduling spine intact. *)
+  scenario : Scenario.t option;
+      (** scenario constraint ([None] by default — zero draws, zero
+          observation, schedules untouched). When set, every execution
+          gets a fresh {!Scenario.Obs} observer in its runtime config and
+          the strategy is wrapped in {!Scenario.wrap}, which prunes
+          scheduling picks and forces fault draws so admitted schedules
+          satisfy the scenario's clauses — the base strategy (random, PCT,
+          delay-bounded, fuzz) still drives the search inside the
+          constraint, and parallel safety is inherited. [Dfs] and
+          [Replay_trace] keep their own schedule discipline: the observer
+          is installed (deliveries land in the journal for conformance
+          checking) but the strategy is not wrapped, with a notice.
+          {!replay} and the shrinker likewise observe without wrapping —
+          forced draws are ordinary recorded choices, so witnesses replay
+          and shrink as always. The spec in [faults] must arm what the
+          clauses need: pass it through {!Scenario.arm} first. *)
+  scenario_audit : (Scenario.Obs.t -> unit) option;
+      (** called once per execution with its fully-populated observer
+          (journal, wedge count, violations) after the runtime returns —
+          the conformance-test hook. In parallel runs the callback fires
+          on worker domains and must be thread-safe. [None] by default;
+          only meaningful together with [scenario]. *)
 }
 
 (** Random strategy, seed 0, 10,000 executions, 5,000-step bound, one

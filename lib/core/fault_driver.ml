@@ -12,9 +12,19 @@ let body ~max_crashes ~max_ticks ctx =
   Registry.register_machine ~machine:"FaultDriver" ~kind:Registry.Machine
     ~states:1 ~handlers:1;
   Runtime.send ctx (Runtime.self ctx) Fault_tick;
+  (* Scenario-steered mode: instead of drawing a crash instant up front,
+     every tick marks the candidate victims ({!Runtime.scenario_crash_tick})
+     and draws one coin, which the scenario wrapper forces — true exactly
+     when an armed [crash] clause's trigger has fired and a victim matches.
+     Both the coin and the victim pick are ordinary recorded draws, so
+     scenario crash schedules replay and shrink like random ones (replay
+     installs the same observer, so this branch is taken consistently). *)
+  let steered = Runtime.scenario_crash_steering ctx in
   let crashes = ref 0 in
   let ticks = ref 0 in
-  let crash_at = ref (1 + Runtime.nondet_int ctx max_ticks) in
+  let crash_at =
+    ref (if steered then 0 else 1 + Runtime.nondet_int ctx max_ticks)
+  in
   let rec loop () =
     match Runtime.receive ctx with
     | Fault_tick ->
@@ -24,7 +34,18 @@ let body ~max_crashes ~max_ticks ctx =
         || Runtime.fault_budget_left ctx <= 0
       then Runtime.halt ctx
       else begin
-        (if !ticks >= !crash_at then
+        (if steered then begin
+           match Runtime.crashable_machines ctx with
+           | [] -> ()  (* no victim yet: mark again at the next tick *)
+           | victims ->
+             Runtime.scenario_crash_tick ctx
+               ~victims:(List.map (Runtime.name_of ctx) victims);
+             if Runtime.nondet ctx then begin
+               Runtime.crash ctx (Runtime.choose ctx victims);
+               incr crashes
+             end
+         end
+         else if !ticks >= !crash_at then
            match Runtime.crashable_machines ctx with
            | [] -> ()  (* no victim yet: strike at the next tick instead *)
            | victims ->
@@ -52,6 +73,16 @@ let install ?(max_crashes = 1) ?(max_ticks = 40) ctx =
   if max_ticks <= 0 then
     invalid_arg "Fault_driver.install: max_ticks must be positive";
   let spec = Runtime.fault_spec ctx in
-  if spec.Fault.crash && spec.Fault.budget > 0 then
+  if spec.Fault.crash && spec.Fault.budget > 0 then begin
+    (* Under a crash-steering scenario, widen the allowance so every crash
+       clause fits (rolling restarts need several) and give late triggers
+       room: harness defaults tuned for one random crash retire the driver
+       long before e.g. a quiescence-gated clause can fire. *)
+    let max_crashes, max_ticks =
+      if Runtime.scenario_crash_steering ctx then
+        (max max_crashes (Runtime.scenario_crash_slots ctx), max max_ticks 160)
+      else (max_crashes, max_ticks)
+    in
     ignore
       (Runtime.create ctx ~name:"FaultDriver" (body ~max_crashes ~max_ticks))
+  end

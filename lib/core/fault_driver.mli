@@ -18,5 +18,13 @@ type Event.t += Fault_tick  (** internal self-message driving the loop *)
     [max_crashes] machines (default 1, kept low to avoid drowning
     executions in failures) within [max_ticks] turns (default 40), and
     stops early when the shared fault budget runs out.
+
+    Under a crash-steering scenario ({!Runtime.scenario_crash_steering})
+    the driver switches modes: each tick marks the current victims and
+    draws a coin the scenario wrapper forces, so crashes land exactly
+    where the scenario's [crash] clauses ask; [max_crashes] is raised to
+    the scenario's crash slots and [max_ticks] to at least 160 so late
+    triggers stay reachable. Without a scenario the draw sequence is
+    byte-identical to before.
     @raise Invalid_argument on non-positive [max_crashes]/[max_ticks]. *)
 val install : ?max_crashes:int -> ?max_ticks:int -> Runtime.ctx -> unit

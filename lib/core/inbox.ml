@@ -54,6 +54,13 @@ let pop_entry t pred =
 let pop_first t pred =
   Option.map (fun (e, _, _) -> e) (pop_entry t pred)
 
+let peek_first t pred =
+  let rec find = function
+    | [] -> None
+    | (e, _, _) :: rest -> if pred e then Some e else find rest
+  in
+  match find t.front with Some _ as r -> r | None -> find (List.rev t.back)
+
 let exists t pred =
   List.exists (fun (e, _, _) -> pred e) t.front
   || List.exists (fun (e, _, _) -> pred e) t.back

@@ -23,6 +23,11 @@ val length : t -> int
 (** First event satisfying [pred], removed from the inbox. *)
 val pop_first : t -> (Event.t -> bool) -> Event.t option
 
+(** First event satisfying [pred], left in place — what a filtered receive
+    {e would} dequeue. Scenario order clauses peek at the imminent dequeue
+    without perturbing the queue. *)
+val peek_first : t -> (Event.t -> bool) -> Event.t option
+
 (** Like {!pop_first} but also returns the sender and stamp tags the event
     was pushed with. *)
 val pop_entry : t -> (Event.t -> bool) -> (Event.t * int * int) option

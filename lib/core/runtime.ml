@@ -8,6 +8,7 @@ type config = {
   faults : Fault.spec;
   deadline : float option;
   clock : Clock.config option;
+  scenario : Scenario.Obs.t option;
 }
 
 let default_config =
@@ -21,6 +22,7 @@ let default_config =
     faults = Fault.none;
     deadline = None;
     clock = None;
+    scenario = None;
   }
 
 (* A machine blocked on [receive] is a captured continuation expecting the
@@ -176,6 +178,9 @@ let add_machine ?persistent rt ~name body =
   (match rt.config.coverage with
    | Some cov -> Coverage.visit_state cov ~machine:name ~state:"-"
    | None -> ());
+  (match rt.config.scenario with
+   | Some o -> Scenario.Obs.on_create o ~index:(rt.n_machines - 1) ~name
+   | None -> ());
   m
 
 (* --- Machine API --- *)
@@ -321,8 +326,20 @@ let send_faulty ctx target e =
     let m = rt.machines.(Id.index target) in
     let halted = match m.status with Halted -> true | _ -> false in
     if halted then send ctx target e (* dropped anyway; no draw *)
-    else if not (nondet ctx) then send ctx target e
     else begin
+      (* Scenario marker: annotate the semantic purpose of the imminent
+         fault draws (coin, kind, latency) so a scenario wrapper can force
+         them on constrained links. Placed after every no-draw short
+         circuit above, so a marker is never stale. Draw-free. *)
+      (match rt.config.scenario with
+       | Some o ->
+         Scenario.Obs.pre_send o ~step:rt.steps
+           ~time:(match rt.clock with Some ck -> Clock.now ck | None -> 0)
+           ~sender:(Id.index ctx.me.id) ~target:(Id.index target)
+           ~event:(Event.name e) ~budget:rt.faults_remaining
+       | None -> ());
+      if not (nondet ctx) then send ctx target e
+      else begin
       let spec = rt.config.faults in
       let kinds =
         (if spec.drop then [ Fault.Drop ] else [])
@@ -393,6 +410,7 @@ let send_faulty ctx target e =
              @ [ { d_target = Id.index target; d_sender = Id.index ctx.me.id;
                    d_stamp = stamp; d_event = e; d_countdown = k } ])
       | Fault.Crash -> assert false (* not a message-fault kind *)
+      end
     end
   end
 
@@ -430,6 +448,12 @@ let crash ctx target =
        (match rt.config.hb with
         | Some h -> Hb.on_crash h ~target:(Id.index target)
         | None -> ());
+       (match rt.config.scenario with
+        | Some o ->
+          Scenario.Obs.on_crash o ~step:rt.steps
+            ~time:(match rt.clock with Some ck -> Clock.now ck | None -> 0)
+            ~target:(Id.index target)
+        | None -> ());
        record_fault rt ~kind:"crash" ~target:m.id;
        if rt.log_on then
          logf rt "[%d] FAULT crash %s (will restart)" rt.steps
@@ -437,6 +461,23 @@ let crash ctx target =
 
 let fault_spec ctx = ctx.rt.config.faults
 let fault_budget_left ctx = ctx.rt.faults_remaining
+
+(* --- Scenario steering (draw-free observations for Fault_driver) --- *)
+
+let scenario_crash_steering ctx =
+  match ctx.rt.config.scenario with
+  | Some o -> Scenario.Obs.crash_steering o
+  | None -> false
+
+let scenario_crash_slots ctx =
+  match ctx.rt.config.scenario with
+  | Some o -> Scenario.Obs.crash_slots o
+  | None -> 0
+
+let scenario_crash_tick ctx ~victims =
+  match ctx.rt.config.scenario with
+  | Some o -> Scenario.Obs.pre_crash_tick o ~step:ctx.rt.steps ~victims
+  | None -> ()
 
 (* --- Virtual time -------------------------------------------------------- *)
 
@@ -566,6 +607,11 @@ let assert_here ctx cond msg =
 
 let set_state_name ctx state =
   ctx.me.state_name <- state;
+  (match ctx.rt.config.scenario with
+   | Some o ->
+     Scenario.Obs.on_state o ~step:ctx.rt.steps ~index:(Id.index ctx.me.id)
+       ~state
+   | None -> ());
   match ctx.rt.config.coverage with
   | Some cov -> Coverage.visit_state cov ~machine:(Id.name ctx.me.id) ~state
   | None -> ()
@@ -751,6 +797,15 @@ let resume_machine rt m =
           Coverage.deliver cov ~sender:sender_name ~event:(Event.name e)
             ~receiver:(Id.name m.id) ~state:m.state_name
         | None -> ());
+       (match rt.config.scenario with
+        | Some o ->
+          (* stamped with the deciding scheduling point (rt.steps was
+             already incremented), so the checker sees window state
+             exactly as the wrapper's pruning decision did *)
+          Scenario.Obs.on_deliver o ~step:(rt.steps - 1)
+            ~time:(match rt.clock with Some ck -> Clock.now ck | None -> 0)
+            ~sender ~receiver:(Id.index m.id) ~event:(Event.name e)
+        | None -> ());
        if rt.log_on then
          logf rt "[%d] %s dequeues %s" rt.steps (Id.to_string m.id)
            (Event.to_string e);
@@ -853,6 +908,21 @@ let execute config strategy ~monitors ~name body =
       next_wakeup = 0;
     }
   in
+  (match config.scenario with
+   | Some o ->
+     (* order-clause enforcement peeks at what a machine would dequeue
+        next; installed before the root machine so [on_create] hooks and
+        peeks never race the machine array *)
+     Scenario.Obs.set_peek o (fun i ->
+         if i < 0 || i >= rt.n_machines then None
+         else
+           match rt.machines.(i).status with
+           | Waiting (pred, _) ->
+             let matches = Option.value pred ~default:(fun _ -> true) in
+             Option.map Event.name
+               (Inbox.peek_first rt.machines.(i).inbox matches)
+           | _ -> None)
+   | None -> ());
   ignore (add_machine rt ~name body);
   (match config.hb with
    | Some h -> Hb.on_create h ~parent:(-1) ~child:0

@@ -66,6 +66,15 @@ type config = {
           path draws or behaves differently from a build without clock
           support, so all pre-clock golden digests are byte-identical
           (pinned by [test/test_golden.ml]). *)
+  scenario : Scenario.Obs.t option;
+      (** when set, the execution feeds this per-execution scenario
+          observer: machine creations, state declarations, deliveries,
+          crashes and fault-draw markers ({!Scenario.Obs.pre_send}) — all
+          draw-free, so installing an observer {e without} wrapping the
+          strategy changes nothing about the schedule (which is exactly
+          what replay and shrinking do: the forced draws are already in
+          the trace). The same contract as [coverage]/[hb]: [None] costs
+          one match per operation and zero draws. *)
 }
 
 val default_config : config
@@ -186,6 +195,25 @@ val fault_budget_left : ctx -> int
 (** Currently crashable machines — created with [~persistent], not halted,
     excluding the caller — in creation order (stable under replay). *)
 val crashable_machines : ctx -> Id.t list
+
+(** {1 Scenario steering}
+
+    Draw-free observations {!Fault_driver} uses to run scenario-steered
+    crash ticks; all three are inert (false/0/no-op) without a scenario
+    observer in the config. *)
+
+(** The installed scenario has crash clauses, so the driver should mark
+    each tick's crash coin ({!scenario_crash_tick}) for the wrapper to
+    force. *)
+val scenario_crash_steering : ctx -> bool
+
+(** Number of crash clauses — a floor for the driver's crash allowance so
+    rolling-restart scenarios fit without harness changes. *)
+val scenario_crash_slots : ctx -> int
+
+(** Mark the imminent crash coin with the current victim candidates (names
+    in {!crashable_machines} order). *)
+val scenario_crash_tick : ctx -> victims:string list -> unit
 
 (** [notify ctx monitor_name e] synchronously notifies the named monitor.
     Unknown monitor names are ignored (harnesses may run without their

@@ -66,6 +66,14 @@ let runtime_config (config : Engine.config) =
     (* same reason as faults: a clock-found trace only replays under the
        same time model *)
     clock = config.Engine.clock;
+    (* observer only, never wrapped: scenario-forced draws are ordinary
+       recorded choices, so lenient replay retraces them like any other —
+       a fresh observer per attempt keeps the hooks' contract uniform
+       without perturbing a single draw *)
+    scenario =
+      Option.map
+        (fun s -> Scenario.Obs.create s ~faults:config.Engine.faults)
+        config.Engine.scenario;
   }
 
 (* Execute once under lenient replay of [candidate]; if the same bug kind

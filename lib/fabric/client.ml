@@ -11,7 +11,7 @@ let machine ~manager ~report_to ~n_requests ctx =
       | 1 -> Service.Add (1 + R.nondet_int ctx 3)
       | _ -> Service.Get "_"
     in
-    R.send ctx manager
+    R.send_faulty ctx manager
       (Events.Client_request { client = R.self ctx; req_id; op });
     let matches = function
       | Events.Client_response { req_id = id; _ } -> id = req_id

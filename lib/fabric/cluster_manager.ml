@@ -35,7 +35,7 @@ let view m =
 
 let send_view ctx m =
   match primary m with
-  | Some p -> R.send ctx p.machine_id (Events.Update_view { actives = view m })
+  | Some p -> R.send_faulty ctx p.machine_id (Events.Update_view { actives = view m })
   | None -> ()
 
 let launch_replica ctx m ~initial_role =
@@ -66,7 +66,7 @@ let start_build ctx m target =
   match primary m with
   | Some p ->
     target.building <- true;
-    R.send ctx p.machine_id
+    R.send_faulty ctx p.machine_id
       (Events.Build_replica
          { target_rid = target.rid; target = target.machine_id })
   | None -> ()
@@ -74,7 +74,7 @@ let start_build ctx m target =
 let forward ctx m (req : pending_request) =
   match primary m with
   | Some p ->
-    R.send ctx p.machine_id
+    R.send_faulty ctx p.machine_id
       (Events.Forward_request
          { client = req.client; req_id = req.req_id; op = req.op })
   | None -> ()  (* re-forwarded at the next election *)
@@ -93,7 +93,7 @@ let elect ctx m =
     let winner = R.choose ctx candidates in
     winner.role <- Primary;
     R.notify ctx Monitors.primary_name (Events.M_became_primary winner.rid);
-    R.send ctx winner.machine_id (Events.Become_primary { actives = view m });
+    R.send_faulty ctx winner.machine_id (Events.Become_primary { actives = view m });
     R.log ctx (Printf.sprintf "elected replica %d as primary" winner.rid);
     (* Re-drive requests that may have died with the old primary. *)
     List.iter (forward ctx m) m.pending
@@ -132,7 +132,7 @@ let on_copy_done ctx m e =
              rid);
         if r.role = Idle then begin
           r.role <- Active;
-          R.send ctx r.machine_id Events.Promote_to_active;
+          R.send_faulty ctx r.machine_id Events.Promote_to_active;
           send_view ctx m;
           (* A crash can leave the cluster with no primary while every
              survivor was still building; the first completed build makes a
@@ -183,7 +183,7 @@ let on_request_served ctx m e =
     if List.exists (fun r -> r.req_id = req_id) m.pending then begin
       m.pending <- List.filter (fun r -> r.req_id <> req_id) m.pending;
       R.notify ctx Monitors.liveness_name (Events.M_response req_id);
-      R.send ctx client (Events.Client_response { req_id; response })
+      R.send_faulty ctx client (Events.Client_response { req_id; response })
     end;
     Sm.Stay
   | _ -> Sm.Unhandled

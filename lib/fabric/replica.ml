@@ -22,7 +22,7 @@ let on_copy_state ctx m e =
   | Events.Copy_state { snapshot; seq } ->
     m.service.Service.restore snapshot;
     m.seq <- seq;
-    R.send ctx m.manager (Events.Copy_done { rid = m.rid });
+    R.send_faulty ctx m.manager (Events.Copy_done { rid = m.rid });
     Sm.Stay
   | _ -> Sm.Unhandled
 
@@ -59,17 +59,17 @@ let on_forward ctx m e =
       List.iter
         (fun (rid, id) ->
           if rid <> m.rid then
-            R.send ctx id (Events.Replicate { op; seq = m.seq }))
+            R.send_faulty ctx id (Events.Replicate { op; seq = m.seq }))
         m.actives
     end;
-    R.send ctx m.manager (Events.Request_served { client; req_id; response });
+    R.send_faulty ctx m.manager (Events.Request_served { client; req_id; response });
     Sm.Stay
   | _ -> Sm.Unhandled
 
 let on_build ctx m e =
   match e with
   | Events.Build_replica { target; target_rid = _ } ->
-    R.send ctx target
+    R.send_faulty ctx target
       (Events.Copy_state
          { snapshot = m.service.Service.snapshot (); seq = m.seq });
     Sm.Stay

@@ -5,7 +5,7 @@ let machine ~server ~n_requests ctx =
   Psharp.Registry.register_machine ~machine:"ReplicationClient"
     ~kind:Psharp.Registry.Machine ~states:1 ~handlers:1;
   for seq = 1 to n_requests do
-    R.send ctx server (Events.Client_req { client = R.self ctx; seq });
+    R.send_faulty ctx server (Events.Client_req { client = R.self ctx; seq });
     let is_ack e = match e with Events.Ack -> true | _ -> false in
     ignore (R.receive_where ctx is_ack)
   done;

@@ -98,12 +98,12 @@ let machine ~bugs ~replica_target ctx =
   let apply ctx (eff : Logic.effect_) =
     match eff with
     | Logic.Broadcast_repl seq ->
-      List.iter (fun n -> R.send ctx n (Events.Repl_req seq)) (Logic.nodes logic)
-    | Logic.Resend_repl { node; seq } -> R.send ctx node (Events.Repl_req seq)
+      List.iter (fun n -> R.send_faulty ctx n (Events.Repl_req seq)) (Logic.nodes logic)
+    | Logic.Resend_repl { node; seq } -> R.send_faulty ctx node (Events.Repl_req seq)
     | Logic.Send_ack { client; seq } ->
       R.notify ctx Monitors.safety_name (Events.M_ack seq);
       R.notify ctx Monitors.liveness_name (Events.M_ack seq);
-      R.send ctx client Events.Ack
+      R.send_faulty ctx client Events.Ack
   in
   let init_state =
     Sm.state "Init"

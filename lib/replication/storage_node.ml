@@ -20,7 +20,7 @@ let machine ~server ~node_index ctx =
             | _ -> Sm.Unhandled );
         ( "Timer_tick",
           fun ctx model _e ->
-            R.send ctx server
+            R.send_faulty ctx server
               (Events.Sync
                  { node = R.self ctx; node_index; stored = model.stored });
             Sm.Stay );

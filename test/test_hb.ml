@@ -132,6 +132,7 @@ let run_vnext ~seed =
       faults = Psharp.Fault.none;
       deadline = None;
       clock = None;
+      scenario = None;
     }
   in
   let strategy =
@@ -233,6 +234,7 @@ let test_swap_invariance () =
         faults = Psharp.Fault.none;
         deadline = None;
         clock = None;
+        scenario = None;
       }
     in
     let strategy =

@@ -31,5 +31,6 @@ let () =
       ("shardkv", Test_shardkv.suite);
       ("witnesses", Test_witnesses.suite);
       ("roundtrip", Test_roundtrip.suite);
+      ("scenario", Test_scenario.suite);
       ("campaign", Test_campaign.suite);
     ]
